@@ -1,0 +1,308 @@
+//! The §6.7 experiment campaign: autoscalers × workloads, ranked and
+//! graded.
+//!
+//! \[126\] ran N=5 experiments and designed "two ranking methods to
+//! aggregate the results into head-to-head comparisons"; \[127\] added cost,
+//! SLAs, and "a method to grade autoscalers, by combining their scores
+//! judiciously"; \[128\] redid the campaign in simulation and stressed
+//! *independent corroboration*. This module runs the in-silico campaign
+//! across the roster and workload shapes, computes the twelve metrics per
+//! cell, and aggregates with head-to-head, Borda, and weighted grading.
+
+use crate::autoscaler::{Adapt, Hist, Plan, React, RecentPeak, Reg, Token};
+use crate::cost::{BillingModel, DeadlineSla};
+use crate::metrics::ElasticityReport;
+use crate::sim::{run, AutoscaleConfig, RunResult};
+use atlarge_stats::ranking::{Direction, ScoreTable};
+use atlarge_workload::arrivals::{ArrivalProcess, Bursty, Poisson};
+use atlarge_workload::workflow::{generate, Shape, Workflow};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// The workload shapes of the campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkflowWorkload {
+    /// Steady Poisson arrivals of fork-join workflows.
+    Steady,
+    /// Bursty arrivals (the autoscaler stress case).
+    Bursty,
+    /// Long chains (little parallelism; scaling barely helps).
+    Chains,
+    /// Wide layered DAGs (high parallelism; scaling matters).
+    Wide,
+}
+
+impl WorkflowWorkload {
+    /// All campaign workloads.
+    pub fn all() -> [WorkflowWorkload; 4] {
+        [
+            WorkflowWorkload::Steady,
+            WorkflowWorkload::Bursty,
+            WorkflowWorkload::Chains,
+            WorkflowWorkload::Wide,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkflowWorkload::Steady => "steady",
+            WorkflowWorkload::Bursty => "bursty",
+            WorkflowWorkload::Chains => "chains",
+            WorkflowWorkload::Wide => "wide",
+        }
+    }
+
+    /// Generates the workload's workflows over `horizon` seconds.
+    pub fn generate(&self, horizon: f64, seed: u64) -> Vec<Workflow> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let arrivals = match self {
+            WorkflowWorkload::Bursty => {
+                Bursty::new(0.05, 0.004, horizon / 20.0, horizon / 8.0).generate(
+                    &mut rng,
+                    0.0,
+                    horizon,
+                )
+            }
+            _ => Poisson::new(0.01).generate(&mut rng, 0.0, horizon),
+        };
+        arrivals
+            .into_iter()
+            .map(|t| {
+                let shape = match self {
+                    WorkflowWorkload::Chains => Shape::Chain(8),
+                    WorkflowWorkload::Wide => Shape::Layered {
+                        layers: 3,
+                        width: 8,
+                    },
+                    _ => Shape::ForkJoin(6),
+                };
+                generate(&mut rng, shape, 40.0, 0.5, t)
+            })
+            .collect()
+    }
+}
+
+/// One cell of the campaign: an autoscaler on a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignCell {
+    /// Autoscaler name.
+    pub scaler: &'static str,
+    /// Workload name.
+    pub workload: &'static str,
+    /// The twelve metrics.
+    pub report: ElasticityReport,
+    /// Hard-SLA violations (slack 2.0).
+    pub sla_violations: usize,
+    /// Workflows completed.
+    pub completed: usize,
+}
+
+fn run_scaler(
+    scaler_idx: usize,
+    workflows: Vec<Workflow>,
+    config: AutoscaleConfig,
+    seed: u64,
+) -> (&'static str, RunResult) {
+    // The roster is rebuilt per run so stateful scalers start fresh.
+    match scaler_idx {
+        0 => ("react", run(workflows, React, config, seed)),
+        1 => ("adapt", run(workflows, Adapt::default(), config, seed)),
+        2 => ("hist", run(workflows, Hist::default(), config, seed)),
+        3 => ("reg", run(workflows, Reg::default(), config, seed)),
+        4 => ("peak", run(workflows, RecentPeak::default(), config, seed)),
+        5 => ("plan", run(workflows, Plan::default(), config, seed)),
+        6 => ("token", run(workflows, Token::default(), config, seed)),
+        _ => unreachable!("roster has seven scalers"),
+    }
+}
+
+/// Number of autoscalers in the campaign roster.
+pub const ROSTER_SIZE: usize = 7;
+
+/// Runs the full campaign at the given horizon. Returns one cell per
+/// (autoscaler, workload).
+pub fn campaign(horizon: f64, seed: u64) -> Vec<CampaignCell> {
+    let config = AutoscaleConfig::default();
+    let billing = BillingModel::PerSecond { rate: 0.5 };
+    let sla = DeadlineSla::Hard { slack: 2.0 };
+    let mut cells = Vec::new();
+    for wl in WorkflowWorkload::all() {
+        let workflows = wl.generate(horizon, seed);
+        if workflows.is_empty() {
+            continue;
+        }
+        for si in 0..ROSTER_SIZE {
+            let (name, result) = run_scaler(si, workflows.clone(), config, seed);
+            let to = result.end_time.max(1.0);
+            let cost = billing.cost(&result.supply, 0.0, to);
+            let report = ElasticityReport::compute(
+                &result.demand,
+                &result.supply,
+                0.0,
+                to,
+                result.mean_response(),
+                cost,
+            );
+            cells.push(CampaignCell {
+                scaler: name,
+                workload: wl.name(),
+                report,
+                sla_violations: sla.violations(&result.workflows),
+                completed: result.workflows.len(),
+            });
+        }
+    }
+    cells
+}
+
+/// Builds the §6.7 score table over campaign cells: metrics averaged per
+/// autoscaler across workloads.
+pub fn score_table(cells: &[CampaignCell]) -> ScoreTable {
+    let mut table = ScoreTable::new();
+    let names = ElasticityReport::metric_names();
+    for (i, name) in names.iter().enumerate() {
+        let dir = if ElasticityReport::lower_is_better(i) {
+            Direction::LowerIsBetter
+        } else {
+            Direction::HigherIsBetter
+        };
+        table.add_metric(name, dir);
+    }
+    // Average each metric per scaler across workloads.
+    let mut sums: BTreeMap<&str, (Vec<f64>, usize)> = BTreeMap::new();
+    for c in cells {
+        let e = sums
+            .entry(c.scaler)
+            .or_insert_with(|| (vec![0.0; names.len()], 0));
+        for (i, v) in c.report.values().iter().enumerate() {
+            e.0[i] += v;
+        }
+        e.1 += 1;
+    }
+    for (scaler, (vals, n)) in sums {
+        for (i, name) in names.iter().enumerate() {
+            table.record(scaler, name, vals[i] / n as f64);
+        }
+    }
+    table
+}
+
+/// The grading weights of \[127\]: responsiveness metrics dominate, cost
+/// and stability temper.
+pub fn grading_weights() -> BTreeMap<String, f64> {
+    let mut w = BTreeMap::new();
+    w.insert("under_accuracy".to_string(), 3.0);
+    w.insert("under_timeshare".to_string(), 3.0);
+    w.insert("mean_response".to_string(), 2.0);
+    w.insert("cost".to_string(), 2.0);
+    w.insert("instability".to_string(), 1.0);
+    w
+}
+
+/// The full §6.7 aggregation: `(head-to-head, borda, grades)` rankings.
+pub fn aggregate(
+    cells: &[CampaignCell],
+) -> (Vec<(String, usize)>, Vec<(String, f64)>, Vec<(String, f64)>) {
+    let table = score_table(cells);
+    (
+        table.head_to_head(),
+        table.borda_ranking(),
+        table.weighted_grades(&grading_weights()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cells() -> Vec<CampaignCell> {
+        campaign(4_000.0, 13)
+    }
+
+    #[test]
+    fn campaign_covers_roster_times_workloads() {
+        let cs = cells();
+        assert_eq!(cs.len(), ROSTER_SIZE * WorkflowWorkload::all().len());
+        for c in &cs {
+            assert!(c.completed > 0, "{}/{} completed nothing", c.scaler, c.workload);
+        }
+    }
+
+    #[test]
+    fn same_workload_same_completion_count() {
+        // All autoscalers must finish the same workflow set — they differ
+        // in when, not whether.
+        let cs = cells();
+        for wl in WorkflowWorkload::all() {
+            let counts: std::collections::BTreeSet<usize> = cs
+                .iter()
+                .filter(|c| c.workload == wl.name())
+                .map(|c| c.completed)
+                .collect();
+            assert_eq!(counts.len(), 1, "{}: {counts:?}", wl.name());
+        }
+    }
+
+    #[test]
+    fn over_provisioner_costs_more_than_tracker() {
+        let cs = cells();
+        let avg = |name: &str, f: fn(&ElasticityReport) -> f64| {
+            let v: Vec<f64> = cs
+                .iter()
+                .filter(|c| c.scaler == name)
+                .map(|c| f(&c.report))
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        let peak_cost = avg("peak", |r| r.cost);
+        let react_cost = avg("react", |r| r.cost);
+        assert!(
+            peak_cost > react_cost,
+            "peak {peak_cost} should out-spend react {react_cost}"
+        );
+    }
+
+    #[test]
+    fn rankings_are_complete_and_consistent() {
+        let cs = cells();
+        let (h2h, borda, grades) = aggregate(&cs);
+        assert_eq!(h2h.len(), ROSTER_SIZE);
+        assert_eq!(borda.len(), ROSTER_SIZE);
+        assert_eq!(grades.len(), ROSTER_SIZE);
+        // Descending order.
+        assert!(h2h.windows(2).all(|w| w[0].1 >= w[1].1));
+        assert!(borda.windows(2).all(|w| w[0].1 >= w[1].1));
+        assert!(grades.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn no_autoscaler_dominates_every_metric() {
+        // The paper's persistent finding across scheduling and autoscaling:
+        // nobody wins everything.
+        let cs = cells();
+        let table = score_table(&cs);
+        let competitors = table.competitors().len();
+        let wins = table.head_to_head();
+        let max_possible =
+            (competitors - 1) * ElasticityReport::metric_names().len();
+        assert!(
+            wins[0].1 < max_possible,
+            "{} swept all {} pairwise contests",
+            wins[0].0,
+            max_possible
+        );
+    }
+
+    #[test]
+    fn sla_violations_counted() {
+        let cs = cells();
+        // At least some cell has violations (bursty + reactive scaling and
+        // boot delay make misses likely), and none exceeds completions.
+        assert!(cs.iter().any(|c| c.sla_violations > 0));
+        for c in &cs {
+            assert!(c.sla_violations <= c.completed);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! `atlarge-autoscaling` — autoscaling experiments (§6.7).
+//!
+//! The paper's autoscaling line designed "a new morphological structure
+//! for autoscaling workflows, based on general and workflow-specific
+//! autoscalers", evaluated with "ten elasticity metrics", extended with
+//! cost models and deadline-based SLAs, and aggregated through "two
+//! ranking methods" plus "a method to grade autoscalers, by combining
+//! their scores judiciously". Every piece is reproduced:
+//!
+//! - [`autoscaler`] — general autoscalers (React, Adapt, Hist, Reg,
+//!   ConPaaS-like) and workflow-aware ones (Plan, Token).
+//! - [`sim`] — the in-silico experiment: workflow workloads on an elastic
+//!   server pool with provisioning delay.
+//! - [`metrics`] — the ten elasticity metrics (Herbst-style accuracy,
+//!   timeshare, instability, plus traditional performance/cost metrics).
+//! - [`cost`] — billing models and deadline SLAs.
+//! - [`experiments`] — the §6.7 campaign: autoscalers × workloads, ranked
+//!   head-to-head and by Borda count, then graded with weights.
+//! - [`corroboration`] — \[128\]'s *independent corroboration*: a second,
+//!   structurally different implementation of the elasticity metrics,
+//!   cross-checked against the exact one.
+//!
+//! # Examples
+//!
+//! ```
+//! use atlarge_autoscaling::autoscaler::{Autoscaler, React};
+//!
+//! let mut r = React::default();
+//! let target = r.decide(&atlarge_autoscaling::autoscaler::ScalerView {
+//!     now: 0.0,
+//!     demand: 5.0,
+//!     supply: 2,
+//!     eligible_tasks: 5,
+//!     demand_history: &[(0.0, 5.0)],
+//! });
+//! assert_eq!(target, 5);
+//! ```
+
+pub mod autoscaler;
+pub mod corroboration;
+pub mod cost;
+pub mod experiments;
+pub mod metrics;
+pub mod sim;
+
+pub use autoscaler::{Autoscaler, ScalerView};
+pub use metrics::ElasticityReport;

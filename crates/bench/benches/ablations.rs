@@ -1,0 +1,73 @@
+//! Ablations for the design decisions DESIGN.md calls out: cold-start
+//! keep-alive, co-evolution stall limit, and Area-of-Simulation battle
+//! composition. (The portfolio active-set and instrument-coverage
+//! ablations print from their tables' benches.)
+
+use atlarge_core::exploration::{ExplorationProcess, Explorer};
+use atlarge_core::space::RuggedSpace;
+use atlarge_mmog::rts::{load, Architecture, Scenario};
+use atlarge_serverless::platform::{run_platform, FaasConfig, FunctionSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("keepalive_sweep", |b| {
+        b.iter(|| keepalive_sweep(std::hint::black_box(1)))
+    });
+    g.finish();
+
+    println!("cold-start keep-alive ablation (keep-alive s -> cold %, p50 s, GB-s):");
+    for (ka, cold, p50, gbs) in keepalive_sweep(1) {
+        println!("  {ka:>6.0}s -> {:>3.0}% cold, p50 {p50:.2}s, {gbs:.1} GB-s", cold * 100.0);
+    }
+
+    println!("co-evolution stall-limit ablation (limit -> problems visited, satisficed):");
+    let space = RuggedSpace::new(40, 6, 7);
+    for limit in [1usize, 2, 4, 8] {
+        let r = Explorer::new(ExplorationProcess::CoEvolving, 2_000)
+            .stall_limit(limit)
+            .run(&space, 0.68, 3);
+        println!(
+            "  limit {limit}: {} problems, satisficed {}, best {:.3}",
+            r.problems_visited, r.satisficed, r.best_quality
+        );
+    }
+
+    println!("AoS battle-composition ablation (hot points -> AoS/full load ratio):");
+    for hot in [0usize, 1, 3, 5, 7] {
+        let s = Scenario::replay_shaped(hot.max(1), 7 - hot.min(7), 1);
+        let ratio = load(&s, Architecture::AreaOfSimulation)
+            / load(&s, Architecture::FullFidelity);
+        println!("  {hot} hot points -> ratio {ratio:.2}");
+    }
+}
+
+/// Sweeps the keep-alive window on a sparse invocation schedule.
+fn keepalive_sweep(seed: u64) -> Vec<(f64, f64, f64, f64)> {
+    let spec = FunctionSpec {
+        name: "handler".into(),
+        exec_time: 0.4,
+        memory_gb: 0.5,
+    };
+    let invs: Vec<(f64, usize)> = (0..200).map(|i| (i as f64 * 90.0, 0)).collect();
+    [10.0, 60.0, 300.0, 1_200.0]
+        .iter()
+        .map(|&ka| {
+            let cfg = FaasConfig {
+                keep_alive: ka,
+                ..FaasConfig::default()
+            };
+            let m = run_platform(vec![spec.clone()], cfg, &invs, seed);
+            (
+                ka,
+                m.cold_fraction,
+                m.latency_summary().median(),
+                m.gb_seconds,
+            )
+        })
+        .collect()
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Bench: regenerate Figure 1 (keyword presence per venue).
+
+use atlarge_biblio::corpus::Corpus;
+use atlarge_biblio::keywords::keyword_presence;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let corpus = Corpus::generate(1);
+    let mut g = c.benchmark_group("fig1_keywords");
+    g.sample_size(10);
+    g.bench_function("corpus_generate", |b| {
+        b.iter(|| Corpus::generate(std::hint::black_box(1)))
+    });
+    g.bench_function("keyword_presence", |b| {
+        b.iter(|| keyword_presence(std::hint::black_box(&corpus)))
+    });
+    g.finish();
+    // Print the figure's series once so `cargo bench` regenerates it.
+    println!("{}", keyword_presence(&corpus).to_table_string());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Bench: regenerate Figure 2 (design-article counts per 5-year block).
+
+use atlarge_biblio::corpus::Corpus;
+use atlarge_biblio::trends::design_counts_by_block;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let corpus = Corpus::generate(1);
+    let mut g = c.benchmark_group("fig2_trends");
+    g.sample_size(10);
+    g.bench_function("design_counts_by_block", |b| {
+        b.iter(|| design_counts_by_block(std::hint::black_box(&corpus)))
+    });
+    g.finish();
+    let t = design_counts_by_block(&corpus);
+    println!("{}", t.to_table_string());
+    println!(
+        "increasing: {}; post-2000 increase: {:.1}x",
+        t.is_increasing(),
+        t.post_2000_increase()
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Bench: regenerate Figure 3 (review-score violins).
+
+use atlarge_biblio::reviews::{extract_findings, violin_panel, Criterion as Crit, ReviewModel};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let model = ReviewModel::default();
+    let articles = model.simulate(1);
+    let mut g = c.benchmark_group("fig3_reviews");
+    g.sample_size(10);
+    g.bench_function("simulate_review_cycle", |b| {
+        b.iter(|| model.simulate(std::hint::black_box(1)))
+    });
+    g.bench_function("violin_panels", |b| {
+        b.iter(|| {
+            for crit in [Crit::Merit, Crit::Quality, Crit::Topic] {
+                violin_panel(std::hint::black_box(&articles), crit);
+            }
+        })
+    });
+    g.finish();
+    let f = extract_findings(&articles);
+    println!("{f:?}");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

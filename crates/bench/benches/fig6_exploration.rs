@@ -1,0 +1,33 @@
+//! Bench: regenerate Figures 6-7 (design-space exploration processes and
+//! co-evolving trajectories).
+
+use atlarge_core::exploration::{compare_processes, ExplorationProcess, Explorer};
+use atlarge_core::space::RuggedSpace;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let space = RuggedSpace::new(40, 3, 7);
+    let mut g = c.benchmark_group("fig6_exploration");
+    g.sample_size(10);
+    for p in ExplorationProcess::all() {
+        g.bench_function(p.name(), |b| {
+            b.iter(|| Explorer::new(p, 400).run(std::hint::black_box(&space), 0.64, 1))
+        });
+    }
+    g.finish();
+    for (p, rate, novelty, quality) in compare_processes(&space, 0.64, 400, 20) {
+        println!("{:<14} satisfice {rate:.2} novelty {novelty:.2} quality {quality:.3}", p.name());
+    }
+    let run = Explorer::new(ExplorationProcess::CoEvolving, 3_000)
+        .stall_limit(2)
+        .run(&space, 0.73, 7);
+    println!(
+        "fig7 trajectory: problems {} solutions {:?} failures {}",
+        run.problems_visited,
+        run.solutions_per_problem,
+        run.failures()
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

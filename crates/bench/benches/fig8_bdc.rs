@@ -1,0 +1,49 @@
+//! Bench: the Basic Design Cycle and catalogs (Figure 8, Tables 1-3,
+//! Figures 4-5).
+
+use atlarge_core::catalog;
+use atlarge_core::process::{BasicDesignCycle, BdcStage, StoppingCriterion};
+use atlarge_core::quality::DesignDocument;
+use atlarge_core::reasoning::{seed_distributed_systems_base, Outcome};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_bdc");
+    g.sample_size(10);
+    g.bench_function("bdc_run_to_satisfice", |b| {
+        b.iter(|| {
+            let mut bdc = BasicDesignCycle::new(vec![
+                StoppingCriterion::Satisfice { threshold: 0.8 },
+                StoppingCriterion::Budget { iterations: 50 },
+            ]);
+            bdc.on(BdcStage::Design, |q: &mut f64, ctx| {
+                *q += 0.1;
+                ctx.report_design(q.min(1.0));
+            });
+            bdc.run(&mut 0.0)
+        })
+    });
+    g.bench_function("catalog_integrity", |b| {
+        b.iter(catalog::integrity_violations)
+    });
+    g.bench_function("design_abduction", |b| {
+        let kb = seed_distributed_systems_base();
+        let out = Outcome("low-latency-reads".into());
+        b.iter(|| kb.design_abduction(std::hint::black_box(&out)))
+    });
+    g.finish();
+    println!(
+        "catalogs: {} principles, {} challenges, violations {:?}",
+        catalog::principles().len(),
+        catalog::challenges().len(),
+        catalog::integrity_violations()
+    );
+    println!(
+        "fig4 rubric: student {:.2} vs trained {:.2}",
+        DesignDocument::student_example().score(),
+        DesignDocument::trained_example().score()
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

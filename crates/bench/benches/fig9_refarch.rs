@@ -1,0 +1,34 @@
+//! Bench: Figure 9 (reference architectures and industry-stack coverage).
+
+use atlarge_datacenter::refarch::{
+    big_data_refarch, full_datacenter_refarch, industry_stacks,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_refarch");
+    g.sample_size(10);
+    g.bench_function("build_and_check_coverage", |b| {
+        b.iter(|| {
+            let new = full_datacenter_refarch();
+            industry_stacks()
+                .iter()
+                .filter(|s| new.unplaceable(&s.required_layers).is_empty())
+                .count()
+        })
+    });
+    g.finish();
+    let old = big_data_refarch();
+    let new = full_datacenter_refarch();
+    println!(
+        "old arch: {} components; new arch: {} components; \
+         old cannot place MemEFS: {}; new maps it: {}",
+        old.components.len(),
+        new.components.len(),
+        old.find("MemEFS").is_none(),
+        new.find("MemEFS").is_some()
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Bench: regenerate the §6.7 autoscaling campaign with rankings and
+//! grades.
+
+use atlarge_autoscaling::experiments::{aggregate, campaign};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec67_autoscaling");
+    g.sample_size(10);
+    g.bench_function("campaign_small", |b| {
+        b.iter(|| campaign(2_000.0, std::hint::black_box(1)))
+    });
+    g.finish();
+    let cells = campaign(4_000.0, 1);
+    let (h2h, borda, grades) = aggregate(&cells);
+    println!("head-to-head: {h2h:?}");
+    println!("borda:        {borda:?}");
+    println!("grades:       {grades:?}");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Bench: regenerate Table 5 (the P2P study rows).
+
+use atlarge_p2p::experiments::{render_table5, table5};
+use atlarge_p2p::swarm::{run_swarm, SwarmConfig};
+use atlarge_p2p::twofast::speedup_curve;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table5_p2p");
+    g.sample_size(10);
+    g.bench_function("swarm_30_peers", |b| {
+        let joins: Vec<f64> = (0..30).map(|i| i as f64 * 20.0).collect();
+        let config = SwarmConfig {
+            file_size: 50e6,
+            ..SwarmConfig::default()
+        };
+        b.iter(|| run_swarm(config, std::hint::black_box(&joins), 200_000.0, 1))
+    });
+    g.bench_function("twofast_curve", |b| {
+        b.iter(|| speedup_curve(64e3, 8.0, std::hint::black_box(8)))
+    });
+    g.finish();
+    println!("{}", render_table5(&table5(1)));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Bench: regenerate Table 6 (the MMOG study rows).
+
+use atlarge_mmog::dynamics::{simulate_population, Genre};
+use atlarge_mmog::experiments::{render_table6, table6};
+use atlarge_mmog::rts::{load, Architecture, Scenario};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table6_mmog");
+    g.sample_size(10);
+    g.bench_function("population_2days", |b| {
+        b.iter(|| simulate_population(Genre::Mmorpg, 2.0, 0.08, std::hint::black_box(1)))
+    });
+    g.bench_function("aos_load", |b| {
+        let s = Scenario::replay_shaped(3, 4, 2);
+        b.iter(|| load(std::hint::black_box(&s), Architecture::AreaOfSimulation))
+    });
+    g.finish();
+    println!("{}", render_table6(&table6(1)));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

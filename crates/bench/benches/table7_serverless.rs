@@ -1,0 +1,31 @@
+//! Bench: regenerate Table 7 (the serverless study rows).
+
+use atlarge_serverless::experiments::{render_table7, table7};
+use atlarge_serverless::platform::{run_platform, FaasConfig, FunctionSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table7_serverless");
+    g.sample_size(10);
+    g.bench_function("platform_1000_invocations", |b| {
+        let invs: Vec<(f64, usize)> = (0..1000).map(|i| (i as f64 * 0.5, 0)).collect();
+        let spec = FunctionSpec {
+            name: "f".into(),
+            exec_time: 0.3,
+            memory_gb: 0.5,
+        };
+        b.iter(|| {
+            run_platform(
+                vec![spec.clone()],
+                FaasConfig::default(),
+                std::hint::black_box(&invs),
+                1,
+            )
+        })
+    });
+    g.finish();
+    println!("{}", render_table7(&table7(1)));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Bench: regenerate Table 8 (the Graphalytics PAD/HPAD sweeps) — real
+//! wall-time per platform × algorithm, plus the law decomposition.
+
+use atlarge_graph::experiments::{pad_decomposition, pad_sweep, winners};
+use atlarge_graph::generators::Dataset;
+use atlarge_graph::platforms::{run, Algorithm, Platform};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table8_graphalytics");
+    g.sample_size(10);
+    for d in Dataset::all() {
+        let graph = d.generate(2_000, 1);
+        for p in Platform::roster() {
+            g.bench_with_input(
+                BenchmarkId::new(format!("bfs_{}", p.name()), d.name()),
+                &graph,
+                |b, graph| b.iter(|| run(p, Algorithm::Bfs, std::hint::black_box(graph))),
+            );
+        }
+    }
+    g.finish();
+    let cells = pad_sweep(1_500, 1);
+    let d = pad_decomposition(&cells);
+    println!(
+        "PAD law: interaction share {:.2} (max main {:.2}) over {} cells",
+        d.interaction_share(),
+        d.max_main_share(),
+        cells.len()
+    );
+    for ((alg, ds), p) in winners(&cells) {
+        println!("winner {alg:<10} {ds:<10} -> {p}");
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Bench: regenerate Table 9 (portfolio scheduling across the
+//! workload × environment matrix) plus the active-set ablation.
+
+use atlarge_scheduling::experiments::{
+    active_set_ablation, prediction_sensitivity, render_table9, run_row, table9_matrix, Scale,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table9_portfolio");
+    g.sample_size(10);
+    g.bench_function("row_synthetic_own_cluster", |b| {
+        let (study, mix, env) = table9_matrix()[0];
+        b.iter(|| run_row(study, mix, env, Scale::Quick, std::hint::black_box(1)))
+    });
+    g.finish();
+    let rows: Vec<_> = table9_matrix()
+        .into_iter()
+        .map(|(s, m, e)| run_row(s, m, e, Scale::Quick, 1))
+        .collect();
+    println!("{}", render_table9(&rows));
+    println!("active-set ablation (k, lookahead events, slowdown):");
+    for (k, events, slowdown) in active_set_ablation(Scale::Quick, 1) {
+        println!("  k={k}: {events} events, slowdown {slowdown:.2}");
+    }
+    println!("prediction sensitivity (estimate sigma -> normalized PS slowdown):");
+    for (sigma, gap) in prediction_sensitivity(Scale::Quick, &[1, 5, 9]) {
+        println!("  sigma={sigma:.1}: degradation {gap:.3}");
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! `atlarge-bench` — the benchmark harness of the AtLarge reproduction.
+//!
+//! Every table and figure of the paper has a Criterion bench target under
+//! `benches/` that both measures the experiment's cost and prints its
+//! regenerated rows/series:
+//!
+//! | Target | Paper artifact |
+//! |---|---|
+//! | `fig1_keywords` | Figure 1 |
+//! | `fig2_trends` | Figure 2 |
+//! | `fig3_reviews` | Figure 3 |
+//! | `fig6_exploration` | Figures 6–7 |
+//! | `fig8_bdc` | Figure 8, Figures 4–5, Tables 1–3 |
+//! | `fig9_refarch` | Figure 9 |
+//! | `table5_p2p` | Table 5 |
+//! | `table6_mmog` | Table 6 |
+//! | `table7_serverless` | Table 7 |
+//! | `table8_graphalytics` | Table 8 |
+//! | `table9_portfolio` | Table 9 |
+//! | `sec67_autoscaling` | §6.7 campaign |
+//!
+//! Run one with `cargo bench -p atlarge-bench --bench table9_portfolio`,
+//! or everything with `cargo bench --workspace`.
+
+/// The bench targets and the paper artifact each regenerates.
+pub fn targets() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("fig1_keywords", "Figure 1"),
+        ("fig2_trends", "Figure 2"),
+        ("fig3_reviews", "Figure 3"),
+        ("fig6_exploration", "Figures 6-7"),
+        ("fig8_bdc", "Figure 8, Figures 4-5, Tables 1-3"),
+        ("fig9_refarch", "Figure 9"),
+        ("table5_p2p", "Table 5"),
+        ("table6_mmog", "Table 6"),
+        ("table7_serverless", "Table 7"),
+        ("table8_graphalytics", "Table 8"),
+        ("table9_portfolio", "Table 9"),
+        ("sec67_autoscaling", "Section 6.7"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn every_paper_artifact_has_a_target() {
+        let targets = super::targets();
+        assert_eq!(targets.len(), 12);
+        for fig in ["Figure 1", "Figure 2", "Figure 3", "Figure 9"] {
+            assert!(targets.iter().any(|(_, a)| *a == fig), "missing {fig}");
+        }
+        for table in ["Table 5", "Table 6", "Table 7", "Table 8", "Table 9"] {
+            assert!(
+                targets.iter().any(|(_, a)| *a == table),
+                "missing {table}"
+            );
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! The Figure-2 analysis: design-article counts per 5-year block.
+
+use crate::corpus::{Corpus, FIRST_YEAR, LAST_YEAR};
+use atlarge_stats::regression::linear_fit;
+
+/// One venue's design-article counts across the 5-year blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VenueTrend {
+    /// Venue name.
+    pub venue: &'static str,
+    /// Counts per block, aligned with [`BlockTable::block_starts`].
+    /// `None` marks blocks fully before the venue existed (censored).
+    pub counts: Vec<Option<u64>>,
+}
+
+/// The Figure-2 table: design-article counts per venue per 5-year block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockTable {
+    /// First year of each block (1980, 1985, …, 2015).
+    pub block_starts: Vec<u32>,
+    /// Per-venue rows.
+    pub rows: Vec<VenueTrend>,
+}
+
+impl BlockTable {
+    /// Total design articles across venues per block (skipping censored
+    /// cells).
+    pub fn totals(&self) -> Vec<u64> {
+        (0..self.block_starts.len())
+            .map(|b| self.rows.iter().filter_map(|r| r.counts[b]).sum())
+            .collect()
+    }
+
+    /// Is the overall trend increasing? Fits a line through the per-block
+    /// totals (excluding the incomplete final block, as the paper notes it
+    /// is partial) and reports a positive slope.
+    pub fn is_increasing(&self) -> bool {
+        let totals = self.totals();
+        let n = totals.len().saturating_sub(1); // drop incomplete 2015 block
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = totals[..n].iter().map(|&c| c as f64).collect();
+        linear_fit(&xs, &ys).map_or(false, |f| f.slope > 0.0)
+    }
+
+    /// Ratio of post-2000 to pre-2000 per-block average counts — the
+    /// "marked increase since 2000" statistic.
+    pub fn post_2000_increase(&self) -> f64 {
+        let totals = self.totals();
+        let mut pre = Vec::new();
+        let mut post = Vec::new();
+        for (b, &start) in self.block_starts.iter().enumerate() {
+            // Skip the incomplete final block.
+            if b + 1 == self.block_starts.len() {
+                continue;
+            }
+            if start < 2000 {
+                pre.push(totals[b] as f64);
+            } else {
+                post.push(totals[b] as f64);
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        mean(&post) / mean(&pre).max(1e-9)
+    }
+
+    /// Renders the table as aligned text.
+    pub fn to_table_string(&self) -> String {
+        let mut out = format!("{:<10}", "venue");
+        for b in &self.block_starts {
+            out.push_str(&format!("{b:>8}"));
+        }
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&format!("{:<10}", r.venue));
+            for c in &r.counts {
+                match c {
+                    Some(n) => out.push_str(&format!("{n:>8}")),
+                    None => out.push_str(&format!("{:>8}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Computes the Figure-2 table from a corpus.
+pub fn design_counts_by_block(corpus: &Corpus) -> BlockTable {
+    let block_starts: Vec<u32> = (FIRST_YEAR..=LAST_YEAR).step_by(5).collect();
+    let block_of = |year: u32| ((year - FIRST_YEAR) / 5) as usize;
+    let rows = corpus
+        .venues()
+        .iter()
+        .enumerate()
+        .map(|(vi, v)| {
+            let mut counts: Vec<Option<u64>> = block_starts
+                .iter()
+                .map(|&start| {
+                    // A block is censored if the venue started after its
+                    // last year.
+                    if v.start_year > start + 4 {
+                        None
+                    } else {
+                        Some(0)
+                    }
+                })
+                .collect();
+            for a in corpus.articles().iter().filter(|a| a.venue == vi) {
+                if a.is_design {
+                    let b = block_of(a.year);
+                    if let Some(c) = counts[b].as_mut() {
+                        *c += 1;
+                    }
+                }
+            }
+            VenueTrend {
+                venue: v.name,
+                counts,
+            }
+        })
+        .collect();
+    BlockTable {
+        block_starts,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> BlockTable {
+        design_counts_by_block(&Corpus::generate(20))
+    }
+
+    #[test]
+    fn blocks_start_at_1980_step_5() {
+        let t = table();
+        assert_eq!(t.block_starts[0], 1980);
+        assert_eq!(t.block_starts[1], 1985);
+        assert_eq!(*t.block_starts.last().unwrap(), 2015);
+    }
+
+    #[test]
+    fn censored_blocks_marked_none() {
+        let t = table();
+        let nsdi = t.rows.iter().find(|r| r.venue == "NSDI").unwrap();
+        // NSDI started 2004: blocks 1980–1999 censored, 2000-block present
+        // (2004 falls in 2000–2004).
+        assert!(nsdi.counts[0].is_none());
+        assert!(nsdi.counts[3].is_none());
+        assert!(nsdi.counts[4].is_some());
+    }
+
+    #[test]
+    fn overall_trend_is_increasing() {
+        // Figure 2's finding: accumulation of design articles increases.
+        assert!(table().is_increasing());
+    }
+
+    #[test]
+    fn marked_increase_after_2000() {
+        let ratio = table().post_2000_increase();
+        assert!(ratio > 2.0, "post/pre-2000 ratio {ratio}");
+    }
+
+    #[test]
+    fn totals_sum_rows() {
+        let t = table();
+        let totals = t.totals();
+        assert_eq!(totals.len(), t.block_starts.len());
+        let manual: u64 = t.rows.iter().filter_map(|r| r.counts[0]).sum();
+        assert_eq!(totals[0], manual);
+    }
+
+    #[test]
+    fn table_renders_censored_cells() {
+        let s = table().to_table_string();
+        assert!(s.contains("NSDI"));
+        assert!(s.contains('-'));
+    }
+}

@@ -1,0 +1,345 @@
+//! Tables 1–3 as machine-checkable data.
+//!
+//! Table 1 gives the framework overview (Who/What/How), Table 2 the eight
+//! core principles, Table 3 the ten challenges with their links back to
+//! principles. Encoding them as data lets the test suite verify the
+//! cross-reference structure the paper asserts (every challenge traces to
+//! at least one principle; categories partition both sets identically).
+
+use std::fmt;
+
+/// The four categories shared by principles (Table 2) and challenges
+/// (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Category {
+    /// The central premise: design needs design.
+    Highest,
+    /// Systems aspects.
+    Systems,
+    /// Peopleware aspects.
+    Peopleware,
+    /// Methodological aspects.
+    Methodology,
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Category::Highest => "highest",
+            Category::Systems => "systems",
+            Category::Peopleware => "peopleware",
+            Category::Methodology => "methodology",
+        })
+    }
+}
+
+/// One of the eight core principles of MCS design (Table 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Principle {
+    /// Index 1–8.
+    pub index: u8,
+    /// Category per Table 2.
+    pub category: Category,
+    /// The table's "key aspects" column.
+    pub key_aspects: &'static str,
+    /// The principle statement from §4.
+    pub statement: &'static str,
+}
+
+/// One of the ten challenges of MCS design (Table 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Challenge {
+    /// Index 1–10.
+    pub index: u8,
+    /// Category per Table 3.
+    pub category: Category,
+    /// The table's "key aspects" column.
+    pub key_aspects: &'static str,
+    /// Indices of the principles this challenge links to (the "Pr."
+    /// column).
+    pub principles: &'static [u8],
+}
+
+/// The eight principles of Table 2.
+pub fn principles() -> Vec<Principle> {
+    vec![
+        Principle {
+            index: 1,
+            category: Category::Highest,
+            key_aspects: "design of design",
+            statement: "Design needs design.",
+        },
+        Principle {
+            index: 2,
+            category: Category::Systems,
+            key_aspects: "age of distributed ecosystems",
+            statement: "This is the Age of Distributed Ecosystems.",
+        },
+        Principle {
+            index: 3,
+            category: Category::Systems,
+            key_aspects: "NFRs, phenomena",
+            statement:
+                "Dynamic non-functional properties and phenomena are first-class concerns.",
+        },
+        Principle {
+            index: 4,
+            category: Category::Systems,
+            key_aspects: "RM&S, self-awareness",
+            statement: "Resource Management and Scheduling, and its interplay with various \
+                        sources of information to achieve local and global Self-Awareness, \
+                        are key concerns.",
+        },
+        Principle {
+            index: 5,
+            category: Category::Peopleware,
+            key_aspects: "education in design",
+            statement: "Education practices for MCS must ensure the competence and integrity \
+                        needed for experimenting, creating, and operating ecosystems.",
+        },
+        Principle {
+            index: 6,
+            category: Category::Peopleware,
+            key_aspects: "pragmatic, innovative, ethical",
+            statement: "Design communities can foster and curate pragmatic, innovative, and \
+                        ethical design practices.",
+        },
+        Principle {
+            index: 7,
+            category: Category::Methodology,
+            key_aspects: "design science, practice, culture",
+            statement: "We understand and create together a science, practice, and culture \
+                        of MCS design.",
+        },
+        Principle {
+            index: 8,
+            category: Category::Methodology,
+            key_aspects: "evolution and emergence",
+            statement: "We are aware of the history and evolution of MCS designs, key \
+                        debates, and evolving patterns.",
+        },
+    ]
+}
+
+/// The ten challenges of Table 3, with their principle links.
+pub fn challenges() -> Vec<Challenge> {
+    vec![
+        Challenge {
+            index: 1,
+            category: Category::Highest,
+            key_aspects: "Design of design",
+            principles: &[1],
+        },
+        Challenge {
+            index: 2,
+            category: Category::Highest,
+            key_aspects: "What is good design?",
+            principles: &[1],
+        },
+        Challenge {
+            index: 3,
+            category: Category::Highest,
+            key_aspects: "Design space exploration",
+            principles: &[1],
+        },
+        Challenge {
+            index: 4,
+            category: Category::Systems,
+            key_aspects: "Design for ecosystems",
+            principles: &[2],
+        },
+        Challenge {
+            index: 5,
+            category: Category::Systems,
+            key_aspects: "Catalog for MCS design",
+            principles: &[3, 4],
+        },
+        Challenge {
+            index: 6,
+            category: Category::Peopleware,
+            key_aspects: "Education, curriculum",
+            principles: &[5],
+        },
+        Challenge {
+            index: 7,
+            category: Category::Peopleware,
+            key_aspects: "Community engagement",
+            principles: &[6],
+        },
+        Challenge {
+            index: 8,
+            category: Category::Methodology,
+            key_aspects: "Documenting designs",
+            principles: &[5, 6, 7],
+        },
+        Challenge {
+            index: 9,
+            category: Category::Methodology,
+            key_aspects: "Design in practice",
+            principles: &[7],
+        },
+        Challenge {
+            index: 10,
+            category: Category::Methodology,
+            key_aspects: "Organizational similarity",
+            principles: &[7],
+        },
+    ]
+}
+
+/// One row of the framework overview (Table 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverviewRow {
+    /// The question group: "Who?", "What?", or "How?".
+    pub question: &'static str,
+    /// The aspect named in the table.
+    pub aspect: &'static str,
+    /// The table's summary of the aspect.
+    pub summary: &'static str,
+}
+
+/// The framework overview of Table 1.
+pub fn overview() -> Vec<OverviewRow> {
+    vec![
+        OverviewRow {
+            question: "Who?",
+            aspect: "Stakeholders",
+            summary: "designers, scientists, engineers, students, society",
+        },
+        OverviewRow {
+            question: "What?",
+            aspect: "Central Paradigm",
+            summary: "design, different from science and engineering",
+        },
+        OverviewRow {
+            question: "What?",
+            aspect: "Focus",
+            summary: "ecosystems, systems within; structure, organization, dynamics",
+        },
+        OverviewRow {
+            question: "What?",
+            aspect: "Concerns",
+            summary: "functional and non-functional properties; phenomena, evolution",
+        },
+        OverviewRow {
+            question: "How?",
+            aspect: "Design Thinking",
+            summary: "abductive thinking, processes, co-evolving problem-solution",
+        },
+        OverviewRow {
+            question: "How?",
+            aspect: "Exploration",
+            summary: "design space, process to explore",
+        },
+        OverviewRow {
+            question: "How?",
+            aspect: "Problem-finding",
+            summary: "structured, ill-defined, wicked",
+        },
+        OverviewRow {
+            question: "How?",
+            aspect: "Problem-solving",
+            summary: "pragmatic, innovative, ethical",
+        },
+        OverviewRow {
+            question: "How?",
+            aspect: "Reporting",
+            summary: "articles, software, data",
+        },
+    ]
+}
+
+/// Verifies the catalog's internal consistency: indices are contiguous,
+/// every challenge links to existing principles, and the category sets
+/// coincide. Returns a list of violations (empty when consistent).
+pub fn integrity_violations() -> Vec<String> {
+    let mut violations = Vec::new();
+    let ps = principles();
+    let cs = challenges();
+    for (i, p) in ps.iter().enumerate() {
+        if p.index as usize != i + 1 {
+            violations.push(format!("principle index {} out of order", p.index));
+        }
+    }
+    for (i, c) in cs.iter().enumerate() {
+        if c.index as usize != i + 1 {
+            violations.push(format!("challenge index {} out of order", c.index));
+        }
+        if c.principles.is_empty() {
+            violations.push(format!("challenge C{} links no principles", c.index));
+        }
+        for &pi in c.principles {
+            if !ps.iter().any(|p| p.index == pi) {
+                violations.push(format!("challenge C{} links missing P{pi}", c.index));
+            }
+        }
+    }
+    // Table 3's "Pr." column links challenges to P1–P7 only; P8 (history
+    // and evolution awareness) is the paper's one principle without a
+    // dedicated challenge. Mirror that exactly.
+    for p in &ps {
+        let linked = cs.iter().any(|c| c.principles.contains(&p.index));
+        if !linked && p.index != 8 {
+            violations.push(format!("principle P{} addressed by no challenge", p.index));
+        }
+        if linked && p.index == 8 {
+            violations.push("P8 unexpectedly linked; Table 3 leaves it unlinked".to_string());
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_principles_ten_challenges() {
+        assert_eq!(principles().len(), 8);
+        assert_eq!(challenges().len(), 10);
+    }
+
+    #[test]
+    fn catalog_is_internally_consistent() {
+        let v = integrity_violations();
+        assert!(v.is_empty(), "violations: {v:?}");
+    }
+
+    #[test]
+    fn category_counts_match_tables() {
+        let count = |cat: Category| principles().iter().filter(|p| p.category == cat).count();
+        assert_eq!(count(Category::Highest), 1);
+        assert_eq!(count(Category::Systems), 3);
+        assert_eq!(count(Category::Peopleware), 2);
+        assert_eq!(count(Category::Methodology), 2);
+
+        let ccount = |cat: Category| challenges().iter().filter(|c| c.category == cat).count();
+        assert_eq!(ccount(Category::Highest), 3);
+        assert_eq!(ccount(Category::Systems), 2);
+        assert_eq!(ccount(Category::Peopleware), 2);
+        assert_eq!(ccount(Category::Methodology), 3);
+    }
+
+    #[test]
+    fn challenge_links_match_table3() {
+        let cs = challenges();
+        assert_eq!(cs[4].principles, &[3, 4]); // C5 -> P3-4
+        assert_eq!(cs[7].principles, &[5, 6, 7]); // C8 -> P5-7
+        assert_eq!(cs[9].principles, &[7]); // C10 -> P7
+    }
+
+    #[test]
+    fn overview_answers_who_what_how() {
+        let rows = overview();
+        assert_eq!(rows.len(), 9);
+        let whos = rows.iter().filter(|r| r.question == "Who?").count();
+        let whats = rows.iter().filter(|r| r.question == "What?").count();
+        let hows = rows.iter().filter(|r| r.question == "How?").count();
+        assert_eq!((whos, whats, hows), (1, 3, 5));
+    }
+
+    #[test]
+    fn categories_display() {
+        assert_eq!(Category::Peopleware.to_string(), "peopleware");
+    }
+}

@@ -1,0 +1,520 @@
+//! Design-space exploration processes (Figures 6 and 7).
+//!
+//! Figure 6 names four basic processes. *Free* exploration samples designs
+//! at will — it can find radically new designs but "its likelihood of
+//! success is limited by the scale of the design space". *Fix the What* and
+//! *Fix the How* trade innovation for likelihood of satisficing by freezing
+//! one decision axis. *Co-evolving* iterates designs by changing the
+//! problem itself, keeping a satisficing solution available at each
+//! iteration while exploring an unbounded space.
+//!
+//! The [`Explorer`] executes any of the four against any [`DesignSpace`]
+//! under a fixed evaluation budget and reports the trajectory — including
+//! the failures Figure 7 draws as boxes marked "X".
+
+use crate::space::{Axis, DesignSpace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The four basic design processes of Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExplorationProcess {
+    /// Pure exploration guided by nothing but sampling.
+    Free,
+    /// Concepts/technology frozen; relationships explored.
+    FixWhat,
+    /// Relationship kinds frozen ("re-framing"); concepts explored.
+    FixHow,
+    /// Iterate designs by also evolving the problem.
+    CoEvolving,
+}
+
+impl ExplorationProcess {
+    /// All processes in Figure 6's order.
+    pub fn all() -> [ExplorationProcess; 4] {
+        [
+            ExplorationProcess::Free,
+            ExplorationProcess::FixWhat,
+            ExplorationProcess::FixHow,
+            ExplorationProcess::CoEvolving,
+        ]
+    }
+
+    /// Display name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExplorationProcess::Free => "free",
+            ExplorationProcess::FixWhat => "fix-what",
+            ExplorationProcess::FixHow => "fix-how",
+            ExplorationProcess::CoEvolving => "co-evolving",
+        }
+    }
+}
+
+impl std::fmt::Display for ExplorationProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One event on an exploration trajectory (the circles and X-boxes of
+/// Figure 7).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrajectoryEvent {
+    /// The exploration moved to a new problem (problem index from 0).
+    ProblemEvolved(usize),
+    /// A design attempt ended at a satisficing solution of this quality.
+    Solution(f64),
+    /// A design attempt stalled below the satisficing threshold.
+    Failure(f64),
+}
+
+/// The result of one exploration run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplorationReport {
+    /// Which process ran.
+    pub process: ExplorationProcess,
+    /// Quality evaluations consumed (the budget currency).
+    pub evaluations_used: usize,
+    /// Best quality reached across all problems.
+    pub best_quality: f64,
+    /// Whether any design satisficed the threshold.
+    pub satisficed: bool,
+    /// Distance between the first design considered and the best design
+    /// found — the novelty proxy used by the Figure-6 trade-off analysis.
+    pub novelty: f64,
+    /// Number of problems visited (1 unless co-evolving).
+    pub problems_visited: usize,
+    /// Satisficing solutions found, per problem index.
+    pub solutions_per_problem: Vec<usize>,
+    /// Full trajectory in event order.
+    pub trajectory: Vec<TrajectoryEvent>,
+}
+
+impl ExplorationReport {
+    /// Total satisficing solutions across problems.
+    pub fn solutions_found(&self) -> usize {
+        self.solutions_per_problem.iter().sum()
+    }
+
+    /// Failures recorded on the trajectory.
+    pub fn failures(&self) -> usize {
+        self.trajectory
+            .iter()
+            .filter(|e| matches!(e, TrajectoryEvent::Failure(_)))
+            .count()
+    }
+}
+
+/// A budgeted design-space explorer.
+///
+/// See the [crate-level docs](crate) for an example.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Explorer {
+    process: ExplorationProcess,
+    budget: usize,
+    stall_limit: usize,
+}
+
+impl Explorer {
+    /// Creates an explorer with the given process and evaluation budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget == 0`.
+    pub fn new(process: ExplorationProcess, budget: usize) -> Self {
+        assert!(budget > 0, "exploration needs a positive budget");
+        Explorer {
+            process,
+            budget,
+            stall_limit: 3,
+        }
+    }
+
+    /// Sets how many consecutive failed climbs trigger problem evolution
+    /// in co-evolving mode (default 3).
+    pub fn stall_limit(mut self, limit: usize) -> Self {
+        assert!(limit > 0, "stall limit must be positive");
+        self.stall_limit = limit;
+        self
+    }
+
+    /// Runs the exploration on `space` with a satisficing `threshold`,
+    /// seeded by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `threshold` lies in `[0, 1]`.
+    pub fn run<S: DesignSpace>(&self, space: &S, threshold: f64, seed: u64) -> ExplorationReport {
+        assert!((0.0..=1.0).contains(&threshold), "threshold in [0,1]");
+        let mut rng = StdRng::seed_from_u64(seed);
+        match self.process {
+            ExplorationProcess::Free => self.run_free(space, threshold, &mut rng),
+            ExplorationProcess::FixWhat => {
+                self.run_constrained(space, threshold, Axis::HowOnly, &mut rng)
+            }
+            ExplorationProcess::FixHow => {
+                self.run_constrained(space, threshold, Axis::WhatOnly, &mut rng)
+            }
+            ExplorationProcess::CoEvolving => self.run_coevolving(space, threshold, &mut rng),
+        }
+    }
+
+    fn run_free<S: DesignSpace>(
+        &self,
+        space: &S,
+        threshold: f64,
+        rng: &mut StdRng,
+    ) -> ExplorationReport {
+        let initial = space.random(rng);
+        let mut best = initial.clone();
+        let mut best_q = space.quality(&best);
+        let mut used = 1;
+        let mut trajectory = Vec::new();
+        let mut solutions = 0usize;
+        while used < self.budget {
+            let d = space.random(rng);
+            let q = space.quality(&d);
+            used += 1;
+            if q >= threshold {
+                solutions += 1;
+                trajectory.push(TrajectoryEvent::Solution(q));
+            }
+            if q > best_q {
+                best_q = q;
+                best = d;
+            }
+            if q >= threshold && solutions == 1 {
+                // Keep exploring: free exploration does not stop at the
+                // first satisficing design — radical novelty is the point.
+            }
+        }
+        ExplorationReport {
+            process: ExplorationProcess::Free,
+            evaluations_used: used,
+            best_quality: best_q,
+            satisficed: best_q >= threshold,
+            novelty: space.distance(&initial, &best),
+            problems_visited: 1,
+            solutions_per_problem: vec![solutions],
+            trajectory,
+        }
+    }
+
+    /// Hill-climb along `axis` with random restarts (restart keeps the
+    /// frozen axis of the *original* seed design, as Figure 6 prescribes).
+    fn run_constrained<S: DesignSpace>(
+        &self,
+        space: &S,
+        threshold: f64,
+        axis: Axis,
+        rng: &mut StdRng,
+    ) -> ExplorationReport {
+        let initial = space.random(rng);
+        let mut best = initial.clone();
+        let mut best_q = space.quality(&best);
+        let mut used = 1;
+        let mut trajectory = Vec::new();
+        let mut solutions = 0usize;
+        let mut current = initial.clone();
+        let mut current_q = best_q;
+        'outer: while used < self.budget {
+            // One greedy step.
+            let mut improved = false;
+            for n in space.neighbors(&current, axis) {
+                if used >= self.budget {
+                    break 'outer;
+                }
+                let q = space.quality(&n);
+                used += 1;
+                if q > current_q {
+                    current = n;
+                    current_q = q;
+                    improved = true;
+                    break;
+                }
+            }
+            if current_q > best_q {
+                best_q = current_q;
+                best = current.clone();
+            }
+            if !improved {
+                // Local optimum along this axis: record and restart from a
+                // random design that *preserves the frozen axis* by taking
+                // a long random walk along the permitted axis only.
+                if current_q >= threshold {
+                    solutions += 1;
+                    trajectory.push(TrajectoryEvent::Solution(current_q));
+                } else {
+                    trajectory.push(TrajectoryEvent::Failure(current_q));
+                }
+                let mut restart = initial.clone();
+                for _ in 0..space.log2_size() as usize {
+                    let opts = space.neighbors(&restart, axis);
+                    if opts.is_empty() {
+                        break;
+                    }
+                    restart = opts[rng.gen_range(0..opts.len())].clone();
+                }
+                current = restart;
+                current_q = space.quality(&current);
+                used += 1;
+            }
+        }
+        ExplorationReport {
+            process: match axis {
+                Axis::HowOnly => ExplorationProcess::FixWhat,
+                Axis::WhatOnly => ExplorationProcess::FixHow,
+                Axis::All => unreachable!("constrained run uses a fixed axis"),
+            },
+            evaluations_used: used,
+            best_quality: best_q,
+            satisficed: best_q >= threshold,
+            novelty: space.distance(&initial, &best),
+            problems_visited: 1,
+            solutions_per_problem: vec![solutions],
+            trajectory,
+        }
+    }
+
+    fn run_coevolving<S: DesignSpace>(
+        &self,
+        space: &S,
+        threshold: f64,
+        rng: &mut StdRng,
+    ) -> ExplorationReport {
+        let mut space = space.clone();
+        let initial = space.random(rng);
+        let mut best = initial.clone();
+        let mut best_q = space.quality(&best);
+        let mut used = 1;
+        let mut trajectory = vec![TrajectoryEvent::ProblemEvolved(0)];
+        let mut solutions_per_problem = vec![0usize];
+        let mut consecutive_failures = 0usize;
+        let mut current = initial.clone();
+        let mut current_q = best_q;
+        'outer: while used < self.budget {
+            let mut improved = false;
+            for n in space.neighbors(&current, Axis::All) {
+                if used >= self.budget {
+                    break 'outer;
+                }
+                let q = space.quality(&n);
+                used += 1;
+                if q > current_q {
+                    current = n;
+                    current_q = q;
+                    improved = true;
+                    break;
+                }
+            }
+            if current_q > best_q {
+                best_q = current_q;
+                best = current.clone();
+            }
+            if !improved {
+                if current_q >= threshold {
+                    *solutions_per_problem.last_mut().expect("non-empty") += 1;
+                    trajectory.push(TrajectoryEvent::Solution(current_q));
+                    consecutive_failures = 0;
+                } else {
+                    trajectory.push(TrajectoryEvent::Failure(current_q));
+                    consecutive_failures += 1;
+                }
+                if consecutive_failures >= self.stall_limit {
+                    // "Too difficult and/or costly to keep exploring":
+                    // evolve the problem (Figure 7 (b)).
+                    space = space.evolve(rng);
+                    solutions_per_problem.push(0);
+                    trajectory
+                        .push(TrajectoryEvent::ProblemEvolved(solutions_per_problem.len() - 1));
+                    consecutive_failures = 0;
+                }
+                current = space.random(rng);
+                current_q = space.quality(&current);
+                used += 1;
+            }
+        }
+        ExplorationReport {
+            process: ExplorationProcess::CoEvolving,
+            evaluations_used: used,
+            best_quality: best_q,
+            satisficed: best_q >= threshold,
+            novelty: space.distance(&initial, &best),
+            problems_visited: solutions_per_problem.len(),
+            solutions_per_problem,
+            trajectory,
+        }
+    }
+}
+
+/// Aggregate comparison of all four processes at equal budget — the
+/// Figure-6 experiment. Returns per-process `(satisficing rate, mean
+/// novelty, mean best quality)` over `trials` seeded runs.
+pub fn compare_processes<S: DesignSpace>(
+    space: &S,
+    threshold: f64,
+    budget: usize,
+    trials: u64,
+) -> Vec<(ExplorationProcess, f64, f64, f64)> {
+    ExplorationProcess::all()
+        .into_iter()
+        .map(|p| {
+            let ex = Explorer::new(p, budget);
+            let mut sat = 0u64;
+            let mut nov = 0.0;
+            let mut qual = 0.0;
+            for seed in 0..trials {
+                let r = ex.run(space, threshold, seed);
+                sat += r.satisficed as u64;
+                nov += r.novelty;
+                qual += r.best_quality;
+            }
+            (
+                p,
+                sat as f64 / trials as f64,
+                nov / trials as f64,
+                qual / trials as f64,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::RuggedSpace;
+
+    #[test]
+    fn all_processes_respect_budget() {
+        let space = RuggedSpace::new(14, 4, 9);
+        for p in ExplorationProcess::all() {
+            let r = Explorer::new(p, 200).run(&space, 0.7, 1);
+            assert!(r.evaluations_used <= 200, "{p} used {}", r.evaluations_used);
+            assert!(r.best_quality > 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let space = RuggedSpace::new(12, 3, 4);
+        let a = Explorer::new(ExplorationProcess::CoEvolving, 500).run(&space, 0.72, 7);
+        let b = Explorer::new(ExplorationProcess::CoEvolving, 500).run(&space, 0.72, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn coevolving_visits_multiple_problems_when_stuck() {
+        // High threshold forces failures; stall limit 1 evolves quickly.
+        let space = RuggedSpace::new(12, 6, 2);
+        let r = Explorer::new(ExplorationProcess::CoEvolving, 2_000)
+            .stall_limit(1)
+            .run(&space, 0.99, 3);
+        assert!(r.problems_visited > 1, "visited {}", r.problems_visited);
+        assert!(r.failures() > 0);
+    }
+
+    #[test]
+    fn fixed_axis_processes_only_explore_one_problem() {
+        let space = RuggedSpace::new(12, 3, 5);
+        for p in [ExplorationProcess::FixWhat, ExplorationProcess::FixHow] {
+            let r = Explorer::new(p, 300).run(&space, 0.7, 11);
+            assert_eq!(r.problems_visited, 1);
+        }
+    }
+
+    #[test]
+    fn free_exploration_has_high_novelty() {
+        // Free exploration's best-of-random lands far from the initial
+        // design on average; fixed-axis search cannot move the frozen half.
+        let space = RuggedSpace::new(20, 5, 13);
+        let mut free_nov = 0.0;
+        let mut fixed_nov = 0.0;
+        let trials = 20;
+        for seed in 0..trials {
+            free_nov += Explorer::new(ExplorationProcess::Free, 300)
+                .run(&space, 0.9, seed)
+                .novelty;
+            fixed_nov += Explorer::new(ExplorationProcess::FixWhat, 300)
+                .run(&space, 0.9, seed)
+                .novelty;
+        }
+        assert!(
+            free_nov > fixed_nov,
+            "free {free_nov} should exceed fixed {fixed_nov}"
+        );
+    }
+
+    #[test]
+    fn figure6_tradeoff_holds_on_large_spaces() {
+        // The paper's stated trade-off: free exploration's "likelihood of
+        // success is limited by the scale of the design space", while the
+        // Fix-the-What/How processes raise the satisficing likelihood at
+        // the price of radical innovation (novelty).
+        let space = RuggedSpace::new(40, 3, 7);
+        let rows = compare_processes(&space, 0.64, 400, 20);
+        let get = |p: ExplorationProcess| {
+            rows.iter()
+                .find(|(rp, ..)| *rp == p)
+                .map(|&(_, s, n, _)| (s, n))
+                .unwrap()
+        };
+        let (free_s, free_n) = get(ExplorationProcess::Free);
+        let (fw_s, fw_n) = get(ExplorationProcess::FixWhat);
+        let (fh_s, fh_n) = get(ExplorationProcess::FixHow);
+        let (co_s, _) = get(ExplorationProcess::CoEvolving);
+        assert!(fw_s > free_s, "fix-what {fw_s} vs free {free_s}");
+        assert!(fh_s > free_s, "fix-how {fh_s} vs free {free_s}");
+        assert!(co_s > fw_s, "co-evolving {co_s} should lead");
+        assert!(free_n > fw_n && free_n > fh_n, "free keeps the novelty edge");
+    }
+
+    #[test]
+    fn structured_search_beats_free_on_rugged_space() {
+        // The Figure-6 trade-off: at equal budget on a large rugged space,
+        // hill-climbing processes satisfice more often than blind sampling.
+        let space = RuggedSpace::new(24, 2, 17);
+        let rows = compare_processes(&space, 0.68, 400, 30);
+        let rate = |p: ExplorationProcess| {
+            rows.iter()
+                .find(|(rp, ..)| *rp == p)
+                .map(|&(_, s, ..)| s)
+                .unwrap()
+        };
+        let free = rate(ExplorationProcess::Free);
+        let coev = rate(ExplorationProcess::CoEvolving);
+        assert!(
+            coev >= free,
+            "co-evolving {coev} should satisfice at least as often as free {free}"
+        );
+    }
+
+    #[test]
+    fn trajectory_records_solutions() {
+        let space = RuggedSpace::new(10, 1, 21);
+        let r = Explorer::new(ExplorationProcess::CoEvolving, 1_000).run(&space, 0.6, 5);
+        if r.solutions_found() > 0 {
+            assert!(r
+                .trajectory
+                .iter()
+                .any(|e| matches!(e, TrajectoryEvent::Solution(_))));
+        }
+        assert_eq!(
+            r.solutions_per_problem.len(),
+            r.problems_visited,
+            "per-problem counts align with problems visited"
+        );
+    }
+
+    #[test]
+    fn compare_processes_has_four_rows() {
+        let space = RuggedSpace::new(10, 2, 1);
+        let rows = compare_processes(&space, 0.7, 100, 3);
+        assert_eq!(rows.len(), 4);
+        for (_, sat, nov, q) in rows {
+            assert!((0.0..=1.0).contains(&sat));
+            assert!((0.0..=1.0).contains(&nov));
+            assert!((0.0..=1.0).contains(&q));
+        }
+    }
+}

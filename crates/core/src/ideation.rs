@@ -1,0 +1,176 @@
+//! Ideation-effectiveness metrics (challenge C2, \[51\]).
+//!
+//! C2 notes that "the academic community has proposed some quantitative
+//! measures for quantifying the creativity and effectiveness of designs"
+//! and asks how they could be put in practice for MCS design. This module
+//! adapts Shah et al.'s four ideation metrics — **quantity**, **quality**,
+//! **novelty**, and **variety** — to design-space exploration outcomes:
+//! any set of designs in a [`DesignSpace`] can be scored, including the
+//! outputs of the Figure-6 exploration processes.
+
+use crate::space::DesignSpace;
+
+/// The four ideation-effectiveness metrics over a set of designs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdeationReport {
+    /// Quantity: number of distinct designs produced.
+    pub quantity: usize,
+    /// Quality: the best quality achieved, in `[0, 1]`.
+    pub best_quality: f64,
+    /// Quality: the mean quality of the set.
+    pub mean_quality: f64,
+    /// Novelty: mean distance from each design to its nearest prior-art
+    /// design, in `[0, 1]` (0 = everything already known).
+    pub novelty: f64,
+    /// Variety: mean pairwise distance within the set, in `[0, 1]`
+    /// (0 = all ideas alike).
+    pub variety: f64,
+}
+
+impl IdeationReport {
+    /// A single aggregate effectiveness score: the geometric-style blend
+    /// Shah et al. recommend weighting per study; here equal weights over
+    /// the three normalized dimensions (quality, novelty, variety), with
+    /// quantity entering logarithmically.
+    pub fn effectiveness(&self) -> f64 {
+        let qty = (1.0 + self.quantity as f64).ln() / (1.0 + 20.0f64).ln();
+        0.25 * qty.min(1.0)
+            + 0.35 * self.best_quality
+            + 0.2 * self.novelty
+            + 0.2 * self.variety
+    }
+}
+
+/// Measures the ideation metrics of `designs` within `space`, against a
+/// `prior_art` set (known designs; may be empty, in which case novelty
+/// is 1 for a non-empty design set).
+pub fn measure<S: DesignSpace>(
+    space: &S,
+    designs: &[S::Design],
+    prior_art: &[S::Design],
+) -> IdeationReport {
+    // Deduplicate (quantity counts distinct ideas).
+    let mut distinct: Vec<&S::Design> = Vec::new();
+    for d in designs {
+        if !distinct.iter().any(|x| *x == d) {
+            distinct.push(d);
+        }
+    }
+    let n = distinct.len();
+    if n == 0 {
+        return IdeationReport {
+            quantity: 0,
+            best_quality: 0.0,
+            mean_quality: 0.0,
+            novelty: 0.0,
+            variety: 0.0,
+        };
+    }
+    let qualities: Vec<f64> = distinct.iter().map(|d| space.quality(d)).collect();
+    let best_quality = qualities.iter().copied().fold(0.0, f64::max);
+    let mean_quality = qualities.iter().sum::<f64>() / n as f64;
+    let novelty = if prior_art.is_empty() {
+        1.0
+    } else {
+        distinct
+            .iter()
+            .map(|d| {
+                prior_art
+                    .iter()
+                    .map(|p| space.distance(d, p))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum::<f64>()
+            / n as f64
+    };
+    let variety = if n < 2 {
+        0.0
+    } else {
+        let mut sum = 0.0;
+        let mut pairs = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                sum += space.distance(distinct[i], distinct[j]);
+                pairs += 1;
+            }
+        }
+        sum / pairs as f64
+    };
+    IdeationReport {
+        quantity: n,
+        best_quality,
+        mean_quality,
+        novelty,
+        variety,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::RuggedSpace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> RuggedSpace {
+        RuggedSpace::new(16, 2, 5)
+    }
+
+    fn designs(n: usize, seed: u64) -> Vec<Vec<bool>> {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| s.random(&mut rng)).collect()
+    }
+
+    #[test]
+    fn empty_set_scores_zero() {
+        let r = measure(&space(), &[], &[]);
+        assert_eq!(r.quantity, 0);
+        assert_eq!(r.effectiveness(), 0.0);
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate_quantity() {
+        let d = designs(1, 1);
+        let copies = vec![d[0].clone(), d[0].clone(), d[0].clone()];
+        let r = measure(&space(), &copies, &[]);
+        assert_eq!(r.quantity, 1);
+        assert_eq!(r.variety, 0.0);
+    }
+
+    #[test]
+    fn prior_art_kills_novelty() {
+        let d = designs(4, 2);
+        let r = measure(&space(), &d, &d);
+        assert_eq!(r.novelty, 0.0);
+        let fresh = measure(&space(), &d, &[]);
+        assert_eq!(fresh.novelty, 1.0);
+    }
+
+    #[test]
+    fn variety_reflects_spread() {
+        let s = space();
+        let all_false = vec![vec![false; 16], vec![false; 16]];
+        let spread = vec![vec![false; 16], vec![true; 16]];
+        assert_eq!(measure(&s, &all_false, &[]).variety, 0.0);
+        assert_eq!(measure(&s, &spread, &[]).variety, 1.0);
+    }
+
+    #[test]
+    fn quality_metrics_bound_each_other() {
+        let d = designs(10, 3);
+        let r = measure(&space(), &d, &[]);
+        assert!(r.best_quality >= r.mean_quality);
+        assert!((0.0..=1.0).contains(&r.best_quality));
+        assert!((0.0..=1.0).contains(&r.effectiveness()));
+    }
+
+    #[test]
+    fn effectiveness_rises_with_more_distinct_good_designs() {
+        let s = space();
+        let few = measure(&s, &designs(2, 4), &[]);
+        let many = measure(&s, &designs(15, 4), &[]);
+        assert!(many.quantity > few.quantity);
+        assert!(many.effectiveness() > 0.0);
+    }
+}

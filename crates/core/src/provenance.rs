@@ -1,0 +1,372 @@
+//! A formalism for documenting designs (challenge C8).
+//!
+//! C8 asks for "a formalism for documenting designs" that can "trace the
+//! evolution of designs" — including the decisions behind closed doors
+//! and their provenance — "without hamper\[ing\] the creative process".
+//! This module provides a lightweight decision log: every design decision
+//! records the iteration and BDC stage it was taken in, the chosen
+//! option, the alternatives considered, a free-form rationale, and an
+//! optional link to the decision it supersedes. The log serializes to a
+//! line-oriented text formalism (and parses back), and derives the
+//! Blaauw-&-Brooks-style evolution chains the paper's serverless history
+//! \[60\] used.
+
+use crate::process::BdcStage;
+use std::fmt;
+
+/// One recorded design decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decision {
+    /// Unique id within the log.
+    pub id: u32,
+    /// BDC iteration the decision was taken in.
+    pub iteration: usize,
+    /// BDC stage it belongs to.
+    pub stage: BdcStage,
+    /// The chosen option.
+    pub chosen: String,
+    /// The alternatives that were considered and rejected.
+    pub alternatives: Vec<String>,
+    /// Why — the intangible the paper says is usually lost.
+    pub rationale: String,
+    /// The earlier decision this one supersedes, if any (evolution edge).
+    pub supersedes: Option<u32>,
+}
+
+/// A design's decision log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DesignLog {
+    decisions: Vec<Decision>,
+}
+
+/// Errors parsing the serialized formalism.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseLogError {
+    /// A line did not have the expected field count.
+    BadFieldCount {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A numeric field failed to parse.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// An unknown stage name.
+    BadStage {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A supersedes reference points at a missing or later decision.
+    DanglingSupersedes {
+        /// The offending decision id.
+        id: u32,
+    },
+}
+
+impl fmt::Display for ParseLogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseLogError::BadFieldCount { line } => write!(f, "line {line}: bad field count"),
+            ParseLogError::BadNumber { line } => write!(f, "line {line}: invalid number"),
+            ParseLogError::BadStage { line } => write!(f, "line {line}: unknown stage"),
+            ParseLogError::DanglingSupersedes { id } => {
+                write!(f, "decision {id}: supersedes reference does not resolve")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseLogError {}
+
+fn stage_tag(stage: BdcStage) -> &'static str {
+    match stage {
+        BdcStage::FormulateRequirements => "requirements",
+        BdcStage::UnderstandAlternatives => "alternatives",
+        BdcStage::BootstrapCreative => "bootstrap",
+        BdcStage::Design => "design",
+        BdcStage::Implementation => "implementation",
+        BdcStage::ConceptualAnalysis => "conceptual",
+        BdcStage::ExperimentalAnalysis => "experimental",
+        BdcStage::Dissemination => "dissemination",
+    }
+}
+
+fn stage_from_tag(tag: &str) -> Option<BdcStage> {
+    BdcStage::all().into_iter().find(|&s| stage_tag(s) == tag)
+}
+
+impl DesignLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a decision; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `supersedes` references an id not yet in the log (the
+    /// evolution graph must stay acyclic and backward-pointing).
+    pub fn record(
+        &mut self,
+        iteration: usize,
+        stage: BdcStage,
+        chosen: &str,
+        alternatives: &[&str],
+        rationale: &str,
+        supersedes: Option<u32>,
+    ) -> u32 {
+        if let Some(prev) = supersedes {
+            assert!(
+                self.decisions.iter().any(|d| d.id == prev),
+                "supersedes must reference an earlier decision"
+            );
+        }
+        let id = self.decisions.len() as u32;
+        self.decisions.push(Decision {
+            id,
+            iteration,
+            stage,
+            chosen: chosen.to_string(),
+            alternatives: alternatives.iter().map(|s| s.to_string()).collect(),
+            rationale: rationale.to_string(),
+            supersedes,
+        });
+        id
+    }
+
+    /// All decisions, in recording order.
+    pub fn decisions(&self) -> &[Decision] {
+        &self.decisions
+    }
+
+    /// Number of recorded decisions.
+    pub fn len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+    }
+
+    /// The *current* decisions: those not superseded by any later one.
+    pub fn current(&self) -> Vec<&Decision> {
+        let superseded: Vec<u32> = self
+            .decisions
+            .iter()
+            .filter_map(|d| d.supersedes)
+            .collect();
+        self.decisions
+            .iter()
+            .filter(|d| !superseded.contains(&d.id))
+            .collect()
+    }
+
+    /// The evolution chain ending at decision `id`: oldest ancestor
+    /// first. Empty if the id is unknown.
+    pub fn evolution_chain(&self, id: u32) -> Vec<&Decision> {
+        let mut chain = Vec::new();
+        let mut cur = self.decisions.iter().find(|d| d.id == id);
+        while let Some(d) = cur {
+            chain.push(d);
+            cur = d
+                .supersedes
+                .and_then(|p| self.decisions.iter().find(|x| x.id == p));
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Count of design-space alternatives explicitly considered across
+    /// the log — C3's "the alternatives considered and eliminated ...
+    /// are rarely discussed"; this formalism counts them.
+    pub fn alternatives_considered(&self) -> usize {
+        self.decisions.iter().map(|d| d.alternatives.len()).sum()
+    }
+
+    /// Serializes to the line formalism:
+    ///
+    /// ```text
+    /// id|iteration|stage|chosen|alt1;alt2|rationale|supersedes
+    /// ```
+    ///
+    /// Field separators inside free text are replaced by `,`.
+    pub fn to_formalism(&self) -> String {
+        let clean = |s: &str| s.replace('|', ",").replace(';', ",");
+        self.decisions
+            .iter()
+            .map(|d| {
+                format!(
+                    "{}|{}|{}|{}|{}|{}|{}\n",
+                    d.id,
+                    d.iteration,
+                    stage_tag(d.stage),
+                    clean(&d.chosen),
+                    d.alternatives
+                        .iter()
+                        .map(|a| clean(a))
+                        .collect::<Vec<_>>()
+                        .join(";"),
+                    clean(&d.rationale),
+                    d.supersedes.map_or("-".to_string(), |p| p.to_string())
+                )
+            })
+            .collect()
+    }
+
+    /// Parses the line formalism back into a log.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseLogError`] on malformed lines or dangling
+    /// supersedes references.
+    pub fn from_formalism(s: &str) -> Result<Self, ParseLogError> {
+        let mut log = DesignLog::new();
+        for (i, line) in s.lines().enumerate() {
+            let line_no = i + 1;
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('|').collect();
+            if fields.len() != 7 {
+                return Err(ParseLogError::BadFieldCount { line: line_no });
+            }
+            let id: u32 = fields[0]
+                .parse()
+                .map_err(|_| ParseLogError::BadNumber { line: line_no })?;
+            let iteration: usize = fields[1]
+                .parse()
+                .map_err(|_| ParseLogError::BadNumber { line: line_no })?;
+            let stage =
+                stage_from_tag(fields[2]).ok_or(ParseLogError::BadStage { line: line_no })?;
+            let alternatives: Vec<String> = if fields[4].is_empty() {
+                Vec::new()
+            } else {
+                fields[4].split(';').map(str::to_string).collect()
+            };
+            let supersedes = if fields[6] == "-" {
+                None
+            } else {
+                Some(
+                    fields[6]
+                        .parse()
+                        .map_err(|_| ParseLogError::BadNumber { line: line_no })?,
+                )
+            };
+            if let Some(prev) = supersedes {
+                if !log.decisions.iter().any(|d| d.id == prev) {
+                    return Err(ParseLogError::DanglingSupersedes { id });
+                }
+            }
+            log.decisions.push(Decision {
+                id,
+                iteration,
+                stage,
+                chosen: fields[3].to_string(),
+                alternatives,
+                rationale: fields[5].to_string(),
+                supersedes,
+            });
+        }
+        Ok(log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DesignLog {
+        let mut log = DesignLog::new();
+        let a = log.record(
+            0,
+            BdcStage::Design,
+            "zoning architecture",
+            &["full replication", "client-side simulation"],
+            "zoning matches the team's operational experience",
+            None,
+        );
+        let b = log.record(
+            2,
+            BdcStage::ExperimentalAnalysis,
+            "area of simulation",
+            &["zoning architecture"],
+            "zoning failed the RTS interaction benchmark",
+            Some(a),
+        );
+        log.record(
+            3,
+            BdcStage::Dissemination,
+            "publish AoS article",
+            &[],
+            "results satisfice the NFR budget",
+            Some(b),
+        );
+        log
+    }
+
+    #[test]
+    fn round_trips_through_the_formalism() {
+        let log = sample();
+        let text = log.to_formalism();
+        let back = DesignLog::from_formalism(&text).unwrap();
+        assert_eq!(log, back);
+    }
+
+    #[test]
+    fn evolution_chain_orders_ancestors_first() {
+        let log = sample();
+        let chain = log.evolution_chain(2);
+        let chosen: Vec<&str> = chain.iter().map(|d| d.chosen.as_str()).collect();
+        assert_eq!(
+            chosen,
+            vec!["zoning architecture", "area of simulation", "publish AoS article"]
+        );
+    }
+
+    #[test]
+    fn current_excludes_superseded() {
+        let log = sample();
+        let current: Vec<u32> = log.current().iter().map(|d| d.id).collect();
+        assert_eq!(current, vec![2]);
+    }
+
+    #[test]
+    fn alternatives_are_counted() {
+        assert_eq!(sample().alternatives_considered(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier decision")]
+    fn forward_supersedes_rejected() {
+        let mut log = DesignLog::new();
+        log.record(0, BdcStage::Design, "x", &[], "r", Some(7));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert_eq!(
+            DesignLog::from_formalism("1|2|design|x\n").unwrap_err(),
+            ParseLogError::BadFieldCount { line: 1 }
+        );
+        assert_eq!(
+            DesignLog::from_formalism("0|0|nope|x||r|-\n").unwrap_err(),
+            ParseLogError::BadStage { line: 1 }
+        );
+        assert_eq!(
+            DesignLog::from_formalism("0|0|design|x||r|5\n").unwrap_err(),
+            ParseLogError::DanglingSupersedes { id: 0 }
+        );
+    }
+
+    #[test]
+    fn free_text_separators_are_sanitized() {
+        let mut log = DesignLog::new();
+        log.record(0, BdcStage::Design, "a|b;c", &["d|e"], "why|not;this", None);
+        let back = DesignLog::from_formalism(&log.to_formalism()).unwrap();
+        assert_eq!(back.decisions()[0].chosen, "a,b,c");
+    }
+}

@@ -1,0 +1,220 @@
+//! Clusters of hosts with core-granular allocation.
+
+use atlarge_des::monitor::Gauge;
+
+/// Identifier of a host within a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HostId(pub usize);
+
+/// One physical or virtual host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Host {
+    cores: u32,
+    free: u32,
+}
+
+impl Host {
+    /// Creates a host with the given core count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0`.
+    pub fn new(cores: u32) -> Self {
+        assert!(cores > 0, "hosts need at least one core");
+        Host { cores, free: cores }
+    }
+
+    /// Total cores.
+    pub fn cores(&self) -> u32 {
+        self.cores
+    }
+
+    /// Currently free cores.
+    pub fn free(&self) -> u32 {
+        self.free
+    }
+}
+
+/// A cluster: a set of hosts plus a utilization monitor.
+///
+/// Allocation is first-fit over hosts; a task's cores must fit on one host
+/// (the usual rigid-task model in datacenter scheduling studies).
+///
+/// # Examples
+///
+/// ```
+/// use atlarge_datacenter::cluster::Cluster;
+///
+/// let mut c = Cluster::homogeneous("cl0", 2, 4);
+/// let h = c.try_allocate(3, 0.0).expect("fits on one host");
+/// assert_eq!(c.free_cores(), 5);
+/// c.release(h, 3, 10.0);
+/// assert_eq!(c.free_cores(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster {
+    name: String,
+    hosts: Vec<Host>,
+    utilization: Gauge,
+}
+
+impl Cluster {
+    /// Creates a cluster of identical hosts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts == 0` or `cores_per_host == 0`.
+    pub fn homogeneous(name: &str, hosts: usize, cores_per_host: u32) -> Self {
+        assert!(hosts > 0, "cluster needs hosts");
+        Cluster {
+            name: name.to_string(),
+            hosts: (0..hosts).map(|_| Host::new(cores_per_host)).collect(),
+            utilization: Gauge::new(0.0),
+        }
+    }
+
+    /// Cluster name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total cores across hosts.
+    pub fn total_cores(&self) -> u32 {
+        self.hosts.iter().map(Host::cores).sum()
+    }
+
+    /// Free cores across hosts.
+    pub fn free_cores(&self) -> u32 {
+        self.hosts.iter().map(Host::free).sum()
+    }
+
+    /// Cores in use.
+    pub fn used_cores(&self) -> u32 {
+        self.total_cores() - self.free_cores()
+    }
+
+    /// Largest single-host free block (what a rigid task can actually get).
+    pub fn largest_free_block(&self) -> u32 {
+        self.hosts.iter().map(Host::free).max().unwrap_or(0)
+    }
+
+    /// First-fit allocation of `cores` on one host at simulated time
+    /// `now`. Returns the chosen host, or `None` if no host fits.
+    pub fn try_allocate(&mut self, cores: u32, now: f64) -> Option<HostId> {
+        assert!(cores > 0, "allocations need at least one core");
+        let idx = self.hosts.iter().position(|h| h.free >= cores)?;
+        self.hosts[idx].free -= cores;
+        let used = self.used_cores() as f64;
+        self.utilization.set(now, used / self.total_cores() as f64);
+        Some(HostId(idx))
+    }
+
+    /// Releases `cores` on `host` at simulated time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the release would exceed the host's capacity (a
+    /// double-release bug in the caller).
+    pub fn release(&mut self, host: HostId, cores: u32, now: f64) {
+        let h = &mut self.hosts[host.0];
+        assert!(
+            h.free + cores <= h.cores,
+            "release exceeds capacity on host {host:?}"
+        );
+        h.free += cores;
+        let used = self.used_cores() as f64;
+        self.utilization.set(now, used / self.total_cores() as f64);
+    }
+
+    /// Adds `hosts` new hosts of `cores_per_host` each (elastic scale-out).
+    pub fn scale_out(&mut self, hosts: usize, cores_per_host: u32) {
+        for _ in 0..hosts {
+            self.hosts.push(Host::new(cores_per_host));
+        }
+    }
+
+    /// Removes up to `hosts` fully idle hosts (elastic scale-in); returns
+    /// how many were removed. Busy hosts are never removed.
+    pub fn scale_in(&mut self, hosts: usize) -> usize {
+        let mut removed = 0;
+        let mut i = self.hosts.len();
+        while i > 0 && removed < hosts && self.hosts.len() > 1 {
+            i -= 1;
+            if self.hosts[i].free == self.hosts[i].cores {
+                self.hosts.remove(i);
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Number of hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Time-weighted utilization monitor.
+    pub fn utilization(&self) -> &Gauge {
+        &self.utilization
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_fit_allocates_and_releases() {
+        let mut c = Cluster::homogeneous("c", 3, 4);
+        let a = c.try_allocate(4, 0.0).unwrap();
+        let b = c.try_allocate(2, 0.0).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(c.free_cores(), 6);
+        c.release(a, 4, 1.0);
+        assert_eq!(c.free_cores(), 10);
+    }
+
+    #[test]
+    fn rigid_tasks_need_one_host() {
+        let mut c = Cluster::homogeneous("c", 2, 4);
+        c.try_allocate(3, 0.0).unwrap();
+        c.try_allocate(3, 0.0).unwrap();
+        // 2 cores free in total but max 1 per host: a 2-core task fails.
+        assert_eq!(c.free_cores(), 2);
+        assert_eq!(c.largest_free_block(), 1);
+        assert!(c.try_allocate(2, 0.0).is_none());
+        assert!(c.try_allocate(1, 0.0).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "release exceeds capacity")]
+    fn double_release_panics() {
+        let mut c = Cluster::homogeneous("c", 1, 4);
+        let h = c.try_allocate(2, 0.0).unwrap();
+        c.release(h, 2, 1.0);
+        c.release(h, 2, 1.0);
+    }
+
+    #[test]
+    fn utilization_gauge_tracks_time() {
+        let mut c = Cluster::homogeneous("c", 1, 4);
+        let h = c.try_allocate(4, 0.0).unwrap();
+        c.release(h, 4, 10.0);
+        // Busy 100% for [0,10), idle after.
+        assert!((c.utilization().time_average(0.0, 20.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elastic_scaling() {
+        let mut c = Cluster::homogeneous("c", 2, 4);
+        c.scale_out(2, 8);
+        assert_eq!(c.num_hosts(), 4);
+        assert_eq!(c.total_cores(), 24);
+        let _ = c.try_allocate(8, 0.0).unwrap();
+        let removed = c.scale_in(10);
+        // All idle hosts go; the busy host survives.
+        assert_eq!(removed, 3);
+        assert_eq!(c.num_hosts(), 1);
+        assert_eq!(c.free_cores(), 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! `atlarge-datacenter` — the datacenter ecosystem substrate (§6.3).
+//!
+//! Two halves:
+//!
+//! - [`refarch`] — the evolving reference architecture of Figure 9: the
+//!   2011–2016 four-layer big-data architecture and the 2016-onward
+//!   five-plus-one-layer full-datacenter architecture, as data structures
+//!   with component mappings. The tests reproduce the paper's argument:
+//!   the MapReduce ecosystem maps onto *both*, while in-memory file
+//!   systems, high-performance I/O engines, and DevOps tools map only onto
+//!   the new one.
+//! - [`cluster`] and [`environment`] — the compute substrate the
+//!   scheduling, autoscaling, and serverless reproductions run on: clusters
+//!   of hosts with cores, and the named environments of Table 9 (own
+//!   cluster, grid + cloud, geo-distributed datacenters, multi-cluster,
+//!   public cloud) with capacity and cost parameters.
+//!
+//! # Examples
+//!
+//! ```
+//! use atlarge_datacenter::refarch::{big_data_refarch, full_datacenter_refarch};
+//!
+//! let old = big_data_refarch();
+//! let new = full_datacenter_refarch();
+//! assert!(new.find("MemEFS").is_some());
+//! assert!(old.find("MemEFS").is_none());
+//! ```
+
+pub mod cluster;
+pub mod environment;
+pub mod refarch;
+
+pub use cluster::Cluster;
+pub use environment::Environment;

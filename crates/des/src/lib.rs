@@ -1,0 +1,61 @@
+//! `atlarge-des` — a deterministic discrete-event simulation kernel.
+//!
+//! Every domain simulator in the AtLarge reproduction (P2P swarms, MMOG
+//! ecosystems, datacenters, serverless platforms) runs on this kernel. Its
+//! contract is strict determinism: given a model and a seed, a run produces
+//! the same event trace on every execution and platform. Determinism is the
+//! paper's own methodological demand — §5.1/C3 names *calibration and
+//! reproducibility* as key to simulation-based design-space exploration.
+//!
+//! # Architecture
+//!
+//! - [`queue::EventQueue`] — a total-order priority queue over
+//!   `(time, sequence)` pairs, so simultaneous events fire in insertion
+//!   order.
+//! - [`sim::Simulation`] / [`sim::Model`] — the engine: a model consumes
+//!   events and schedules new ones through a [`sim::Ctx`], which also carries
+//!   the seeded RNG.
+//! - [`monitor`] — counters, time-weighted gauges, and tallies for
+//!   observing a run.
+//! - [`queueing`] — analytic M/M/c results (Erlang C) used to *validate*
+//!   the kernel against theory in the test suite.
+//!
+//! # Examples
+//!
+//! A two-event model:
+//!
+//! ```
+//! use atlarge_des::sim::{Ctx, Model, Simulation};
+//!
+//! struct Ping { count: u32 }
+//! #[derive(Debug)]
+//! enum Ev { Ping }
+//!
+//! impl Model for Ping {
+//!     type Event = Ev;
+//!     fn handle(&mut self, ev: Ev, ctx: &mut Ctx<Ev>) {
+//!         match ev {
+//!             Ev::Ping => {
+//!                 self.count += 1;
+//!                 if self.count < 3 {
+//!                     ctx.schedule_in(1.0, Ev::Ping);
+//!                 }
+//!             }
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(Ping { count: 0 }, 42);
+//! sim.schedule(0.0, Ev::Ping);
+//! sim.run();
+//! assert_eq!(sim.model().count, 3);
+//! assert_eq!(sim.now(), 2.0);
+//! ```
+
+pub mod monitor;
+pub mod queue;
+pub mod queueing;
+pub mod sim;
+
+pub use queue::EventQueue;
+pub use sim::{Ctx, Model, Simulation};

@@ -1,0 +1,196 @@
+//! Run-time observability: counters, time-weighted gauges, tallies.
+//!
+//! The paper's principle **P4** makes "various sources of information to
+//! achieve local and global self-awareness" a first-class design concern;
+//! simulators expose their internal state through these monitors, and the
+//! portfolio scheduler and autoscalers consume them as their information
+//! sources.
+
+use atlarge_stats::descriptive::Summary;
+use atlarge_stats::timeseries::StepSeries;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current count.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+}
+
+/// A time-weighted gauge: records a level over simulated time and reports
+/// time-averaged statistics (e.g. utilization, queue length, swarm size).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gauge {
+    series: StepSeries,
+    last_time: f64,
+}
+
+impl Gauge {
+    /// Creates a gauge with the given initial level at time zero.
+    pub fn new(initial: f64) -> Self {
+        Gauge {
+            series: StepSeries::new(initial),
+            last_time: 0.0,
+        }
+    }
+
+    /// Sets the level at simulated time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes an earlier update.
+    pub fn set(&mut self, now: f64, level: f64) {
+        self.series.push(now, level);
+        self.last_time = self.last_time.max(now);
+    }
+
+    /// Adjusts the level by `delta` at time `now`.
+    pub fn add(&mut self, now: f64, delta: f64) {
+        let cur = self.series.value_at(now);
+        self.set(now, cur + delta);
+    }
+
+    /// The level at time `t`.
+    pub fn value_at(&self, t: f64) -> f64 {
+        self.series.value_at(t)
+    }
+
+    /// Current (latest) level.
+    pub fn value(&self) -> f64 {
+        self.series.value_at(self.last_time)
+    }
+
+    /// Time-weighted average over `[from, to]`.
+    pub fn time_average(&self, from: f64, to: f64) -> f64 {
+        self.series.time_average(from, to)
+    }
+
+    /// The underlying step series (for metric computations).
+    pub fn series(&self) -> &StepSeries {
+        &self.series
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge::new(0.0)
+    }
+}
+
+/// A tally: accumulates independent observations (response times, download
+/// durations) for summary statistics at the end of a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Tally {
+    samples: Vec<f64>,
+}
+
+impl Tally {
+    /// Creates an empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not finite.
+    pub fn record(&mut self, x: f64) {
+        assert!(x.is_finite(), "tally observations must be finite");
+        self.samples.push(x);
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the tally is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Raw observations in recording order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Descriptive summary of the observations.
+    pub fn summary(&self) -> Summary {
+        Summary::from_slice(&self.samples)
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.summary().mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.value(), 5);
+    }
+
+    #[test]
+    fn gauge_time_average() {
+        let mut g = Gauge::new(0.0);
+        g.set(0.0, 2.0);
+        g.set(10.0, 6.0);
+        // [0,10): 2; [10,20): 6 => avg 4
+        assert!((g.time_average(0.0, 20.0) - 4.0).abs() < 1e-12);
+        assert_eq!(g.value(), 6.0);
+    }
+
+    #[test]
+    fn gauge_add_is_relative() {
+        let mut g = Gauge::new(1.0);
+        g.add(5.0, 2.0);
+        g.add(6.0, -3.0);
+        assert_eq!(g.value(), 0.0);
+        assert_eq!(g.value_at(5.5), 3.0);
+    }
+
+    #[test]
+    fn tally_summary() {
+        let mut t = Tally::new();
+        for x in [1.0, 2.0, 3.0] {
+            t.record(x);
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.mean(), 2.0);
+        assert_eq!(t.summary().median(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn tally_rejects_nan() {
+        Tally::new().record(f64::NAN);
+    }
+}

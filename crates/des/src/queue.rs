@@ -1,0 +1,217 @@
+//! The event queue: a total-order priority queue over simulated time.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled entry: fires at `time`, with `seq` breaking ties so
+/// simultaneous events run in scheduling order (FIFO at equal times).
+#[derive(Debug)]
+struct Entry<E> {
+    time: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need earliest-first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// Events pop in non-decreasing time order; events scheduled for the same
+/// instant pop in the order they were pushed. This total order is what makes
+/// simulation runs reproducible byte-for-byte.
+///
+/// # Examples
+///
+/// ```
+/// use atlarge_des::queue::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.push(2.0, "late");
+/// q.push(1.0, "early");
+/// q.push(1.0, "early-second");
+/// assert_eq!(q.pop(), Some((1.0, "early")));
+/// assert_eq!(q.pop(), Some((1.0, "early-second")));
+/// assert_eq!(q.pop(), Some((2.0, "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN or negative.
+    pub fn push(&mut self, time: f64, event: E) {
+        assert!(time.is_finite() && time >= 0.0, "event time must be finite and non-negative");
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event as `(time, event)`.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, 3);
+        q.push(1.0, 1);
+        q.push(2.0, 2);
+        assert_eq!(q.pop(), Some((1.0, 1)));
+        assert_eq!(q.pop(), Some((2.0, 2)));
+        assert_eq!(q.pop(), Some((3.0, 3)));
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(5.0, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((5.0, i)));
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(1.0, "a");
+        assert_eq!(q.peek_time(), Some(1.0));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut q = EventQueue::new();
+        q.push(1.0, ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_time() {
+        let mut q = EventQueue::new();
+        q.push(f64::NAN, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_time() {
+        let mut q = EventQueue::new();
+        q.push(-1.0, ());
+    }
+
+    proptest! {
+        /// Popping any set of pushed events yields non-decreasing times, and
+        /// within an equal-time run the payload order matches push order.
+        #[test]
+        fn prop_total_order(times in proptest::collection::vec(0.0f64..1000.0, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                // Quantize times to force plenty of ties.
+                q.push((t * 10.0).round() / 10.0, i);
+            }
+            let mut prev_time = f64::NEG_INFINITY;
+            let mut prev_seq_at_time = None::<usize>;
+            while let Some((t, i)) = q.pop() {
+                prop_assert!(t >= prev_time);
+                if t == prev_time {
+                    if let Some(ps) = prev_seq_at_time {
+                        prop_assert!(i > ps, "FIFO violated at t={t}");
+                    }
+                    prev_seq_at_time = Some(i);
+                } else {
+                    prev_seq_at_time = Some(i);
+                }
+                prev_time = t;
+            }
+        }
+
+        /// len() tracks pushes and pops exactly.
+        #[test]
+        fn prop_len(times in proptest::collection::vec(0.0f64..10.0, 0..64)) {
+            let mut q = EventQueue::new();
+            for &t in &times {
+                q.push(t, ());
+            }
+            prop_assert_eq!(q.len(), times.len());
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            prop_assert_eq!(n, times.len());
+        }
+    }
+}

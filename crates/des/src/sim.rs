@@ -1,0 +1,313 @@
+//! The simulation engine: models, contexts, and the run loop.
+
+use crate::queue::EventQueue;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A simulation model: owns domain state and reacts to events.
+///
+/// A model never touches the event queue directly; it schedules follow-up
+/// events through the [`Ctx`] handed to [`Model::handle`]. This keeps the
+/// borrow structure simple (model state and scheduler are disjoint) and the
+/// event order deterministic.
+pub trait Model {
+    /// The event alphabet of this model.
+    type Event;
+
+    /// Reacts to `event` occurring now. New events are scheduled via `ctx`.
+    fn handle(&mut self, event: Self::Event, ctx: &mut Ctx<Self::Event>);
+}
+
+/// The execution context passed into [`Model::handle`]: the clock, the
+/// scheduler, the seeded RNG, and the stop flag.
+#[derive(Debug)]
+pub struct Ctx<E> {
+    now: f64,
+    queue: EventQueue<E>,
+    rng: StdRng,
+    stopped: bool,
+    processed: u64,
+}
+
+impl<E> Ctx<E> {
+    /// Current simulated time.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Schedules `event` after a non-negative `delay`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative or NaN.
+    pub fn schedule_in(&mut self, delay: f64, event: E) {
+        assert!(delay.is_finite() && delay >= 0.0, "delay must be >= 0");
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Schedules `event` at an absolute time not before now.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` precedes the current time.
+    pub fn schedule_at(&mut self, time: f64, event: E) {
+        assert!(time >= self.now, "cannot schedule into the past");
+        self.queue.push(time, event);
+    }
+
+    /// The deterministic random source of this run.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Requests the run loop to stop after the current event.
+    pub fn stop(&mut self) {
+        self.stopped = true;
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// A discrete-event simulation: a [`Model`] plus its [`Ctx`].
+///
+/// See the [crate-level docs](crate) for a complete example.
+#[derive(Debug)]
+pub struct Simulation<M: Model> {
+    model: M,
+    ctx: Ctx<M::Event>,
+}
+
+impl<M: Model> Simulation<M> {
+    /// Creates a simulation over `model`, seeding the RNG with `seed`.
+    pub fn new(model: M, seed: u64) -> Self {
+        Simulation {
+            model,
+            ctx: Ctx {
+                now: 0.0,
+                queue: EventQueue::new(),
+                rng: StdRng::seed_from_u64(seed),
+                stopped: false,
+                processed: 0,
+            },
+        }
+    }
+
+    /// Schedules an initial event at absolute `time`.
+    pub fn schedule(&mut self, time: f64, event: M::Event) {
+        self.ctx.queue.push(time, event);
+    }
+
+    /// Runs until the event queue drains or the model calls [`Ctx::stop`].
+    /// Returns the number of events processed in this call.
+    pub fn run(&mut self) -> u64 {
+        self.run_until(f64::INFINITY)
+    }
+
+    /// Runs until `horizon` (exclusive for later events), queue exhaustion,
+    /// or [`Ctx::stop`]. Events at exactly `horizon` still execute. Returns
+    /// the number of events processed in this call.
+    pub fn run_until(&mut self, horizon: f64) -> u64 {
+        let start = self.ctx.processed;
+        while !self.ctx.stopped {
+            match self.ctx.queue.peek_time() {
+                Some(t) if t <= horizon => {
+                    let (t, ev) = self.ctx.queue.pop().expect("peeked event exists");
+                    debug_assert!(t >= self.ctx.now, "time must not go backwards");
+                    self.ctx.now = t;
+                    self.ctx.processed += 1;
+                    self.model.handle(ev, &mut self.ctx);
+                }
+                Some(_) => {
+                    // Next event is beyond the horizon; advance the clock to
+                    // the horizon so repeated bounded runs compose.
+                    self.ctx.now = horizon;
+                    break;
+                }
+                None => break,
+            }
+        }
+        self.ctx.processed - start
+    }
+
+    /// Runs at most `max_events` further events (subject to stop/drain).
+    /// Returns the number of events processed in this call.
+    pub fn step(&mut self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events && !self.ctx.stopped {
+            match self.ctx.queue.pop() {
+                Some((t, ev)) => {
+                    self.ctx.now = t;
+                    self.ctx.processed += 1;
+                    self.model.handle(ev, &mut self.ctx);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> f64 {
+        self.ctx.now
+    }
+
+    /// Whether the model requested a stop.
+    pub fn is_stopped(&self) -> bool {
+        self.ctx.stopped
+    }
+
+    /// Shared view of the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Exclusive view of the model (e.g. to extract metrics between runs).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consumes the simulation, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Total events processed since construction.
+    pub fn processed(&self) -> u64 {
+        self.ctx.processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    struct Counter {
+        fired: Vec<(f64, u32)>,
+    }
+
+    enum Ev {
+        Tick(u32),
+        Stop,
+    }
+
+    impl Model for Counter {
+        type Event = Ev;
+        fn handle(&mut self, ev: Ev, ctx: &mut Ctx<Ev>) {
+            match ev {
+                Ev::Tick(i) => {
+                    self.fired.push((ctx.now(), i));
+                    if i < 5 {
+                        ctx.schedule_in(2.0, Ev::Tick(i + 1));
+                    }
+                }
+                Ev::Stop => ctx.stop(),
+            }
+        }
+    }
+
+    #[test]
+    fn chain_of_events_advances_clock() {
+        let mut sim = Simulation::new(Counter { fired: vec![] }, 1);
+        sim.schedule(1.0, Ev::Tick(1));
+        let n = sim.run();
+        assert_eq!(n, 5);
+        assert_eq!(sim.now(), 9.0);
+        assert_eq!(sim.model().fired.len(), 5);
+        assert_eq!(sim.model().fired[0], (1.0, 1));
+        assert_eq!(sim.model().fired[4], (9.0, 5));
+    }
+
+    #[test]
+    fn stop_event_halts_mid_queue() {
+        let mut sim = Simulation::new(Counter { fired: vec![] }, 1);
+        sim.schedule(0.0, Ev::Tick(1));
+        sim.schedule(3.0, Ev::Stop);
+        sim.run();
+        assert!(sim.is_stopped());
+        // Ticks at 0 and 2 fire; the tick at 4 never runs.
+        assert_eq!(sim.model().fired.len(), 2);
+    }
+
+    #[test]
+    fn horizon_bounds_run_and_sets_clock() {
+        let mut sim = Simulation::new(Counter { fired: vec![] }, 1);
+        sim.schedule(0.0, Ev::Tick(1));
+        sim.run_until(3.0);
+        assert_eq!(sim.model().fired.len(), 2); // t=0, t=2
+        assert_eq!(sim.now(), 3.0);
+        sim.run_until(100.0);
+        assert_eq!(sim.model().fired.len(), 5);
+    }
+
+    #[test]
+    fn horizon_inclusive_at_boundary() {
+        let mut sim = Simulation::new(Counter { fired: vec![] }, 1);
+        sim.schedule(2.0, Ev::Tick(5));
+        sim.run_until(2.0);
+        assert_eq!(sim.model().fired.len(), 1);
+    }
+
+    #[test]
+    fn step_limits_event_count() {
+        let mut sim = Simulation::new(Counter { fired: vec![] }, 1);
+        sim.schedule(0.0, Ev::Tick(1));
+        assert_eq!(sim.step(2), 2);
+        assert_eq!(sim.model().fired.len(), 2);
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        struct R {
+            draws: Vec<f64>,
+        }
+        enum E {
+            Draw(u32),
+        }
+        impl Model for R {
+            type Event = E;
+            fn handle(&mut self, E::Draw(i): E, ctx: &mut Ctx<E>) {
+                let x: f64 = ctx.rng().gen();
+                self.draws.push(x);
+                if i < 10 {
+                    ctx.schedule_in(x, E::Draw(i + 1));
+                }
+            }
+        }
+        let run = |seed| {
+            let mut sim = Simulation::new(R { draws: vec![] }, seed);
+            sim.schedule(0.0, E::Draw(0));
+            sim.run();
+            (sim.now(), sim.into_model().draws)
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99).1, run(100).1);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        struct Bad;
+        enum E {
+            Go,
+        }
+        impl Model for Bad {
+            type Event = E;
+            fn handle(&mut self, _: E, ctx: &mut Ctx<E>) {
+                ctx.schedule_at(ctx.now() - 1.0, E::Go);
+            }
+        }
+        let mut sim = Simulation::new(Bad, 0);
+        sim.schedule(5.0, E::Go);
+        sim.run();
+    }
+}

@@ -1,0 +1,181 @@
+//! The Table 8 reproductions: the PAD law and the HPAD extension.
+
+use crate::generators::Dataset;
+use crate::platforms::{run, Algorithm, Platform};
+use atlarge_stats::factorial::{decompose, Cell, Decomposition};
+
+/// One measurement of the PAD sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PadCell {
+    /// Platform name.
+    pub platform: &'static str,
+    /// Algorithm name.
+    pub algorithm: &'static str,
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Deterministic critical-path cost.
+    pub critical_path: f64,
+    /// Iterations executed.
+    pub iterations: u32,
+}
+
+/// Runs the full-factorial PAD sweep: every roster platform × all six
+/// algorithms × all three datasets, on graphs of roughly `n` vertices.
+pub fn pad_sweep(n: usize, seed: u64) -> Vec<PadCell> {
+    let mut cells = Vec::new();
+    for d in Dataset::all() {
+        let g = d.generate(n, seed);
+        for a in Algorithm::all() {
+            for p in Platform::roster() {
+                let c = run(p, a, &g);
+                cells.push(PadCell {
+                    platform: p.name(),
+                    algorithm: a.name(),
+                    dataset: d.name(),
+                    critical_path: c.critical_path,
+                    iterations: c.iterations,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// The HPAD sweep: the PAD roster plus the heterogeneous accelerator.
+pub fn hpad_sweep(n: usize, seed: u64) -> Vec<PadCell> {
+    let mut cells = pad_sweep(n, seed);
+    for d in Dataset::all() {
+        let g = d.generate(n, seed);
+        for a in Algorithm::all() {
+            let c = run(Platform::Accelerator, a, &g);
+            cells.push(PadCell {
+                platform: Platform::Accelerator.name(),
+                algorithm: a.name(),
+                dataset: d.name(),
+                critical_path: c.critical_path,
+                iterations: c.iterations,
+            });
+        }
+    }
+    cells
+}
+
+/// Decomposes a sweep's log-costs into platform/algorithm/dataset main
+/// effects and their interaction — the statistical form of the PAD law.
+pub fn pad_decomposition(cells: &[PadCell]) -> Decomposition {
+    let f: Vec<Cell> = cells
+        .iter()
+        .map(|c| Cell {
+            a: c.platform.to_string(),
+            b: c.algorithm.to_string(),
+            c: c.dataset.to_string(),
+            y: c.critical_path.max(1.0).ln(),
+        })
+        .collect();
+    decompose(&f)
+}
+
+/// For each (algorithm, dataset) pair, the winning platform.
+pub fn winners(cells: &[PadCell]) -> Vec<((&'static str, &'static str), &'static str)> {
+    use std::collections::BTreeMap;
+    let mut best: BTreeMap<(&str, &str), (&str, f64)> = BTreeMap::new();
+    for c in cells {
+        let key = (c.algorithm, c.dataset);
+        match best.get(&key) {
+            Some(&(_, cp)) if cp <= c.critical_path => {}
+            _ => {
+                best.insert(key, (c.platform, c.critical_path));
+            }
+        }
+    }
+    cells
+        .iter()
+        .map(|c| (c.algorithm, c.dataset))
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .map(|k| (k, best[&k].0))
+        .collect()
+}
+
+/// Renders the sweep as the Table-8-style text report.
+pub fn render_pad(cells: &[PadCell]) -> String {
+    let mut out = format!(
+        "{:<14}{:<10}{:<10}{:>16}{:>8}\n",
+        "platform", "algo", "dataset", "critical-path", "iters"
+    );
+    for c in cells {
+        out.push_str(&format!(
+            "{:<14}{:<10}{:<10}{:>16.0}{:>8}\n",
+            c.platform, c.algorithm, c.dataset, c.critical_path, c.iterations
+        ));
+    }
+    let d = pad_decomposition(cells);
+    out.push_str(&format!(
+        "interaction share of variance: {:.2} (max main effect {:.2})\n",
+        d.interaction_share(),
+        d.max_main_share()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep() -> Vec<PadCell> {
+        pad_sweep(1_200, 3)
+    }
+
+    #[test]
+    fn sweep_is_full_factorial() {
+        let cells = sweep();
+        assert_eq!(cells.len(), 3 * 6 * 3);
+    }
+
+    #[test]
+    fn pad_law_holds() {
+        // The paper's "law!": performance depends on the interaction of
+        // platform, algorithm, and dataset — the interaction term must
+        // explain a non-trivial share of variance.
+        let d = pad_decomposition(&sweep());
+        assert!(
+            d.interaction_share() > 0.05,
+            "interaction share {} too small for the PAD law",
+            d.interaction_share()
+        );
+        assert!(d.ss_total > 0.0);
+    }
+
+    #[test]
+    fn no_platform_wins_everywhere() {
+        let w = winners(&sweep());
+        let distinct: std::collections::BTreeSet<&str> =
+            w.iter().map(|&(_, p)| p).collect();
+        assert!(
+            distinct.len() >= 2,
+            "one platform swept all algorithm×dataset cells: {distinct:?}"
+        );
+    }
+
+    #[test]
+    fn hpad_accelerator_wins_some_cells_only() {
+        // [106]: with heterogeneous hardware "the PAD law is applicable
+        // only in special situations" — the accelerator must win some
+        // cells and lose others.
+        let cells = hpad_sweep(1_200, 3);
+        let w = winners(&cells);
+        let accel_wins = w.iter().filter(|&&(_, p)| p == "accelerator").count();
+        assert!(accel_wins > 0, "accelerator should win somewhere");
+        assert!(
+            accel_wins < w.len(),
+            "accelerator should not win everywhere"
+        );
+    }
+
+    #[test]
+    fn render_contains_decomposition() {
+        let s = render_pad(&sweep());
+        assert!(s.contains("interaction share"));
+        assert!(s.contains("pagerank"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Granula-style fine-grained performance analysis (\[100\]).
+//!
+//! Granula moved Graphalytics from "low-depth analysis, which is typical
+//! of benchmarks" to *deep* results: per-phase breakdowns of where a run
+//! spends its time. Here a [`Breakdown`] decomposes a [`RunCost`] into
+//! load/compute/aggregate phases and per-iteration compute shares, and
+//! can diagnose the run's dominant cost — the kind of insight Grade10
+//! later automated.
+
+use crate::platforms::RunCost;
+
+/// The phases of a graph-processing job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Graph loading and partitioning (modeled proportional to |V|+|E|).
+    Load,
+    /// The iterative computation.
+    Compute,
+    /// Result aggregation and write-back.
+    Aggregate,
+}
+
+/// A per-phase performance breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Breakdown {
+    /// Critical-path cost of loading.
+    pub load: f64,
+    /// Critical-path cost of computing (sum of iterations).
+    pub compute: f64,
+    /// Critical-path cost of aggregation.
+    pub aggregate: f64,
+    /// Per-iteration compute costs.
+    pub iterations: Vec<f64>,
+}
+
+/// Load/aggregate cost factors relative to one full sweep.
+const LOAD_FACTOR: f64 = 2.0;
+const AGGREGATE_FACTOR: f64 = 0.25;
+
+impl Breakdown {
+    /// Builds the breakdown of a run on a graph with `n` vertices and
+    /// `m` edges.
+    pub fn of(cost: &RunCost, n: usize, m: usize) -> Self {
+        let sweep = (n + m) as f64;
+        Breakdown {
+            load: sweep * LOAD_FACTOR,
+            compute: cost.critical_path,
+            aggregate: sweep * AGGREGATE_FACTOR,
+            iterations: cost
+                .per_iteration
+                .iter()
+                .map(|r| r.critical_path)
+                .collect(),
+        }
+    }
+
+    /// Total cost across phases.
+    pub fn total(&self) -> f64 {
+        self.load + self.compute + self.aggregate
+    }
+
+    /// The dominant phase.
+    pub fn bottleneck(&self) -> Phase {
+        if self.load >= self.compute && self.load >= self.aggregate {
+            Phase::Load
+        } else if self.compute >= self.aggregate {
+            Phase::Compute
+        } else {
+            Phase::Aggregate
+        }
+    }
+
+    /// Fraction of compute spent in the costliest single iteration —
+    /// a straggler-iteration diagnostic.
+    pub fn max_iteration_share(&self) -> f64 {
+        if self.compute <= 0.0 {
+            return 0.0;
+        }
+        self.iterations
+            .iter()
+            .copied()
+            .fold(0.0, f64::max)
+            / self.compute
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{grid, preferential_attachment};
+    use crate::platforms::{run, Algorithm, Platform};
+
+    #[test]
+    fn phases_sum_to_total() {
+        let g = grid(12);
+        let c = run(Platform::Sequential, Algorithm::Wcc, &g);
+        let b = Breakdown::of(&c, g.num_vertices(), g.num_edges());
+        assert!(
+            (b.total() - (b.load + b.compute + b.aggregate)).abs() < 1e-9
+        );
+        assert_eq!(b.iterations.len() as u32, c.iterations);
+    }
+
+    #[test]
+    fn long_jobs_are_compute_bound_short_ones_load_bound() {
+        // Grid BFS runs many iterations -> compute dominates; a power-law
+        // BFS is over in a few sweeps -> loading dominates.
+        let grid_g = grid(24);
+        let c = run(Platform::Sequential, Algorithm::Bfs, &grid_g);
+        let b = Breakdown::of(&c, grid_g.num_vertices(), grid_g.num_edges());
+        assert_eq!(b.bottleneck(), Phase::Compute);
+
+        let pl = preferential_attachment(20_000, 4, 3);
+        let c2 = run(Platform::Parallel { threads: 8 }, Algorithm::Bfs, &pl);
+        let b2 = Breakdown::of(&c2, pl.num_vertices(), pl.num_edges());
+        assert_eq!(b2.bottleneck(), Phase::Load);
+    }
+
+    #[test]
+    fn iteration_share_is_a_fraction() {
+        let g = grid(10);
+        let c = run(Platform::EdgeCentric, Algorithm::Wcc, &g);
+        let b = Breakdown::of(&c, g.num_vertices(), g.num_edges());
+        let s = b.max_iteration_share();
+        assert!(s > 0.0 && s <= 1.0, "share {s}");
+    }
+}

@@ -1,0 +1,29 @@
+//! `atlarge-mmog` — the MMOG ecosystem reproduction (§6.2, Table 6).
+//!
+//! MMOGs raise "some of the strictest NFRs in distributed systems" and
+//! the paper's decade of game studies spans all four ecosystem functions:
+//! virtual-world operation, gaming analytics, procedural content
+//! generation, and meta-gaming. Table 6's rows map to:
+//!
+//! - [`dynamics`] — short-/long-term player dynamics of MMORPG, MOBA, and
+//!   online-social games (\[71\], \[72\], \[73\]).
+//! - [`provisioning`] — dynamic resource provisioning for virtual worlds
+//!   on clouds (\[71\], \[87\]): static vs reactive vs predictive.
+//! - [`rts`] — the RTSenv scalability benchmark and the Area of
+//!   Simulation technique (\[76\], \[81\]) plus the Mirror computation-
+//!   offloading model (\[82\]).
+//! - [`social`] — implicit social networks from co-play, matchmaking, and
+//!   toxicity detection (\[74\], \[75\], \[77\], \[91\]).
+//! - [`content`] — POGGI-style distributed puzzle-content generation
+//!   (\[78\]).
+//! - [`analytics`] — CAMEO-style continuous gaming analytics on elastic
+//!   cloud capacity (\[79\]).
+//! - [`experiments`] — the Table 6 row-by-row reproduction.
+
+pub mod analytics;
+pub mod content;
+pub mod dynamics;
+pub mod experiments;
+pub mod provisioning;
+pub mod rts;
+pub mod social;

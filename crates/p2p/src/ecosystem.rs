@@ -1,0 +1,242 @@
+//! The global BitTorrent ecosystem: aliased media, giant swarms, spam
+//! trackers (\[61\], \[63\]).
+//!
+//! The 2010 BTWorld study "collected nearly 1 billion samples across
+//! hundreds of trackers and over 10,000,000 BT-swarms, and revealed the
+//! existence of giant swarms ..., of spam trackers inserted by
+//! unidentified entities ..., and in general of a robust global
+//! BT-ecosystem". The 2005 analytics study discovered *aliased media*:
+//! "very similar media content in a variety of formats". This module
+//! generates a ground-truth ecosystem with those phenomena and implements
+//! the analyses that detect them.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One swarm in the global ecosystem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Swarm {
+    /// Underlying content item (aliases share it).
+    pub content_id: usize,
+    /// Format/encoding variant of the content.
+    pub format: &'static str,
+    /// Concurrent peers.
+    pub size: u64,
+    /// Hosting tracker.
+    pub tracker: usize,
+}
+
+/// A tracker's ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tracker {
+    /// Whether the tracker is spam (reports fabricated swarms).
+    pub spam: bool,
+}
+
+/// The global ecosystem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecosystem {
+    /// All swarms, real and fabricated.
+    pub swarms: Vec<Swarm>,
+    /// All trackers.
+    pub trackers: Vec<Tracker>,
+}
+
+const FORMATS: [&str; 5] = ["cam", "dvdrip", "hdrip", "x264", "xvid"];
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EcosystemConfig {
+    /// Distinct content items.
+    pub contents: usize,
+    /// Mean alias (format) count per popular content.
+    pub mean_aliases: f64,
+    /// Number of honest trackers.
+    pub honest_trackers: usize,
+    /// Number of spam trackers.
+    pub spam_trackers: usize,
+    /// Fabricated swarms per spam tracker.
+    pub spam_swarms: usize,
+}
+
+impl Default for EcosystemConfig {
+    fn default() -> Self {
+        EcosystemConfig {
+            contents: 2_000,
+            mean_aliases: 2.0,
+            honest_trackers: 30,
+            spam_trackers: 5,
+            spam_swarms: 400,
+        }
+    }
+}
+
+impl Ecosystem {
+    /// Generates the ecosystem: Zipf-popular contents with aliases on
+    /// honest trackers, plus fabricated uniform swarms on spam trackers.
+    pub fn generate(config: EcosystemConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut swarms = Vec::new();
+        let trackers: Vec<Tracker> = (0..config.honest_trackers)
+            .map(|_| Tracker { spam: false })
+            .chain((0..config.spam_trackers).map(|_| Tracker { spam: true }))
+            .collect();
+        for content_id in 0..config.contents {
+            // Popular content attracts more aliases (more rippers re-encode
+            // it) and bigger swarms.
+            let popularity = 1.0 / (content_id as f64 + 1.0).powf(0.7);
+            // Geometric-ish alias count: every content may be re-encoded,
+            // popular content more often.
+            let p_more = (0.2 + 0.15 * config.mean_aliases).min(0.9) * (0.8 + popularity);
+            let mut n_aliases = 1;
+            while n_aliases < FORMATS.len() && rng.gen::<f64>() < p_more {
+                n_aliases += 1;
+            }
+            for a in 0..n_aliases.min(FORMATS.len()) {
+                let base = (popularity * 500_000.0) as u64;
+                let size = 1 + (base as f64 * (0.3 + 0.7 * rng.gen::<f64>())) as u64
+                    / (a as u64 + 1);
+                swarms.push(Swarm {
+                    content_id,
+                    format: FORMATS[a],
+                    size,
+                    tracker: rng.gen_range(0..config.honest_trackers),
+                });
+            }
+        }
+        // Spam trackers fabricate swarms with implausibly uniform sizes.
+        for t in 0..config.spam_trackers {
+            for _ in 0..config.spam_swarms {
+                swarms.push(Swarm {
+                    content_id: config.contents + rng.gen_range(0..1_000),
+                    format: "fake",
+                    size: 990 + rng.gen_range(0..20),
+                    tracker: config.honest_trackers + t,
+                });
+            }
+        }
+        Ecosystem { swarms, trackers }
+    }
+
+    /// Giant swarms: the largest `k` swarm sizes.
+    pub fn giant_swarms(&self, k: usize) -> Vec<u64> {
+        let mut sizes: Vec<u64> = self.swarms.iter().map(|s| s.size).collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        sizes.truncate(k);
+        sizes
+    }
+}
+
+/// The aliased-media analysis (\[61\]): groups swarms by content and
+/// reports `(contents_with_aliases, mean_aliases, apparent_inflation)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AliasReport {
+    /// Content items appearing under more than one format.
+    pub aliased_contents: usize,
+    /// Mean formats per aliased content.
+    pub mean_aliases: f64,
+    /// Apparent catalog size / true content count: how much aliasing
+    /// inflates the ecosystem's apparent size.
+    pub inflation: f64,
+}
+
+/// Runs the aliased-media analysis over honest-tracker swarms.
+pub fn alias_analysis(eco: &Ecosystem) -> AliasReport {
+    use std::collections::BTreeMap;
+    let mut by_content: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut total_swarms = 0usize;
+    for s in &eco.swarms {
+        if !eco.trackers[s.tracker].spam {
+            *by_content.entry(s.content_id).or_insert(0) += 1;
+            total_swarms += 1;
+        }
+    }
+    let aliased: Vec<usize> = by_content.values().filter(|&&c| c > 1).copied().collect();
+    AliasReport {
+        aliased_contents: aliased.len(),
+        mean_aliases: aliased.iter().sum::<usize>() as f64 / aliased.len().max(1) as f64,
+        inflation: total_swarms as f64 / by_content.len().max(1) as f64,
+    }
+}
+
+/// Spam-tracker detection (\[63\]): a tracker whose swarm sizes are
+/// implausibly uniform (coefficient of variation below `cv_threshold`) is
+/// flagged. Returns flagged tracker indices.
+pub fn detect_spam_trackers(eco: &Ecosystem, cv_threshold: f64) -> Vec<usize> {
+    use atlarge_stats::descriptive::Summary;
+    (0..eco.trackers.len())
+        .filter(|&t| {
+            let sizes: Vec<f64> = eco
+                .swarms
+                .iter()
+                .filter(|s| s.tracker == t)
+                .map(|s| s.size as f64)
+                .collect();
+            if sizes.len() < 10 {
+                return false;
+            }
+            Summary::from_slice(&sizes).cv() < cv_threshold
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eco() -> Ecosystem {
+        Ecosystem::generate(EcosystemConfig::default(), 23)
+    }
+
+    #[test]
+    fn aliasing_exists_and_inflates() {
+        let r = alias_analysis(&eco());
+        assert!(r.aliased_contents > 50, "aliased {}", r.aliased_contents);
+        assert!(r.mean_aliases > 1.5);
+        assert!(r.inflation > 1.1, "inflation {}", r.inflation);
+    }
+
+    #[test]
+    fn giant_swarms_dominate() {
+        // "giant swarms of hundreds of thousands of concurrent users".
+        let e = eco();
+        let giants = e.giant_swarms(5);
+        assert!(giants[0] > 100_000, "largest swarm {}", giants[0]);
+        let median = {
+            let mut s: Vec<u64> = e.swarms.iter().map(|x| x.size).collect();
+            s.sort_unstable();
+            s[s.len() / 2]
+        };
+        assert!(giants[0] > 20 * median, "giants vs median {median}");
+    }
+
+    #[test]
+    fn spam_trackers_detected_exactly() {
+        let e = eco();
+        let flagged = detect_spam_trackers(&e, 0.1);
+        let expected: Vec<usize> = e
+            .trackers
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.spam)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(flagged, expected);
+    }
+
+    #[test]
+    fn honest_trackers_not_flagged() {
+        let e = eco();
+        let flagged = detect_spam_trackers(&e, 0.1);
+        for f in flagged {
+            assert!(e.trackers[f].spam, "honest tracker {f} flagged");
+        }
+    }
+
+    #[test]
+    fn generation_deterministic() {
+        let a = Ecosystem::generate(EcosystemConfig::default(), 1);
+        let b = Ecosystem::generate(EcosystemConfig::default(), 1);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,234 @@
+//! The Table 5 reproduction: one runnable check per study row.
+
+use crate::ecosystem::{alias_analysis, detect_spam_trackers, Ecosystem, EcosystemConfig};
+use crate::flashcrowd;
+use crate::measurement::{coverage_ablation, GroundTruth, Instrument};
+use crate::swarm::{run_swarm, Bandwidth, SwarmConfig};
+use crate::twofast::speedup_curve;
+use crate::vicissitude::{bottleneck_shifts, run_pipeline, vicissitude_score};
+
+/// One reproduced row of Table 5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table5Row {
+    /// Citation tag and year, as printed in the table.
+    pub study: &'static str,
+    /// The study's feature column.
+    pub feature: &'static str,
+    /// The instrument column.
+    pub instrument: &'static str,
+    /// The key quantitative finding of the reproduction.
+    pub finding: String,
+    /// Whether the paper's qualitative claim held in the reproduction.
+    pub claim_holds: bool,
+}
+
+/// Runs every row of Table 5. Each row re-derives the study's key claim
+/// from a simulation or generated ecosystem.
+pub fn table5(seed: u64) -> Vec<Table5Row> {
+    let mut rows = Vec::new();
+
+    // [61] ('05) Aliased media — Analytics.
+    let eco = Ecosystem::generate(EcosystemConfig::default(), seed);
+    let alias = alias_analysis(&eco);
+    rows.push(Table5Row {
+        study: "[61] ('05)",
+        feature: "Aliased media",
+        instrument: "Analytics",
+        finding: format!(
+            "{} aliased contents, {:.1} formats each, catalog inflated {:.2}x",
+            alias.aliased_contents, alias.mean_aliases, alias.inflation
+        ),
+        claim_holds: alias.aliased_contents > 0 && alias.inflation > 1.1,
+    });
+
+    // [62] ('06) Ecosystem-Internet — MultiProbe: upload/download
+    // asymmetry limits standalone downloads.
+    let asym = Bandwidth::adsl(64e3, 8.0);
+    let joins: Vec<f64> = (0..30).map(|i| i as f64 * 20.0).collect();
+    let adsl_run = run_swarm(
+        SwarmConfig {
+            file_size: 50e6,
+            bandwidth: asym,
+            ..SwarmConfig::default()
+        },
+        &joins,
+        400_000.0,
+        seed,
+    );
+    let sym_run = run_swarm(
+        SwarmConfig {
+            file_size: 50e6,
+            bandwidth: Bandwidth::symmetric(64e3 * 4.5), // same total capacity
+            ..SwarmConfig::default()
+        },
+        &joins,
+        400_000.0,
+        seed,
+    );
+    rows.push(Table5Row {
+        study: "[62] ('06)",
+        feature: "Ecosystem-Internet",
+        instrument: "MultiProbe",
+        finding: format!(
+            "ADSL swarm mean download {:.0}s vs symmetric {:.0}s",
+            adsl_run.mean_download_time(),
+            sym_run.mean_download_time()
+        ),
+        claim_holds: adsl_run.mean_download_time() > sym_run.mean_download_time(),
+    });
+
+    // [63] ('10) Global ecosystem — BTWorld: giant swarms + spam trackers.
+    let giants = eco.giant_swarms(3);
+    let spam = detect_spam_trackers(&eco, 0.1);
+    rows.push(Table5Row {
+        study: "[63] ('10)",
+        feature: "Global ecosystem",
+        instrument: "BTWorld",
+        finding: format!(
+            "largest swarm {} peers; {} spam trackers flagged",
+            giants[0],
+            spam.len()
+        ),
+        claim_holds: giants[0] > 50_000 && !spam.is_empty(),
+    });
+
+    // [64] ('10) P2P Trace Archive — covered by atlarge-workload's FAIR
+    // trace format; checked structurally here.
+    rows.push(Table5Row {
+        study: "[64] ('10)",
+        feature: "P2P Trace Archive",
+        instrument: "Analytics",
+        finding: "FOAD trace format round-trips with FAIR metadata".to_string(),
+        claim_holds: {
+            use atlarge_workload::job::{Job, JobId, Task};
+            use atlarge_workload::trace::{JobTrace, TraceMeta};
+            let t = JobTrace::new(
+                TraceMeta {
+                    name: "p2pta".into(),
+                    source: "swarm-sim".into(),
+                    license: "CC-BY-4.0".into(),
+                    description: "table5 check".into(),
+                },
+                vec![Job::new(JobId(1), 0.0, vec![Task::new(1.0, 1)])],
+            );
+            JobTrace::from_archive_string(&t.to_archive_string()).as_ref() == Ok(&t)
+        },
+    });
+
+    // [65] ('10) Bias — instrument coverage vs estimation error.
+    let truth = GroundTruth::generate(5_000, 40, seed);
+    let ablation = coverage_ablation(&truth, seed);
+    let wide = Instrument::wide().bias(&truth, seed);
+    let narrow = Instrument::narrow().bias(&truth, seed);
+    rows.push(Table5Row {
+        study: "[65] ('10)",
+        feature: "Bias",
+        instrument: "Analytics",
+        finding: format!(
+            "bias at 10% coverage {:.3} vs 95% {:.3}; wide {:.3} narrow {:.3}",
+            ablation.first().expect("rows").1,
+            ablation.last().expect("rows").1,
+            wide,
+            narrow
+        ),
+        claim_holds: ablation.first().expect("rows").1 > ablation.last().expect("rows").1,
+    });
+
+    // [66] ('11) Flashcrowds — detection + negative phenomena.
+    let fc = flashcrowd::study(seed);
+    rows.push(Table5Row {
+        study: "[66] ('11)",
+        feature: "Flashcrowds",
+        instrument: "Analytics",
+        finding: format!(
+            "{} windows detected; download-time inflation {:.2}x",
+            fc.detected.len(),
+            fc.inflation()
+        ),
+        claim_holds: !fc.detected.is_empty() && fc.inflation() > 1.2,
+    });
+
+    // [67] ('13) + [38] ('14) Vicissitude — big-data pipeline bottlenecks.
+    let pipeline = run_pipeline(500, seed);
+    let score = vicissitude_score(&pipeline);
+    rows.push(Table5Row {
+        study: "[38] ('14)",
+        feature: "Vicissitude",
+        instrument: "BTWorld",
+        finding: format!(
+            "bottleneck entropy {:.2}; {} shifts over 500 chunks",
+            score,
+            bottleneck_shifts(&pipeline)
+        ),
+        claim_holds: score > 0.4,
+    });
+
+    // [68] ('06) 2fast — collaborative downloads beat standalone.
+    let curve = speedup_curve(64e3, 8.0, 8);
+    let s4 = curve[4].1;
+    rows.push(Table5Row {
+        study: "[68] ('06)",
+        feature: "Collaborative",
+        instrument: "2fast",
+        finding: format!("speedup with 4 helpers: {s4:.2}x"),
+        claim_holds: s4 > 2.0,
+    });
+
+    // [69] ('07) Tribler/social — the group mechanism generalizes: bigger
+    // social groups help until the download link saturates.
+    let big = curve.last().expect("curve").1;
+    rows.push(Table5Row {
+        study: "[69] ('07)",
+        feature: "Social",
+        instrument: "Tribler",
+        finding: format!("speedup saturates at {big:.2}x (download-link cap)"),
+        claim_holds: big >= s4 && big <= 8.5,
+    });
+
+    rows
+}
+
+/// Renders Table 5 as text.
+pub fn render_table5(rows: &[Table5Row]) -> String {
+    let mut out = format!(
+        "{:<12}{:<22}{:<12}{:<6} {}\n",
+        "Study", "Feature", "Instrument", "OK", "Finding"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12}{:<22}{:<12}{:<6} {}\n",
+            r.study,
+            r.feature,
+            r.instrument,
+            if r.claim_holds { "yes" } else { "NO" },
+            r.finding
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_table5_claim_holds() {
+        for row in table5(11) {
+            assert!(
+                row.claim_holds,
+                "{} {}: claim failed — {}",
+                row.study, row.feature, row.finding
+            );
+        }
+    }
+
+    #[test]
+    fn table_has_all_study_rows() {
+        let rows = table5(11);
+        assert_eq!(rows.len(), 9);
+        let s = render_table5(&rows);
+        for tag in ["[61]", "[62]", "[63]", "[64]", "[65]", "[66]", "[38]", "[68]", "[69]"] {
+            assert!(s.contains(tag), "missing {tag}");
+        }
+    }
+}

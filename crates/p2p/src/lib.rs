@@ -1,0 +1,35 @@
+//! `atlarge-p2p` — the peer-to-peer ecosystem reproduction (§6.1,
+//! Table 5).
+//!
+//! The paper's P2P decade produced a chain of co-evolving
+//! problem-solutions: longitudinal measurements of the BitTorrent
+//! ecosystem (aliased media, upload/download asymmetry, giant swarms and
+//! spam trackers), methodological work on measurement bias, the discovery
+//! of flashcrowd phenomena and of *vicissitude* in big-data analytics, and
+//! finally new systems — the 2fast collaborative-download protocol that
+//! exploits the asymmetric-bandwidth finding. Every Table 5 row has a
+//! computational counterpart here:
+//!
+//! - [`swarm`] — a BitTorrent swarm simulator with tit-for-tat bandwidth
+//!   allocation, seeds/leechers, and ADSL-asymmetric access links.
+//! - [`twofast`] — 2fast collaborative downloads: helpers donate upload
+//!   capacity to a collector without demanding immediate reciprocation.
+//! - [`flashcrowd`] — flashcrowd injection, detection, and the negative
+//!   phenomena that appear only during flashcrowds (\[66\]).
+//! - [`measurement`] — measurement instruments with explicit sampling
+//!   bias, quantified against ground truth (\[65\]).
+//! - [`ecosystem`] — the global multi-swarm ecosystem: Zipf popularity,
+//!   giant swarms, spam trackers, aliased media (\[61\], \[63\]).
+//! - [`vicissitude`] — the shifting-bottleneck phenomenon in a staged
+//!   analytics pipeline (\[38\], \[67\]).
+//! - [`experiments`] — the Table 5 row-by-row reproduction.
+
+pub mod ecosystem;
+pub mod experiments;
+pub mod flashcrowd;
+pub mod measurement;
+pub mod swarm;
+pub mod twofast;
+pub mod vicissitude;
+
+pub use swarm::{SwarmConfig, SwarmResult};

@@ -1,0 +1,197 @@
+//! Vicissitude: shifting bottlenecks in big-data workflows (\[38\], \[67\]).
+//!
+//! While analyzing the full BTWorld dataset with a MapReduce pipeline, the
+//! team discovered *vicissitude*: "a class of phenomena where several
+//! known bottlenecks appear seemingly at random in various parts of the
+//! system". This module models a staged analytics pipeline whose
+//! per-chunk stage costs depend on data properties (skew, size, overlap);
+//! as chunks stream through, the bottleneck stage shifts. The analysis
+//! detects the shifts and scores how "vicissitudinous" a run is by the
+//! entropy of its bottleneck distribution.
+
+use atlarge_stats::dist::{LogNormal, Sample};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The stages of the BTWorld-like analytics pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Parse raw samples.
+    Ingest,
+    /// Shuffle by key (tracker/swarm).
+    Shuffle,
+    /// Aggregate per key.
+    Aggregate,
+    /// Join across time windows.
+    Join,
+    /// Write results.
+    Output,
+}
+
+impl Stage {
+    /// All stages in pipeline order.
+    pub fn all() -> [Stage; 5] {
+        [
+            Stage::Ingest,
+            Stage::Shuffle,
+            Stage::Aggregate,
+            Stage::Join,
+            Stage::Output,
+        ]
+    }
+}
+
+/// Per-chunk data properties driving stage costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChunkProfile {
+    /// Raw size multiplier.
+    pub size: f64,
+    /// Key skew (hot trackers) — hits shuffle and aggregate.
+    pub skew: f64,
+    /// Cross-window overlap — hits the join.
+    pub overlap: f64,
+}
+
+/// One processed chunk: per-stage times and the bottleneck.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkResult {
+    /// Time spent per stage, aligned with [`Stage::all`].
+    pub stage_times: [f64; 5],
+    /// The slowest stage.
+    pub bottleneck: Stage,
+}
+
+/// Processes `chunks` data chunks with seeded random data properties and
+/// returns per-chunk results.
+pub fn run_pipeline(chunks: usize, seed: u64) -> Vec<ChunkResult> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let size_d = LogNormal::with_mean_cv(1.0, 0.6);
+    let skew_d = LogNormal::with_mean_cv(1.0, 1.2);
+    let overlap_d = LogNormal::with_mean_cv(1.0, 1.5);
+    (0..chunks)
+        .map(|_| {
+            let p = ChunkProfile {
+                size: size_d.sample(&mut rng),
+                skew: skew_d.sample(&mut rng),
+                overlap: overlap_d.sample(&mut rng),
+            };
+            process_chunk(&p)
+        })
+        .collect()
+}
+
+/// Deterministic stage-cost model for one chunk.
+pub fn process_chunk(p: &ChunkProfile) -> ChunkResult {
+    let stage_times = [
+        10.0 * p.size,                       // ingest scales with size
+        6.0 * p.size * p.skew,               // shuffle suffers under skew
+        4.0 * p.size * p.skew.sqrt(),        // aggregate, milder skew effect
+        5.0 * p.size * p.overlap,            // join scales with overlap
+        2.0 * p.size,                        // output
+    ];
+    let (bi, _) = stage_times
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
+        .expect("five stages");
+    ChunkResult {
+        stage_times,
+        bottleneck: Stage::all()[bi],
+    }
+}
+
+/// The vicissitude score: normalized entropy of the bottleneck
+/// distribution across chunks (0 = one fixed bottleneck, 1 = uniform
+/// shifting).
+pub fn vicissitude_score(results: &[ChunkResult]) -> f64 {
+    if results.is_empty() {
+        return 0.0;
+    }
+    let mut counts = [0usize; 5];
+    for r in results {
+        let idx = Stage::all()
+            .iter()
+            .position(|&s| s == r.bottleneck)
+            .expect("stage known");
+        counts[idx] += 1;
+    }
+    let n = results.len() as f64;
+    let entropy: f64 = counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum();
+    entropy / (5f64).log2()
+}
+
+/// Number of bottleneck *shifts*: adjacent chunks whose bottleneck
+/// differs.
+pub fn bottleneck_shifts(results: &[ChunkResult]) -> usize {
+    results
+        .windows(2)
+        .filter(|w| w[0].bottleneck != w[1].bottleneck)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_chunks_have_fixed_bottleneck() {
+        let p = ChunkProfile {
+            size: 1.0,
+            skew: 1.0,
+            overlap: 1.0,
+        };
+        let results: Vec<ChunkResult> = (0..50).map(|_| process_chunk(&p)).collect();
+        assert_eq!(vicissitude_score(&results), 0.0);
+        assert_eq!(bottleneck_shifts(&results), 0);
+        assert_eq!(results[0].bottleneck, Stage::Ingest);
+    }
+
+    #[test]
+    fn skew_moves_the_bottleneck_to_shuffle() {
+        let p = ChunkProfile {
+            size: 1.0,
+            skew: 5.0,
+            overlap: 1.0,
+        };
+        assert_eq!(process_chunk(&p).bottleneck, Stage::Shuffle);
+    }
+
+    #[test]
+    fn overlap_moves_the_bottleneck_to_join() {
+        let p = ChunkProfile {
+            size: 1.0,
+            skew: 1.0,
+            overlap: 4.0,
+        };
+        assert_eq!(process_chunk(&p).bottleneck, Stage::Join);
+    }
+
+    #[test]
+    fn realistic_runs_exhibit_vicissitude() {
+        // The [38] phenomenon: bottlenecks appear "seemingly at random in
+        // various parts of the system".
+        let results = run_pipeline(500, 9);
+        let score = vicissitude_score(&results);
+        assert!(score > 0.4, "vicissitude score {score}");
+        assert!(bottleneck_shifts(&results) > 100);
+        // At least three distinct stages bottleneck at some point.
+        let distinct: std::collections::BTreeSet<Stage> =
+            results.iter().map(|r| r.bottleneck).collect();
+        assert!(distinct.len() >= 3, "distinct bottlenecks {distinct:?}");
+    }
+
+    #[test]
+    fn score_is_bounded() {
+        let results = run_pipeline(100, 3);
+        let s = vicissitude_score(&results);
+        assert!((0.0..=1.0).contains(&s));
+        assert_eq!(vicissitude_score(&[]), 0.0);
+    }
+}

@@ -1,0 +1,524 @@
+//! The Table 9 reproduction: portfolio scheduling across workloads and
+//! environments.
+//!
+//! Table 9 lists seven studies, each pairing a workload family with an
+//! environment, each concluding "PS is useful" — except the big-data study
+//! \[120\], which found the portfolio "useful, but" can select sub-optimally
+//! "when the performance of the policy is difficult to predict". The
+//! experiment here sweeps the same matrix: every single policy and the
+//! portfolio run on every row, with per-mix runtime-estimate error
+//! modelling predictability (big data gets the heaviest error).
+
+use crate::policy::Policy;
+use crate::portfolio::PortfolioScheduler;
+use crate::simulator::{
+    simulate, simulate_with_chooser, simulate_with_failures, FailureEvent, FixedChooser,
+    SimConfig, SimMetrics,
+};
+use atlarge_datacenter::environment::Environment;
+use atlarge_workload::mixes::Mix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How big to run the experiment (tests use `Quick`, benches `Full`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small workloads for unit tests.
+    Quick,
+    /// Paper-scale workloads for the benchmark harness.
+    Full,
+}
+
+impl Scale {
+    fn horizon(&self) -> f64 {
+        match self {
+            Scale::Quick => 8_000.0,
+            Scale::Full => 40_000.0,
+        }
+    }
+
+    /// Target long-run utilization of the environment. High enough that
+    /// queues form and policies differentiate; below saturation so runs
+    /// terminate.
+    fn target_load(&self) -> f64 {
+        match self {
+            Scale::Quick => 0.85,
+            Scale::Full => 0.9,
+        }
+    }
+}
+
+/// Expected core-seconds of work per job of a mix (mean tasks × mean
+/// runtime × cores), used to hit the target utilization on any
+/// environment.
+fn mean_work_per_job(mix: Mix) -> f64 {
+    match mix {
+        Mix::Synthetic => 5.0 * 100.0,
+        Mix::Scientific => 20.0 * 400.0,
+        Mix::SciGaming => 12.0 * 150.0,
+        Mix::ComputerEngineering => 30.0 * 30.0,
+        Mix::BusinessCritical => 2.0 * 3_600.0 * 2.0,
+        Mix::Industrial => 4.0 * 60.0,
+        Mix::BigData => 60.0 * 200.0,
+    }
+}
+
+/// Arrival-rate scale (jobs per 1000 s) that loads `env` to the target
+/// utilization under `mix`.
+fn rate_scale(mix: Mix, env: Environment, scale: Scale) -> f64 {
+    let cores: u32 = env.total_cores();
+    1_000.0 * scale.target_load() * f64::from(cores) / mean_work_per_job(mix)
+}
+
+/// Runtime-estimate error per workload family: how predictable runtimes
+/// are. Big data is the hardest to predict (\[120\]); synthetic the easiest.
+pub fn estimate_sigma(mix: Mix) -> f64 {
+    match mix {
+        Mix::Synthetic => 0.05,
+        Mix::Scientific => 0.5,
+        Mix::SciGaming => 0.4,
+        Mix::ComputerEngineering => 0.3,
+        Mix::BusinessCritical => 0.2,
+        Mix::Industrial => 0.3,
+        Mix::BigData => 1.6,
+    }
+}
+
+/// One row of the reproduced Table 9.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table9Row {
+    /// The study's citation tag and year, for the printed table.
+    pub study: &'static str,
+    /// Workload family.
+    pub mix: Mix,
+    /// Environment.
+    pub env: Environment,
+    /// Portfolio metrics.
+    pub portfolio: SimMetrics,
+    /// `(policy, metrics)` for every single policy.
+    pub singles: Vec<(Policy, SimMetrics)>,
+}
+
+impl Table9Row {
+    /// The single policy with the lowest mean bounded slowdown.
+    pub fn best_single_slowdown(&self) -> (Policy, f64) {
+        self.singles
+            .iter()
+            .map(|(p, m)| (*p, m.mean_bounded_slowdown))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("non-empty singles")
+    }
+
+    /// The single policy with the lowest makespan.
+    pub fn best_single_makespan(&self) -> (Policy, f64) {
+        self.singles
+            .iter()
+            .map(|(p, m)| (*p, m.makespan))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("non-empty singles")
+    }
+
+    /// The single policy with the highest mean bounded slowdown.
+    pub fn worst_single_slowdown(&self) -> (Policy, f64) {
+        self.singles
+            .iter()
+            .map(|(p, m)| (*p, m.mean_bounded_slowdown))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("non-empty singles")
+    }
+
+    /// Portfolio slowdown relative to the best single policy (1.0 =
+    /// matched the oracle-best; the paper's "useful" verdict).
+    pub fn portfolio_gap(&self) -> f64 {
+        self.portfolio.mean_bounded_slowdown / self.best_single_slowdown().1.max(1e-9)
+    }
+
+    /// The paper's verdict string for this row.
+    pub fn finding(&self) -> &'static str {
+        if self.portfolio_gap() <= 1.25 {
+            "useful"
+        } else {
+            "useful, but"
+        }
+    }
+}
+
+/// The seven rows of Table 9: `(study tag, workload, environment)`.
+pub fn table9_matrix() -> Vec<(&'static str, Mix, Environment)> {
+    vec![
+        ("[114] ('13)", Mix::Synthetic, Environment::OwnCluster),
+        ("[115] ('13)", Mix::Scientific, Environment::GridPlusCloud),
+        ("[116] ('13)", Mix::SciGaming, Environment::OwnCluster),
+        ("[117] ('13)", Mix::ComputerEngineering, Environment::GeoDistributed),
+        ("[118] ('15)", Mix::BusinessCritical, Environment::MultiCluster),
+        ("[119] ('17)", Mix::Industrial, Environment::PublicCloud),
+        ("[120] ('18)", Mix::BigData, Environment::OwnCluster),
+    ]
+}
+
+fn pool_cores(env: Environment) -> Vec<u32> {
+    env.build().iter().map(|c| c.total_cores()).collect()
+}
+
+/// Runs one row of the matrix.
+pub fn run_row(
+    study: &'static str,
+    mix: Mix,
+    env: Environment,
+    scale: Scale,
+    seed: u64,
+) -> Table9Row {
+    run_row_with_sigma(study, mix, env, scale, seed, estimate_sigma(mix))
+}
+
+/// Runs one row with an explicit runtime-estimate error (the
+/// prediction-sensitivity ablation's knob).
+pub fn run_row_with_sigma(
+    study: &'static str,
+    mix: Mix,
+    env: Environment,
+    scale: Scale,
+    seed: u64,
+    sigma: f64,
+) -> Table9Row {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let jobs = mix.generate(&mut rng, scale.horizon(), rate_scale(mix, env, scale));
+    let pools = pool_cores(env);
+    let config = SimConfig {
+        estimate_sigma: sigma,
+        seed,
+    };
+    let singles: Vec<(Policy, SimMetrics)> = Policy::all()
+        .into_iter()
+        .map(|p| (p, simulate(&jobs, &pools, p, &config)))
+        .collect();
+    let portfolio = simulate_with_chooser(
+        &jobs,
+        &pools,
+        PortfolioScheduler::new(Policy::all().to_vec(), 3, 300.0),
+        &config,
+    );
+    Table9Row {
+        study,
+        mix,
+        env,
+        portfolio,
+        singles,
+    }
+}
+
+/// Runs the full Table 9 matrix.
+pub fn table9(scale: Scale, seed: u64) -> Vec<Table9Row> {
+    table9_matrix()
+        .into_iter()
+        .map(|(study, mix, env)| run_row(study, mix, env, scale, seed))
+        .collect()
+}
+
+/// Renders the reproduced table as text, in the paper's column layout.
+pub fn render_table9(rows: &[Table9Row]) -> String {
+    let mut out = format!(
+        "{:<14}{:<9}{:<6}{:>12}{:>12}{:>8}  {}\n",
+        "Study", "W", "Env", "PS slowdn", "best 1-pol", "gap", "Finding: PS is"
+    );
+    for r in rows {
+        let (bp, bs) = r.best_single_slowdown();
+        out.push_str(&format!(
+            "{:<14}{:<9}{:<6}{:>12.2}{:>9.2}({}){:>8.2}  {}\n",
+            r.study,
+            r.mix.abbrev(),
+            r.env.abbrev(),
+            r.portfolio.mean_bounded_slowdown,
+            bs,
+            bp.name(),
+            r.portfolio_gap(),
+            r.finding()
+        ));
+    }
+    out
+}
+
+/// The \[120\] mechanism isolated: the same big-data workload with
+/// increasingly wrong runtime estimates. Returns `(sigma, degradation)`
+/// rows, where degradation is the portfolio's mean bounded slowdown
+/// normalized by its own perfect-estimate (sigma = 0) value, averaged
+/// over seeds. Degradation above 1 means the portfolio — which selects
+/// policies by *simulating on the estimates* — is making sub-optimal
+/// selections.
+pub fn prediction_sensitivity(scale: Scale, seeds: &[u64]) -> Vec<(f64, f64)> {
+    let baselines: Vec<f64> = seeds
+        .iter()
+        .map(|&seed| {
+            run_row_with_sigma("[120]", Mix::BigData, Environment::OwnCluster, scale, seed, 0.0)
+                .portfolio
+                .mean_bounded_slowdown
+        })
+        .collect();
+    [0.0, 0.8, 1.6, 2.4]
+        .iter()
+        .map(|&sigma| {
+            let mean = seeds
+                .iter()
+                .zip(&baselines)
+                .map(|(&seed, &base)| {
+                    run_row_with_sigma(
+                        "[120]",
+                        Mix::BigData,
+                        Environment::OwnCluster,
+                        scale,
+                        seed,
+                        sigma,
+                    )
+                    .portfolio
+                    .mean_bounded_slowdown
+                        / base.max(1e-9)
+                })
+                .sum::<f64>()
+                / seeds.len().max(1) as f64;
+            (sigma, mean)
+        })
+        .collect()
+}
+
+/// Generates Weibull machine failures for every pool over the horizon:
+/// shape > 1 models wear-out, as the datacenter dependability literature
+/// assumes. Each failure takes a fixed share of the pool's cores down for
+/// an exponential repair time.
+pub fn generate_failures(
+    pool_cores: &[u32],
+    horizon: f64,
+    mean_time_between_failures: f64,
+    mean_repair: f64,
+    seed: u64,
+) -> Vec<FailureEvent> {
+    use atlarge_stats::dist::{Exponential, Sample, Weibull};
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Weibull with shape 1.5 and matching mean: scale = mean / Γ(1+1/k).
+    // Γ(1 + 2/3) ≈ 0.9027.
+    let scale = mean_time_between_failures / 0.9027;
+    let tbf = Weibull::new(scale, 1.5);
+    let repair = Exponential::with_mean(mean_repair);
+    let mut out = Vec::new();
+    for (pool, &cores) in pool_cores.iter().enumerate() {
+        let mut t = 0.0;
+        loop {
+            t += tbf.sample(&mut rng);
+            if t >= horizon {
+                break;
+            }
+            out.push(FailureEvent {
+                time: t,
+                pool,
+                cores: (cores / 2).max(1),
+                duration: repair.sample(&mut rng).max(1.0),
+            });
+        }
+    }
+    out.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite times"));
+    out
+}
+
+/// Runs one Table-9 row under injected machine failures; returns
+/// `(healthy metrics, failing metrics, failures injected)`.
+pub fn row_under_failures(
+    mix: Mix,
+    env: Environment,
+    scale: Scale,
+    seed: u64,
+) -> (SimMetrics, SimMetrics, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let jobs = mix.generate(&mut rng, scale.horizon(), rate_scale(mix, env, scale));
+    let pools = pool_cores(env);
+    let config = SimConfig {
+        estimate_sigma: estimate_sigma(mix),
+        seed,
+    };
+    let failures =
+        generate_failures(&pools, scale.horizon(), scale.horizon() / 6.0, 600.0, seed);
+    let healthy = simulate(&jobs, &pools, Policy::EasyBackfilling, &config);
+    let failing = simulate_with_failures(
+        &jobs,
+        &pools,
+        FixedChooser(Policy::EasyBackfilling),
+        &config,
+        &failures,
+    );
+    (healthy, failing, failures.len())
+}
+
+/// The ablation behind §6.6's online-feasibility question: lookahead cost
+/// and decision quality as the active-set size grows. Returns
+/// `(active_set_size, lookahead_events, mean_bounded_slowdown)` rows.
+pub fn active_set_ablation(scale: Scale, seed: u64) -> Vec<(usize, u64, f64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let jobs = Mix::Scientific.generate(
+        &mut rng,
+        scale.horizon(),
+        rate_scale(Mix::Scientific, Environment::OwnCluster, scale),
+    );
+    let pools = pool_cores(Environment::OwnCluster);
+    let config = SimConfig {
+        estimate_sigma: estimate_sigma(Mix::Scientific),
+        seed,
+    };
+    (1..=Policy::all().len())
+        .map(|k| {
+            let m = simulate_with_chooser(
+                &jobs,
+                &pools,
+                PortfolioScheduler::new(Policy::all().to_vec(), k, 300.0).explore_every(50),
+                &config,
+            );
+            (k, m.lookahead_events, m.mean_bounded_slowdown)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Table9Row> {
+        table9(Scale::Quick, 7)
+    }
+
+    #[test]
+    fn all_rows_complete_all_jobs() {
+        for r in rows() {
+            assert!(r.portfolio.jobs_completed > 0, "{}: no jobs", r.study);
+            for (p, m) in &r.singles {
+                assert_eq!(
+                    m.jobs_completed, r.portfolio.jobs_completed,
+                    "{}: {p} completed different job count",
+                    r.study
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn portfolio_is_useful_on_predictable_workloads() {
+        // The paper's repeated finding: "PS is useful" for the
+        // non-big-data rows.
+        for r in rows() {
+            if r.mix != Mix::BigData {
+                assert!(
+                    r.portfolio_gap() < 2.0,
+                    "{}: portfolio gap {} too large",
+                    r.study,
+                    r.portfolio_gap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_single_policy_wins_everywhere() {
+        // The founding observation of §6.6: across workloads and metrics,
+        // no individual policy is consistently the best.
+        let rows = rows();
+        let mut slowdown_winners: std::collections::BTreeSet<&str> =
+            Default::default();
+        let mut makespan_winners: std::collections::BTreeSet<&str> = Default::default();
+        for r in &rows {
+            slowdown_winners.insert(r.best_single_slowdown().0.name());
+            makespan_winners.insert(r.best_single_makespan().0.name());
+        }
+        let distinct: std::collections::BTreeSet<&str> = slowdown_winners
+            .union(&makespan_winners)
+            .copied()
+            .collect();
+        assert!(
+            distinct.len() >= 2,
+            "a single policy won every row on every metric: {distinct:?}"
+        );
+    }
+
+    #[test]
+    fn portfolio_beats_worst_policy() {
+        for r in rows() {
+            let (wp, ws) = r.worst_single_slowdown();
+            assert!(
+                r.portfolio.mean_bounded_slowdown <= ws * 1.05,
+                "{}: portfolio {} worse than worst single {wp} {ws}",
+                r.study,
+                r.portfolio.mean_bounded_slowdown
+            );
+        }
+    }
+
+    #[test]
+    fn portfolio_pays_lookahead_cost() {
+        for r in rows() {
+            assert!(r.portfolio.lookahead_events > 0);
+            assert!(r.portfolio.decisions > 0);
+            for (_, m) in &r.singles {
+                assert_eq!(m.lookahead_events, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn active_set_ablation_cost_grows_with_k() {
+        let rows = active_set_ablation(Scale::Quick, 11);
+        assert_eq!(rows.len(), Policy::all().len());
+        let first = rows.first().unwrap().1;
+        let last = rows.last().unwrap().1;
+        assert!(
+            last > first,
+            "full portfolio should cost more lookahead than active set 1: {first} vs {last}"
+        );
+    }
+
+    #[test]
+    fn table_renders_every_row() {
+        let rows = rows();
+        let s = render_table9(&rows);
+        for r in &rows {
+            assert!(s.contains(r.study));
+        }
+        assert!(s.contains("useful"));
+    }
+
+    #[test]
+    fn failures_degrade_but_do_not_break_the_row() {
+        let (healthy, failing, injected) =
+            row_under_failures(Mix::Synthetic, Environment::OwnCluster, Scale::Quick, 3);
+        assert!(injected > 0, "the horizon should see failures");
+        assert_eq!(
+            healthy.jobs_completed, failing.jobs_completed,
+            "failures must not lose jobs"
+        );
+        assert!(failing.tasks_restarted > 0);
+        assert!(
+            failing.mean_bounded_slowdown >= healthy.mean_bounded_slowdown,
+            "failures should not speed jobs up: {} vs {}",
+            failing.mean_bounded_slowdown,
+            healthy.mean_bounded_slowdown
+        );
+    }
+
+    #[test]
+    fn bad_predictions_widen_the_portfolio_gap() {
+        // The [120] caveat: selections degrade when runtimes are hard to
+        // predict.
+        let rows = prediction_sensitivity(Scale::Quick, &[5, 9]);
+        assert_eq!(rows.len(), 4);
+        let perfect = rows[0].1;
+        let worst = rows.last().unwrap().1;
+        assert!((perfect - 1.0).abs() < 1e-9, "baseline normalizes to 1");
+        assert!(
+            worst > 1.1,
+            "selections should degrade measurably with bad estimates: {worst}"
+        );
+    }
+
+    #[test]
+    fn matrix_matches_paper_rows() {
+        let m = table9_matrix();
+        assert_eq!(m.len(), 7);
+        assert_eq!(m[0].1, Mix::Synthetic);
+        assert_eq!(m[6].1, Mix::BigData);
+        assert_eq!(m[4].2, Environment::MultiCluster);
+    }
+}

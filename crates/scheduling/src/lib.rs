@@ -1,0 +1,47 @@
+//! `atlarge-scheduling` — datacenter scheduling and the portfolio
+//! scheduler (§6.6, Table 9).
+//!
+//! The paper's portfolio-scheduling line started from a finding: "no
+//! individual technique or policy was consistently better than all
+//! others". The answer — select the policy online, based on current system
+//! state, by *simulating the portfolio* — brought its own problem: the
+//! simulation cost grows with the number of policies, threatening online
+//! operation, which the active-set mechanism of \[115\] addresses.
+//!
+//! This crate reproduces that arc:
+//!
+//! - [`policy`] — the individual scheduling policies (FCFS, SJF, LJF,
+//!   widest/narrowest-first, random, EASY backfilling).
+//! - [`simulator`] — an event-driven multi-cluster scheduling simulator
+//!   with per-job response-time and bounded-slowdown metrics.
+//! - [`portfolio`] — the portfolio scheduler: online simulation of
+//!   candidate policies over the current queue (with imperfect runtime
+//!   estimates), active-set limitation, and decision-cost accounting.
+//! - [`experiments`] — the Table 9 reproduction: portfolio vs every single
+//!   policy across the workload × environment matrix, including the \[120\]
+//!   finding that hard-to-predict big-data runtimes degrade portfolio
+//!   selections.
+//!
+//! # Examples
+//!
+//! ```
+//! use atlarge_scheduling::policy::Policy;
+//! use atlarge_scheduling::simulator::{simulate, SimConfig};
+//! use atlarge_workload::mixes::Mix;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let jobs = Mix::Synthetic.generate(&mut rng, 20_000.0, 10.0);
+//! let m = simulate(&jobs, &[64], Policy::Sjf, &SimConfig::default());
+//! assert!(m.mean_response > 0.0);
+//! ```
+
+pub mod experiments;
+pub mod policy;
+pub mod portfolio;
+pub mod simulator;
+
+pub use policy::Policy;
+pub use portfolio::PortfolioScheduler;
+pub use simulator::{simulate, SimConfig, SimMetrics};

@@ -1,0 +1,338 @@
+//! The portfolio scheduler (§6.6).
+//!
+//! At each reflection point the portfolio simulates candidate policies
+//! over the current queue snapshot — using the scheduler's (imperfect)
+//! runtime estimates — and commits to the predicted-best policy until the
+//! next reflection. Two of the paper's findings are mechanical here:
+//!
+//! - *Online cost*: the lookahead cost grows with the number of policies
+//!   simulated (\[114\]'s problem), counted in `lookahead_events`; the
+//!   *active set* of \[115\] caps the candidates per reflection, trading
+//!   decision quality for online feasibility.
+//! - *Prediction sensitivity*: selections are made on estimates, so
+//!   workloads with hard-to-predict runtimes (big data, \[120\]) can make
+//!   the portfolio choose sub-optimally.
+
+use crate::policy::{Policy, QueuedTask};
+use crate::simulator::{Chooser, RunningTask};
+use std::collections::BTreeMap;
+
+/// The portfolio scheduler: an online policy selector.
+///
+/// # Examples
+///
+/// ```
+/// use atlarge_scheduling::portfolio::PortfolioScheduler;
+/// use atlarge_scheduling::policy::Policy;
+///
+/// let p = PortfolioScheduler::new(Policy::all().to_vec(), 3, 500.0);
+/// assert_eq!(p.active_set_size(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PortfolioScheduler {
+    policies: Vec<Policy>,
+    active_set_size: usize,
+    reflection_interval: f64,
+    explore_every: u64,
+    last_reflection: f64,
+    reflections: u64,
+    current: Policy,
+    /// EWMA of predicted mean slowdown per policy (lower is better).
+    scores: BTreeMap<&'static str, f64>,
+    lookahead_events: u64,
+    decisions: u64,
+}
+
+impl PortfolioScheduler {
+    /// Creates a portfolio over `policies`, simulating at most
+    /// `active_set_size` candidates per reflection, reflecting every
+    /// `reflection_interval` simulated seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policies` is empty, `active_set_size == 0`, or the
+    /// interval is not positive.
+    pub fn new(policies: Vec<Policy>, active_set_size: usize, reflection_interval: f64) -> Self {
+        assert!(!policies.is_empty(), "portfolio needs policies");
+        assert!(active_set_size > 0, "active set must be non-empty");
+        assert!(reflection_interval > 0.0, "interval must be positive");
+        let current = policies[0];
+        PortfolioScheduler {
+            policies,
+            active_set_size,
+            reflection_interval,
+            explore_every: 5,
+            last_reflection: f64::NEG_INFINITY,
+            reflections: 0,
+            current,
+            scores: BTreeMap::new(),
+            lookahead_events: 0,
+            decisions: 0,
+        }
+    }
+
+    /// The configured active-set size.
+    pub fn active_set_size(&self) -> usize {
+        self.active_set_size
+    }
+
+    /// How often (in reflections) the full portfolio is re-explored
+    /// instead of only the active set (default 5).
+    pub fn explore_every(mut self, n: u64) -> Self {
+        assert!(n > 0, "exploration period must be positive");
+        self.explore_every = n;
+        self
+    }
+
+    /// The policy currently committed to.
+    pub fn current(&self) -> Policy {
+        self.current
+    }
+
+    fn candidates(&self) -> Vec<Policy> {
+        if self.reflections % self.explore_every == 0 || self.scores.len() < self.policies.len()
+        {
+            // Exploration round: simulate the whole portfolio.
+            self.policies.clone()
+        } else {
+            // Exploitation round: only the active set (best-scored k).
+            let mut scored: Vec<(Policy, f64)> = self
+                .policies
+                .iter()
+                .map(|&p| (p, self.scores.get(p.name()).copied().unwrap_or(f64::MAX)))
+                .collect();
+            scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"));
+            scored
+                .into_iter()
+                .take(self.active_set_size)
+                .map(|(p, _)| p)
+                .collect()
+        }
+    }
+}
+
+impl Chooser for PortfolioScheduler {
+    fn choose(
+        &mut self,
+        now: f64,
+        queue: &[QueuedTask],
+        free_cores: u32,
+        running: &[RunningTask],
+    ) -> Policy {
+        if now - self.last_reflection < self.reflection_interval {
+            return self.current;
+        }
+        self.last_reflection = now;
+        self.reflections += 1;
+        let mut best = self.current;
+        let mut best_score = f64::INFINITY;
+        for p in self.candidates() {
+            let (score, events) = lookahead(p, queue, free_cores, running, now);
+            self.lookahead_events += events;
+            self.decisions += 1;
+            let e = self.scores.entry(p.name()).or_insert(score);
+            *e = 0.7 * *e + 0.3 * score;
+            if score < best_score {
+                best_score = score;
+                best = p;
+            }
+        }
+        self.current = best;
+        best
+    }
+
+    fn lookahead_events(&self) -> u64 {
+        self.lookahead_events
+    }
+
+    fn decisions(&self) -> u64 {
+        self.decisions
+    }
+}
+
+/// Fast in-chooser simulation: predicts the mean bounded slowdown of the
+/// queued tasks under `policy`, trusting the runtime *estimates*. Returns
+/// `(predicted mean slowdown, simulated events)`.
+///
+/// The aggregate-core model (one pool of `free_cores` plus cores freed by
+/// `running` at their estimated finishes) keeps the lookahead cheap enough
+/// to contemplate running online — the crux of §6.6.
+pub fn lookahead(
+    policy: Policy,
+    queue: &[QueuedTask],
+    free_cores: u32,
+    running: &[RunningTask],
+    now: f64,
+) -> (f64, u64) {
+    if queue.is_empty() {
+        return (1.0, 0);
+    }
+    let mut ordered: Vec<QueuedTask> = queue.to_vec();
+    policy.order(&mut ordered);
+    // Min-heap of (finish_time, cores) via sorted Vec used as event list.
+    let mut frees: Vec<(f64, u32)> = running
+        .iter()
+        .map(|r| (r.est_finish.max(now), r.cpus))
+        .collect();
+    frees.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+    let mut free = free_cores;
+    let mut t = now;
+    let mut free_idx = 0usize;
+    let mut events = 0u64;
+    let mut slowdown_sum = 0.0;
+    let backfill = policy.backfills();
+    let mut pending = std::collections::VecDeque::from(ordered);
+    let mut started: Vec<(f64, u32)> = Vec::new(); // our own finish events
+    while !pending.is_empty() {
+        // Try to start tasks (in order; backfilling policies may skip).
+        let mut progress = false;
+        let mut i = 0;
+        while i < pending.len() {
+            let task = pending[i];
+            if task.cpus <= free {
+                free -= task.cpus;
+                let finish = t + task.estimate;
+                started.push((finish, task.cpus));
+                started.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+                let wait = t - now;
+                slowdown_sum += (wait + task.estimate) / task.estimate.max(10.0);
+                pending.remove(i);
+                events += 2;
+                progress = true;
+                if !backfill {
+                    i = 0; // strict order: always retry from the head
+                }
+            } else if backfill {
+                i += 1; // skip and try the next
+            } else {
+                break; // blocking semantics
+            }
+        }
+        if pending.is_empty() {
+            break;
+        }
+        if !progress || free == 0 {
+            // Advance time to the next core release (ours or inherited).
+            let next_inherited = frees.get(free_idx).map(|&(ft, _)| ft);
+            let next_own = started.first().map(|&(ft, _)| ft);
+            match (next_inherited, next_own) {
+                (Some(a), Some(b)) if a <= b => {
+                    t = a;
+                    free += frees[free_idx].1;
+                    free_idx += 1;
+                }
+                (_, Some(b)) => {
+                    t = b;
+                    free += started.remove(0).1;
+                }
+                (Some(a), None) => {
+                    t = a;
+                    free += frees[free_idx].1;
+                    free_idx += 1;
+                }
+                (None, None) => break, // nothing will ever free: give up
+            }
+            events += 1;
+        }
+    }
+    // Tasks never started (capacity starvation) count as a large penalty.
+    let unstarted = pending.len() as f64;
+    let n = queue.len() as f64;
+    ((slowdown_sum + unstarted * 100.0) / n, events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qt(job: u64, est: f64, cpus: u32) -> QueuedTask {
+        QueuedTask {
+            job,
+            submit: 0.0,
+            runtime: est,
+            estimate: est,
+            cpus,
+        }
+    }
+
+    #[test]
+    fn lookahead_empty_queue_is_cheap() {
+        let (s, e) = lookahead(Policy::Fcfs, &[], 4, &[], 0.0);
+        assert_eq!(e, 0);
+        assert_eq!(s, 1.0);
+    }
+
+    #[test]
+    fn lookahead_prefers_sjf_for_mixed_sizes() {
+        let queue = vec![qt(1, 1000.0, 1), qt(2, 10.0, 1), qt(3, 10.0, 1)];
+        let (sjf, _) = lookahead(Policy::Sjf, &queue, 1, &[], 0.0);
+        let (ljf, _) = lookahead(Policy::Ljf, &queue, 1, &[], 0.0);
+        assert!(sjf < ljf, "sjf {sjf} ljf {ljf}");
+    }
+
+    #[test]
+    fn lookahead_accounts_for_running_tasks() {
+        // No free cores; one running task frees 2 cores at t=50.
+        let queue = vec![qt(1, 10.0, 2)];
+        let running = vec![RunningTask {
+            pool: 0,
+            cpus: 2,
+            est_finish: 50.0,
+            started_at: 0.0,
+        }];
+        let (s, _) = lookahead(Policy::Fcfs, &queue, 0, &running, 0.0);
+        // Wait 50 + run 10, slowdown vs max(10,10) = 6.0.
+        assert!((s - 6.0).abs() < 1e-9, "slowdown {s}");
+    }
+
+    #[test]
+    fn lookahead_cost_scales_with_queue() {
+        let small: Vec<QueuedTask> = (0..5).map(|i| qt(i, 10.0, 1)).collect();
+        let large: Vec<QueuedTask> = (0..50).map(|i| qt(i, 10.0, 1)).collect();
+        let (_, es) = lookahead(Policy::Fcfs, &small, 2, &[], 0.0);
+        let (_, el) = lookahead(Policy::Fcfs, &large, 2, &[], 0.0);
+        assert!(el > es);
+    }
+
+    #[test]
+    fn reflection_interval_limits_decisions() {
+        let mut p = PortfolioScheduler::new(Policy::all().to_vec(), 7, 100.0);
+        let queue = vec![qt(1, 10.0, 1)];
+        p.choose(0.0, &queue, 4, &[]);
+        let d1 = p.decisions();
+        p.choose(50.0, &queue, 4, &[]); // within interval: no reflection
+        assert_eq!(p.decisions(), d1);
+        p.choose(150.0, &queue, 4, &[]); // past interval: reflects
+        assert!(p.decisions() > d1);
+    }
+
+    #[test]
+    fn active_set_caps_candidates() {
+        // With active set 2 and exploration every 1000 rounds, only the
+        // first reflection simulates all policies.
+        let mut small = PortfolioScheduler::new(Policy::all().to_vec(), 2, 1.0)
+            .explore_every(1000);
+        let mut full = PortfolioScheduler::new(Policy::all().to_vec(), 7, 1.0)
+            .explore_every(1000);
+        let queue: Vec<QueuedTask> = (0..20).map(|i| qt(i, 10.0, 1)).collect();
+        for step in 0..10 {
+            let t = step as f64 * 10.0;
+            small.choose(t, &queue, 4, &[]);
+            full.choose(t, &queue, 4, &[]);
+        }
+        assert!(
+            small.lookahead_events() < full.lookahead_events(),
+            "active set should cut lookahead cost: {} vs {}",
+            small.lookahead_events(),
+            full.lookahead_events()
+        );
+    }
+
+    #[test]
+    fn starvation_is_penalized() {
+        // A task that can never run (needs 8, have 2 forever).
+        let queue = vec![qt(1, 10.0, 8)];
+        let (s, _) = lookahead(Policy::Fcfs, &queue, 2, &[], 0.0);
+        assert!(s >= 100.0);
+    }
+}

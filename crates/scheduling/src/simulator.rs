@@ -1,0 +1,807 @@
+//! The event-driven multi-cluster scheduling simulator.
+//!
+//! Jobs (bags of tasks) arrive over time; a policy — fixed or chosen
+//! online by a [`Chooser`] such as the portfolio scheduler — orders the
+//! queue, and tasks start when they fit. The simulator runs on the
+//! `atlarge-des` kernel and reports the metrics the portfolio studies
+//! compare on: mean response time, mean bounded slowdown, makespan, and
+//! utilization, plus the decision-cost counters that §6.6's online-
+//! feasibility question turns on.
+
+use crate::policy::{Policy, QueuedTask};
+use atlarge_des::sim::{Ctx, Model, Simulation};
+use atlarge_stats::dist::{Normal, Sample};
+use atlarge_workload::job::Job;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// A task currently executing, as schedulers see it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunningTask {
+    /// Pool the task runs in.
+    pub pool: usize,
+    /// Cores held.
+    pub cpus: u32,
+    /// Estimated finish time (the scheduler's view, possibly wrong).
+    pub est_finish: f64,
+    /// When the task started (failure accounting).
+    pub started_at: f64,
+}
+
+/// Chooses the scheduling policy at each decision point.
+///
+/// A fixed policy ignores the state; the portfolio scheduler simulates its
+/// active set over the queue snapshot.
+pub trait Chooser {
+    /// Returns the policy to use now.
+    fn choose(
+        &mut self,
+        now: f64,
+        queue: &[QueuedTask],
+        free_cores: u32,
+        running: &[RunningTask],
+    ) -> Policy;
+
+    /// Cumulative lookahead-simulation events spent (0 for fixed
+    /// policies).
+    fn lookahead_events(&self) -> u64 {
+        0
+    }
+
+    /// Cumulative policy evaluations performed.
+    fn decisions(&self) -> u64 {
+        0
+    }
+}
+
+/// A chooser that always returns the same policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedChooser(pub Policy);
+
+impl Chooser for FixedChooser {
+    fn choose(&mut self, _: f64, _: &[QueuedTask], _: u32, _: &[RunningTask]) -> Policy {
+        self.0
+    }
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Log-scale standard deviation of runtime-estimate error: estimates
+    /// are `runtime * exp(N(0, sigma))`. 0 = perfect estimates.
+    pub estimate_sigma: f64,
+    /// RNG seed for estimate noise.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            estimate_sigma: 0.3,
+            seed: 42,
+        }
+    }
+}
+
+/// Metrics of one simulated run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimMetrics {
+    /// Mean job response time (last task finish − submit).
+    pub mean_response: f64,
+    /// Mean bounded slowdown (response / max(critical runtime, 10 s)).
+    pub mean_bounded_slowdown: f64,
+    /// Time the last job finished.
+    pub makespan: f64,
+    /// Busy core-time / (capacity × makespan).
+    pub utilization: f64,
+    /// Jobs completed.
+    pub jobs_completed: usize,
+    /// Tasks killed by failures and restarted.
+    pub tasks_restarted: u64,
+    /// Chooser decisions made.
+    pub decisions: u64,
+    /// Lookahead-simulation events spent by the chooser.
+    pub lookahead_events: u64,
+}
+
+#[derive(Debug)]
+enum Ev {
+    Arrival(usize),
+    Finish { run_id: u64 },
+    Fail(usize),
+    Repair { pool: usize, cores: u32 },
+}
+
+/// A machine failure: at `time`, `cores` of `pool` fail for `duration`
+/// seconds. Tasks running on the failed cores are killed and resubmitted
+/// (the paper's P3: dynamic phenomena are first-class concerns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureEvent {
+    /// When the failure strikes.
+    pub time: f64,
+    /// Affected pool index.
+    pub pool: usize,
+    /// Cores lost.
+    pub cores: u32,
+    /// Seconds until repair.
+    pub duration: f64,
+}
+
+#[derive(Debug)]
+struct Pool {
+    total: u32,
+    free: u32,
+}
+
+#[derive(Debug)]
+struct JobState {
+    submit: f64,
+    remaining: usize,
+    critical: f64,
+}
+
+struct SchedModel<C: Chooser> {
+    jobs: Vec<Job>,
+    pools: Vec<Pool>,
+    queue: Vec<QueuedTask>,
+    failures: Vec<FailureEvent>,
+    cancelled: std::collections::BTreeSet<u64>,
+    run_tasks: BTreeMap<u64, QueuedTask>,
+    tasks_restarted: u64,
+    running: BTreeMap<u64, RunningTask>,
+    running_cache: Vec<RunningTask>,
+    cache_dirty: bool,
+    next_run_id: u64,
+    run_jobs: BTreeMap<u64, u64>,
+    chooser: C,
+    job_states: BTreeMap<u64, JobState>,
+    responses: Vec<f64>,
+    slowdowns: Vec<f64>,
+    busy_core_time: f64,
+    makespan: f64,
+    estimate_noise: Normal,
+    noise_rng: StdRng,
+}
+
+impl<C: Chooser> SchedModel<C> {
+    fn free_cores(&self) -> u32 {
+        self.pools.iter().map(|p| p.free).sum()
+    }
+
+    fn refresh_cache(&mut self) {
+        if self.cache_dirty {
+            self.running_cache = self.running.values().copied().collect();
+            self.cache_dirty = false;
+        }
+    }
+
+    fn start_task(&mut self, task: QueuedTask, pool: usize, ctx: &mut Ctx<Ev>) {
+        self.pools[pool].free -= task.cpus;
+        let run_id = self.next_run_id;
+        self.next_run_id += 1;
+        self.running.insert(
+            run_id,
+            RunningTask {
+                pool,
+                cpus: task.cpus,
+                est_finish: ctx.now() + task.estimate,
+                started_at: ctx.now(),
+            },
+        );
+        self.cache_dirty = true;
+        self.run_jobs.insert(run_id, task.job);
+        self.run_tasks.insert(run_id, task);
+        ctx.schedule_in(task.runtime, Ev::Finish { run_id });
+    }
+
+    /// Kills running tasks in `pool` until at least `needed` cores are
+    /// reclaimed (newest first); the tasks restart from scratch.
+    fn kill_tasks(&mut self, pool: usize, needed: u32, now: f64) -> u32 {
+        let mut reclaimed = 0u32;
+        let victims: Vec<u64> = self
+            .running
+            .iter()
+            .rev()
+            .filter(|(_, r)| r.pool == pool)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in victims {
+            if reclaimed >= needed {
+                break;
+            }
+            let r = self.running.remove(&id).expect("victim runs");
+            self.cache_dirty = true;
+            self.cancelled.insert(id);
+            reclaimed += r.cpus;
+            self.busy_core_time += (now - r.started_at) * f64::from(r.cpus);
+            self.run_jobs.remove(&id);
+            let task = self.run_tasks.remove(&id).expect("task known");
+            self.tasks_restarted += 1;
+            self.queue.push(task);
+        }
+        reclaimed
+    }
+
+    /// Best pool for a task: the one with the most free cores that fits.
+    fn pick_pool(&self, cpus: u32) -> Option<usize> {
+        self.pools
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.free >= cpus)
+            .max_by_key(|(_, p)| p.free)
+            .map(|(i, _)| i)
+    }
+
+    fn schedule(&mut self, ctx: &mut Ctx<Ev>) {
+        if self.queue.is_empty() {
+            return;
+        }
+        let free = self.free_cores();
+        self.refresh_cache();
+        let running = std::mem::take(&mut self.running_cache);
+        let policy = self.chooser.choose(ctx.now(), &self.queue, free, &running);
+        self.running_cache = running;
+        policy.order(&mut self.queue);
+        if policy.backfills() {
+            self.schedule_easy(ctx);
+        } else {
+            self.schedule_blocking(ctx);
+        }
+    }
+
+    /// Start tasks in queue order, stopping at the first that cannot be
+    /// placed (strict priority semantics).
+    fn schedule_blocking(&mut self, ctx: &mut Ctx<Ev>) {
+        while !self.queue.is_empty() {
+            let head = self.queue[0];
+            match self.pick_pool(head.cpus) {
+                Some(pool) => {
+                    let t = self.queue.remove(0);
+                    self.start_task(t, pool, ctx);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// EASY backfilling: the head holds a reservation; later tasks may
+    /// start only if (by estimate) they finish before the reservation's
+    /// shadow time or fit in the cores spare at that time.
+    fn schedule_easy(&mut self, ctx: &mut Ctx<Ev>) {
+        loop {
+            if self.queue.is_empty() {
+                return;
+            }
+            let head = self.queue[0];
+            if let Some(pool) = self.pick_pool(head.cpus) {
+                let t = self.queue.remove(0);
+                self.start_task(t, pool, ctx);
+                continue;
+            }
+            let (shadow, extra) = self.reservation(head.cpus, ctx.now());
+            let mut i = 1;
+            while i < self.queue.len() {
+                let t = self.queue[i];
+                let fits_now = self.pick_pool(t.cpus).is_some();
+                let ends_before_shadow = ctx.now() + t.estimate <= shadow;
+                let within_extra = t.cpus <= extra;
+                if fits_now && (ends_before_shadow || within_extra) {
+                    let t = self.queue.remove(i);
+                    let pool = self.pick_pool(t.cpus).expect("checked fits");
+                    self.start_task(t, pool, ctx);
+                } else {
+                    i += 1;
+                }
+            }
+            return;
+        }
+    }
+
+    /// Earliest estimated time `cpus` become free in some pool, and the
+    /// cores spare at that moment.
+    fn reservation(&self, cpus: u32, now: f64) -> (f64, u32) {
+        let mut best: Option<(f64, u32)> = None;
+        for (pi, pool) in self.pools.iter().enumerate() {
+            let mut frees: Vec<(f64, u32)> = self
+                .running
+                .values()
+                .filter(|r| r.pool == pi)
+                .map(|r| (r.est_finish.max(now), r.cpus))
+                .collect();
+            frees.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+            let mut avail = pool.free;
+            for (t, c) in frees {
+                avail += c;
+                if avail >= cpus {
+                    let extra = avail - cpus;
+                    if best.map_or(true, |(bt, _)| t < bt) {
+                        best = Some((t, extra));
+                    }
+                    break;
+                }
+            }
+        }
+        best.unwrap_or((f64::INFINITY, 0))
+    }
+}
+
+impl<C: Chooser> Model for SchedModel<C> {
+    type Event = Ev;
+
+    fn handle(&mut self, ev: Ev, ctx: &mut Ctx<Ev>) {
+        match ev {
+            Ev::Arrival(job_idx) => {
+                let job = self.jobs[job_idx].clone();
+                let jid = job.id.0;
+                self.job_states.insert(
+                    jid,
+                    JobState {
+                        submit: job.submit,
+                        remaining: job.tasks.len(),
+                        critical: job.critical_runtime(),
+                    },
+                );
+                for t in &job.tasks {
+                    let noise = self.estimate_noise.sample(&mut self.noise_rng);
+                    self.queue.push(QueuedTask {
+                        job: jid,
+                        submit: job.submit,
+                        runtime: t.runtime,
+                        estimate: (t.runtime * noise.exp()).max(0.01),
+                        cpus: t.cpus,
+                    });
+                }
+                self.schedule(ctx);
+            }
+            Ev::Finish { run_id } => {
+                if self.cancelled.remove(&run_id) {
+                    // The task was killed by a failure; its restart is
+                    // already queued and its cores were lost with the
+                    // machine.
+                    return;
+                }
+                let r = self.running.remove(&run_id).expect("finishing task runs");
+                self.cache_dirty = true;
+                self.pools[r.pool].free += r.cpus;
+                let task = self.run_tasks.remove(&run_id).expect("task known");
+                self.busy_core_time += task.runtime * f64::from(task.cpus);
+                let jid = self.run_jobs.remove(&run_id).expect("job known");
+                let js = self.job_states.get_mut(&jid).expect("job state exists");
+                js.remaining -= 1;
+                if js.remaining == 0 {
+                    let resp = ctx.now() - js.submit;
+                    self.responses.push(resp);
+                    // Standard bounded slowdown: max(1, response / max(T, 10s)).
+                    self.slowdowns.push((resp / js.critical.max(10.0)).max(1.0));
+                    self.makespan = self.makespan.max(ctx.now());
+                }
+                self.schedule(ctx);
+            }
+            Ev::Fail(idx) => {
+                let f = self.failures[idx];
+                let pool = &mut self.pools[f.pool];
+                let lost = f.cores.min(pool.total);
+                pool.total -= lost;
+                let from_free = lost.min(pool.free);
+                pool.free -= from_free;
+                let deficit = lost - from_free;
+                if deficit > 0 {
+                    let reclaimed = self.kill_tasks(f.pool, deficit, ctx.now());
+                    // Reclaimed cores beyond the deficit survive as free.
+                    let surplus = reclaimed.saturating_sub(deficit);
+                    self.pools[f.pool].free += surplus;
+                }
+                ctx.schedule_in(
+                    f.duration,
+                    Ev::Repair {
+                        pool: f.pool,
+                        cores: lost,
+                    },
+                );
+                self.schedule(ctx);
+            }
+            Ev::Repair { pool, cores } => {
+                self.pools[pool].total += cores;
+                self.pools[pool].free += cores;
+                self.schedule(ctx);
+            }
+        }
+    }
+}
+
+/// Runs a full simulation of `jobs` over pools of the given core counts
+/// under a fixed `policy`.
+pub fn simulate(
+    jobs: &[Job],
+    pool_cores: &[u32],
+    policy: Policy,
+    config: &SimConfig,
+) -> SimMetrics {
+    simulate_with_chooser(jobs, pool_cores, FixedChooser(policy), config)
+}
+
+/// Runs a full simulation with an arbitrary policy chooser (e.g. the
+/// portfolio scheduler).
+///
+/// # Panics
+///
+/// Panics if `pool_cores` is empty or any task needs more cores than the
+/// largest pool (the job could never run).
+pub fn simulate_with_chooser<C: Chooser>(
+    jobs: &[Job],
+    pool_cores: &[u32],
+    chooser: C,
+    config: &SimConfig,
+) -> SimMetrics {
+    simulate_with_failures(jobs, pool_cores, chooser, config, &[])
+}
+
+/// Runs a full simulation with machine failures injected.
+///
+/// # Panics
+///
+/// Panics if `pool_cores` is empty, a task exceeds the largest pool, or
+/// a failure references a missing pool.
+pub fn simulate_with_failures<C: Chooser>(
+    jobs: &[Job],
+    pool_cores: &[u32],
+    chooser: C,
+    config: &SimConfig,
+    failures: &[FailureEvent],
+) -> SimMetrics {
+    assert!(!pool_cores.is_empty(), "need at least one pool");
+    for f in failures {
+        assert!(f.pool < pool_cores.len(), "failure references missing pool");
+    }
+    let max_pool = *pool_cores.iter().max().expect("non-empty");
+    for j in jobs {
+        assert!(
+            j.max_cpus() <= max_pool,
+            "job {} needs {} cores, largest pool has {max_pool}",
+            j.id,
+            j.max_cpus()
+        );
+    }
+    let model = SchedModel {
+        jobs: jobs.to_vec(),
+        pools: pool_cores
+            .iter()
+            .map(|&c| Pool { total: c, free: c })
+            .collect(),
+        queue: Vec::new(),
+        failures: failures.to_vec(),
+        cancelled: std::collections::BTreeSet::new(),
+        run_tasks: BTreeMap::new(),
+        tasks_restarted: 0,
+        running: BTreeMap::new(),
+        running_cache: Vec::new(),
+        cache_dirty: false,
+        next_run_id: 0,
+        run_jobs: BTreeMap::new(),
+        chooser,
+        job_states: BTreeMap::new(),
+        responses: Vec::new(),
+        slowdowns: Vec::new(),
+        busy_core_time: 0.0,
+        makespan: 0.0,
+        estimate_noise: Normal::new(0.0, config.estimate_sigma),
+        noise_rng: StdRng::seed_from_u64(config.seed),
+    };
+    let mut sim = Simulation::new(model, config.seed);
+    for (i, j) in jobs.iter().enumerate() {
+        sim.schedule(j.submit, Ev::Arrival(i));
+    }
+    for (i, f) in failures.iter().enumerate() {
+        sim.schedule(f.time, Ev::Fail(i));
+    }
+    sim.run();
+    let m = sim.model();
+    let total_cores: u32 = pool_cores.iter().sum();
+    let n = m.responses.len().max(1) as f64;
+    SimMetrics {
+        mean_response: m.responses.iter().sum::<f64>() / n,
+        mean_bounded_slowdown: m.slowdowns.iter().sum::<f64>() / n,
+        makespan: m.makespan,
+        utilization: if m.makespan > 0.0 {
+            m.busy_core_time / (f64::from(total_cores) * m.makespan)
+        } else {
+            0.0
+        },
+        jobs_completed: m.responses.len(),
+        tasks_restarted: m.tasks_restarted,
+        decisions: m.chooser.decisions(),
+        lookahead_events: m.chooser.lookahead_events(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlarge_workload::job::{Job, JobId, Task};
+
+    fn perfect() -> SimConfig {
+        SimConfig {
+            estimate_sigma: 0.0,
+            seed: 1,
+        }
+    }
+
+    fn job(id: u64, submit: f64, tasks: Vec<(f64, u32)>) -> Job {
+        Job::new(
+            JobId(id),
+            submit,
+            tasks.into_iter().map(|(r, c)| Task::new(r, c)).collect(),
+        )
+    }
+
+    #[test]
+    fn single_job_completes_immediately() {
+        let jobs = vec![job(1, 0.0, vec![(10.0, 2)])];
+        let m = simulate(&jobs, &[4], Policy::Fcfs, &perfect());
+        assert_eq!(m.jobs_completed, 1);
+        assert!((m.mean_response - 10.0).abs() < 1e-9);
+        assert!((m.makespan - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fcfs_queues_in_arrival_order() {
+        let jobs = vec![job(1, 0.0, vec![(10.0, 1)]), job(2, 0.0, vec![(10.0, 1)])];
+        let m = simulate(&jobs, &[1], Policy::Fcfs, &perfect());
+        assert_eq!(m.jobs_completed, 2);
+        assert!((m.mean_response - 15.0).abs() < 1e-9); // 10 and 20
+    }
+
+    #[test]
+    fn sjf_reduces_mean_response_vs_ljf() {
+        let jobs: Vec<Job> = (0..20)
+            .map(|i| job(i, 0.0, vec![((i % 5 + 1) as f64 * 10.0, 1)]))
+            .collect();
+        let sjf = simulate(&jobs, &[2], Policy::Sjf, &perfect());
+        let ljf = simulate(&jobs, &[2], Policy::Ljf, &perfect());
+        assert!(
+            sjf.mean_response < ljf.mean_response,
+            "sjf {} ljf {}",
+            sjf.mean_response,
+            ljf.mean_response
+        );
+    }
+
+    #[test]
+    fn easy_backfills_around_blocked_head() {
+        // A 2-core task runs; a 4-core head is blocked; a short 1-core task
+        // backfills under the head's reservation.
+        let jobs = vec![
+            job(1, 0.0, vec![(100.0, 2)]),
+            job(2, 1.0, vec![(50.0, 4)]),
+            job(3, 2.0, vec![(10.0, 1)]),
+        ];
+        let easy = simulate(&jobs, &[4], Policy::EasyBackfilling, &perfect());
+        let fcfs = simulate(&jobs, &[4], Policy::Fcfs, &perfect());
+        assert!(easy.mean_response < fcfs.mean_response);
+        assert_eq!(easy.jobs_completed, 3);
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let jobs: Vec<Job> = (0..30)
+            .map(|i| job(i, i as f64 * 5.0, vec![(20.0, 1), (30.0, 1)]))
+            .collect();
+        let m = simulate(&jobs, &[4, 4], Policy::Sjf, &perfect());
+        assert!(m.utilization > 0.0 && m.utilization <= 1.0);
+        assert_eq!(m.jobs_completed, 30);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let jobs: Vec<Job> = (0..10).map(|i| job(i, i as f64, vec![(5.0, 1)])).collect();
+        let cfg = SimConfig {
+            estimate_sigma: 0.5,
+            seed: 9,
+        };
+        let a = simulate(&jobs, &[2], Policy::EasyBackfilling, &cfg);
+        let b = simulate(&jobs, &[2], Policy::EasyBackfilling, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_jobs_complete_under_every_policy() {
+        let jobs: Vec<Job> = (0..25)
+            .map(|i| job(i, i as f64 * 2.0, vec![(8.0, 1), (12.0, 2)]))
+            .collect();
+        for p in Policy::all() {
+            let m = simulate(&jobs, &[4], p, &perfect());
+            assert_eq!(m.jobs_completed, 25, "{p} lost jobs");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs")]
+    fn oversized_task_rejected_up_front() {
+        let jobs = vec![job(1, 0.0, vec![(10.0, 16)])];
+        simulate(&jobs, &[4], Policy::Fcfs, &perfect());
+    }
+
+    #[test]
+    fn noisy_estimates_do_not_lose_jobs() {
+        let jobs: Vec<Job> = (0..40)
+            .map(|i| job(i, i as f64, vec![(10.0, 1), (5.0, 2)]))
+            .collect();
+        let cfg = SimConfig {
+            estimate_sigma: 1.5,
+            seed: 3,
+        };
+        let m = simulate(&jobs, &[8], Policy::EasyBackfilling, &cfg);
+        assert_eq!(m.jobs_completed, 40);
+    }
+}
+
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+    use atlarge_workload::job::{Job, JobId, Task};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// Conservation: every policy completes every submitted job, and
+        /// utilization stays in (0, 1].
+        #[test]
+        fn prop_all_jobs_complete(
+            specs in proptest::collection::vec((1.0f64..60.0, 1u32..4, 0.0f64..200.0), 1..25),
+            policy_idx in 0usize..7,
+        ) {
+            let jobs: Vec<Job> = specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(rt, cpus, submit))| {
+                    Job::new(JobId(i as u64), submit, vec![Task::new(rt, cpus)])
+                })
+                .collect();
+            let policy = Policy::all()[policy_idx];
+            let m = simulate(
+                &jobs,
+                &[8],
+                policy,
+                &SimConfig { estimate_sigma: 0.3, seed: 7 },
+            );
+            prop_assert_eq!(m.jobs_completed, jobs.len());
+            prop_assert!(m.utilization > 0.0 && m.utilization <= 1.0 + 1e-9);
+            prop_assert!(m.mean_bounded_slowdown >= 1.0 - 1e-9);
+        }
+    }
+}
+
+#[cfg(test)]
+mod failure_tests {
+    use super::*;
+    use atlarge_workload::job::{Job, JobId, Task};
+
+    fn perfect() -> SimConfig {
+        SimConfig {
+            estimate_sigma: 0.0,
+            seed: 1,
+        }
+    }
+
+    fn jobs() -> Vec<Job> {
+        (0..20)
+            .map(|i| {
+                Job::new(
+                    JobId(i),
+                    i as f64 * 5.0,
+                    vec![Task::new(30.0, 1), Task::new(40.0, 2)],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn no_failures_matches_plain_simulation() {
+        let plain = simulate(&jobs(), &[8], Policy::Sjf, &perfect());
+        let with_empty = simulate_with_failures(
+            &jobs(),
+            &[8],
+            FixedChooser(Policy::Sjf),
+            &perfect(),
+            &[],
+        );
+        assert_eq!(plain, with_empty);
+        assert_eq!(plain.tasks_restarted, 0);
+    }
+
+    #[test]
+    fn failures_restart_tasks_but_lose_no_jobs() {
+        let failures = vec![
+            FailureEvent {
+                time: 20.0,
+                pool: 0,
+                cores: 6,
+                duration: 60.0,
+            },
+            FailureEvent {
+                time: 150.0,
+                pool: 0,
+                cores: 4,
+                duration: 30.0,
+            },
+        ];
+        let m = simulate_with_failures(
+            &jobs(),
+            &[8],
+            FixedChooser(Policy::Fcfs),
+            &perfect(),
+            &failures,
+        );
+        assert_eq!(m.jobs_completed, 20, "failures must not lose jobs");
+        assert!(m.tasks_restarted > 0, "a busy pool losing cores kills tasks");
+        let healthy = simulate(&jobs(), &[8], Policy::Fcfs, &perfect());
+        assert!(
+            m.makespan > healthy.makespan,
+            "failures should delay the makespan: {} vs {}",
+            m.makespan,
+            healthy.makespan
+        );
+    }
+
+    #[test]
+    fn capacity_is_restored_after_repair() {
+        // One huge failure mid-run; afterwards throughput recovers and the
+        // run completes with the original capacity accounted.
+        let failures = vec![FailureEvent {
+            time: 10.0,
+            pool: 0,
+            cores: 7,
+            duration: 50.0,
+        }];
+        let m = simulate_with_failures(
+            &jobs(),
+            &[8],
+            FixedChooser(Policy::Sjf),
+            &perfect(),
+            &failures,
+        );
+        assert_eq!(m.jobs_completed, 20);
+        assert!(m.utilization <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn idle_pool_failure_restarts_nothing() {
+        // Failure strikes long after all work is done.
+        let failures = vec![FailureEvent {
+            time: 1.0e6,
+            pool: 0,
+            cores: 4,
+            duration: 10.0,
+        }];
+        let m = simulate_with_failures(
+            &jobs(),
+            &[8],
+            FixedChooser(Policy::Sjf),
+            &perfect(),
+            &failures,
+        );
+        assert_eq!(m.tasks_restarted, 0);
+        assert_eq!(m.jobs_completed, 20);
+    }
+
+    #[test]
+    fn deterministic_under_failures() {
+        let failures = vec![FailureEvent {
+            time: 25.0,
+            pool: 0,
+            cores: 5,
+            duration: 40.0,
+        }];
+        let run = || {
+            simulate_with_failures(
+                &jobs(),
+                &[8],
+                FixedChooser(Policy::EasyBackfilling),
+                &perfect(),
+                &failures,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,222 @@
+//! The Table 7 reproduction: one runnable check per study row.
+
+use crate::evolution::{earliest_feasible, timeline};
+use crate::platform::{faas_vs_reserved, run_platform, FaasConfig, FunctionSpec};
+use crate::refarch::{surveyed_platforms, ServerlessPrinciple};
+use crate::storage::{right_size, single_tier, tiers, JobRequirements};
+use crate::workflow::{map_reduce_workflow, WorkflowEngine};
+
+/// One reproduced row of Table 7.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table7Row {
+    /// Citation tag and year.
+    pub study: &'static str,
+    /// Feature column.
+    pub feature: &'static str,
+    /// Team column.
+    pub team: &'static str,
+    /// Quantitative finding.
+    pub finding: String,
+    /// Whether the study's claim held.
+    pub claim_holds: bool,
+}
+
+fn demo_function() -> FunctionSpec {
+    FunctionSpec {
+        name: "handler".into(),
+        exec_time: 0.8,
+        memory_gb: 0.5,
+    }
+}
+
+/// Runs every row of Table 7.
+pub fn table7(seed: u64) -> Vec<Table7Row> {
+    let mut rows = Vec::new();
+
+    // [101] ('17) General — terminology and principles.
+    rows.push(Table7Row {
+        study: "[101] ('17)",
+        feature: "General",
+        team: "SPEC RG Cloud",
+        finding: format!(
+            "{} serverless principles encoded; pay-per-use verified on the platform model",
+            ServerlessPrinciple::all().len()
+        ),
+        claim_holds: {
+            // Principle (2): cost tracks execution only, not idle time.
+            let sparse: Vec<(f64, usize)> = (0..10).map(|i| (i as f64 * 1_000.0, 0)).collect();
+            let dense: Vec<(f64, usize)> = (0..10).map(|i| (i as f64 * 1.0, 0)).collect();
+            let cfg = FaasConfig::default();
+            let ms = run_platform(vec![demo_function()], cfg, &sparse, seed);
+            let md = run_platform(vec![demo_function()], cfg, &dense, seed);
+            (ms.gb_seconds - md.gb_seconds).abs() < 1e-9
+        },
+    });
+
+    // [102] ('18) Performance — the cold-start challenge.
+    let cfg_cold = FaasConfig {
+        keep_alive: 30.0,
+        ..FaasConfig::default()
+    };
+    let sparse: Vec<(f64, usize)> = (0..50).map(|i| (i as f64 * 120.0, 0)).collect();
+    let cold = run_platform(vec![demo_function()], cfg_cold, &sparse, seed);
+    let cfg_warm = FaasConfig {
+        keep_alive: 600.0,
+        ..FaasConfig::default()
+    };
+    let warm = run_platform(vec![demo_function()], cfg_warm, &sparse, seed);
+    rows.push(Table7Row {
+        study: "[102] ('18)",
+        feature: "Performance",
+        team: "SPEC RG Cloud",
+        finding: format!(
+            "cold fraction {:.0}% (30s keep-alive) vs {:.0}% (600s); p50 {:.2}s vs {:.2}s",
+            cold.cold_fraction * 100.0,
+            warm.cold_fraction * 100.0,
+            cold.latency_summary().median(),
+            warm.latency_summary().median()
+        ),
+        claim_holds: cold.cold_fraction > warm.cold_fraction
+            && cold.latency_summary().median() > warm.latency_summary().median(),
+    });
+
+    // [60] ('18) Evolution — could not have happened ten years ago.
+    let year = earliest_feasible(&timeline(), "faas").unwrap_or(0);
+    rows.push(Table7Row {
+        study: "[60] ('18)",
+        feature: "Evolution",
+        team: "SPEC RG Cloud",
+        finding: format!("earliest feasible FaaS emergence: {year}"),
+        claim_holds: year >= 2015,
+    });
+
+    // GitHub ('17-'19) Fission Workflows — the engine keeps overhead low.
+    let registry = vec![
+        FunctionSpec {
+            name: "prepare".into(),
+            exec_time: 0.1,
+            memory_gb: 0.25,
+        },
+        FunctionSpec {
+            name: "map".into(),
+            exec_time: 1.0,
+            memory_gb: 0.5,
+        },
+        FunctionSpec {
+            name: "reduce".into(),
+            exec_time: 0.3,
+            memory_gb: 0.5,
+        },
+    ];
+    let engine = WorkflowEngine::new(registry, FaasConfig::default());
+    let wf = map_reduce_workflow(16);
+    let run = engine.execute(&wf, seed);
+    let cp = engine.critical_path(&wf, seed);
+    rows.push(Table7Row {
+        study: "GitHub ('17-'19)",
+        feature: "Fission WF.",
+        team: "Platform9",
+        finding: format!(
+            "map-reduce workflow: makespan {:.2}s vs critical path {:.2}s ({} invocations)",
+            run.makespan, cp, run.invocations
+        ),
+        claim_holds: run.makespan < cp * 1.1,
+    });
+
+    // [103] ('19) Reference architecture — coverage of surveyed platforms.
+    let covered = surveyed_platforms()
+        .iter()
+        .filter(|p| p.missing_core().is_empty())
+        .count();
+    let total = surveyed_platforms().len();
+    rows.push(Table7Row {
+        study: "[103] ('19)",
+        feature: "Ref. Arch",
+        team: "SPEC RG Cloud",
+        finding: format!("{covered}/{total} surveyed platforms fully mapped"),
+        claim_holds: covered == total,
+    });
+
+    // [96]/[104] Pocket — right-sized ephemeral storage (the joining
+    // designer's line of work, §6.4's closing).
+    let job = JobRequirements {
+        throughput: 2_000.0,
+        capacity: 3_000.0,
+        lifetime_hours: 0.5,
+    };
+    let sized = right_size(&job);
+    let dram = single_tier(tiers()[0], &job);
+    rows.push(Table7Row {
+        study: "[96] ('18)",
+        feature: "Storage",
+        team: "Stanford/IBM",
+        finding: format!(
+            "right-sized cost {:.1} vs DRAM-only {:.1} (both satisfy the job)",
+            sized.cost(job.lifetime_hours),
+            dram.cost(job.lifetime_hours)
+        ),
+        claim_holds: sized.satisfies(&job)
+            && sized.cost(job.lifetime_hours) < dram.cost(job.lifetime_hours),
+    });
+
+    // The FaaS economics headline: serverless wins bursty sparse loads.
+    let invs: Vec<(f64, usize)> = (0..720).map(|i| (i as f64 * 120.0, 0)).collect();
+    let (faas, reserved, p50) =
+        faas_vs_reserved(&invs, demo_function(), 86_400.0, 0.05, seed);
+    rows.push(Table7Row {
+        study: "[101] §perf",
+        feature: "Economics",
+        team: "SPEC RG Cloud",
+        finding: format!(
+            "sparse workload: faas cost {faas:.3} vs reserved {reserved:.2} (p50 {p50:.2}s)"
+        ),
+        claim_holds: faas < reserved / 10.0,
+    });
+
+    rows
+}
+
+/// Renders Table 7 as text.
+pub fn render_table7(rows: &[Table7Row]) -> String {
+    let mut out = format!(
+        "{:<18}{:<14}{:<16}{:<6} {}\n",
+        "Study", "Feature", "Team", "OK", "Finding"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<18}{:<14}{:<16}{:<6} {}\n",
+            r.study,
+            r.feature,
+            r.team,
+            if r.claim_holds { "yes" } else { "NO" },
+            r.finding
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_table7_claim_holds() {
+        for row in table7(19) {
+            assert!(
+                row.claim_holds,
+                "{} {}: claim failed — {}",
+                row.study, row.feature, row.finding
+            );
+        }
+    }
+
+    #[test]
+    fn table_has_all_rows() {
+        let rows = table7(19);
+        assert_eq!(rows.len(), 7);
+        let s = render_table7(&rows);
+        for tag in ["[101]", "[102]", "[60]", "Fission", "[103]", "[96]"] {
+            assert!(s.contains(tag), "missing {tag}");
+        }
+    }
+}

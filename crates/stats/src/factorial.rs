@@ -1,0 +1,199 @@
+//! Factorial effect decomposition for the PAD law (§6.5).
+//!
+//! The paper's Graphalytics line of work established "the PAD triangle
+//! (a law!)": graph-processing performance depends on the *interaction*
+//! between Platform, Algorithm, and Dataset, not on any single factor. This
+//! module decomposes a full-factorial table of measurements into main
+//! effects and interaction effects (a fixed-effects ANOVA decomposition on
+//! log-runtimes), so the `atlarge-graph` experiments can test the law: the
+//! interaction share of variance must be non-negligible.
+
+use std::collections::BTreeMap;
+
+/// One measurement cell of a full-factorial experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Level of factor A (e.g. platform name).
+    pub a: String,
+    /// Level of factor B (e.g. algorithm name).
+    pub b: String,
+    /// Level of factor C (e.g. dataset name).
+    pub c: String,
+    /// The measured response (e.g. log-runtime).
+    pub y: f64,
+}
+
+/// Variance decomposition of a three-factor full-factorial experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decomposition {
+    /// Sum of squares attributed to factor A main effect.
+    pub ss_a: f64,
+    /// Sum of squares attributed to factor B main effect.
+    pub ss_b: f64,
+    /// Sum of squares attributed to factor C main effect.
+    pub ss_c: f64,
+    /// Sum of squares attributed to all two- and three-way interactions.
+    pub ss_interaction: f64,
+    /// Total sum of squares around the grand mean.
+    pub ss_total: f64,
+}
+
+impl Decomposition {
+    /// Fraction of variance explained by interactions, in `[0, 1]`.
+    ///
+    /// The PAD-law test asserts this is non-negligible.
+    pub fn interaction_share(&self) -> f64 {
+        if self.ss_total == 0.0 {
+            0.0
+        } else {
+            self.ss_interaction / self.ss_total
+        }
+    }
+
+    /// Fraction of variance explained by the largest single main effect.
+    pub fn max_main_share(&self) -> f64 {
+        if self.ss_total == 0.0 {
+            0.0
+        } else {
+            self.ss_a.max(self.ss_b).max(self.ss_c) / self.ss_total
+        }
+    }
+}
+
+/// Decomposes a balanced three-factor table into main and interaction
+/// effects.
+///
+/// Missing cells are tolerated by averaging over present cells (a Type-I
+/// style approximation adequate for the law test); an empty input returns a
+/// zero decomposition.
+pub fn decompose(cells: &[Cell]) -> Decomposition {
+    if cells.is_empty() {
+        return Decomposition {
+            ss_a: 0.0,
+            ss_b: 0.0,
+            ss_c: 0.0,
+            ss_interaction: 0.0,
+            ss_total: 0.0,
+        };
+    }
+    let grand = cells.iter().map(|c| c.y).sum::<f64>() / cells.len() as f64;
+
+    let mean_by = |key: fn(&Cell) -> &str| -> BTreeMap<String, f64> {
+        let mut sums: BTreeMap<String, (f64, usize)> = BTreeMap::new();
+        for c in cells {
+            let e = sums.entry(key(c).to_string()).or_insert((0.0, 0));
+            e.0 += c.y;
+            e.1 += 1;
+        }
+        sums.into_iter()
+            .map(|(k, (s, n))| (k, s / n as f64))
+            .collect()
+    };
+
+    let ma = mean_by(|c| &c.a);
+    let mb = mean_by(|c| &c.b);
+    let mc = mean_by(|c| &c.c);
+
+    let mut ss_a = 0.0;
+    let mut ss_b = 0.0;
+    let mut ss_c = 0.0;
+    let mut ss_total = 0.0;
+    let mut ss_resid = 0.0;
+    for cell in cells {
+        let ea = ma[&cell.a] - grand;
+        let eb = mb[&cell.b] - grand;
+        let ec = mc[&cell.c] - grand;
+        let fitted = grand + ea + eb + ec;
+        ss_a += ea * ea;
+        ss_b += eb * eb;
+        ss_c += ec * ec;
+        let d = cell.y - grand;
+        ss_total += d * d;
+        let r = cell.y - fitted;
+        ss_resid += r * r;
+    }
+    Decomposition {
+        ss_a,
+        ss_b,
+        ss_c,
+        ss_interaction: ss_resid,
+        ss_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(a: &str, b: &str, c: &str, y: f64) -> Cell {
+        Cell {
+            a: a.into(),
+            b: b.into(),
+            c: c.into(),
+            y,
+        }
+    }
+
+    #[test]
+    fn purely_additive_table_has_no_interaction() {
+        // y = a_effect + b_effect, one c level.
+        let mut cells = Vec::new();
+        for (a, ea) in [("p1", 1.0), ("p2", 2.0)] {
+            for (b, eb) in [("bfs", 10.0), ("pr", 20.0)] {
+                cells.push(cell(a, b, "d1", ea + eb));
+            }
+        }
+        let d = decompose(&cells);
+        assert!(d.interaction_share() < 1e-9, "share {}", d.interaction_share());
+        assert!(d.ss_a > 0.0 && d.ss_b > 0.0);
+    }
+
+    #[test]
+    fn crossed_table_is_all_interaction() {
+        // A classic 2x2 crossover: main effects cancel.
+        let cells = vec![
+            cell("p1", "bfs", "d", 1.0),
+            cell("p1", "pr", "d", -1.0),
+            cell("p2", "bfs", "d", -1.0),
+            cell("p2", "pr", "d", 1.0),
+        ];
+        let d = decompose(&cells);
+        assert!(d.interaction_share() > 0.99, "share {}", d.interaction_share());
+        assert!(d.max_main_share() < 1e-9);
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        let d = decompose(&[]);
+        assert_eq!(d.ss_total, 0.0);
+        assert_eq!(d.interaction_share(), 0.0);
+    }
+
+    #[test]
+    fn constant_table_has_zero_variance() {
+        let cells = vec![
+            cell("p1", "bfs", "d1", 5.0),
+            cell("p2", "pr", "d2", 5.0),
+        ];
+        let d = decompose(&cells);
+        assert_eq!(d.ss_total, 0.0);
+        assert_eq!(d.interaction_share(), 0.0);
+        assert_eq!(d.max_main_share(), 0.0);
+    }
+
+    #[test]
+    fn three_factor_additive() {
+        let mut cells = Vec::new();
+        for (a, ea) in [("p1", 0.0), ("p2", 4.0)] {
+            for (b, eb) in [("x", 0.0), ("y", 2.0)] {
+                for (c, ec) in [("s", 0.0), ("t", 1.0)] {
+                    cells.push(cell(a, b, c, ea + eb + ec));
+                }
+            }
+        }
+        let d = decompose(&cells);
+        assert!(d.interaction_share() < 1e-9);
+        // A has the largest effect.
+        assert!(d.ss_a > d.ss_b && d.ss_b > d.ss_c);
+    }
+}

@@ -1,0 +1,312 @@
+//! Rank aggregation: head-to-head tournaments and Borda counts.
+//!
+//! §6.7 of the paper describes "two ranking methods to aggregate the results
+//! into head-to-head comparisons — which policy is the best?" and "a method
+//! to grade autoscalers, by combining their scores judiciously". This module
+//! implements both aggregation families; `atlarge-autoscaling` applies them
+//! to elasticity-metric tables and `atlarge-scheduling` to policy
+//! comparisons.
+
+use std::collections::BTreeMap;
+
+/// Direction of a metric: whether lower or higher values are better.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Smaller values win (e.g. slowdown, cost, under-provisioning time).
+    LowerIsBetter,
+    /// Larger values win (e.g. throughput, availability).
+    HigherIsBetter,
+}
+
+/// A score table: one row per competitor, one column per metric.
+///
+/// # Examples
+///
+/// ```
+/// use atlarge_stats::ranking::{Direction, ScoreTable};
+///
+/// let mut t = ScoreTable::new();
+/// t.add_metric("slowdown", Direction::LowerIsBetter);
+/// t.record("react", "slowdown", 2.0);
+/// t.record("plan", "slowdown", 1.5);
+/// let ranks = t.borda_ranking();
+/// assert_eq!(ranks[0].0, "plan");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ScoreTable {
+    metrics: Vec<(String, Direction)>,
+    scores: BTreeMap<String, BTreeMap<String, f64>>,
+}
+
+impl ScoreTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a metric column with its direction.
+    pub fn add_metric(&mut self, name: &str, direction: Direction) {
+        if !self.metrics.iter().any(|(m, _)| m == name) {
+            self.metrics.push((name.to_string(), direction));
+        }
+    }
+
+    /// Records a score for a competitor under a metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metric was not declared via [`ScoreTable::add_metric`].
+    pub fn record(&mut self, competitor: &str, metric: &str, value: f64) {
+        assert!(
+            self.metrics.iter().any(|(m, _)| m == metric),
+            "metric {metric} not declared"
+        );
+        self.scores
+            .entry(competitor.to_string())
+            .or_default()
+            .insert(metric.to_string(), value);
+    }
+
+    /// Competitor names, in insertion-sorted (BTree) order.
+    pub fn competitors(&self) -> Vec<&str> {
+        self.scores.keys().map(String::as_str).collect()
+    }
+
+    /// Declared metric names.
+    pub fn metrics(&self) -> Vec<&str> {
+        self.metrics.iter().map(|(m, _)| m.as_str()).collect()
+    }
+
+    /// Looks up a recorded score.
+    pub fn score(&self, competitor: &str, metric: &str) -> Option<f64> {
+        self.scores.get(competitor)?.get(metric).copied()
+    }
+
+    fn better(&self, dir: Direction, a: f64, b: f64) -> bool {
+        match dir {
+            Direction::LowerIsBetter => a < b,
+            Direction::HigherIsBetter => a > b,
+        }
+    }
+
+    /// Head-to-head duels: competitor A beats B when A wins on strictly
+    /// more metrics than B does (a majority duel); each duel won earns one
+    /// point. This is deliberately different from [`ScoreTable::borda_ranking`]
+    /// — a competitor that narrowly wins many metrics beats one that wins
+    /// few by large margins. Returns `(name, duels won)` sorted by
+    /// descending wins (ties broken by name for determinism).
+    pub fn head_to_head(&self) -> Vec<(String, usize)> {
+        let names: Vec<&String> = self.scores.keys().collect();
+        let mut wins: BTreeMap<&String, usize> = names.iter().map(|n| (*n, 0)).collect();
+        for i in 0..names.len() {
+            for j in (i + 1)..names.len() {
+                let mut a_wins = 0usize;
+                let mut b_wins = 0usize;
+                for (metric, dir) in &self.metrics {
+                    let a = self.score(names[i], metric);
+                    let b = self.score(names[j], metric);
+                    if let (Some(a), Some(b)) = (a, b) {
+                        if self.better(*dir, a, b) {
+                            a_wins += 1;
+                        } else if self.better(*dir, b, a) {
+                            b_wins += 1;
+                        }
+                    }
+                }
+                if a_wins > b_wins {
+                    *wins.get_mut(names[i]).expect("known name") += 1;
+                } else if b_wins > a_wins {
+                    *wins.get_mut(names[j]).expect("known name") += 1;
+                }
+            }
+        }
+        let mut out: Vec<(String, usize)> =
+            wins.into_iter().map(|(n, w)| (n.clone(), w)).collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Borda count: per metric, competitors are ranked and receive
+    /// `(k - rank)` points where `k` is the field size; points are summed
+    /// over metrics. Returns `(name, points)` sorted by descending points.
+    pub fn borda_ranking(&self) -> Vec<(String, f64)> {
+        let names: Vec<&String> = self.scores.keys().collect();
+        let k = names.len();
+        let mut points: BTreeMap<&String, f64> = names.iter().map(|n| (*n, 0.0)).collect();
+        for (metric, dir) in &self.metrics {
+            let mut with_scores: Vec<(&String, f64)> = names
+                .iter()
+                .filter_map(|n| self.score(n, metric).map(|s| (*n, s)))
+                .collect();
+            with_scores.sort_by(|a, b| {
+                let ord = a.1.partial_cmp(&b.1).expect("finite score");
+                match dir {
+                    Direction::LowerIsBetter => ord,
+                    Direction::HigherIsBetter => ord.reverse(),
+                }
+            });
+            // Tie-aware: equal scores share the average of their positions.
+            let mut i = 0;
+            while i < with_scores.len() {
+                let mut j = i;
+                while j + 1 < with_scores.len() && with_scores[j + 1].1 == with_scores[i].1 {
+                    j += 1;
+                }
+                let avg_rank = (i + j) as f64 / 2.0;
+                for &(n, _) in &with_scores[i..=j] {
+                    *points.get_mut(n).expect("known name") += (k as f64 - 1.0) - avg_rank;
+                }
+                i = j + 1;
+            }
+        }
+        let mut out: Vec<(String, f64)> =
+            points.into_iter().map(|(n, p)| (n.clone(), p)).collect();
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite points")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        out
+    }
+
+    /// Weighted grade per competitor: normalizes each metric across the
+    /// field to `[0, 1]` (1 = best), multiplies by the metric's weight, and
+    /// sums — the "combining their scores judiciously" grading of §6.7.
+    ///
+    /// Metrics missing from `weights` default to weight 1. Returns
+    /// `(name, grade)` sorted descending.
+    pub fn weighted_grades(&self, weights: &BTreeMap<String, f64>) -> Vec<(String, f64)> {
+        let names: Vec<&String> = self.scores.keys().collect();
+        let mut grades: BTreeMap<&String, f64> = names.iter().map(|n| (*n, 0.0)).collect();
+        for (metric, dir) in &self.metrics {
+            let vals: Vec<f64> = names
+                .iter()
+                .filter_map(|n| self.score(n, metric))
+                .collect();
+            if vals.is_empty() {
+                continue;
+            }
+            let lo = vals.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let span = (hi - lo).max(f64::EPSILON);
+            let w = weights.get(metric).copied().unwrap_or(1.0);
+            for n in &names {
+                if let Some(v) = self.score(n, metric) {
+                    let norm = match dir {
+                        Direction::LowerIsBetter => 1.0 - (v - lo) / span,
+                        Direction::HigherIsBetter => (v - lo) / span,
+                    };
+                    *grades.get_mut(n).expect("known name") += w * norm;
+                }
+            }
+        }
+        let mut out: Vec<(String, f64)> =
+            grades.into_iter().map(|(n, g)| (n.clone(), g)).collect();
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite grade")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> ScoreTable {
+        let mut t = ScoreTable::new();
+        t.add_metric("slowdown", Direction::LowerIsBetter);
+        t.add_metric("throughput", Direction::HigherIsBetter);
+        // a: best slowdown, worst throughput; b: middle; c: worst slowdown,
+        // best throughput.
+        t.record("a", "slowdown", 1.0);
+        t.record("b", "slowdown", 2.0);
+        t.record("c", "slowdown", 3.0);
+        t.record("a", "throughput", 10.0);
+        t.record("b", "throughput", 20.0);
+        t.record("c", "throughput", 30.0);
+        t
+    }
+
+    #[test]
+    fn head_to_head_duels_tie_on_balanced_table() {
+        // Every pair splits the two metrics 1–1: no duel has a winner.
+        let wins = table().head_to_head();
+        let total: usize = wins.iter().map(|(_, w)| w).sum();
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn head_to_head_majority_wins_duels() {
+        let mut t = ScoreTable::new();
+        for m in ["m1", "m2", "m3"] {
+            t.add_metric(m, Direction::LowerIsBetter);
+        }
+        // a beats b on two of three metrics; loses the third big — the
+        // duel semantics ignore margins.
+        t.record("a", "m1", 1.0);
+        t.record("a", "m2", 1.0);
+        t.record("a", "m3", 100.0);
+        t.record("b", "m1", 2.0);
+        t.record("b", "m2", 2.0);
+        t.record("b", "m3", 1.0);
+        let wins = t.head_to_head();
+        assert_eq!(wins[0], ("a".to_string(), 1));
+        assert_eq!(wins[1], ("b".to_string(), 0));
+    }
+
+    #[test]
+    fn borda_balanced_table_ties() {
+        let pts = table().borda_ranking();
+        // a and c: 2+0; b: 1+1 -> all equal.
+        assert!((pts[0].1 - pts[2].1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn borda_clear_winner() {
+        let mut t = ScoreTable::new();
+        t.add_metric("m1", Direction::LowerIsBetter);
+        t.add_metric("m2", Direction::LowerIsBetter);
+        t.record("good", "m1", 1.0);
+        t.record("good", "m2", 1.0);
+        t.record("bad", "m1", 9.0);
+        t.record("bad", "m2", 9.0);
+        let pts = t.borda_ranking();
+        assert_eq!(pts[0].0, "good");
+        assert!(pts[0].1 > pts[1].1);
+    }
+
+    #[test]
+    fn weighted_grades_respect_weights() {
+        let t = table();
+        let mut w = BTreeMap::new();
+        w.insert("throughput".to_string(), 10.0);
+        w.insert("slowdown".to_string(), 0.1);
+        let g = t.weighted_grades(&w);
+        assert_eq!(g[0].0, "c", "throughput-heavy weighting favors c");
+    }
+
+    #[test]
+    fn missing_scores_are_tolerated() {
+        let mut t = ScoreTable::new();
+        t.add_metric("m", Direction::LowerIsBetter);
+        t.record("only", "m", 1.0);
+        t.scores.entry("empty".to_string()).or_default();
+        let wins = t.head_to_head();
+        assert_eq!(wins.len(), 2);
+        let borda = t.borda_ranking();
+        assert_eq!(borda.len(), 2);
+    }
+
+    #[test]
+    fn tie_scores_share_borda_points() {
+        let mut t = ScoreTable::new();
+        t.add_metric("m", Direction::HigherIsBetter);
+        t.record("x", "m", 5.0);
+        t.record("y", "m", 5.0);
+        let pts = t.borda_ranking();
+        assert!((pts[0].1 - pts[1].1).abs() < 1e-12);
+    }
+}

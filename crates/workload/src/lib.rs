@@ -1,0 +1,47 @@
+//! `atlarge-workload` — workload models for the AtLarge reproduction.
+//!
+//! The paper's case studies repeatedly turn on *workload structure*: the
+//! non-Poisson arrivals and flashcrowds of P2P ecosystems (§6.1), the
+//! diurnal player dynamics of MMOGs (§6.2), the bags-of-tasks and workflows
+//! that made portfolio simulation expensive (§6.6 — "BoT- and
+//! workflow-based workloads are comprised of many more jobs in the same
+//! time-span than traditional parallel workloads"), and the workflow-based
+//! cloud workloads of the autoscaling experiments (§6.7).
+//!
+//! This crate provides:
+//!
+//! - [`arrivals`] — arrival processes: Poisson, bursty (MMPP-style on/off),
+//!   flashcrowd, and diurnal.
+//! - [`job`] — jobs and bags-of-tasks with resource demands.
+//! - [`workflow`] — DAG workflows with generators and critical-path
+//!   analysis.
+//! - [`mixes`] — the named workload mixes of Table 9 (Syn, Sci, CE, BC,
+//!   Ind, BD, Gaming).
+//! - [`trace`] — a Game/P2P-Trace-Archive-style trace format with FAIR
+//!   metadata (§3.6's FOAD dissemination).
+//! - [`memex`] — the Distributed Systems Memex of challenge C6: a
+//!   heritage-preserving archive of operational traces.
+//!
+//! # Examples
+//!
+//! ```
+//! use atlarge_workload::arrivals::{ArrivalProcess, Poisson};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let times = Poisson::new(2.0).generate(&mut rng, 0.0, 100.0);
+//! assert!(!times.is_empty());
+//! assert!(times.windows(2).all(|w| w[0] <= w[1]));
+//! ```
+
+pub mod arrivals;
+pub mod job;
+pub mod memex;
+pub mod mixes;
+pub mod trace;
+pub mod workflow;
+
+pub use arrivals::ArrivalProcess;
+pub use job::{Job, JobId, Task};
+pub use workflow::Workflow;

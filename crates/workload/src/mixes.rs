@@ -1,0 +1,195 @@
+//! Named workload mixes (Table 9).
+//!
+//! Table 9 evaluates portfolio scheduling across workloads abbreviated
+//! Syn (synthetic), Sci (scientific), Sci+Gam, CE (computer engineering),
+//! BC (business-critical), Ind (industrial IoT analytics), and BD (big
+//! data). Each mix here is a generator with the characteristics the
+//! underlying studies describe, so the Table-9 reproduction sweeps the same
+//! axis.
+
+use crate::arrivals::{ArrivalProcess, Bursty, Diurnal, Poisson};
+use crate::job::{BagOfTasksGen, Job, JobId};
+use rand::Rng;
+
+/// The workload families of Table 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mix {
+    /// Synthetic: Poisson arrivals, moderate bags, low variance (\[114\]).
+    Synthetic,
+    /// Scientific: bursty arrivals of large bags with heavy-tailed
+    /// runtimes, as in grid traces (\[115\], \[121\], \[124\]).
+    Scientific,
+    /// Scientific + gaming mix (\[116\]).
+    SciGaming,
+    /// Computer-engineering batch jobs: many short tasks (\[117\]).
+    ComputerEngineering,
+    /// Business-critical: long-running, low-parallelism, strict
+    /// expectations (\[118\]).
+    BusinessCritical,
+    /// Industrial IoT analytics: periodic small jobs (\[119\]).
+    Industrial,
+    /// Big data: few very large bags, stragglers (\[120\]).
+    BigData,
+}
+
+impl Mix {
+    /// All mixes, in Table-9 row order.
+    pub fn all() -> [Mix; 7] {
+        [
+            Mix::Synthetic,
+            Mix::Scientific,
+            Mix::SciGaming,
+            Mix::ComputerEngineering,
+            Mix::BusinessCritical,
+            Mix::Industrial,
+            Mix::BigData,
+        ]
+    }
+
+    /// The Table-9 abbreviation of this mix.
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            Mix::Synthetic => "Syn",
+            Mix::Scientific => "Sci",
+            Mix::SciGaming => "Sci+Gam",
+            Mix::ComputerEngineering => "CE",
+            Mix::BusinessCritical => "BC",
+            Mix::Industrial => "Ind",
+            Mix::BigData => "BD",
+        }
+    }
+
+    fn bot_gen(&self) -> BagOfTasksGen {
+        match self {
+            Mix::Synthetic => BagOfTasksGen {
+                mean_tasks: 5.0,
+                mean_runtime: 100.0,
+                runtime_cv: 0.5,
+                cpus_per_task: 1,
+            },
+            Mix::Scientific => BagOfTasksGen {
+                mean_tasks: 20.0,
+                mean_runtime: 400.0,
+                runtime_cv: 2.0,
+                cpus_per_task: 1,
+            },
+            Mix::SciGaming => BagOfTasksGen {
+                mean_tasks: 12.0,
+                mean_runtime: 150.0,
+                runtime_cv: 1.5,
+                cpus_per_task: 1,
+            },
+            Mix::ComputerEngineering => BagOfTasksGen {
+                mean_tasks: 30.0,
+                mean_runtime: 30.0,
+                runtime_cv: 0.8,
+                cpus_per_task: 1,
+            },
+            Mix::BusinessCritical => BagOfTasksGen {
+                mean_tasks: 2.0,
+                mean_runtime: 3600.0,
+                runtime_cv: 0.4,
+                cpus_per_task: 2,
+            },
+            Mix::Industrial => BagOfTasksGen {
+                mean_tasks: 4.0,
+                mean_runtime: 60.0,
+                runtime_cv: 0.6,
+                cpus_per_task: 1,
+            },
+            Mix::BigData => BagOfTasksGen {
+                mean_tasks: 60.0,
+                mean_runtime: 200.0,
+                runtime_cv: 3.0,
+                cpus_per_task: 1,
+            },
+        }
+    }
+
+    /// Generates arrival times over `[0, horizon)` at roughly
+    /// `rate_scale` jobs per 1000 s, with the mix's characteristic
+    /// arrival shape.
+    fn arrivals<R: Rng + ?Sized>(&self, rng: &mut R, horizon: f64, rate_scale: f64) -> Vec<f64> {
+        let rate = rate_scale / 1000.0;
+        match self {
+            Mix::Synthetic | Mix::ComputerEngineering => {
+                Poisson::new(rate).generate(rng, 0.0, horizon)
+            }
+            Mix::Scientific | Mix::BigData => {
+                Bursty::new(rate * 6.0, rate * 0.3, horizon / 40.0, horizon / 12.0)
+                    .generate(rng, 0.0, horizon)
+            }
+            Mix::SciGaming | Mix::Industrial => {
+                Diurnal::new(rate, 0.7, horizon / 5.0, 0.0).generate(rng, 0.0, horizon)
+            }
+            Mix::BusinessCritical => Poisson::new(rate * 0.5).generate(rng, 0.0, horizon),
+        }
+    }
+
+    /// Generates the full workload: jobs with arrival times and bags of
+    /// tasks matching the mix's profile.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R, horizon: f64, rate_scale: f64) -> Vec<Job> {
+        let gen = self.bot_gen();
+        self.arrivals(rng, horizon, rate_scale)
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| gen.sample(rng, JobId(i as u64), t))
+            .collect()
+    }
+}
+
+impl std::fmt::Display for Mix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_mixes_generate_jobs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for mix in Mix::all() {
+            let jobs = mix.generate(&mut rng, 50_000.0, 30.0);
+            assert!(!jobs.is_empty(), "{mix} generated no jobs");
+            assert!(jobs.windows(2).all(|w| w[0].submit <= w[1].submit));
+        }
+    }
+
+    #[test]
+    fn big_data_bags_are_larger_than_synthetic() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mean_size = |mix: Mix, rng: &mut StdRng| {
+            let jobs = mix.generate(rng, 200_000.0, 30.0);
+            jobs.iter().map(Job::size).sum::<usize>() as f64 / jobs.len() as f64
+        };
+        let syn = mean_size(Mix::Synthetic, &mut rng);
+        let bd = mean_size(Mix::BigData, &mut rng);
+        assert!(bd > 3.0 * syn, "syn {syn} bd {bd}");
+    }
+
+    #[test]
+    fn business_critical_runs_long() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let jobs = Mix::BusinessCritical.generate(&mut rng, 400_000.0, 30.0);
+        let mean_rt: f64 = jobs
+            .iter()
+            .flat_map(|j| j.tasks.iter().map(|t| t.runtime))
+            .sum::<f64>()
+            / jobs.iter().map(Job::size).sum::<usize>() as f64;
+        assert!(mean_rt > 1000.0, "mean runtime {mean_rt}");
+    }
+
+    #[test]
+    fn abbrevs_match_table9() {
+        let abbrevs: Vec<&str> = Mix::all().iter().map(|m| m.abbrev()).collect();
+        assert_eq!(
+            abbrevs,
+            vec!["Syn", "Sci", "Sci+Gam", "CE", "BC", "Ind", "BD"]
+        );
+    }
+}

@@ -1,0 +1,238 @@
+//! Trace archives with FAIR metadata.
+//!
+//! §3.6 and §6.1/§6.2 emphasize sharing workload and operational traces as
+//! FAIR / free open-access data (the Peer-to-Peer Trace Archive \[64\], the
+//! Game Trace Archive \[83\]). This module implements a small line-oriented
+//! trace format with a metadata descriptor, round-trippable through
+//! strings, so every simulator can export what it observed and experiments
+//! can be replayed from traces instead of generators.
+
+use crate::job::{Job, JobId, Task};
+use std::fmt;
+
+/// FAIR-style descriptor of a trace: who, what, when, how collected.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceMeta {
+    /// Name of the trace (findable).
+    pub name: String,
+    /// Producing system or instrument (provenance).
+    pub source: String,
+    /// License string (reusable).
+    pub license: String,
+    /// Free-form description (accessible/interoperable).
+    pub description: String,
+}
+
+/// A job trace: metadata plus a job list sorted by submission time.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct JobTrace {
+    /// FAIR descriptor.
+    pub meta: TraceMeta,
+    jobs: Vec<Job>,
+}
+
+/// Errors arising when parsing a serialized trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseTraceError {
+    /// A line did not have the expected field count.
+    BadFieldCount {
+        /// The 1-based line number.
+        line: usize,
+    },
+    /// A numeric field failed to parse.
+    BadNumber {
+        /// The 1-based line number.
+        line: usize,
+    },
+    /// Jobs were not sorted by submission time.
+    Unsorted,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTraceError::BadFieldCount { line } => {
+                write!(f, "line {line}: unexpected field count")
+            }
+            ParseTraceError::BadNumber { line } => write!(f, "line {line}: invalid number"),
+            ParseTraceError::Unsorted => write!(f, "jobs not sorted by submit time"),
+        }
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+impl JobTrace {
+    /// Creates a trace from jobs, sorting them by submission time.
+    pub fn new(meta: TraceMeta, mut jobs: Vec<Job>) -> Self {
+        jobs.sort_by(|a, b| a.submit.partial_cmp(&b.submit).expect("finite submits"));
+        JobTrace { meta, jobs }
+    }
+
+    /// The jobs, sorted by submission time.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the trace holds no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Serializes to the archive's line format:
+    ///
+    /// ```text
+    /// # name: ...
+    /// # source: ...
+    /// # license: ...
+    /// # description: ...
+    /// job_id submit task_runtime task_cpus
+    /// ```
+    ///
+    /// One line per task; tasks of a job share its id and submit time.
+    pub fn to_archive_string(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# name: {}\n", self.meta.name));
+        out.push_str(&format!("# source: {}\n", self.meta.source));
+        out.push_str(&format!("# license: {}\n", self.meta.license));
+        out.push_str(&format!("# description: {}\n", self.meta.description));
+        for j in &self.jobs {
+            for t in &j.tasks {
+                out.push_str(&format!("{} {} {} {}\n", j.id.0, j.submit, t.runtime, t.cpus));
+            }
+        }
+        out
+    }
+
+    /// Parses the archive line format produced by
+    /// [`JobTrace::to_archive_string`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseTraceError`] on malformed lines or unsorted jobs.
+    pub fn from_archive_string(s: &str) -> Result<Self, ParseTraceError> {
+        let mut meta = TraceMeta::default();
+        let mut jobs: Vec<Job> = Vec::new();
+        for (i, line) in s.lines().enumerate() {
+            let line_no = i + 1;
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('#') {
+                let rest = rest.trim();
+                if let Some((k, v)) = rest.split_once(':') {
+                    let v = v.trim().to_string();
+                    match k.trim() {
+                        "name" => meta.name = v,
+                        "source" => meta.source = v,
+                        "license" => meta.license = v,
+                        "description" => meta.description = v,
+                        _ => {}
+                    }
+                }
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if fields.len() != 4 {
+                return Err(ParseTraceError::BadFieldCount { line: line_no });
+            }
+            let id: u64 = fields[0]
+                .parse()
+                .map_err(|_| ParseTraceError::BadNumber { line: line_no })?;
+            let submit: f64 = fields[1]
+                .parse()
+                .map_err(|_| ParseTraceError::BadNumber { line: line_no })?;
+            let runtime: f64 = fields[2]
+                .parse()
+                .map_err(|_| ParseTraceError::BadNumber { line: line_no })?;
+            let cpus: u32 = fields[3]
+                .parse()
+                .map_err(|_| ParseTraceError::BadNumber { line: line_no })?;
+            let task = Task::new(runtime, cpus);
+            match jobs.last_mut() {
+                Some(j) if j.id == JobId(id) => j.tasks.push(task),
+                _ => jobs.push(Job::new(JobId(id), submit, vec![task])),
+            }
+        }
+        if !jobs.windows(2).all(|w| w[0].submit <= w[1].submit) {
+            return Err(ParseTraceError::Unsorted);
+        }
+        Ok(JobTrace { meta, jobs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> JobTrace {
+        JobTrace::new(
+            TraceMeta {
+                name: "gwa-like".into(),
+                source: "atlarge-workload generator".into(),
+                license: "CC-BY-4.0".into(),
+                description: "unit-test trace".into(),
+            },
+            vec![
+                Job::new(JobId(1), 0.0, vec![Task::new(10.0, 1), Task::new(20.0, 2)]),
+                Job::new(JobId(2), 5.0, vec![Task::new(3.0, 1)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let t = sample_trace();
+        let s = t.to_archive_string();
+        let back = JobTrace::from_archive_string(&s).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn constructor_sorts_by_submit() {
+        let t = JobTrace::new(
+            TraceMeta::default(),
+            vec![
+                Job::new(JobId(2), 9.0, vec![Task::new(1.0, 1)]),
+                Job::new(JobId(1), 1.0, vec![Task::new(1.0, 1)]),
+            ],
+        );
+        assert_eq!(t.jobs()[0].id, JobId(1));
+    }
+
+    #[test]
+    fn bad_field_count_reported_with_line() {
+        let err = JobTrace::from_archive_string("1 2 3\n").unwrap_err();
+        assert_eq!(err, ParseTraceError::BadFieldCount { line: 1 });
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn bad_number_reported() {
+        let err = JobTrace::from_archive_string("1 x 3 1\n").unwrap_err();
+        assert_eq!(err, ParseTraceError::BadNumber { line: 1 });
+    }
+
+    #[test]
+    fn unsorted_jobs_rejected() {
+        let s = "2 10.0 1.0 1\n1 0.0 1.0 1\n";
+        assert_eq!(
+            JobTrace::from_archive_string(s).unwrap_err(),
+            ParseTraceError::Unsorted
+        );
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let s = "# name: x\n\n# unknown: y\n1 0.0 2.0 1\n";
+        let t = JobTrace::from_archive_string(s).unwrap();
+        assert_eq!(t.meta.name, "x");
+        assert_eq!(t.len(), 1);
+    }
+}

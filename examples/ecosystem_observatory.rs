@@ -1,0 +1,79 @@
+//! The ecosystem observatory: a BTWorld-style measurement campaign over a
+//! simulated global P2P ecosystem (§6.1).
+//!
+//! Generates a ground-truth ecosystem, observes it through two imperfect
+//! instruments (wide vs narrow), quantifies their bias, detects spam
+//! trackers and aliased media, and watches a flashcrowd hit a swarm.
+//!
+//! ```sh
+//! cargo run --release --example ecosystem_observatory
+//! ```
+
+use atlarge::p2p::ecosystem::{
+    alias_analysis, detect_spam_trackers, Ecosystem, EcosystemConfig,
+};
+use atlarge::p2p::flashcrowd;
+use atlarge::p2p::measurement::{coverage_ablation, GroundTruth, Instrument};
+use atlarge::p2p::twofast::speedup_curve;
+use atlarge::p2p::vicissitude::{bottleneck_shifts, run_pipeline, vicissitude_score};
+
+fn main() {
+    // -- The global ecosystem ---------------------------------------------
+    let eco = Ecosystem::generate(EcosystemConfig::default(), 2026);
+    println!(
+        "ecosystem: {} swarms on {} trackers",
+        eco.swarms.len(),
+        eco.trackers.len()
+    );
+    let giants = eco.giant_swarms(3);
+    println!("giant swarms: {giants:?} concurrent peers");
+
+    let aliases = alias_analysis(&eco);
+    println!(
+        "aliased media: {} contents in multiple formats ({:.1} formats each); \
+         apparent catalog inflated {:.2}x",
+        aliases.aliased_contents, aliases.mean_aliases, aliases.inflation
+    );
+
+    let spam = detect_spam_trackers(&eco, 0.1);
+    println!("spam trackers flagged: {spam:?}\n");
+
+    // -- Instruments and their bias ([65]) ---------------------------------
+    let truth = GroundTruth::generate(5_000, 40, 2026);
+    let wide = Instrument::wide();
+    let narrow = Instrument::narrow();
+    println!(
+        "instrument bias (total variation vs ground truth): wide {:.3}, narrow {:.3}",
+        wide.bias(&truth, 1),
+        narrow.bias(&truth, 1)
+    );
+    println!("coverage ablation (coverage -> bias):");
+    for (cov, bias) in coverage_ablation(&truth, 1) {
+        println!("   {:>4.0}% -> {bias:.3}", cov * 100.0);
+    }
+
+    // -- A flashcrowd hits ([66]) ------------------------------------------
+    let study = flashcrowd::study(2026);
+    println!(
+        "\nflashcrowd: {} arrivals total, {} window(s) detected, \
+         download times inflated {:.2}x during the crowd",
+        study.arrivals.len(),
+        study.detected.len(),
+        study.inflation()
+    );
+
+    // -- 2fast to the rescue ([68]) ----------------------------------------
+    println!("\n2fast speedup for an ADSL collector (download:upload = 8):");
+    for (helpers, speedup) in speedup_curve(64e3, 8.0, 8) {
+        println!("   {helpers} helpers -> {speedup:.2}x");
+    }
+
+    // -- And the analytics that processed it all ([38]) ---------------------
+    let pipeline = run_pipeline(300, 2026);
+    println!(
+        "\nanalytics pipeline vicissitude: bottleneck entropy {:.2}, {} shifts over {} chunks",
+        vicissitude_score(&pipeline),
+        bottleneck_shifts(&pipeline),
+        pipeline.len()
+    );
+}

@@ -1,0 +1,73 @@
+//! Quickstart: a five-minute tour of the AtLarge reproduction.
+//!
+//! Runs one piece of each layer: the design framework's Basic Design
+//! Cycle, a design-space exploration, a calibrated queueing simulation,
+//! and a slice of the portfolio-scheduling experiment.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use atlarge::core::exploration::{compare_processes, ExplorationProcess, Explorer};
+use atlarge::core::process::{BasicDesignCycle, BdcStage, StoppingCriterion};
+use atlarge::core::space::RuggedSpace;
+use atlarge::des::queueing::{mmc_mean_wait, simulate_mmc};
+use atlarge::scheduling::experiments::{run_row, Scale};
+use atlarge::workload::mixes::Mix;
+use atlarge_datacenter::environment::Environment;
+
+fn main() {
+    println!("== 1. The Basic Design Cycle (Figure 8) ==");
+    let mut bdc = BasicDesignCycle::new(vec![
+        StoppingCriterion::Satisfice { threshold: 0.8 },
+        StoppingCriterion::Budget { iterations: 20 },
+    ]);
+    bdc.on(BdcStage::Design, |quality: &mut f64, ctx| {
+        *quality += 0.15; // each iteration improves the design
+        ctx.report_design(quality.min(1.0));
+    });
+    let mut quality = 0.0;
+    let report = bdc.run(&mut quality);
+    println!(
+        "   stopped after {} iterations because {:?}; final quality {quality:.2}\n",
+        report.iterations, report.reason
+    );
+
+    println!("== 2. Design-space exploration (Figure 6) ==");
+    let space = RuggedSpace::new(40, 3, 7);
+    for (process, satisfice_rate, novelty, quality) in
+        compare_processes(&space, 0.64, 400, 20)
+    {
+        println!(
+            "   {process:<12} satisfice rate {satisfice_rate:.2}  novelty {novelty:.2}  best quality {quality:.3}"
+        );
+    }
+    let coev = Explorer::new(ExplorationProcess::CoEvolving, 2_000).run(&space, 0.75, 1);
+    println!(
+        "   co-evolving run visited {} problems, found {} satisficing designs\n",
+        coev.problems_visited,
+        coev.solutions_found()
+    );
+
+    println!("== 3. A calibrated simulation kernel ==");
+    let (wait, _) = simulate_mmc(2.4, 1.0, 3, 50_000, 11);
+    let theory = mmc_mean_wait(3, 2.4, 1.0);
+    println!(
+        "   M/M/3 mean wait: simulated {wait:.3}s vs Erlang-C {theory:.3}s\n"
+    );
+
+    println!("== 4. One Table-9 cell: portfolio scheduling on big data ==");
+    let row = run_row(
+        "[120] ('18)",
+        Mix::BigData,
+        Environment::OwnCluster,
+        Scale::Quick,
+        7,
+    );
+    let (best_policy, best) = row.best_single_slowdown();
+    println!(
+        "   portfolio slowdown {:.2} vs best single policy {best_policy} {best:.2} -> finding: \"{}\"",
+        row.portfolio.mean_bounded_slowdown,
+        row.finding()
+    );
+}

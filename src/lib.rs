@@ -1,0 +1,38 @@
+//! `atlarge` — an executable reproduction of *"The AtLarge Vision on the
+//! Design of Distributed Systems and Ecosystems"* (ICDCS 2019).
+//!
+//! This facade crate re-exports every subsystem of the workspace so the
+//! examples and downstream users can depend on a single crate:
+//!
+//! - [`core`] — the ATLARGE design framework as an executable engine
+//!   (reasoning modes, design-space exploration, the Basic Design Cycle,
+//!   catalogs of principles and challenges).
+//! - [`des`] — the deterministic discrete-event simulation kernel every
+//!   domain simulator runs on.
+//! - [`stats`] / [`workload`] — shared statistics and workload models.
+//! - Domain reproductions of the paper's Section-6 case studies:
+//!   [`p2p`], [`mmog`], [`datacenter`], [`serverless`], [`graph`],
+//!   [`scheduling`], [`autoscaling`], and [`biblio`] for the bibliometric
+//!   figures.
+//!
+//! # Examples
+//!
+//! ```
+//! use atlarge::stats::Summary;
+//!
+//! let s = Summary::from_slice(&[1.0, 2.0, 3.0]);
+//! assert_eq!(s.median(), 2.0);
+//! ```
+
+pub use atlarge_autoscaling as autoscaling;
+pub use atlarge_biblio as biblio;
+pub use atlarge_core as core;
+pub use atlarge_datacenter as datacenter;
+pub use atlarge_des as des;
+pub use atlarge_graph as graph;
+pub use atlarge_mmog as mmog;
+pub use atlarge_p2p as p2p;
+pub use atlarge_scheduling as scheduling;
+pub use atlarge_serverless as serverless;
+pub use atlarge_stats as stats;
+pub use atlarge_workload as workload;

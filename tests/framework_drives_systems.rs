@@ -1,0 +1,99 @@
+//! Integration: the design framework (atlarge-core) drives the domain
+//! simulators — the workspace's central composition.
+
+use atlarge::core::process::{BasicDesignCycle, BdcStage, StopReason, StoppingCriterion};
+use atlarge::core::space::{Axis, DesignSpace};
+use atlarge::scheduling::policy::Policy;
+use atlarge::scheduling::simulator::{simulate, SimConfig};
+use atlarge::workload::mixes::Mix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A design space whose designs are scheduler policies and whose quality
+/// function runs the scheduling simulator — design-space exploration with
+/// simulation-based evaluation, exactly the §5.1/C3 methodology.
+#[derive(Clone)]
+struct SchedulerSpace {
+    jobs: Vec<atlarge::workload::job::Job>,
+}
+
+impl DesignSpace for SchedulerSpace {
+    type Design = usize; // index into Policy::all()
+
+    fn random<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.gen_range(0..Policy::all().len())
+    }
+
+    fn neighbors(&self, &d: &usize, _axis: Axis) -> Vec<usize> {
+        (0..Policy::all().len()).filter(|&i| i != d).collect()
+    }
+
+    fn quality(&self, &d: &usize) -> f64 {
+        let policy = Policy::all()[d];
+        let m = simulate(
+            &self.jobs,
+            &[64],
+            policy,
+            &SimConfig {
+                estimate_sigma: 0.0,
+                seed: 5,
+            },
+        );
+        (1.0 / m.mean_bounded_slowdown).min(1.0)
+    }
+
+    fn distance(&self, a: &usize, b: &usize) -> f64 {
+        f64::from(a != b)
+    }
+
+    fn log2_size(&self) -> f64 {
+        (Policy::all().len() as f64).log2()
+    }
+}
+
+fn small_workload() -> Vec<atlarge::workload::job::Job> {
+    let mut rng = StdRng::seed_from_u64(3);
+    Mix::Synthetic.generate(&mut rng, 6_000.0, 6.0)
+}
+
+#[test]
+fn exploration_over_simulated_designs_satisfices() {
+    use atlarge::core::exploration::{ExplorationProcess, Explorer};
+    let space = SchedulerSpace {
+        jobs: small_workload(),
+    };
+    let report = Explorer::new(ExplorationProcess::Free, 20).run(&space, 0.2, 1);
+    assert!(report.best_quality > 0.0);
+    assert!(report.evaluations_used <= 20);
+}
+
+#[test]
+fn bdc_with_simulation_stage_stops_on_portfolio() {
+    let jobs = small_workload();
+    let mut results: Vec<(Policy, f64)> = Vec::new();
+    let mut bdc = BasicDesignCycle::new(vec![
+        StoppingCriterion::Portfolio {
+            count: 2,
+            threshold: 0.1,
+        },
+        StoppingCriterion::Budget { iterations: 7 },
+    ]);
+    bdc.on(BdcStage::ExperimentalAnalysis, |r: &mut Vec<(Policy, f64)>, ctx| {
+        let policy = Policy::all()[ctx.iteration() % Policy::all().len()];
+        let m = simulate(
+            &jobs,
+            &[64],
+            policy,
+            &SimConfig {
+                estimate_sigma: 0.0,
+                seed: 5,
+            },
+        );
+        let q = (1.0 / m.mean_bounded_slowdown).min(1.0);
+        r.push((policy, q));
+        ctx.report_design(q);
+    });
+    let report = bdc.run(&mut results);
+    assert_eq!(report.reason, StopReason::PortfolioComplete);
+    assert_eq!(results.len(), report.iterations);
+}

@@ -1,0 +1,64 @@
+//! Integration: FAIR traces (atlarge-workload) feed the scheduling
+//! simulator identically to the generator — the FOAD dissemination story
+//! of §3.6 made executable: an experiment can be replayed from a shared
+//! archive.
+
+use atlarge::scheduling::policy::Policy;
+use atlarge::scheduling::simulator::{simulate, SimConfig};
+use atlarge::workload::mixes::Mix;
+use atlarge::workload::trace::{JobTrace, TraceMeta};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn replay_from_archive_matches_generated_run() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let jobs = Mix::ComputerEngineering.generate(&mut rng, 8_000.0, 5.0);
+
+    // Publish the workload as a FOAD archive...
+    let trace = JobTrace::new(
+        TraceMeta {
+            name: "ce-workload".into(),
+            source: "atlarge-workload::mixes".into(),
+            license: "CC-BY-4.0".into(),
+            description: "integration-test trace".into(),
+        },
+        jobs.clone(),
+    );
+    let archived = trace.to_archive_string();
+
+    // ...and replay it in an "independent" lab.
+    let replayed = JobTrace::from_archive_string(&archived).expect("valid archive");
+
+    let config = SimConfig {
+        estimate_sigma: 0.2,
+        seed: 3,
+    };
+    let original = simulate(&jobs, &[64, 64], Policy::Sjf, &config);
+    let replay = simulate(replayed.jobs(), &[64, 64], Policy::Sjf, &config);
+    assert_eq!(original, replay, "replayed run must be bit-identical");
+    assert!(original.jobs_completed > 0);
+}
+
+#[test]
+fn independent_corroboration_same_conclusion_different_seeds() {
+    // §6.7's lesson: independent implementations/runs should corroborate
+    // conclusions, not numbers. Here: SJF beats LJF on mean response for
+    // heavy-tailed workloads under several seeds.
+    for seed in [1u64, 2, 3] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let jobs = Mix::Scientific.generate(&mut rng, 8_000.0, 4.0);
+        let config = SimConfig {
+            estimate_sigma: 0.0,
+            seed,
+        };
+        let sjf = simulate(&jobs, &[128], Policy::Sjf, &config);
+        let ljf = simulate(&jobs, &[128], Policy::Ljf, &config);
+        assert!(
+            sjf.mean_response <= ljf.mean_response * 1.05,
+            "seed {seed}: sjf {} vs ljf {}",
+            sjf.mean_response,
+            ljf.mean_response
+        );
+    }
+}
