@@ -58,13 +58,8 @@ impl WorkflowWorkload {
     pub fn generate(&self, horizon: f64, seed: u64) -> Vec<Workflow> {
         let mut rng = StdRng::seed_from_u64(seed);
         let arrivals = match self {
-            WorkflowWorkload::Bursty => {
-                Bursty::new(0.05, 0.004, horizon / 20.0, horizon / 8.0).generate(
-                    &mut rng,
-                    0.0,
-                    horizon,
-                )
-            }
+            WorkflowWorkload::Bursty => Bursty::new(0.05, 0.004, horizon / 20.0, horizon / 8.0)
+                .generate(&mut rng, 0.0, horizon),
             _ => Poisson::new(0.01).generate(&mut rng, 0.0, horizon),
         };
         arrivals
@@ -202,6 +197,7 @@ pub fn grading_weights() -> BTreeMap<String, f64> {
 }
 
 /// The full §6.7 aggregation: `(head-to-head, borda, grades)` rankings.
+#[allow(clippy::type_complexity)] // three parallel rankings, one call site
 pub fn aggregate(
     cells: &[CampaignCell],
 ) -> (Vec<(String, usize)>, Vec<(String, f64)>, Vec<(String, f64)>) {
@@ -226,7 +222,12 @@ mod tests {
         let cs = cells();
         assert_eq!(cs.len(), ROSTER_SIZE * WorkflowWorkload::all().len());
         for c in &cs {
-            assert!(c.completed > 0, "{}/{} completed nothing", c.scaler, c.workload);
+            assert!(
+                c.completed > 0,
+                "{}/{} completed nothing",
+                c.scaler,
+                c.workload
+            );
         }
     }
 
@@ -285,8 +286,7 @@ mod tests {
         let table = score_table(&cs);
         let competitors = table.competitors().len();
         let wins = table.head_to_head();
-        let max_possible =
-            (competitors - 1) * ElasticityReport::metric_names().len();
+        let max_possible = (competitors - 1) * ElasticityReport::metric_names().len();
         assert!(
             wins[0].1 < max_possible,
             "{} swept all {} pairwise contests",

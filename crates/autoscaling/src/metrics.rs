@@ -80,13 +80,7 @@ impl ElasticityReport {
                 0.0
             }
         });
-        let util = demand.combine(supply, |d, s| {
-            if s <= 0.0 {
-                0.0
-            } else {
-                (d / s).min(1.0)
-            }
-        });
+        let util = demand.combine(supply, |d, s| if s <= 0.0 { 0.0 } else { (d / s).min(1.0) });
         ElasticityReport {
             under_accuracy: under_acc,
             over_accuracy: over_acc,
@@ -203,7 +197,11 @@ mod tests {
         let r = ElasticityReport::compute(&demand, &supply, 0.0, 3600.0, 1.0, 0.0);
         // 10 transitions minus the initial no-op? initial 1.0 -> 2.0 at t=0
         // counts; all alternate: 10 changes over 1 hour.
-        assert!((r.instability - 10.0).abs() < 1e-9, "instability {}", r.instability);
+        assert!(
+            (r.instability - 10.0).abs() < 1e-9,
+            "instability {}",
+            r.instability
+        );
     }
 
     #[test]

@@ -9,6 +9,9 @@
 use crate::autoscaler::{Autoscaler, ScalerView};
 use atlarge_des::sim::{Ctx, Model, Simulation};
 use atlarge_stats::timeseries::StepSeries;
+use atlarge_telemetry::manifest::config_digest;
+use atlarge_telemetry::recorder::Recorder;
+use atlarge_telemetry::tracer::EventLabel;
 use atlarge_workload::workflow::Workflow;
 use std::collections::VecDeque;
 
@@ -59,10 +62,7 @@ impl RunResult {
 
     /// Mean workflow response time.
     pub fn mean_response(&self) -> f64 {
-        self.workflows
-            .iter()
-            .map(|&(s, c, _)| c - s)
-            .sum::<f64>()
+        self.workflows.iter().map(|&(s, c, _)| c - s).sum::<f64>()
             / self.workflows.len().max(1) as f64
     }
 
@@ -86,6 +86,17 @@ enum Ev {
     Finish { wf: usize, node: usize },
     Tick,
     Provisioned(u32),
+}
+
+impl EventLabel for Ev {
+    fn label(&self) -> &'static str {
+        match self {
+            Ev::Arrival(_) => "arrival",
+            Ev::Finish { .. } => "finish",
+            Ev::Tick => "tick",
+            Ev::Provisioned(_) => "provisioned",
+        }
+    }
 }
 
 struct WfState {
@@ -113,6 +124,7 @@ struct ScaleModel<A: Autoscaler> {
     end_time: f64,
     all_arrived: bool,
     arrived: usize,
+    recorder: Option<Recorder>,
 }
 
 impl<A: Autoscaler> ScaleModel<A> {
@@ -123,6 +135,16 @@ impl<A: Autoscaler> ScaleModel<A> {
     fn record_demand(&mut self, now: f64) {
         let d = self.demand();
         self.demand_series.push(now, d);
+        if let Some(rec) = &self.recorder {
+            rec.gauge_set("scale.demand", now, d);
+        }
+    }
+
+    fn record_supply(&mut self, now: f64) {
+        self.supply_series.push(now, f64::from(self.supply));
+        if let Some(rec) = &self.recorder {
+            rec.gauge_set("scale.supply", now, f64::from(self.supply));
+        }
     }
 
     fn dispatch(&mut self, ctx: &mut Ctx<Ev>) {
@@ -130,7 +152,11 @@ impl<A: Autoscaler> ScaleModel<A> {
             match self.queue.pop_front() {
                 Some((wf, node, eligible_at)) => {
                     self.busy += 1;
-                    self.task_waits.push(ctx.now() - eligible_at);
+                    let wait = ctx.now() - eligible_at;
+                    self.task_waits.push(wait);
+                    if let Some(rec) = &self.recorder {
+                        rec.observe("scale.task_wait_s", wait);
+                    }
                     let runtime = self.workflows[wf].tasks()[node].runtime;
                     ctx.schedule_in(runtime, Ev::Finish { wf, node });
                 }
@@ -177,7 +203,7 @@ impl<A: Autoscaler> Model for ScaleModel<A> {
                 if self.supply > self.target && self.supply > self.busy {
                     let spare = (self.supply - self.target).min(self.supply - self.busy);
                     self.supply -= spare;
-                    self.supply_series.push(ctx.now(), f64::from(self.supply));
+                    self.record_supply(ctx.now());
                 }
                 let mut completed = false;
                 {
@@ -213,6 +239,9 @@ impl<A: Autoscaler> Model for ScaleModel<A> {
                 if self.demand_history.len() > 512 {
                     self.demand_history.drain(..256);
                 }
+                // The autoscaler consultation is the interesting region of
+                // a tick: span it so traced runs profile decision cost.
+                ctx.span_enter("autoscaler.decide");
                 let view = ScalerView {
                     now: ctx.now(),
                     demand: d,
@@ -226,15 +255,19 @@ impl<A: Autoscaler> Model for ScaleModel<A> {
                 if target > effective {
                     let add = target - effective;
                     self.pending_provisions += add;
+                    if let Some(rec) = &self.recorder {
+                        rec.add("scale.provisions", u64::from(add));
+                    }
                     ctx.schedule_in(self.config.boot_delay, Ev::Provisioned(add));
                 } else if target < self.supply {
                     // Scale in immediately, but never kill running tasks.
                     let new_supply = target.max(self.busy);
                     if new_supply != self.supply {
                         self.supply = new_supply;
-                        self.supply_series.push(ctx.now(), f64::from(self.supply));
+                        self.record_supply(ctx.now());
                     }
                 }
+                ctx.span_exit("autoscaler.decide");
                 if !self.finished_everything() {
                     ctx.schedule_in(self.config.tick_interval, Ev::Tick);
                 } else {
@@ -244,7 +277,7 @@ impl<A: Autoscaler> Model for ScaleModel<A> {
             Ev::Provisioned(n) => {
                 self.pending_provisions -= n;
                 self.supply += n;
-                self.supply_series.push(ctx.now(), f64::from(self.supply));
+                self.record_supply(ctx.now());
                 self.dispatch(ctx);
             }
         }
@@ -257,6 +290,35 @@ pub fn run<A: Autoscaler>(
     scaler: A,
     config: AutoscaleConfig,
     seed: u64,
+) -> RunResult {
+    run_impl(workflows, scaler, config, seed, None)
+}
+
+/// Runs one autoscaling experiment with `recorder` attached as tracer and
+/// metric sink (`scale.demand`/`scale.supply` gauges, the
+/// `scale.task_wait_s` tally, the `scale.provisions` counter, and the
+/// `autoscaler.decide` span). The result is identical to an untraced
+/// [`run`] of the same inputs and seed.
+pub fn run_traced<A: Autoscaler>(
+    workflows: Vec<Workflow>,
+    scaler: A,
+    config: AutoscaleConfig,
+    seed: u64,
+    recorder: &Recorder,
+) -> RunResult {
+    recorder.set_run_info("autoscaling.workflows", seed, config_digest(&config));
+    // Mirror the supply series' initial level so the gauge is defined from
+    // time zero even if supply never changes.
+    recorder.gauge_set("scale.supply", 0.0, f64::from(config.initial_supply));
+    run_impl(workflows, scaler, config, seed, Some(recorder.clone()))
+}
+
+fn run_impl<A: Autoscaler>(
+    workflows: Vec<Workflow>,
+    scaler: A,
+    config: AutoscaleConfig,
+    seed: u64,
+    recorder: Option<Recorder>,
 ) -> RunResult {
     assert!(!workflows.is_empty(), "need workflows to scale for");
     let n = workflows.len();
@@ -283,8 +345,12 @@ pub fn run<A: Autoscaler>(
         end_time: 0.0,
         all_arrived: false,
         arrived: 0,
+        recorder: recorder.clone(),
     };
     let mut sim = Simulation::new(model, seed);
+    if let Some(rec) = recorder {
+        sim = sim.with_tracer(rec);
+    }
     for (i, t) in submits.iter().enumerate() {
         sim.schedule(*t, Ev::Arrival(i));
     }
@@ -311,15 +377,7 @@ mod tests {
     fn workflows(n: usize, gap: f64) -> Vec<Workflow> {
         let mut rng = StdRng::seed_from_u64(1);
         (0..n)
-            .map(|i| {
-                generate(
-                    &mut rng,
-                    Shape::ForkJoin(6),
-                    30.0,
-                    0.3,
-                    i as f64 * gap,
-                )
-            })
+            .map(|i| generate(&mut rng, Shape::ForkJoin(6), 30.0, 0.3, i as f64 * gap))
             .collect()
     }
 
@@ -381,5 +439,27 @@ mod tests {
         let a = run(workflows(5, 30.0), React, AutoscaleConfig::default(), 9);
         let b = run(workflows(5, 30.0), React, AutoscaleConfig::default(), 9);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_profiles_ticks() {
+        let cfg = AutoscaleConfig::default();
+        let plain = run(workflows(6, 40.0), React, cfg, 13);
+        let rec = Recorder::new();
+        let traced = run_traced(workflows(6, 40.0), React, cfg, 13, &rec);
+        assert_eq!(plain, traced, "telemetry must not perturb the run");
+        // Every tick dispatched ran exactly one decision span.
+        let spans = rec.span_stats();
+        assert_eq!(spans["autoscaler.decide"].entries, rec.dispatches("tick"));
+        assert!(rec.dispatches("tick") > 0);
+        assert_eq!(
+            rec.tally("scale.task_wait_s")
+                .expect("waits recorded")
+                .len(),
+            traced.task_waits.len()
+        );
+        assert_eq!(rec.manifest().model, "autoscaling.workflows");
+        let supply = rec.gauge("scale.supply").expect("supply tracked");
+        assert!(supply.max_level() >= f64::from(cfg.initial_supply));
     }
 }

@@ -19,7 +19,10 @@ fn bench(c: &mut Criterion) {
 
     println!("cold-start keep-alive ablation (keep-alive s -> cold %, p50 s, GB-s):");
     for (ka, cold, p50, gbs) in keepalive_sweep(1) {
-        println!("  {ka:>6.0}s -> {:>3.0}% cold, p50 {p50:.2}s, {gbs:.1} GB-s", cold * 100.0);
+        println!(
+            "  {ka:>6.0}s -> {:>3.0}% cold, p50 {p50:.2}s, {gbs:.1} GB-s",
+            cold * 100.0
+        );
     }
 
     println!("co-evolution stall-limit ablation (limit -> problems visited, satisficed):");
@@ -37,8 +40,7 @@ fn bench(c: &mut Criterion) {
     println!("AoS battle-composition ablation (hot points -> AoS/full load ratio):");
     for hot in [0usize, 1, 3, 5, 7] {
         let s = Scenario::replay_shaped(hot.max(1), 7 - hot.min(7), 1);
-        let ratio = load(&s, Architecture::AreaOfSimulation)
-            / load(&s, Architecture::FullFidelity);
+        let ratio = load(&s, Architecture::AreaOfSimulation) / load(&s, Architecture::FullFidelity);
         println!("  {hot} hot points -> ratio {ratio:.2}");
     }
 }

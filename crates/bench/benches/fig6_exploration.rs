@@ -16,7 +16,10 @@ fn bench(c: &mut Criterion) {
     }
     g.finish();
     for (p, rate, novelty, quality) in compare_processes(&space, 0.64, 400, 20) {
-        println!("{:<14} satisfice {rate:.2} novelty {novelty:.2} quality {quality:.3}", p.name());
+        println!(
+            "{:<14} satisfice {rate:.2} novelty {novelty:.2} quality {quality:.3}",
+            p.name()
+        );
     }
     let run = Explorer::new(ExplorationProcess::CoEvolving, 3_000)
         .stall_limit(2)

@@ -1,8 +1,6 @@
 //! Bench: Figure 9 (reference architectures and industry-stack coverage).
 
-use atlarge_datacenter::refarch::{
-    big_data_refarch, full_datacenter_refarch, industry_stacks,
-};
+use atlarge_datacenter::refarch::{big_data_refarch, full_datacenter_refarch, industry_stacks};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {

@@ -1,0 +1,124 @@
+//! Telemetry overhead on the DES kernel's hot path.
+//!
+//! The tracing hooks promise to be free when disabled: the kernel holds
+//! `Option<Box<dyn Tracer>>`, an untraced run pays one branch per hook
+//! site, and a `NullTracer` reports itself disabled so attaching it
+//! leaves the kernel on the exact untraced path. This bench drives a
+//! pure event chain (the worst case — no model work to hide behind)
+//! under all three configurations and prints the measured overhead
+//! ratios; the NullTracer ratio is the <2% headline number. The full
+//! `Recorder` costs real work (mutex + ring buffer) and is reported for
+//! scale, not bounded.
+
+use atlarge_des::sim::{Ctx, Model, Simulation};
+use atlarge_telemetry::recorder::Recorder;
+use atlarge_telemetry::tracer::{EventLabel, NullTracer};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
+struct Tick;
+
+impl EventLabel for Tick {
+    fn label(&self) -> &'static str {
+        "tick"
+    }
+}
+
+/// A chain of `remaining` self-scheduling events: nothing but kernel work.
+struct Chain {
+    remaining: u64,
+}
+
+impl Model for Chain {
+    type Event = Tick;
+
+    fn handle(&mut self, _ev: Tick, ctx: &mut Ctx<Tick>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.schedule_in(1.0, Tick);
+        }
+    }
+}
+
+const CHAIN_LEN: u64 = 200_000;
+
+fn run_untraced() -> f64 {
+    let mut sim = Simulation::new(
+        Chain {
+            remaining: CHAIN_LEN,
+        },
+        1,
+    );
+    sim.schedule(0.0, Tick);
+    sim.run();
+    sim.now()
+}
+
+fn run_null_traced() -> f64 {
+    let mut sim = Simulation::new(
+        Chain {
+            remaining: CHAIN_LEN,
+        },
+        1,
+    )
+    .with_tracer(NullTracer);
+    sim.schedule(0.0, Tick);
+    sim.run();
+    sim.now()
+}
+
+fn run_recorded() -> f64 {
+    let rec = Recorder::with_trace_capacity(1024);
+    let mut sim = Simulation::new(
+        Chain {
+            remaining: CHAIN_LEN,
+        },
+        1,
+    )
+    .with_tracer(rec);
+    sim.schedule(0.0, Tick);
+    sim.run();
+    sim.now()
+}
+
+/// Median wall time of `reps` runs of `f`, in seconds.
+fn median_secs(reps: usize, f: fn() -> f64) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry_overhead");
+    g.sample_size(10);
+    g.bench_function("untraced", |b| b.iter(run_untraced));
+    g.bench_function("null_tracer", |b| b.iter(run_null_traced));
+    g.bench_function("recorder", |b| b.iter(run_recorded));
+    g.finish();
+
+    // Warm up, then report the headline ratios.
+    for _ in 0..3 {
+        std::hint::black_box(run_untraced());
+    }
+    let base = median_secs(15, run_untraced);
+    let null = median_secs(15, run_null_traced);
+    let rec = median_secs(15, run_recorded);
+    let null_overhead = (null / base - 1.0) * 100.0;
+    let rec_overhead = (rec / base - 1.0) * 100.0;
+    println!("telemetry overhead over {CHAIN_LEN} kernel events (median of 15 runs):");
+    println!("  untraced:    {:.2} ms (baseline)", base * 1e3);
+    println!(
+        "  NullTracer:  {:.2} ms ({null_overhead:+.2}% — target < 2%)",
+        null * 1e3
+    );
+    println!("  Recorder:    {:.2} ms ({rec_overhead:+.2}%)", rec * 1e3);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -50,10 +50,7 @@ mod tests {
             assert!(targets.iter().any(|(_, a)| *a == fig), "missing {fig}");
         }
         for table in ["Table 5", "Table 6", "Table 7", "Table 8", "Table 9"] {
-            assert!(
-                targets.iter().any(|(_, a)| *a == table),
-                "missing {table}"
-            );
+            assert!(targets.iter().any(|(_, a)| *a == table), "missing {table}");
         }
     }
 }

@@ -211,8 +211,8 @@ pub fn extract_findings(articles: &[ReviewedArticle]) -> Findings {
         .iter()
         .filter(|a| a.is_design && a.merit < 3)
         .count();
-    let mean_topic = articles.iter().map(|a| f64::from(a.topic)).sum::<f64>()
-        / articles.len().max(1) as f64;
+    let mean_topic =
+        articles.iter().map(|a| f64::from(a.topic)).sum::<f64>() / articles.len().max(1) as f64;
     Findings {
         design_merit_mean_higher: merit.design.mean() > merit.non_design.mean(),
         design_merit_median_at_least: merit.design.median() >= merit.non_design.median(),
@@ -269,10 +269,7 @@ mod tests {
         // The C2 discussion: "many scores cluster around the middle of the
         // given range".
         let arts = articles();
-        let mid = arts
-            .iter()
-            .filter(|a| a.merit == 2 || a.merit == 3)
-            .count();
+        let mid = arts.iter().filter(|a| a.merit == 2 || a.merit == 3).count();
         assert!(mid as f64 / arts.len() as f64 > 0.5);
     }
 

@@ -39,7 +39,7 @@ impl BlockTable {
         let n = totals.len().saturating_sub(1); // drop incomplete 2015 block
         let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
         let ys: Vec<f64> = totals[..n].iter().map(|&c| c as f64).collect();
-        linear_fit(&xs, &ys).map_or(false, |f| f.slope > 0.0)
+        linear_fit(&xs, &ys).is_some_and(|f| f.slope > 0.0)
     }
 
     /// Ratio of post-2000 to pre-2000 per-block average counts — the
@@ -119,10 +119,7 @@ pub fn design_counts_by_block(corpus: &Corpus) -> BlockTable {
             }
         })
         .collect();
-    BlockTable {
-        block_starts,
-        rows,
-    }
+    BlockTable { block_starts, rows }
 }
 
 #[cfg(test)]

@@ -79,8 +79,7 @@ pub fn principles() -> Vec<Principle> {
             index: 3,
             category: Category::Systems,
             key_aspects: "NFRs, phenomena",
-            statement:
-                "Dynamic non-functional properties and phenomena are first-class concerns.",
+            statement: "Dynamic non-functional properties and phenomena are first-class concerns.",
         },
         Principle {
             index: 4,

@@ -326,8 +326,9 @@ impl Explorer {
                     // evolve the problem (Figure 7 (b)).
                     space = space.evolve(rng);
                     solutions_per_problem.push(0);
-                    trajectory
-                        .push(TrajectoryEvent::ProblemEvolved(solutions_per_problem.len() - 1));
+                    trajectory.push(TrajectoryEvent::ProblemEvolved(
+                        solutions_per_problem.len() - 1,
+                    ));
                     consecutive_failures = 0;
                 }
                 current = space.random(rng);
@@ -466,7 +467,10 @@ mod tests {
         assert!(fw_s > free_s, "fix-what {fw_s} vs free {free_s}");
         assert!(fh_s > free_s, "fix-how {fh_s} vs free {free_s}");
         assert!(co_s > fw_s, "co-evolving {co_s} should lead");
-        assert!(free_n > fw_n && free_n > fh_n, "free keeps the novelty edge");
+        assert!(
+            free_n > fw_n && free_n > fh_n,
+            "free keeps the novelty edge"
+        );
     }
 
     #[test]

@@ -34,10 +34,7 @@ impl IdeationReport {
     /// quantity entering logarithmically.
     pub fn effectiveness(&self) -> f64 {
         let qty = (1.0 + self.quantity as f64).ln() / (1.0 + 20.0f64).ln();
-        0.25 * qty.min(1.0)
-            + 0.35 * self.best_quality
-            + 0.2 * self.novelty
-            + 0.2 * self.variety
+        0.25 * qty.min(1.0) + 0.35 * self.best_quality + 0.2 * self.novelty + 0.2 * self.variety
     }
 }
 
@@ -52,7 +49,7 @@ pub fn measure<S: DesignSpace>(
     // Deduplicate (quantity counts distinct ideas).
     let mut distinct: Vec<&S::Design> = Vec::new();
     for d in designs {
-        if !distinct.iter().any(|x| *x == d) {
+        if !distinct.contains(&d) {
             distinct.push(d);
         }
     }

@@ -50,8 +50,8 @@ pub mod dissemination;
 pub mod exploration;
 pub mod ideation;
 pub mod problem;
-pub mod provenance;
 pub mod process;
+pub mod provenance;
 pub mod quality;
 pub mod reasoning;
 pub mod space;

@@ -215,6 +215,9 @@ impl CycleReport {
 /// Type of a stage action over model `S`.
 pub type StageActionFn<'a, S> = Box<dyn FnMut(&mut S, &mut CycleCtx) + 'a>;
 
+/// Type of a stage-skip predicate: `(model, stage, iteration) -> skip?`.
+pub type SkipFn<'a, S> = Box<dyn FnMut(&S, BdcStage, usize) -> bool + 'a>;
+
 /// The Basic Design Cycle over a design model `S`.
 ///
 /// Register actions per stage; unregistered stages are implicit no-ops
@@ -240,7 +243,7 @@ pub type StageActionFn<'a, S> = Box<dyn FnMut(&mut S, &mut CycleCtx) + 'a>;
 /// ```
 pub struct BasicDesignCycle<'a, S> {
     actions: BTreeMap<BdcStage, StageActionFn<'a, S>>,
-    skip: Box<dyn FnMut(&S, BdcStage, usize) -> bool + 'a>,
+    skip: SkipFn<'a, S>,
     criteria: Vec<StoppingCriterion>,
 }
 
@@ -503,8 +506,7 @@ mod tests {
 
     #[test]
     fn stages_can_be_skipped_per_iteration() {
-        let mut bdc =
-            BasicDesignCycle::new(vec![StoppingCriterion::Budget { iterations: 3 }]);
+        let mut bdc = BasicDesignCycle::new(vec![StoppingCriterion::Budget { iterations: 3 }]);
         bdc.on(BdcStage::Implementation, |count: &mut u32, _| *count += 1);
         // Skip implementation except on the last iteration.
         bdc.skip_when(|_, stage, iter| stage == BdcStage::Implementation && iter < 2);
@@ -516,11 +518,10 @@ mod tests {
 
     #[test]
     fn stage_log_covers_all_iterations() {
-        let mut bdc =
-            BasicDesignCycle::new(vec![StoppingCriterion::Budget { iterations: 2 }]);
+        let mut bdc = BasicDesignCycle::new(vec![StoppingCriterion::Budget { iterations: 2 }]);
         let r = bdc.run(&mut ());
         assert_eq!(r.stage_log.len(), 16); // 2 iterations × 8 stages
-        // Stages appear in canonical order each iteration.
+                                           // Stages appear in canonical order each iteration.
         for (i, chunk) in r.stage_log.chunks(8).enumerate() {
             for (j, &(iter, stage, _)) in chunk.iter().enumerate() {
                 assert_eq!(iter, i);
@@ -531,8 +532,7 @@ mod tests {
 
     #[test]
     fn fallback_prevents_infinite_loops() {
-        let mut bdc =
-            BasicDesignCycle::new(vec![StoppingCriterion::Satisfice { threshold: 1.0 }]);
+        let mut bdc = BasicDesignCycle::new(vec![StoppingCriterion::Satisfice { threshold: 1.0 }]);
         let r = bdc.run(&mut ());
         assert_eq!(r.reason, StopReason::BudgetExhausted);
         assert_eq!(r.iterations, 10_000);

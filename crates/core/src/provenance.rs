@@ -153,11 +153,7 @@ impl DesignLog {
 
     /// The *current* decisions: those not superseded by any later one.
     pub fn current(&self) -> Vec<&Decision> {
-        let superseded: Vec<u32> = self
-            .decisions
-            .iter()
-            .filter_map(|d| d.supersedes)
-            .collect();
+        let superseded: Vec<u32> = self.decisions.iter().filter_map(|d| d.supersedes).collect();
         self.decisions
             .iter()
             .filter(|d| !superseded.contains(&d.id))
@@ -194,7 +190,7 @@ impl DesignLog {
     ///
     /// Field separators inside free text are replaced by `,`.
     pub fn to_formalism(&self) -> String {
-        let clean = |s: &str| s.replace('|', ",").replace(';', ",");
+        let clean = |s: &str| s.replace(['|', ';'], ",");
         self.decisions
             .iter()
             .map(|d| {
@@ -323,7 +319,11 @@ mod tests {
         let chosen: Vec<&str> = chain.iter().map(|d| d.chosen.as_str()).collect();
         assert_eq!(
             chosen,
-            vec!["zoning architecture", "area of simulation", "publish AoS article"]
+            vec![
+                "zoning architecture",
+                "area of simulation",
+                "publish AoS article"
+            ]
         );
     }
 

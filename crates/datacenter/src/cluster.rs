@@ -1,6 +1,7 @@
 //! Clusters of hosts with core-granular allocation.
 
-use atlarge_des::monitor::Gauge;
+use atlarge_telemetry::metrics::Gauge;
+use atlarge_telemetry::recorder::Recorder;
 
 /// Identifier of a host within a cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -51,11 +52,22 @@ impl Host {
 /// c.release(h, 3, 10.0);
 /// assert_eq!(c.free_cores(), 8);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Cluster {
     name: String,
     hosts: Vec<Host>,
     utilization: Gauge,
+    recorder: Option<Recorder>,
+}
+
+// Telemetry attachment is observational and excluded from equality: two
+// clusters are the same cluster whether or not someone is watching them.
+impl PartialEq for Cluster {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.hosts == other.hosts
+            && self.utilization == other.utilization
+    }
 }
 
 impl Cluster {
@@ -70,6 +82,29 @@ impl Cluster {
             name: name.to_string(),
             hosts: (0..hosts).map(|_| Host::new(cores_per_host)).collect(),
             utilization: Gauge::new(0.0),
+            recorder: None,
+        }
+    }
+
+    /// Attaches a telemetry recorder: allocations, releases, and failed
+    /// allocations count under `<name>.allocations` / `.releases` /
+    /// `.alloc_failures`, and utilization mirrors into the
+    /// `<name>.utilization` gauge.
+    pub fn attach_recorder(&mut self, recorder: &Recorder) {
+        self.recorder = Some(recorder.clone());
+    }
+
+    fn note_utilization(&self, now: f64) {
+        if let Some(rec) = &self.recorder {
+            let used = f64::from(self.used_cores());
+            let util = used / f64::from(self.total_cores());
+            rec.gauge_set(&format!("{}.utilization", self.name), now, util);
+        }
+    }
+
+    fn count(&self, what: &str) {
+        if let Some(rec) = &self.recorder {
+            rec.incr(&format!("{}.{what}", self.name));
         }
     }
 
@@ -102,10 +137,15 @@ impl Cluster {
     /// `now`. Returns the chosen host, or `None` if no host fits.
     pub fn try_allocate(&mut self, cores: u32, now: f64) -> Option<HostId> {
         assert!(cores > 0, "allocations need at least one core");
-        let idx = self.hosts.iter().position(|h| h.free >= cores)?;
+        let Some(idx) = self.hosts.iter().position(|h| h.free >= cores) else {
+            self.count("alloc_failures");
+            return None;
+        };
         self.hosts[idx].free -= cores;
         let used = self.used_cores() as f64;
         self.utilization.set(now, used / self.total_cores() as f64);
+        self.count("allocations");
+        self.note_utilization(now);
         Some(HostId(idx))
     }
 
@@ -124,6 +164,8 @@ impl Cluster {
         h.free += cores;
         let used = self.used_cores() as f64;
         self.utilization.set(now, used / self.total_cores() as f64);
+        self.count("releases");
+        self.note_utilization(now);
     }
 
     /// Adds `hosts` new hosts of `cores_per_host` each (elastic scale-out).
@@ -202,6 +244,28 @@ mod tests {
         c.release(h, 4, 10.0);
         // Busy 100% for [0,10), idle after.
         assert!((c.utilization().time_average(0.0, 20.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recorder_attachment_counts_and_mirrors_utilization() {
+        let rec = Recorder::new();
+        let mut c = Cluster::homogeneous("c", 1, 4);
+        c.attach_recorder(&rec);
+        let h = c.try_allocate(4, 0.0).unwrap();
+        assert!(c.try_allocate(1, 1.0).is_none());
+        c.release(h, 4, 10.0);
+        assert_eq!(rec.counter("c.allocations"), 1);
+        assert_eq!(rec.counter("c.alloc_failures"), 1);
+        assert_eq!(rec.counter("c.releases"), 1);
+        let util = rec.gauge("c.utilization").expect("gauge recorded");
+        assert!((util.time_average(0.0, 20.0) - 0.5).abs() < 1e-12);
+        // Attachment is observational: the cluster still equals a twin that
+        // made the same moves unobserved.
+        let mut twin = Cluster::homogeneous("c", 1, 4);
+        let th = twin.try_allocate(4, 0.0).unwrap();
+        assert!(twin.try_allocate(1, 1.0).is_none());
+        twin.release(th, 4, 10.0);
+        assert_eq!(c, twin);
     }
 
     #[test]

@@ -73,10 +73,7 @@ impl Environment {
 
     /// Whether capacity can be provisioned elastically (clouds can).
     pub fn elastic(&self) -> bool {
-        matches!(
-            self,
-            Environment::GridPlusCloud | Environment::PublicCloud
-        )
+        matches!(self, Environment::GridPlusCloud | Environment::PublicCloud)
     }
 
     /// Cost per core-hour in abstract currency units (0 for owned

@@ -148,7 +148,10 @@ impl ReferenceArchitecture {
 
     /// The components of the minimal MapReduce execution set.
     pub fn mapreduce_core(&self) -> Vec<&Component> {
-        self.components.iter().filter(|c| c.mapreduce_core).collect()
+        self.components
+            .iter()
+            .filter(|c| c.mapreduce_core)
+            .collect()
     }
 
     /// Can this architecture place a component needing the given layer
@@ -364,11 +367,25 @@ mod tests {
         // such as Crail and FlashNet, DevOps tools such as Graphalytics and
         // Granula".
         let old = big_data_refarch();
-        for missing in ["MemEFS", "Pocket", "Crail", "FlashNet", "Graphalytics", "Granula"] {
+        for missing in [
+            "MemEFS",
+            "Pocket",
+            "Crail",
+            "FlashNet",
+            "Graphalytics",
+            "Granula",
+        ] {
             assert!(old.find(missing).is_none(), "{missing} should be absent");
         }
         let new = full_datacenter_refarch();
-        for present in ["MemEFS", "Pocket", "Crail", "FlashNet", "Graphalytics", "Granula"] {
+        for present in [
+            "MemEFS",
+            "Pocket",
+            "Crail",
+            "FlashNet",
+            "Graphalytics",
+            "Granula",
+        ] {
             assert!(new.find(present).is_some(), "{present} should be present");
         }
     }

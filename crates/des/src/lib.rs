@@ -15,10 +15,19 @@
 //! - [`sim::Simulation`] / [`sim::Model`] — the engine: a model consumes
 //!   events and schedules new ones through a [`sim::Ctx`], which also carries
 //!   the seeded RNG.
-//! - [`monitor`] — counters, time-weighted gauges, and tallies for
-//!   observing a run.
 //! - [`queueing`] — analytic M/M/c results (Erlang C) used to *validate*
 //!   the kernel against theory in the test suite.
+//! - [`monitor`] — deprecated aliases of the metric types that moved to
+//!   `atlarge-telemetry`.
+//!
+//! # Observability
+//!
+//! The kernel is instrumented for the `atlarge-telemetry` subsystem: attach
+//! any [`Tracer`] with [`Simulation::with_tracer`] and the run loop reports
+//! every schedule, every dispatch (with [`EventLabel`] labels), span
+//! enters/exits, and the end of each run. Untraced simulations pay a single
+//! branch per hook site, and tracing is observational only — a traced run
+//! reaches the same final state as an untraced one.
 //!
 //! # Examples
 //!
@@ -57,5 +66,6 @@ pub mod queue;
 pub mod queueing;
 pub mod sim;
 
+pub use atlarge_telemetry::tracer::{EventLabel, NullTracer, Tracer};
 pub use queue::EventQueue;
 pub use sim::{Ctx, Model, Simulation};

@@ -1,154 +1,33 @@
-//! Run-time observability: counters, time-weighted gauges, tallies.
+//! Deprecated: run-time observability has moved to `atlarge-telemetry`.
 //!
-//! The paper's principle **P4** makes "various sources of information to
-//! achieve local and global self-awareness" a first-class design concern;
-//! simulators expose their internal state through these monitors, and the
-//! portfolio scheduler and autoscalers consume them as their information
-//! sources.
+//! The monitor vocabulary (counters, time-weighted gauges, tallies) started
+//! life inside the kernel; it now lives in
+//! [`atlarge_telemetry::metrics`], where the [`atlarge_telemetry::recorder::Recorder`]
+//! registry and the JSONL exporters build on it, and where the edge cases
+//! are defined (time-weighted means over zero-duration windows report the
+//! level instead of `0/0`; empty-tally summaries are `None` instead of a
+//! panic). These aliases keep old call sites compiling; new code should
+//! depend on `atlarge-telemetry` directly.
 
-use atlarge_stats::descriptive::Summary;
-use atlarge_stats::timeseries::StepSeries;
+/// Deprecated alias of [`atlarge_telemetry::metrics::Counter`].
+#[deprecated(since = "0.1.0", note = "use `atlarge_telemetry::metrics::Counter`")]
+pub type Counter = atlarge_telemetry::metrics::Counter;
 
-/// A monotonically increasing event counter.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct Counter {
-    value: u64,
-}
+/// Deprecated alias of [`atlarge_telemetry::metrics::Gauge`].
+#[deprecated(since = "0.1.0", note = "use `atlarge_telemetry::metrics::Gauge`")]
+pub type Gauge = atlarge_telemetry::metrics::Gauge;
 
-impl Counter {
-    /// Creates a zeroed counter.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Adds one.
-    pub fn incr(&mut self) {
-        self.value += 1;
-    }
-
-    /// Adds `n`.
-    pub fn add(&mut self, n: u64) {
-        self.value += n;
-    }
-
-    /// Current count.
-    pub fn value(&self) -> u64 {
-        self.value
-    }
-}
-
-/// A time-weighted gauge: records a level over simulated time and reports
-/// time-averaged statistics (e.g. utilization, queue length, swarm size).
-#[derive(Debug, Clone, PartialEq)]
-pub struct Gauge {
-    series: StepSeries,
-    last_time: f64,
-}
-
-impl Gauge {
-    /// Creates a gauge with the given initial level at time zero.
-    pub fn new(initial: f64) -> Self {
-        Gauge {
-            series: StepSeries::new(initial),
-            last_time: 0.0,
-        }
-    }
-
-    /// Sets the level at simulated time `now`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `now` precedes an earlier update.
-    pub fn set(&mut self, now: f64, level: f64) {
-        self.series.push(now, level);
-        self.last_time = self.last_time.max(now);
-    }
-
-    /// Adjusts the level by `delta` at time `now`.
-    pub fn add(&mut self, now: f64, delta: f64) {
-        let cur = self.series.value_at(now);
-        self.set(now, cur + delta);
-    }
-
-    /// The level at time `t`.
-    pub fn value_at(&self, t: f64) -> f64 {
-        self.series.value_at(t)
-    }
-
-    /// Current (latest) level.
-    pub fn value(&self) -> f64 {
-        self.series.value_at(self.last_time)
-    }
-
-    /// Time-weighted average over `[from, to]`.
-    pub fn time_average(&self, from: f64, to: f64) -> f64 {
-        self.series.time_average(from, to)
-    }
-
-    /// The underlying step series (for metric computations).
-    pub fn series(&self) -> &StepSeries {
-        &self.series
-    }
-}
-
-impl Default for Gauge {
-    fn default() -> Self {
-        Gauge::new(0.0)
-    }
-}
-
-/// A tally: accumulates independent observations (response times, download
-/// durations) for summary statistics at the end of a run.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct Tally {
-    samples: Vec<f64>,
-}
-
-impl Tally {
-    /// Creates an empty tally.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Records one observation.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `x` is not finite.
-    pub fn record(&mut self, x: f64) {
-        assert!(x.is_finite(), "tally observations must be finite");
-        self.samples.push(x);
-    }
-
-    /// Number of observations.
-    pub fn len(&self) -> usize {
-        self.samples.len()
-    }
-
-    /// Whether the tally is empty.
-    pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
-    }
-
-    /// Raw observations in recording order.
-    pub fn samples(&self) -> &[f64] {
-        &self.samples
-    }
-
-    /// Descriptive summary of the observations.
-    pub fn summary(&self) -> Summary {
-        Summary::from_slice(&self.samples)
-    }
-
-    /// Mean of the observations (0 when empty).
-    pub fn mean(&self) -> f64 {
-        self.summary().mean()
-    }
-}
+/// Deprecated alias of [`atlarge_telemetry::metrics::Tally`].
+#[deprecated(since = "0.1.0", note = "use `atlarge_telemetry::metrics::Tally`")]
+pub type Tally = atlarge_telemetry::metrics::Tally;
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+
+    // Regression coverage for the edge cases the move fixed; exercised
+    // through the deprecated aliases so the aliases themselves stay tested.
 
     #[test]
     fn counter_counts() {
@@ -169,12 +48,21 @@ mod tests {
     }
 
     #[test]
-    fn gauge_add_is_relative() {
-        let mut g = Gauge::new(1.0);
-        g.add(5.0, 2.0);
-        g.add(6.0, -3.0);
-        assert_eq!(g.value(), 0.0);
-        assert_eq!(g.value_at(5.5), 3.0);
+    fn gauge_zero_duration_window_is_instantaneous_level() {
+        let mut g = Gauge::new(0.0);
+        g.set(5.0, 3.0);
+        // A zero-duration window used to be an integration corner; it now
+        // reports the level holding at that instant.
+        assert_eq!(g.time_average(5.0, 5.0), 3.0);
+        assert_eq!(g.mean(), 3.0);
+        assert!(g.mean().is_finite());
+    }
+
+    #[test]
+    fn empty_tally_summarizes_without_panicking() {
+        let t = Tally::new();
+        assert!(t.summary().is_none());
+        assert_eq!(t.mean(), 0.0);
     }
 
     #[test]
@@ -185,12 +73,6 @@ mod tests {
         }
         assert_eq!(t.len(), 3);
         assert_eq!(t.mean(), 2.0);
-        assert_eq!(t.summary().median(), 2.0);
-    }
-
-    #[test]
-    #[should_panic(expected = "finite")]
-    fn tally_rejects_nan() {
-        Tally::new().record(f64::NAN);
+        assert_eq!(t.summary().expect("non-empty").median(), 2.0);
     }
 }

@@ -77,7 +77,10 @@ impl<E> EventQueue<E> {
     ///
     /// Panics if `time` is NaN or negative.
     pub fn push(&mut self, time: f64, event: E) {
-        assert!(time.is_finite() && time >= 0.0, "event time must be finite and non-negative");
+        assert!(
+            time.is_finite() && time >= 0.0,
+            "event time must be finite and non-negative"
+        );
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Entry { time, seq, event });
@@ -86,6 +89,15 @@ impl<E> EventQueue<E> {
     /// Removes and returns the earliest event as `(time, event)`.
     pub fn pop(&mut self) -> Option<(f64, E)> {
         self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Removes and returns the earliest event as `(time, seq, event)`,
+    /// exposing the tie-breaking sequence number. Sequence numbers are
+    /// assigned in push order, so the stream of `(time, seq)` pairs popped
+    /// from a queue is strictly increasing — the total order that makes
+    /// runs reproducible, and that trace tooling can sort on.
+    pub fn pop_entry(&mut self) -> Option<(f64, u64, E)> {
+        self.heap.pop().map(|e| (e.time, e.seq, e.event))
     }
 
     /// Time of the next event without removing it.
@@ -197,6 +209,34 @@ mod tests {
                 }
                 prev_time = t;
             }
+        }
+
+        /// The queue is a *strict total order* over (time, seq): every pop
+        /// yields a lexicographically greater pair than the one before it,
+        /// with no equal pairs possible.
+        #[test]
+        fn prop_strict_time_seq_order(
+            times in proptest::collection::vec(0.0f64..100.0, 1..300),
+        ) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                // Quantize times so many entries collide on the same instant
+                // and the seq tie-break carries the order.
+                q.push((t * 4.0).round() / 4.0, i);
+            }
+            let mut prev: Option<(f64, u64)> = None;
+            let mut popped = 0;
+            while let Some((t, seq, _payload)) = q.pop_entry() {
+                if let Some((pt, ps)) = prev {
+                    prop_assert!(
+                        (t, seq) > (pt, ps),
+                        "non-strict order: ({pt}, {ps}) then ({t}, {seq})"
+                    );
+                }
+                prev = Some((t, seq));
+                popped += 1;
+            }
+            prop_assert_eq!(popped, times.len());
         }
 
         /// len() tracks pushes and pops exactly.

@@ -160,13 +160,7 @@ impl Model for QueueStation {
 }
 
 /// Runs the reference station and returns `(mean_wait, mean_response)`.
-pub fn simulate_mmc(
-    lambda: f64,
-    mu: f64,
-    servers: usize,
-    jobs: usize,
-    seed: u64,
-) -> (f64, f64) {
+pub fn simulate_mmc(lambda: f64, mu: f64, servers: usize, jobs: usize, seed: u64) -> (f64, f64) {
     let mut sim = Simulation::new(QueueStation::new(lambda, mu, servers, jobs), seed);
     sim.schedule(0.0, StationEvent::Arrival);
     sim.run();

@@ -1,8 +1,10 @@
 //! The simulation engine: models, contexts, and the run loop.
 
 use crate::queue::EventQueue;
+use atlarge_telemetry::tracer::{EventLabel, Tracer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::fmt;
 
 /// A simulation model: owns domain state and reacts to events.
 ///
@@ -18,15 +20,37 @@ pub trait Model {
     fn handle(&mut self, event: Self::Event, ctx: &mut Ctx<Self::Event>);
 }
 
+fn unlabeled<E>(_: &E) -> &'static str {
+    "event"
+}
+
 /// The execution context passed into [`Model::handle`]: the clock, the
-/// scheduler, the seeded RNG, and the stop flag.
-#[derive(Debug)]
+/// scheduler, the seeded RNG, the stop flag, and the optional tracer.
+///
+/// Tracing is observational only — no tracer hook can alter the clock, the
+/// queue, or the RNG, so a traced run reaches the same final state as an
+/// untraced run of the same model and seed. Untraced simulations (the
+/// default) pay one branch per hook site.
 pub struct Ctx<E> {
     now: f64,
     queue: EventQueue<E>,
     rng: StdRng,
     stopped: bool,
     processed: u64,
+    tracer: Option<Box<dyn Tracer>>,
+    labeler: fn(&E) -> &'static str,
+}
+
+impl<E> fmt::Debug for Ctx<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ctx")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("stopped", &self.stopped)
+            .field("processed", &self.processed)
+            .field("traced", &self.tracer.is_some())
+            .finish()
+    }
 }
 
 impl<E> Ctx<E> {
@@ -42,7 +66,7 @@ impl<E> Ctx<E> {
     /// Panics if `delay` is negative or NaN.
     pub fn schedule_in(&mut self, delay: f64, event: E) {
         assert!(delay.is_finite() && delay >= 0.0, "delay must be >= 0");
-        self.queue.push(self.now + delay, event);
+        self.schedule_at(self.now + delay, event);
     }
 
     /// Schedules `event` at an absolute time not before now.
@@ -52,6 +76,9 @@ impl<E> Ctx<E> {
     /// Panics if `time` precedes the current time.
     pub fn schedule_at(&mut self, time: f64, event: E) {
         assert!(time >= self.now, "cannot schedule into the past");
+        if let Some(tracer) = &self.tracer {
+            tracer.on_schedule(self.now, time, (self.labeler)(&event));
+        }
         self.queue.push(time, event);
     }
 
@@ -73,6 +100,38 @@ impl<E> Ctx<E> {
     /// Number of pending events.
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Whether a tracer is attached (e.g. to skip building expensive
+    /// labels when nobody is listening).
+    pub fn is_traced(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Opens an instrumented span named `name` at the current simulated
+    /// time. Pair with [`Ctx::span_exit`], or use [`Ctx::in_span`].
+    pub fn span_enter(&mut self, name: &str) {
+        if let Some(tracer) = &self.tracer {
+            tracer.on_span_enter(self.now, name);
+        }
+    }
+
+    /// Closes the innermost open span named `name`.
+    pub fn span_exit(&mut self, name: &str) {
+        if let Some(tracer) = &self.tracer {
+            tracer.on_span_exit(self.now, name);
+        }
+    }
+
+    /// Runs `f` inside a span named `name`: enter, run, exit. The span
+    /// brackets both simulated time (if `f` advances it by scheduling and
+    /// this context is re-entered — it is not — spans measure the handler
+    /// itself) and the tracer's wall clock.
+    pub fn in_span<R>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.span_enter(name);
+        let out = f(self);
+        self.span_exit(name);
+        out
     }
 }
 
@@ -96,12 +155,51 @@ impl<M: Model> Simulation<M> {
                 rng: StdRng::seed_from_u64(seed),
                 stopped: false,
                 processed: 0,
+                tracer: None,
+                labeler: unlabeled::<M::Event>,
             },
         }
     }
 
+    /// Attaches `tracer`, labelling events through their [`EventLabel`]
+    /// implementation. Replaces any previously attached tracer.
+    ///
+    /// A tracer whose [`Tracer::is_enabled`] returns `false` (like
+    /// [`NullTracer`](atlarge_telemetry::tracer::NullTracer)) is dropped
+    /// instead of installed: the run takes the exact untraced hot path.
+    pub fn with_tracer<T: Tracer + 'static>(mut self, tracer: T) -> Self
+    where
+        M::Event: EventLabel,
+    {
+        if tracer.is_enabled() {
+            self.ctx.tracer = Some(Box::new(tracer));
+            self.ctx.labeler = <M::Event as EventLabel>::label;
+        } else {
+            self.ctx.tracer = None;
+            self.ctx.labeler = unlabeled::<M::Event>;
+        }
+        self
+    }
+
+    /// Attaches `tracer` without an [`EventLabel`] bound; every event is
+    /// labelled `"event"`. Useful for overhead measurement and for models
+    /// whose event types predate labelling. Disabled tracers are dropped,
+    /// as in [`Simulation::with_tracer`].
+    pub fn with_unlabeled_tracer<T: Tracer + 'static>(mut self, tracer: T) -> Self {
+        self.ctx.tracer = if tracer.is_enabled() {
+            Some(Box::new(tracer))
+        } else {
+            None
+        };
+        self.ctx.labeler = unlabeled::<M::Event>;
+        self
+    }
+
     /// Schedules an initial event at absolute `time`.
     pub fn schedule(&mut self, time: f64, event: M::Event) {
+        if let Some(tracer) = &self.ctx.tracer {
+            tracer.on_schedule(self.ctx.now, time, (self.ctx.labeler)(&event));
+        }
         self.ctx.queue.push(time, event);
     }
 
@@ -123,6 +221,9 @@ impl<M: Model> Simulation<M> {
                     debug_assert!(t >= self.ctx.now, "time must not go backwards");
                     self.ctx.now = t;
                     self.ctx.processed += 1;
+                    if let Some(tracer) = &self.ctx.tracer {
+                        tracer.on_dispatch(t, (self.ctx.labeler)(&ev), self.ctx.queue.len());
+                    }
                     self.model.handle(ev, &mut self.ctx);
                 }
                 Some(_) => {
@@ -133,6 +234,9 @@ impl<M: Model> Simulation<M> {
                 }
                 None => break,
             }
+        }
+        if let Some(tracer) = &self.ctx.tracer {
+            tracer.on_run_end(self.ctx.now, self.ctx.processed);
         }
         self.ctx.processed - start
     }
@@ -146,6 +250,9 @@ impl<M: Model> Simulation<M> {
                 Some((t, ev)) => {
                     self.ctx.now = t;
                     self.ctx.processed += 1;
+                    if let Some(tracer) = &self.ctx.tracer {
+                        tracer.on_dispatch(t, (self.ctx.labeler)(&ev), self.ctx.queue.len());
+                    }
                     self.model.handle(ev, &mut self.ctx);
                     n += 1;
                 }
@@ -189,6 +296,7 @@ impl<M: Model> Simulation<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use atlarge_telemetry::recorder::Recorder;
     use rand::Rng;
 
     struct Counter {
@@ -198,6 +306,15 @@ mod tests {
     enum Ev {
         Tick(u32),
         Stop,
+    }
+
+    impl EventLabel for Ev {
+        fn label(&self) -> &'static str {
+            match self {
+                Ev::Tick(_) => "tick",
+                Ev::Stop => "stop",
+            }
+        }
     }
 
     impl Model for Counter {
@@ -309,5 +426,79 @@ mod tests {
         let mut sim = Simulation::new(Bad, 0);
         sim.schedule(5.0, E::Go);
         sim.run();
+    }
+
+    #[test]
+    fn tracer_observes_schedules_and_dispatches() {
+        let rec = Recorder::new();
+        let mut sim = Simulation::new(Counter { fired: vec![] }, 1).with_tracer(rec.clone());
+        sim.schedule(1.0, Ev::Tick(1));
+        sim.run();
+        // 1 initial + 4 follow-ups scheduled; 5 dispatched.
+        assert_eq!(rec.events_scheduled(), 5);
+        assert_eq!(rec.events_dispatched(), 5);
+        assert_eq!(rec.dispatches("tick"), 5);
+        assert_eq!(rec.sim_time(), sim.now());
+        let manifest = rec.manifest();
+        assert_eq!(manifest.events_dispatched, 5);
+        assert_eq!(manifest.sim_time, 9.0);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_run() {
+        let run = |traced: bool| {
+            let mut sim = Simulation::new(Counter { fired: vec![] }, 7);
+            if traced {
+                sim = sim.with_tracer(Recorder::new());
+            }
+            sim.schedule(0.5, Ev::Tick(1));
+            sim.run();
+            (sim.now(), sim.processed(), sim.into_model().fired)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn spans_reach_the_tracer() {
+        struct Spanned;
+        enum E {
+            Work,
+        }
+        impl EventLabel for E {
+            fn label(&self) -> &'static str {
+                "work"
+            }
+        }
+        impl Model for Spanned {
+            type Event = E;
+            fn handle(&mut self, _: E, ctx: &mut Ctx<E>) {
+                ctx.in_span("work.body", |_ctx| ());
+            }
+        }
+        let rec = Recorder::new();
+        let mut sim = Simulation::new(Spanned, 0).with_tracer(rec.clone());
+        sim.schedule(1.0, E::Work);
+        sim.run();
+        assert_eq!(rec.span_stats()["work.body"].entries, 1);
+    }
+
+    #[test]
+    fn untraced_ctx_reports_untraced() {
+        struct Probe {
+            traced: Option<bool>,
+        }
+        enum E {
+            Ask,
+        }
+        impl Model for Probe {
+            type Event = E;
+            fn handle(&mut self, _: E, ctx: &mut Ctx<E>) {
+                self.traced = Some(ctx.is_traced());
+            }
+        }
+        let mut sim = Simulation::new(Probe { traced: None }, 0);
+        sim.schedule(0.0, E::Ask);
+        sim.run();
+        assert_eq!(sim.model().traced, Some(false));
     }
 }

@@ -45,10 +45,10 @@ pub fn pagerank(g: &Csr, iterations: u32) -> Vec<f64> {
             .map(|v| rank[v])
             .sum();
         let mut next = vec![(1.0 - d) / nf + d * dangling / nf; n];
-        for v in 0..n {
+        for (v, &r) in rank.iter().enumerate() {
             let deg = g.out_degree(v);
             if deg > 0 {
-                let share = d * rank[v] / deg as f64;
+                let share = d * r / deg as f64;
                 for &w in g.out_neighbors(v) {
                     next[w as usize] += share;
                 }
@@ -90,7 +90,7 @@ pub fn cdlp(g: &Csr, iterations: u32) -> Vec<u32> {
     for _ in 0..iterations {
         let mut next = label.clone();
         let mut counts: std::collections::BTreeMap<u32, usize> = Default::default();
-        for v in 0..n {
+        for (v, nx) in next.iter_mut().enumerate() {
             counts.clear();
             for &w in g.out_neighbors(v).iter().chain(g.in_neighbors(v)) {
                 *counts.entry(label[w as usize]).or_insert(0) += 1;
@@ -99,7 +99,7 @@ pub fn cdlp(g: &Csr, iterations: u32) -> Vec<u32> {
                 .iter()
                 .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
             {
-                next[v] = l;
+                *nx = l;
             }
         }
         label = next;
@@ -158,12 +158,12 @@ pub fn sssp(g: &Csr, source: usize) -> Vec<Option<f64>> {
     heap.push((key(0.0), source as u32));
     while let Some((std::cmp::Reverse(bits), v)) = heap.pop() {
         let d = f64::from_bits(bits);
-        if dist[v as usize].map_or(true, |cur| d > cur) {
+        if dist[v as usize].is_none_or(|cur| d > cur) {
             continue;
         }
         for &w in g.out_neighbors(v as usize) {
             let nd = d + g.weight(v, w);
-            if dist[w as usize].map_or(true, |cur| nd < cur) {
+            if dist[w as usize].is_none_or(|cur| nd < cur) {
                 dist[w as usize] = Some(nd);
                 heap.push((key(nd), w));
             }

@@ -38,30 +38,31 @@ impl Csr {
                 dir.push((b, a));
             }
         }
-        let build = |pairs: &[(u32, u32)], key: fn(&(u32, u32)) -> u32, val: fn(&(u32, u32)) -> u32| {
-            let mut counts = vec![0usize; n + 1];
-            for p in pairs {
-                counts[key(p) as usize + 1] += 1;
-            }
-            for i in 0..n {
-                counts[i + 1] += counts[i];
-            }
-            let offsets = counts.clone();
-            let mut pos = counts;
-            let mut targets = vec![0u32; pairs.len()];
-            for p in pairs {
-                let k = key(p) as usize;
-                targets[pos[k]] = val(p);
-                pos[k] += 1;
-            }
-            // Sort each adjacency run for determinism.
-            let mut offs = offsets;
-            for v in 0..n {
-                targets[offs[v]..offs[v + 1]].sort_unstable();
-            }
-            offs.truncate(n + 1);
-            (offs, targets)
-        };
+        let build =
+            |pairs: &[(u32, u32)], key: fn(&(u32, u32)) -> u32, val: fn(&(u32, u32)) -> u32| {
+                let mut counts = vec![0usize; n + 1];
+                for p in pairs {
+                    counts[key(p) as usize + 1] += 1;
+                }
+                for i in 0..n {
+                    counts[i + 1] += counts[i];
+                }
+                let offsets = counts.clone();
+                let mut pos = counts;
+                let mut targets = vec![0u32; pairs.len()];
+                for p in pairs {
+                    let k = key(p) as usize;
+                    targets[pos[k]] = val(p);
+                    pos[k] += 1;
+                }
+                // Sort each adjacency run for determinism.
+                let mut offs = offsets;
+                for v in 0..n {
+                    targets[offs[v]..offs[v + 1]].sort_unstable();
+                }
+                offs.truncate(n + 1);
+                (offs, targets)
+            };
         let (out_offsets, out_targets) = build(&dir, |p| p.0, |p| p.1);
         let (in_offsets, in_targets) = build(&dir, |p| p.1, |p| p.0);
         Csr {

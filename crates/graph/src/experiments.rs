@@ -149,8 +149,7 @@ mod tests {
     #[test]
     fn no_platform_wins_everywhere() {
         let w = winners(&sweep());
-        let distinct: std::collections::BTreeSet<&str> =
-            w.iter().map(|&(_, p)| p).collect();
+        let distinct: std::collections::BTreeSet<&str> = w.iter().map(|&(_, p)| p).collect();
         assert!(
             distinct.len() >= 2,
             "one platform swept all algorithm×dataset cells: {distinct:?}"

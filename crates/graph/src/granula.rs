@@ -46,11 +46,7 @@ impl Breakdown {
             load: sweep * LOAD_FACTOR,
             compute: cost.critical_path,
             aggregate: sweep * AGGREGATE_FACTOR,
-            iterations: cost
-                .per_iteration
-                .iter()
-                .map(|r| r.critical_path)
-                .collect(),
+            iterations: cost.per_iteration.iter().map(|r| r.critical_path).collect(),
         }
     }
 
@@ -76,11 +72,7 @@ impl Breakdown {
         if self.compute <= 0.0 {
             return 0.0;
         }
-        self.iterations
-            .iter()
-            .copied()
-            .fold(0.0, f64::max)
-            / self.compute
+        self.iterations.iter().copied().fold(0.0, f64::max) / self.compute
     }
 }
 
@@ -95,9 +87,7 @@ mod tests {
         let g = grid(12);
         let c = run(Platform::Sequential, Algorithm::Wcc, &g);
         let b = Breakdown::of(&c, g.num_vertices(), g.num_edges());
-        assert!(
-            (b.total() - (b.load + b.compute + b.aggregate)).abs() < 1e-9
-        );
+        assert!((b.total() - (b.load + b.compute + b.aggregate)).abs() < 1e-9);
         assert_eq!(b.iterations.len() as u32, c.iterations);
     }
 

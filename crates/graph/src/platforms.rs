@@ -164,18 +164,14 @@ pub fn run(platform: Platform, algorithm: Algorithm, graph: &Csr) -> RunCost {
         let full = iter_work.max(n + m);
         let (work, cost) = match platform {
             Platform::Sequential => (iter_work, iter_work as f64),
-            Platform::Parallel { threads } => {
-                (full, full as f64 / threads as f64 + BARRIER_COST)
-            }
+            Platform::Parallel { threads } => (full, full as f64 / threads as f64 + BARRIER_COST),
             Platform::EdgeCentric => {
                 // Full edge scans are expensive, but synchronization is a
                 // cheap fold over the edge partition.
                 let w = (full as f64 * EDGE_FACTOR) as u64;
                 (w, w as f64 / 8.0 + EDGE_SYNC_COST)
             }
-            Platform::Accelerator => {
-                (full, full as f64 / ACCEL_SPEEDUP + OFFLOAD_COST)
-            }
+            Platform::Accelerator => (full, full as f64 / ACCEL_SPEEDUP + OFFLOAD_COST),
         };
         total_work += work;
         cp += cost;
@@ -327,12 +323,7 @@ where
 /// Iterates full sweeps until no state changes. Per-iteration *active
 /// work* (what a delta-optimized engine would pay) is tracked from the
 /// previous iteration's changed set.
-fn jacobi_init<T, F>(
-    platform: Platform,
-    g: &Csr,
-    init: Vec<T>,
-    update: F,
-) -> (Vec<T>, Vec<u64>)
+fn jacobi_init<T, F>(platform: Platform, g: &Csr, init: Vec<T>, update: F) -> (Vec<T>, Vec<u64>)
 where
     T: Copy + PartialEq + Send + Sync,
     F: Fn(&Csr, usize, &[T]) -> T + Sync,

@@ -7,8 +7,8 @@
 //! windowed aggregation under two capacity plans — fixed and elastic —
 //! and compares analysis freshness (lag) and cost.
 
-use atlarge_stats::timeseries::StepSeries;
 use atlarge_stats::dist::{Normal, Sample};
+use atlarge_stats::timeseries::StepSeries;
 use atlarge_workload::arrivals::Diurnal;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -110,7 +110,13 @@ pub fn cameo_comparison(seed: u64) -> (AnalyticsResult, AnalyticsResult) {
     let window = 300.0;
     // Fixed cluster sized for the *mean* rate: drowns at the diurnal peak.
     let fixed_nodes = (mean_rate / NODE_RATE).ceil() as u32;
-    let fixed = run_analytics(CapacityPlan::Fixed(fixed_nodes), days, mean_rate, window, seed);
+    let fixed = run_analytics(
+        CapacityPlan::Fixed(fixed_nodes),
+        days,
+        mean_rate,
+        window,
+        seed,
+    );
     let elastic = run_analytics(
         CapacityPlan::Elastic { margin: 0.2 },
         days,

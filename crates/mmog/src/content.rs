@@ -153,7 +153,9 @@ impl Generator {
     pub fn next(&mut self, band: Difficulty, max_tries: usize) -> Option<GeneratedPuzzle> {
         for _ in 0..max_tries {
             self.candidates += 1;
-            let cells: Vec<bool> = (0..self.cells).map(|_| self.rng.gen::<f64>() < 0.6).collect();
+            let cells: Vec<bool> = (0..self.cells)
+                .map(|_| self.rng.gen::<f64>() < 0.6)
+                .collect();
             if cells.iter().filter(|&&c| c).count() < 2 {
                 continue;
             }

@@ -168,8 +168,7 @@ mod tests {
         // sessions need a higher arrival rate to host the same population,
         // otherwise small-sample noise dominates its peak/trough ratio.
         let rpg = peak_trough_ratio(&simulate_population(Genre::Mmorpg, 4.0, 0.08, 31));
-        let social =
-            peak_trough_ratio(&simulate_population(Genre::OnlineSocial, 4.0, 1.5, 31));
+        let social = peak_trough_ratio(&simulate_population(Genre::OnlineSocial, 4.0, 1.5, 31));
         assert!(rpg > 2.0, "mmorpg peak/trough {rpg}");
         assert!(
             rpg > social,

@@ -107,9 +107,7 @@ pub fn table6(seed: u64) -> Vec<Table6Row> {
         study: "[76] ('11)",
         feature: "Scaling",
         instrument: "RTSenv",
-        finding: format!(
-            "same 400 units: packed load {packed_load:.0} vs spread {split_load:.0}"
-        ),
+        finding: format!("same 400 units: packed load {packed_load:.0} vs spread {split_load:.0}"),
         claim_holds: packed_load > 1.5 * split_load,
     });
 
@@ -254,8 +252,8 @@ mod tests {
         assert_eq!(rows.len(), 14);
         let s = render_table6(&rows);
         for tag in [
-            "[71]", "[72]", "[73]", "[74]", "[75]", "[76]", "[77]", "[78]", "[79]", "[80]",
-            "[81]", "[82]", "[83]", "[84]",
+            "[71]", "[72]", "[73]", "[74]", "[75]", "[76]", "[77]", "[78]", "[79]", "[80]", "[81]",
+            "[82]", "[83]", "[84]",
         ] {
             assert!(s.contains(tag), "missing {tag}");
         }

@@ -144,7 +144,11 @@ mod tests {
     fn static_peak_never_overloads_but_wastes() {
         let rows = compare_policies(3);
         let stat = &rows[0].1;
-        assert!(stat.overload_timeshare < 0.01, "static overload {}", stat.overload_timeshare);
+        assert!(
+            stat.overload_timeshare < 0.01,
+            "static overload {}",
+            stat.overload_timeshare
+        );
         let reactive = &rows[1].1;
         assert!(
             stat.mean_idle > reactive.mean_idle,
@@ -162,7 +166,10 @@ mod tests {
         let stat = rows[0].1.mean_servers;
         let reactive = rows[1].1.mean_servers;
         let predictive = rows[2].1.mean_servers;
-        assert!(reactive < 0.8 * stat, "reactive {reactive} vs static {stat}");
+        assert!(
+            reactive < 0.8 * stat,
+            "reactive {reactive} vs static {stat}"
+        );
         assert!(predictive < 0.8 * stat);
     }
 

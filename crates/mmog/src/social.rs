@@ -55,10 +55,7 @@ impl SocialGraph {
 
     /// Edge weight between two players (0 if absent).
     pub fn weight(&self, a: u32, b: u32) -> u32 {
-        self.edges
-            .get(&(a.min(b), a.max(b)))
-            .copied()
-            .unwrap_or(0)
+        self.edges.get(&(a.min(b), a.max(b))).copied().unwrap_or(0)
     }
 
     /// The *social* subgraph: edges with weight ≥ `threshold` (repeated
@@ -91,15 +88,12 @@ impl SocialGraph {
         }
         let mut triplets = 0u64;
         let mut closed = 0u64;
-        for (_, ns) in &adj {
+        for ns in adj.values() {
             let ns: Vec<u32> = ns.iter().copied().collect();
             for i in 0..ns.len() {
                 for j in (i + 1)..ns.len() {
                     triplets += 1;
-                    if adj
-                        .get(&ns[i])
-                        .map_or(false, |s| s.contains(&ns[j]))
-                    {
+                    if adj.get(&ns[i]).is_some_and(|s| s.contains(&ns[j])) {
                         closed += 1;
                     }
                 }
@@ -155,11 +149,9 @@ pub fn social_match_rate(matches: &[Vec<u32>], graph: &SocialGraph, threshold: u
     let with_tie = matches
         .iter()
         .filter(|m| {
-            m.iter().enumerate().any(|(i, &a)| {
-                m[i + 1..]
-                    .iter()
-                    .any(|&b| graph.weight(a, b) >= threshold)
-            })
+            m.iter()
+                .enumerate()
+                .any(|(i, &a)| m[i + 1..].iter().any(|&b| graph.weight(a, b) >= threshold))
         })
         .count();
     with_tie as f64 / matches.len() as f64
@@ -289,10 +281,7 @@ mod tests {
         let ties = g.social_ties(5);
         assert!(!ties.is_empty(), "friend ties should emerge");
         // Ties overwhelmingly connect same-group players.
-        let same_group = ties
-            .iter()
-            .filter(|(a, b)| a / 4 == b / 4)
-            .count();
+        let same_group = ties.iter().filter(|(a, b)| a / 4 == b / 4).count();
         assert!(
             same_group as f64 / ties.len() as f64 > 0.9,
             "{same_group}/{} ties within groups",
@@ -305,7 +294,10 @@ mod tests {
         let matches = generate_matches(400, 4, 3_000, 8, 0.7, 6);
         let g = SocialGraph::from_matches(&matches);
         let cc_ties = g.clustering_coefficient(5);
-        assert!(cc_ties > 0.3, "friend groups should form triangles: {cc_ties}");
+        assert!(
+            cc_ties > 0.3,
+            "friend groups should form triangles: {cc_ties}"
+        );
     }
 
     #[test]

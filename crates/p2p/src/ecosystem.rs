@@ -92,13 +92,13 @@ impl Ecosystem {
             while n_aliases < FORMATS.len() && rng.gen::<f64>() < p_more {
                 n_aliases += 1;
             }
-            for a in 0..n_aliases.min(FORMATS.len()) {
+            for (a, &format) in FORMATS.iter().enumerate().take(n_aliases) {
                 let base = (popularity * 500_000.0) as u64;
-                let size = 1 + (base as f64 * (0.3 + 0.7 * rng.gen::<f64>())) as u64
-                    / (a as u64 + 1);
+                let size =
+                    1 + (base as f64 * (0.3 + 0.7 * rng.gen::<f64>())) as u64 / (a as u64 + 1);
                 swarms.push(Swarm {
                     content_id,
-                    format: FORMATS[a],
+                    format,
                     size,
                     tracker: rng.gen_range(0..config.honest_trackers),
                 });

@@ -227,7 +227,9 @@ mod tests {
         let rows = table5(11);
         assert_eq!(rows.len(), 9);
         let s = render_table5(&rows);
-        for tag in ["[61]", "[62]", "[63]", "[64]", "[65]", "[66]", "[38]", "[68]", "[69]"] {
+        for tag in [
+            "[61]", "[62]", "[63]", "[64]", "[65]", "[66]", "[38]", "[68]", "[69]",
+        ] {
             assert!(s.contains(tag), "missing {tag}");
         }
     }

@@ -31,9 +31,7 @@ impl GroundTruth {
         assert!(swarms > 0 && trackers > 0);
         let mut rng = StdRng::seed_from_u64(seed);
         let zipf = Zipf::new(100_000, 1.1);
-        let sizes = (0..swarms)
-            .map(|_| zipf.sample(&mut rng) as u64)
-            .collect();
+        let sizes = (0..swarms).map(|_| zipf.sample(&mut rng) as u64).collect();
         let tracker_of = (0..swarms).map(|_| rng.gen_range(0..trackers)).collect();
         GroundTruth {
             sizes,
@@ -101,9 +99,8 @@ impl Instrument {
             .filter(|&(_, &t)| covered[t])
             .filter_map(|(&size, _)| {
                 // Binomial thinning approximated by expectation with noise.
-                let seen =
-                    (size as f64 * self.peer_detection * (0.9 + 0.2 * rng.gen::<f64>())).round()
-                        as u64;
+                let seen = (size as f64 * self.peer_detection * (0.9 + 0.2 * rng.gen::<f64>()))
+                    .round() as u64;
                 (seen >= self.min_observable).then_some(seen.max(1))
             })
             .collect()

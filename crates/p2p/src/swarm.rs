@@ -11,6 +11,9 @@
 
 use atlarge_des::sim::{Ctx, Model, Simulation};
 use atlarge_stats::dist::{Exponential, Sample};
+use atlarge_telemetry::manifest::config_digest;
+use atlarge_telemetry::recorder::Recorder;
+use atlarge_telemetry::tracer::EventLabel;
 use std::collections::BTreeMap;
 
 /// Access-link profile of a peer.
@@ -87,8 +90,7 @@ pub struct SwarmResult {
 impl SwarmResult {
     /// Mean download duration.
     pub fn mean_download_time(&self) -> f64 {
-        self.downloads.iter().map(|&(_, d)| d).sum::<f64>()
-            / self.downloads.len().max(1) as f64
+        self.downloads.iter().map(|&(_, d)| d).sum::<f64>() / self.downloads.len().max(1) as f64
     }
 
     /// Mean download duration of peers joining within a window.
@@ -125,6 +127,17 @@ enum Ev {
     End,
 }
 
+impl EventLabel for Ev {
+    fn label(&self) -> &'static str {
+        match self {
+            Ev::Join { .. } => "join",
+            Ev::Recalc => "recalc",
+            Ev::SeedLeave { .. } => "seed_leave",
+            Ev::End => "end",
+        }
+    }
+}
+
 struct SwarmModel {
     config: SwarmConfig,
     peers: BTreeMap<u64, Peer>,
@@ -133,6 +146,7 @@ struct SwarmModel {
     size_samples: Vec<(f64, usize, usize)>,
     joined: usize,
     horizon: f64,
+    recorder: Option<Recorder>,
 }
 
 impl SwarmModel {
@@ -211,12 +225,19 @@ impl Model for SwarmModel {
                     },
                 );
                 self.joined += 1;
+                if let Some(rec) = &self.recorder {
+                    rec.incr("swarm.joins");
+                }
             }
             Ev::Recalc => {
                 let done = self.advance(ctx.now());
                 self.complete(done, ctx);
                 self.size_samples
                     .push((ctx.now(), self.leechers(), self.seeds()));
+                if let Some(rec) = &self.recorder {
+                    rec.gauge_set("swarm.leechers", ctx.now(), self.leechers() as f64);
+                    rec.gauge_set("swarm.seeds", ctx.now(), self.seeds() as f64);
+                }
                 if ctx.now() < self.horizon {
                     ctx.schedule_in(self.config.recalc_interval, Ev::Recalc);
                 }
@@ -237,8 +258,11 @@ impl SwarmModel {
             p.remaining = 0.0;
             let dl_time = ctx.now() - p.join_time;
             self.downloads.push((p.join_time, dl_time));
-            let seed_for =
-                Exponential::with_mean(self.config.mean_seed_time).sample(ctx.rng());
+            if let Some(rec) = &self.recorder {
+                rec.incr("swarm.completions");
+                rec.observe("swarm.download_s", dl_time);
+            }
+            let seed_for = Exponential::with_mean(self.config.mean_seed_time).sample(ctx.rng());
             ctx.schedule_in(seed_for, Ev::SeedLeave { peer: id });
         }
     }
@@ -246,11 +270,32 @@ impl SwarmModel {
 
 /// Runs a swarm with peers joining at the given times, all with the
 /// configured bandwidth, until `horizon`.
-pub fn run_swarm(
+pub fn run_swarm(config: SwarmConfig, join_times: &[f64], horizon: f64, seed: u64) -> SwarmResult {
+    run_swarm_impl(config, join_times, horizon, seed, None)
+}
+
+/// [`run_swarm`] with a telemetry recorder attached: kernel events are
+/// traced, and the swarm records `swarm.joins` / `swarm.completions`
+/// counters, `swarm.leechers` / `swarm.seeds` gauges, and the
+/// `swarm.download_s` tally. The recorder never influences the run:
+/// results equal an untraced run with the same seed.
+pub fn run_swarm_traced(
     config: SwarmConfig,
     join_times: &[f64],
     horizon: f64,
     seed: u64,
+    recorder: &Recorder,
+) -> SwarmResult {
+    recorder.set_run_info("p2p.swarm", seed, config_digest(&config));
+    run_swarm_impl(config, join_times, horizon, seed, Some(recorder.clone()))
+}
+
+fn run_swarm_impl(
+    config: SwarmConfig,
+    join_times: &[f64],
+    horizon: f64,
+    seed: u64,
+    recorder: Option<Recorder>,
 ) -> SwarmResult {
     let model = SwarmModel {
         config,
@@ -260,8 +305,12 @@ pub fn run_swarm(
         size_samples: Vec::new(),
         joined: 0,
         horizon,
+        recorder: recorder.clone(),
     };
     let mut sim = Simulation::new(model, seed);
+    if let Some(rec) = recorder {
+        sim = sim.with_tracer(rec);
+    }
     for (i, &t) in join_times.iter().enumerate() {
         sim.schedule(
             t,
@@ -304,7 +353,7 @@ mod tests {
         let (_, d) = r.downloads[0];
         // Origin seed uploads 4× peer up = 400 KB/s; 10 MB -> ~25 s
         // (quantized by the 5 s recalc).
-        assert!(d >= 20.0 && d <= 60.0, "download time {d}");
+        assert!((20.0..=60.0).contains(&d), "download time {d}");
     }
 
     #[test]
@@ -356,5 +405,28 @@ mod tests {
         let a = run_swarm(small_config(), &joins, 50_000.0, 7);
         let b = run_swarm(small_config(), &joins, 50_000.0, 7);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_records() {
+        let joins = [0.0, 5.0, 9.0];
+        let plain = run_swarm(small_config(), &joins, 50_000.0, 7);
+        let rec = Recorder::new();
+        let traced = run_swarm_traced(small_config(), &joins, 50_000.0, 7, &rec);
+        assert_eq!(plain, traced, "tracing changed the run");
+        assert_eq!(rec.counter("swarm.joins"), 3);
+        assert_eq!(
+            rec.counter("swarm.completions"),
+            traced.downloads.len() as u64
+        );
+        assert_eq!(
+            rec.tally("swarm.download_s").map_or(0, |t| t.len()),
+            traced.downloads.len()
+        );
+        assert_eq!(rec.dispatches("join"), 3);
+        let m = rec.manifest();
+        assert_eq!(m.model, "p2p.swarm");
+        assert_eq!(m.seed, 7);
+        assert!(m.events_dispatched > 0);
     }
 }

@@ -83,11 +83,11 @@ pub fn run_pipeline(chunks: usize, seed: u64) -> Vec<ChunkResult> {
 /// Deterministic stage-cost model for one chunk.
 pub fn process_chunk(p: &ChunkProfile) -> ChunkResult {
     let stage_times = [
-        10.0 * p.size,                       // ingest scales with size
-        6.0 * p.size * p.skew,               // shuffle suffers under skew
-        4.0 * p.size * p.skew.sqrt(),        // aggregate, milder skew effect
-        5.0 * p.size * p.overlap,            // join scales with overlap
-        2.0 * p.size,                        // output
+        10.0 * p.size,                // ingest scales with size
+        6.0 * p.size * p.skew,        // shuffle suffers under skew
+        4.0 * p.size * p.skew.sqrt(), // aggregate, milder skew effect
+        5.0 * p.size * p.overlap,     // join scales with overlap
+        2.0 * p.size,                 // output
     ];
     let (bi, _) = stage_times
         .iter()

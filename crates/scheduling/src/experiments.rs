@@ -12,8 +12,8 @@
 use crate::policy::Policy;
 use crate::portfolio::PortfolioScheduler;
 use crate::simulator::{
-    simulate, simulate_with_chooser, simulate_with_failures, FailureEvent, FixedChooser,
-    SimConfig, SimMetrics,
+    simulate, simulate_with_chooser, simulate_with_failures, FailureEvent, FixedChooser, SimConfig,
+    SimMetrics,
 };
 use atlarge_datacenter::environment::Environment;
 use atlarge_workload::mixes::Mix;
@@ -149,8 +149,16 @@ pub fn table9_matrix() -> Vec<(&'static str, Mix, Environment)> {
         ("[114] ('13)", Mix::Synthetic, Environment::OwnCluster),
         ("[115] ('13)", Mix::Scientific, Environment::GridPlusCloud),
         ("[116] ('13)", Mix::SciGaming, Environment::OwnCluster),
-        ("[117] ('13)", Mix::ComputerEngineering, Environment::GeoDistributed),
-        ("[118] ('15)", Mix::BusinessCritical, Environment::MultiCluster),
+        (
+            "[117] ('13)",
+            Mix::ComputerEngineering,
+            Environment::GeoDistributed,
+        ),
+        (
+            "[118] ('15)",
+            Mix::BusinessCritical,
+            Environment::MultiCluster,
+        ),
         ("[119] ('17)", Mix::Industrial, Environment::PublicCloud),
         ("[120] ('18)", Mix::BigData, Environment::OwnCluster),
     ]
@@ -249,9 +257,16 @@ pub fn prediction_sensitivity(scale: Scale, seeds: &[u64]) -> Vec<(f64, f64)> {
     let baselines: Vec<f64> = seeds
         .iter()
         .map(|&seed| {
-            run_row_with_sigma("[120]", Mix::BigData, Environment::OwnCluster, scale, seed, 0.0)
-                .portfolio
-                .mean_bounded_slowdown
+            run_row_with_sigma(
+                "[120]",
+                Mix::BigData,
+                Environment::OwnCluster,
+                scale,
+                seed,
+                0.0,
+            )
+            .portfolio
+            .mean_bounded_slowdown
         })
         .collect();
     [0.0, 0.8, 1.6, 2.4]
@@ -333,8 +348,7 @@ pub fn row_under_failures(
         estimate_sigma: estimate_sigma(mix),
         seed,
     };
-    let failures =
-        generate_failures(&pools, scale.horizon(), scale.horizon() / 6.0, 600.0, seed);
+    let failures = generate_failures(&pools, scale.horizon(), scale.horizon() / 6.0, 600.0, seed);
     let healthy = simulate(&jobs, &pools, Policy::EasyBackfilling, &config);
     let failing = simulate_with_failures(
         &jobs,
@@ -417,17 +431,14 @@ mod tests {
         // The founding observation of §6.6: across workloads and metrics,
         // no individual policy is consistently the best.
         let rows = rows();
-        let mut slowdown_winners: std::collections::BTreeSet<&str> =
-            Default::default();
+        let mut slowdown_winners: std::collections::BTreeSet<&str> = Default::default();
         let mut makespan_winners: std::collections::BTreeSet<&str> = Default::default();
         for r in &rows {
             slowdown_winners.insert(r.best_single_slowdown().0.name());
             makespan_winners.insert(r.best_single_makespan().0.name());
         }
-        let distinct: std::collections::BTreeSet<&str> = slowdown_winners
-            .union(&makespan_winners)
-            .copied()
-            .collect();
+        let distinct: std::collections::BTreeSet<&str> =
+            slowdown_winners.union(&makespan_winners).copied().collect();
         assert!(
             distinct.len() >= 2,
             "a single policy won every row on every metric: {distinct:?}"

@@ -81,8 +81,16 @@ impl Policy {
             Policy::Fcfs | Policy::EasyBackfilling => {
                 |a, b| a.submit.partial_cmp(&b.submit).expect("finite submits")
             }
-            Policy::Sjf => |a, b| a.estimate.partial_cmp(&b.estimate).expect("finite estimates"),
-            Policy::Ljf => |a, b| b.estimate.partial_cmp(&a.estimate).expect("finite estimates"),
+            Policy::Sjf => |a, b| {
+                a.estimate
+                    .partial_cmp(&b.estimate)
+                    .expect("finite estimates")
+            },
+            Policy::Ljf => |a, b| {
+                b.estimate
+                    .partial_cmp(&a.estimate)
+                    .expect("finite estimates")
+            },
             Policy::WidestFirst => |a, b| b.cpus.cmp(&a.cpus),
             Policy::NarrowestFirst => |a, b| a.cpus.cmp(&b.cpus),
             Policy::Random => |a, b| hash_task(a).cmp(&hash_task(b)),
@@ -132,7 +140,11 @@ mod tests {
 
     #[test]
     fn sjf_and_ljf_are_opposites() {
-        let mut q = vec![task(1, 0.0, 5.0, 1), task(2, 0.0, 1.0, 1), task(3, 0.0, 3.0, 1)];
+        let mut q = vec![
+            task(1, 0.0, 5.0, 1),
+            task(2, 0.0, 1.0, 1),
+            task(3, 0.0, 3.0, 1),
+        ];
         Policy::Sjf.order(&mut q);
         let sjf: Vec<u64> = q.iter().map(|t| t.job).collect();
         Policy::Ljf.order(&mut q);
@@ -143,7 +155,11 @@ mod tests {
 
     #[test]
     fn width_policies_sort_by_cpus() {
-        let mut q = vec![task(1, 0.0, 1.0, 2), task(2, 0.0, 1.0, 8), task(3, 0.0, 1.0, 4)];
+        let mut q = vec![
+            task(1, 0.0, 1.0, 2),
+            task(2, 0.0, 1.0, 8),
+            task(3, 0.0, 1.0, 4),
+        ];
         Policy::WidestFirst.order(&mut q);
         assert_eq!(q[0].job, 2);
         Policy::NarrowestFirst.order(&mut q);
@@ -152,7 +168,11 @@ mod tests {
 
     #[test]
     fn random_is_deterministic_but_shuffled() {
-        let mut a = vec![task(1, 0.0, 1.0, 1), task(2, 1.0, 1.0, 1), task(3, 2.0, 1.0, 1)];
+        let mut a = vec![
+            task(1, 0.0, 1.0, 1),
+            task(2, 1.0, 1.0, 1),
+            task(3, 2.0, 1.0, 1),
+        ];
         let mut b = a.clone();
         Policy::Random.order(&mut a);
         Policy::Random.order(&mut b);

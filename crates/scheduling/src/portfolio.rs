@@ -90,7 +90,8 @@ impl PortfolioScheduler {
     }
 
     fn candidates(&self) -> Vec<Policy> {
-        if self.reflections % self.explore_every == 0 || self.scores.len() < self.policies.len()
+        if self.reflections.is_multiple_of(self.explore_every)
+            || self.scores.len() < self.policies.len()
         {
             // Exploration round: simulate the whole portfolio.
             self.policies.clone()
@@ -310,10 +311,8 @@ mod tests {
     fn active_set_caps_candidates() {
         // With active set 2 and exploration every 1000 rounds, only the
         // first reflection simulates all policies.
-        let mut small = PortfolioScheduler::new(Policy::all().to_vec(), 2, 1.0)
-            .explore_every(1000);
-        let mut full = PortfolioScheduler::new(Policy::all().to_vec(), 7, 1.0)
-            .explore_every(1000);
+        let mut small = PortfolioScheduler::new(Policy::all().to_vec(), 2, 1.0).explore_every(1000);
+        let mut full = PortfolioScheduler::new(Policy::all().to_vec(), 7, 1.0).explore_every(1000);
         let queue: Vec<QueuedTask> = (0..20).map(|i| qt(i, 10.0, 1)).collect();
         for step in 0..10 {
             let t = step as f64 * 10.0;

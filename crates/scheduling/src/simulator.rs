@@ -315,7 +315,7 @@ impl<C: Chooser> SchedModel<C> {
                 avail += c;
                 if avail >= cpus {
                     let extra = avail - cpus;
-                    if best.map_or(true, |(bt, _)| t < bt) {
+                    if best.is_none_or(|(bt, _)| t < bt) {
                         best = Some((t, extra));
                     }
                     break;
@@ -699,13 +699,8 @@ mod failure_tests {
     #[test]
     fn no_failures_matches_plain_simulation() {
         let plain = simulate(&jobs(), &[8], Policy::Sjf, &perfect());
-        let with_empty = simulate_with_failures(
-            &jobs(),
-            &[8],
-            FixedChooser(Policy::Sjf),
-            &perfect(),
-            &[],
-        );
+        let with_empty =
+            simulate_with_failures(&jobs(), &[8], FixedChooser(Policy::Sjf), &perfect(), &[]);
         assert_eq!(plain, with_empty);
         assert_eq!(plain.tasks_restarted, 0);
     }
@@ -734,7 +729,10 @@ mod failure_tests {
             &failures,
         );
         assert_eq!(m.jobs_completed, 20, "failures must not lose jobs");
-        assert!(m.tasks_restarted > 0, "a busy pool losing cores kills tasks");
+        assert!(
+            m.tasks_restarted > 0,
+            "a busy pool losing cores kills tasks"
+        );
         let healthy = simulate(&jobs(), &[8], Policy::Fcfs, &perfect());
         assert!(
             m.makespan > healthy.makespan,

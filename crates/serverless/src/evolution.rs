@@ -85,11 +85,7 @@ pub fn earliest_feasible(timeline: &[Technology], name: &str) -> Option<u32> {
         .iter()
         .filter_map(|d| earliest_feasible(timeline, d))
         .collect();
-    Some(
-        dep_years
-            .into_iter()
-            .fold(tech.matured, u32::max),
-    )
+    Some(dep_years.into_iter().fold(tech.matured, u32::max))
 }
 
 /// Checks the timeline's dependency references all resolve.

@@ -161,8 +161,7 @@ pub fn table7(seed: u64) -> Vec<Table7Row> {
 
     // The FaaS economics headline: serverless wins bursty sparse loads.
     let invs: Vec<(f64, usize)> = (0..720).map(|i| (i as f64 * 120.0, 0)).collect();
-    let (faas, reserved, p50) =
-        faas_vs_reserved(&invs, demo_function(), 86_400.0, 0.05, seed);
+    let (faas, reserved, p50) = faas_vs_reserved(&invs, demo_function(), 86_400.0, 0.05, seed);
     rows.push(Table7Row {
         study: "[101] §perf",
         feature: "Economics",

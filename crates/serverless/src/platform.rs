@@ -10,6 +10,9 @@
 
 use atlarge_des::sim::{Ctx, Model, Simulation};
 use atlarge_stats::descriptive::Summary;
+use atlarge_telemetry::manifest::config_digest;
+use atlarge_telemetry::recorder::Recorder;
+use atlarge_telemetry::tracer::EventLabel;
 use std::collections::BTreeMap;
 
 /// A registered function.
@@ -100,6 +103,16 @@ pub enum FaasEvent {
     },
 }
 
+impl EventLabel for FaasEvent {
+    fn label(&self) -> &'static str {
+        match self {
+            FaasEvent::Invoke { .. } => "invoke",
+            FaasEvent::Finish { .. } => "finish",
+            FaasEvent::Expire { .. } => "expire",
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct Pool {
     /// Warm idle instances, keyed by when they went idle.
@@ -119,6 +132,7 @@ pub struct FaasPlatform {
     total: usize,
     gb_seconds: f64,
     peak_instances: usize,
+    recorder: Option<Recorder>,
 }
 
 impl FaasPlatform {
@@ -139,6 +153,7 @@ impl FaasPlatform {
             total: 0,
             gb_seconds: 0.0,
             peak_instances: 0,
+            recorder: None,
         }
     }
 
@@ -175,10 +190,21 @@ impl Model for FaasPlatform {
                 }
                 self.gb_seconds += spec.exec_time * spec.memory_gb;
                 self.peak_instances = self.peak_instances.max(self.instances());
+                if let Some(rec) = &self.recorder {
+                    rec.incr("faas.invocations");
+                    if !warm {
+                        rec.incr("faas.cold_starts");
+                    }
+                    rec.gauge_set("faas.instances", ctx.now(), self.instances() as f64);
+                }
                 ctx.schedule_in(delay, FaasEvent::Finish { func, enqueued });
             }
             FaasEvent::Finish { func, enqueued } => {
-                self.latencies.push(ctx.now() - enqueued);
+                let latency = ctx.now() - enqueued;
+                self.latencies.push(latency);
+                if let Some(rec) = &self.recorder {
+                    rec.observe("faas.latency_s", latency);
+                }
                 let pool = &mut self.pools[func];
                 pool.busy -= 1;
                 pool.idle.push(ctx.now());
@@ -195,6 +221,10 @@ impl Model for FaasPlatform {
                 let pool = &mut self.pools[func];
                 if let Some(pos) = pool.idle.iter().position(|&t| t == idle_since) {
                     pool.idle.remove(pos);
+                    if let Some(rec) = &self.recorder {
+                        rec.incr("faas.expirations");
+                        rec.gauge_set("faas.instances", ctx.now(), self.instances() as f64);
+                    }
                 }
             }
         }
@@ -209,11 +239,43 @@ pub fn run_platform(
     invocations: &[(f64, usize)],
     seed: u64,
 ) -> FaasMetrics {
+    run_platform_impl(functions, config, invocations, seed, None)
+}
+
+/// Runs the platform with `recorder` attached as the simulation tracer and
+/// as the sink for platform metrics (`faas.invocations`,
+/// `faas.cold_starts`, `faas.expirations`, the `faas.instances` gauge, the
+/// `faas.latency_s` tally). Telemetry is observational: the returned
+/// metrics are identical to an untraced [`run_platform`] of the same
+/// inputs and seed — a property the test suite asserts.
+pub fn run_platform_traced(
+    functions: Vec<FunctionSpec>,
+    config: FaasConfig,
+    invocations: &[(f64, usize)],
+    seed: u64,
+    recorder: &Recorder,
+) -> FaasMetrics {
+    recorder.set_run_info("serverless.faas", seed, config_digest(&config));
+    run_platform_impl(functions, config, invocations, seed, Some(recorder.clone()))
+}
+
+fn run_platform_impl(
+    functions: Vec<FunctionSpec>,
+    config: FaasConfig,
+    invocations: &[(f64, usize)],
+    seed: u64,
+    recorder: Option<Recorder>,
+) -> FaasMetrics {
     let n_funcs = functions.len();
     for &(_, f) in invocations {
         assert!(f < n_funcs, "invocation references unknown function");
     }
-    let mut sim = Simulation::new(FaasPlatform::new(functions, config), seed);
+    let mut platform = FaasPlatform::new(functions, config);
+    platform.recorder = recorder.clone();
+    let mut sim = Simulation::new(platform, seed);
+    if let Some(rec) = recorder {
+        sim = sim.with_tracer(rec);
+    }
     for &(t, f) in invocations {
         sim.schedule(
             t,
@@ -313,7 +375,10 @@ mod tests {
     fn concurrent_burst_scales_instances() {
         let invs: Vec<(f64, usize)> = (0..20).map(|_| (0.0, 0)).collect();
         let m = run_platform(vec![spec("f", 2.0)], FaasConfig::default(), &invs, 1);
-        assert_eq!(m.peak_instances, 20, "each concurrent call gets an instance");
+        assert_eq!(
+            m.peak_instances, 20,
+            "each concurrent call gets an instance"
+        );
         assert_eq!(m.cold_fraction, 1.0);
     }
 
@@ -330,8 +395,7 @@ mod tests {
         // One call a minute for a day: a reserved VM idles ~97% of the
         // time.
         let invs: Vec<(f64, usize)> = (0..1440).map(|i| (i as f64 * 60.0, 0)).collect();
-        let (faas, reserved, p50) =
-            faas_vs_reserved(&invs, spec("f", 1.0), 86_400.0, 0.05, 3);
+        let (faas, reserved, p50) = faas_vs_reserved(&invs, spec("f", 1.0), 86_400.0, 0.05, 3);
         assert!(
             faas < reserved / 10.0,
             "faas {faas} should be far below reserved {reserved}"
@@ -350,7 +414,39 @@ mod tests {
         let invs: Vec<(f64, usize)> = (0..50).map(|i| (i as f64 * 100.0, 0)).collect();
         let m = run_platform(vec![spec("f", 0.2)], cfg, &invs, 1);
         let s = m.latency_summary();
-        assert!(s.median() > 1.5, "cold-start dominated median {}", s.median());
+        assert!(
+            s.median() > 1.5,
+            "cold-start dominated median {}",
+            s.median()
+        );
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_records() {
+        let invs: Vec<(f64, usize)> = (0..30).map(|i| (i as f64 * 7.0, 0)).collect();
+        let cfg = FaasConfig {
+            keep_alive: 20.0,
+            ..FaasConfig::default()
+        };
+        let plain = run_platform(vec![spec("f", 1.0)], cfg, &invs, 11);
+        let rec = Recorder::new();
+        let traced = run_platform_traced(vec![spec("f", 1.0)], cfg, &invs, 11, &rec);
+        assert_eq!(plain, traced, "telemetry must not perturb the run");
+        assert_eq!(rec.counter("faas.invocations"), 30);
+        assert_eq!(
+            rec.counter("faas.cold_starts") as f64 / 30.0,
+            traced.cold_fraction
+        );
+        assert_eq!(
+            rec.tally("faas.latency_s")
+                .expect("latencies recorded")
+                .len(),
+            traced.completed
+        );
+        assert_eq!(rec.dispatches("invoke"), 30);
+        let m = rec.manifest();
+        assert_eq!(m.model, "serverless.faas");
+        assert!(m.events_dispatched >= 60, "invokes + finishes at least");
     }
 
     #[test]

@@ -110,10 +110,7 @@ pub fn single_tier(tier: Tier, job: &JobRequirements) -> Allocation {
 /// residual capacity by the cheapest per-GB tier) and returns the
 /// cheapest that satisfies the job.
 pub fn right_size(job: &JobRequirements) -> Allocation {
-    let mut candidates: Vec<Allocation> = tiers()
-        .iter()
-        .map(|&t| single_tier(t, job))
-        .collect();
+    let mut candidates: Vec<Allocation> = tiers().iter().map(|&t| single_tier(t, job)).collect();
     candidates.push(mixed_allocation(job));
     candidates
         .into_iter()

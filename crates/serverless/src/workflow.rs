@@ -136,7 +136,7 @@ impl WorkflowEngine {
                 else_branch,
             } => {
                 let cond_t = self.invoke_time(*condition);
-                let pick_then = (seed ^ *condition as u64).count_ones() % 2 == 0;
+                let pick_then = (seed ^ *condition as u64).count_ones().is_multiple_of(2);
                 let (bt, bn, bo) = if pick_then {
                     self.eval(then_branch, seed)
                 } else {
@@ -235,9 +235,7 @@ impl PlatformSession {
     pub fn execute(&mut self, wf: &Composite, start: f64, seed: u64) -> f64 {
         match wf {
             Composite::Task(f) => self.invoke(*f, start),
-            Composite::Sequence(parts) => parts
-                .iter()
-                .fold(start, |t, p| self.execute(p, t, seed)),
+            Composite::Sequence(parts) => parts.iter().fold(start, |t, p| self.execute(p, t, seed)),
             Composite::Parallel(parts) => parts
                 .iter()
                 .map(|p| self.execute(p, start, seed))
@@ -248,7 +246,7 @@ impl PlatformSession {
                 else_branch,
             } => {
                 let t = self.invoke(*condition, start);
-                let pick_then = (seed ^ *condition as u64).count_ones() % 2 == 0;
+                let pick_then = (seed ^ *condition as u64).count_ones().is_multiple_of(2);
                 if pick_then {
                     self.execute(then_branch, t, seed)
                 } else {
@@ -305,7 +303,12 @@ mod tests {
         let p = e.execute(&par, 1);
         assert_eq!(s.invocations, 8);
         assert_eq!(p.invocations, 8);
-        assert!(s.makespan > 7.0 * p.makespan / 2.0, "seq {} par {}", s.makespan, p.makespan);
+        assert!(
+            s.makespan > 7.0 * p.makespan / 2.0,
+            "seq {} par {}",
+            s.makespan,
+            p.makespan
+        );
     }
 
     #[test]

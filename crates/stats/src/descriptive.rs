@@ -34,6 +34,9 @@ impl Summary {
     /// # Panics
     ///
     /// Panics if any sample is not finite.
+    // Not `FromIterator`: that trait's `from_iter` cannot panic-document,
+    // and the fallible twin `try_from_iter` is the primary constructor.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
         Self::try_from_iter(iter).expect("samples must be finite")
     }

@@ -326,13 +326,13 @@ mod tests {
     #[test]
     fn zipf_exponent_zero_is_uniformish() {
         let d = Zipf::new(4, 0.0);
-        let mut counts = vec![0usize; 5];
+        let mut counts = [0usize; 5];
         let mut r = rng();
         for _ in 0..40_000 {
             counts[d.sample_rank(&mut r)] += 1;
         }
-        for k in 1..=4 {
-            let frac = counts[k] as f64 / 40_000.0;
+        for (k, &count) in counts.iter().enumerate().skip(1) {
+            let frac = count as f64 / 40_000.0;
             assert!((frac - 0.25).abs() < 0.02, "rank {k} frac {frac}");
         }
     }

@@ -144,7 +144,11 @@ mod tests {
             }
         }
         let d = decompose(&cells);
-        assert!(d.interaction_share() < 1e-9, "share {}", d.interaction_share());
+        assert!(
+            d.interaction_share() < 1e-9,
+            "share {}",
+            d.interaction_share()
+        );
         assert!(d.ss_a > 0.0 && d.ss_b > 0.0);
     }
 
@@ -158,7 +162,11 @@ mod tests {
             cell("p2", "pr", "d", 1.0),
         ];
         let d = decompose(&cells);
-        assert!(d.interaction_share() > 0.99, "share {}", d.interaction_share());
+        assert!(
+            d.interaction_share() > 0.99,
+            "share {}",
+            d.interaction_share()
+        );
         assert!(d.max_main_share() < 1e-9);
     }
 
@@ -171,10 +179,7 @@ mod tests {
 
     #[test]
     fn constant_table_has_zero_variance() {
-        let cells = vec![
-            cell("p1", "bfs", "d1", 5.0),
-            cell("p2", "pr", "d2", 5.0),
-        ];
+        let cells = vec![cell("p1", "bfs", "d1", 5.0), cell("p2", "pr", "d2", 5.0)];
         let d = decompose(&cells);
         assert_eq!(d.ss_total, 0.0);
         assert_eq!(d.interaction_share(), 0.0);

@@ -98,10 +98,7 @@ impl Histogram {
         if total == 0 {
             return vec![0.0; self.bins.len()];
         }
-        self.bins
-            .iter()
-            .map(|&c| c as f64 / total as f64)
-            .collect()
+        self.bins.iter().map(|&c| c as f64 / total as f64).collect()
     }
 
     /// Empirical CDF evaluated at the upper edge of each bin.
@@ -143,11 +140,7 @@ impl Histogram {
         assert_eq!(self.bins.len(), other.bins.len(), "bin counts differ");
         let fa = self.frequencies();
         let fb = other.frequencies();
-        0.5 * fa
-            .iter()
-            .zip(&fb)
-            .map(|(a, b)| (a - b).abs())
-            .sum::<f64>()
+        0.5 * fa.iter().zip(&fb).map(|(a, b)| (a - b).abs()).sum::<f64>()
     }
 }
 

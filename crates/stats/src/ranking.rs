@@ -120,8 +120,7 @@ impl ScoreTable {
                 }
             }
         }
-        let mut out: Vec<(String, usize)> =
-            wins.into_iter().map(|(n, w)| (n.clone(), w)).collect();
+        let mut out: Vec<(String, usize)> = wins.into_iter().map(|(n, w)| (n.clone(), w)).collect();
         out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         out
     }
@@ -159,8 +158,7 @@ impl ScoreTable {
                 i = j + 1;
             }
         }
-        let mut out: Vec<(String, f64)> =
-            points.into_iter().map(|(n, p)| (n.clone(), p)).collect();
+        let mut out: Vec<(String, f64)> = points.into_iter().map(|(n, p)| (n.clone(), p)).collect();
         out.sort_by(|a, b| {
             b.1.partial_cmp(&a.1)
                 .expect("finite points")
@@ -179,10 +177,7 @@ impl ScoreTable {
         let names: Vec<&String> = self.scores.keys().collect();
         let mut grades: BTreeMap<&String, f64> = names.iter().map(|n| (*n, 0.0)).collect();
         for (metric, dir) in &self.metrics {
-            let vals: Vec<f64> = names
-                .iter()
-                .filter_map(|n| self.score(n, metric))
-                .collect();
+            let vals: Vec<f64> = names.iter().filter_map(|n| self.score(n, metric)).collect();
             if vals.is_empty() {
                 continue;
             }
@@ -200,8 +195,7 @@ impl ScoreTable {
                 }
             }
         }
-        let mut out: Vec<(String, f64)> =
-            grades.into_iter().map(|(n, g)| (n.clone(), g)).collect();
+        let mut out: Vec<(String, f64)> = grades.into_iter().map(|(n, g)| (n.clone(), g)).collect();
         out.sort_by(|a, b| {
             b.1.partial_cmp(&a.1)
                 .expect("finite grade")

@@ -1,0 +1,87 @@
+//! Hand-rolled JSON/JSONL encoding.
+//!
+//! The workspace deliberately avoids serialization dependencies; traces and
+//! metrics are flat records, so the encoder is a page of code. Only the
+//! subset of JSON the exporters emit is supported: objects of string,
+//! number, and string-escaped values, one object per line (JSONL).
+
+/// Escapes a string for inclusion inside JSON double quotes.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` as a JSON value: the shortest round-trip decimal for
+/// finite numbers, `null` for NaN and infinities (which JSON cannot carry).
+pub fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders a `(key, value)` list as one JSON object. Values are emitted
+/// verbatim — pass them through [`json_f64`], [`json_escape`] + quotes, or
+/// integer formatting first.
+pub fn json_object(fields: &[(&str, String)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&json_escape(k));
+        out.push_str("\":");
+        out.push_str(v);
+    }
+    out.push('}');
+    out
+}
+
+/// A quoted, escaped JSON string value.
+pub fn json_str(s: &str) -> String {
+    format!("\"{}\"", json_escape(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn floats_round_trip_or_null() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(0.1), "0.1");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn objects_assemble() {
+        let o = json_object(&[
+            ("t", json_f64(1.0)),
+            ("label", json_str("a\"b")),
+            ("n", 3.to_string()),
+        ]);
+        assert_eq!(o, "{\"t\":1.0,\"label\":\"a\\\"b\",\"n\":3}");
+    }
+}

@@ -1,0 +1,96 @@
+//! The tracer hook interface and the label vocabulary of event types.
+
+/// Observer hooks called by the simulation kernel.
+///
+/// All methods take `&self` so one tracer handle can be shared between the
+/// kernel and the model (see [`crate::recorder::Recorder`]); implementations
+/// use interior mutability where they accumulate state. Every method has a
+/// no-op default, so a tracer only pays for what it overrides.
+///
+/// Tracers observe; they must not influence the run. The kernel guarantees
+/// it never consults a tracer for control flow, which is what makes a traced
+/// run bit-identical to an untraced one.
+pub trait Tracer: Send {
+    /// Whether this tracer wants hook calls at all.
+    ///
+    /// Consulted **once, at attach time**: a tracer that returns `false`
+    /// (like [`NullTracer`]) is dropped by the kernel instead of installed,
+    /// so the run takes the exact untraced hot path — no per-event virtual
+    /// calls, no label lookups. This is the same once-per-attach enablement
+    /// check loggers use, and is what makes the disabled configuration
+    /// genuinely zero-cost rather than merely cheap.
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    /// An event was scheduled at simulated time `now` to fire at `fire_at`.
+    fn on_schedule(&self, now: f64, fire_at: f64, label: &str) {
+        let _ = (now, fire_at, label);
+    }
+
+    /// An event was popped for execution at simulated time `now`;
+    /// `queue_len` is the number of events still pending.
+    fn on_dispatch(&self, now: f64, label: &str, queue_len: usize) {
+        let _ = (now, label, queue_len);
+    }
+
+    /// An instrumented region named `name` was entered at `now`.
+    fn on_span_enter(&self, now: f64, name: &str) {
+        let _ = (now, name);
+    }
+
+    /// The innermost open span named `name` was exited at `now`.
+    fn on_span_exit(&self, now: f64, name: &str) {
+        let _ = (now, name);
+    }
+
+    /// A run loop returned (queue drained, stop requested, or horizon
+    /// reached) at `now` with `processed` events executed in total.
+    fn on_run_end(&self, now: f64, processed: u64) {
+        let _ = (now, processed);
+    }
+}
+
+/// A tracer whose every hook is a no-op, and which reports itself
+/// disabled: attaching it leaves the kernel on the untraced hot path
+/// entirely. The workspace overhead bench compares a `NullTracer` run
+/// against an untraced run to pin that equivalence.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    fn is_enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Static names for the variants of an event alphabet.
+///
+/// Implemented by each domain simulator's event enum so traces carry
+/// human-readable labels ("invoke", "recalc", …) instead of opaque indices.
+/// Labels must be cheap: a `&'static str` per variant, no formatting.
+pub trait EventLabel {
+    /// The label of this event's variant.
+    fn label(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_tracer_accepts_all_hooks() {
+        let t = NullTracer;
+        t.on_schedule(0.0, 1.0, "a");
+        t.on_dispatch(1.0, "a", 0);
+        t.on_span_enter(1.0, "s");
+        t.on_span_exit(1.5, "s");
+        t.on_run_end(1.5, 1);
+    }
+
+    #[test]
+    fn tracer_is_object_safe() {
+        let boxed: Box<dyn Tracer> = Box::new(NullTracer);
+        boxed.on_dispatch(0.0, "x", 3);
+    }
+}

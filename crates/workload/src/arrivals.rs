@@ -226,8 +226,7 @@ impl Diurnal {
     pub fn rate_at(&self, t: f64) -> f64 {
         self.mean
             * (1.0
-                + self.amplitude
-                    * (std::f64::consts::TAU * (t / self.period + self.phase)).sin())
+                + self.amplitude * (std::f64::consts::TAU * (t / self.period + self.phase)).sin())
     }
 }
 
@@ -317,8 +316,8 @@ mod tests {
     fn flashcrowd_spikes_after_onset() {
         let f = Flashcrowd::new(1.0, 500.0, 30.0, 50.0);
         let arr = f.generate(&mut rng(), 0.0, 1000.0);
-        let before = arr.iter().filter(|&&t| t >= 400.0 && t < 500.0).count();
-        let after = arr.iter().filter(|&&t| t >= 500.0 && t < 600.0).count();
+        let before = arr.iter().filter(|&&t| (400.0..500.0).contains(&t)).count();
+        let after = arr.iter().filter(|&&t| (500.0..600.0).contains(&t)).count();
         assert!(
             after as f64 > 4.0 * before as f64,
             "before {before} after {after}"
@@ -349,7 +348,10 @@ mod tests {
                 trough += 1;
             }
         }
-        assert!(peak as f64 > 3.0 * trough as f64, "peak {peak} trough {trough}");
+        assert!(
+            peak as f64 > 3.0 * trough as f64,
+            "peak {peak} trough {trough}"
+        );
     }
 
     #[test]

@@ -72,10 +72,7 @@ impl Job {
     /// Runtime of the longest task (the job's lower bound on makespan with
     /// unlimited resources).
     pub fn critical_runtime(&self) -> f64 {
-        self.tasks
-            .iter()
-            .map(|t| t.runtime)
-            .fold(0.0, f64::max)
+        self.tasks.iter().map(|t| t.runtime).fold(0.0, f64::max)
     }
 
     /// Number of tasks.
@@ -126,11 +123,7 @@ mod tests {
 
     #[test]
     fn work_adds_up() {
-        let j = Job::new(
-            JobId(1),
-            0.0,
-            vec![Task::new(10.0, 2), Task::new(5.0, 4)],
-        );
+        let j = Job::new(JobId(1), 0.0, vec![Task::new(10.0, 2), Task::new(5.0, 4)]);
         assert_eq!(j.work(), 40.0);
         assert_eq!(j.critical_runtime(), 10.0);
         assert_eq!(j.size(), 2);

@@ -201,12 +201,20 @@ mod tests {
     #[test]
     fn archives_and_queries_by_kind_and_period() {
         let mut m = Memex::new();
-        m.archive(SystemKind::PeerToPeer, 2005, trace("bt-2005", "multiprobe", "CC"))
-            .unwrap();
+        m.archive(
+            SystemKind::PeerToPeer,
+            2005,
+            trace("bt-2005", "multiprobe", "CC"),
+        )
+        .unwrap();
         m.archive(SystemKind::Gaming, 2008, trace("rs-2008", "crawler", "CC"))
             .unwrap();
-        m.archive(SystemKind::PeerToPeer, 2010, trace("bt-2010", "btworld", "CC"))
-            .unwrap();
+        m.archive(
+            SystemKind::PeerToPeer,
+            2010,
+            trace("bt-2010", "btworld", "CC"),
+        )
+        .unwrap();
         assert_eq!(m.len(), 3);
         assert_eq!(m.by_kind(SystemKind::PeerToPeer).len(), 2);
         assert_eq!(m.by_period(2006, 2010).len(), 2);

@@ -128,7 +128,12 @@ impl Mix {
 
     /// Generates the full workload: jobs with arrival times and bags of
     /// tasks matching the mix's profile.
-    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R, horizon: f64, rate_scale: f64) -> Vec<Job> {
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        horizon: f64,
+        rate_scale: f64,
+    ) -> Vec<Job> {
         let gen = self.bot_gen();
         self.arrivals(rng, horizon, rate_scale)
             .into_iter()

@@ -103,7 +103,10 @@ impl JobTrace {
         out.push_str(&format!("# description: {}\n", self.meta.description));
         for j in &self.jobs {
             for t in &j.tasks {
-                out.push_str(&format!("{} {} {} {}\n", j.id.0, j.submit, t.runtime, t.cpus));
+                out.push_str(&format!(
+                    "{} {} {} {}\n",
+                    j.id.0, j.submit, t.runtime, t.cpus
+                ));
             }
         }
         out

@@ -241,7 +241,16 @@ mod tests {
     fn forkjoin_critical_path_is_three_levels() {
         let wf = Workflow::new(
             unit_tasks(6),
-            &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 5), (2, 5), (3, 5), (4, 5)],
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (1, 5),
+                (2, 5),
+                (3, 5),
+                (4, 5),
+            ],
             0.0,
         );
         assert_eq!(wf.critical_path(), 3.0);

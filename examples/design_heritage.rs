@@ -48,7 +48,11 @@ fn main() {
         "satisficing under the latency NFR; share the evidence",
         Some(aos),
     );
-    println!("C8 — decision log ({} decisions, {} alternatives considered):", log.len(), log.alternatives_considered());
+    println!(
+        "C8 — decision log ({} decisions, {} alternatives considered):",
+        log.len(),
+        log.alternatives_considered()
+    );
     print!("{}", log.to_formalism());
     let chain: Vec<&str> = log
         .evolution_chain(2)

@@ -8,16 +8,60 @@
 //! ```sh
 //! cargo run --release --example ecosystem_observatory
 //! ```
+//!
+//! Pass `--trace out.jsonl` to re-run the flashcrowd swarm with the
+//! telemetry recorder attached: the kernel event trace plus the run
+//! manifest land in `out.jsonl`, domain metrics in `out.metrics.jsonl`.
 
-use atlarge::p2p::ecosystem::{
-    alias_analysis, detect_spam_trackers, Ecosystem, EcosystemConfig,
-};
+use atlarge::p2p::ecosystem::{alias_analysis, detect_spam_trackers, Ecosystem, EcosystemConfig};
 use atlarge::p2p::flashcrowd;
 use atlarge::p2p::measurement::{coverage_ablation, GroundTruth, Instrument};
+use atlarge::p2p::swarm::{run_swarm_traced, SwarmConfig};
 use atlarge::p2p::twofast::speedup_curve;
 use atlarge::p2p::vicissitude::{bottleneck_shifts, run_pipeline, vicissitude_score};
+use atlarge::telemetry::Recorder;
+use std::fs::File;
+use std::io::BufWriter;
+
+/// Re-runs the flashcrowd swarm traced and dumps trace + metrics JSONL.
+fn export_trace(path: &str, arrivals: &[f64], seed: u64) -> std::io::Result<()> {
+    let config = SwarmConfig {
+        file_size: 50e6,
+        mean_seed_time: 1_000.0,
+        ..SwarmConfig::default()
+    };
+    let rec = Recorder::new();
+    let result = run_swarm_traced(config, arrivals, 80_000.0, seed, &rec);
+    let mut trace = BufWriter::new(File::create(path)?);
+    rec.write_trace_jsonl(&mut trace)?;
+    let metrics_path = format!("{}.metrics.jsonl", path.trim_end_matches(".jsonl"));
+    let mut metrics = BufWriter::new(File::create(&metrics_path)?);
+    rec.write_metrics_jsonl(&mut metrics)?;
+    let m = rec.manifest();
+    println!(
+        "\ntrace: {} records ({} dropped) -> {path}; metrics -> {metrics_path}",
+        rec.trace_len(),
+        rec.trace_dropped()
+    );
+    println!(
+        "manifest: model={} seed={} events={}/{} sim_time={:.0} downloads={}",
+        m.model,
+        m.seed,
+        m.events_dispatched,
+        m.events_scheduled,
+        m.sim_time,
+        result.downloads.len()
+    );
+    println!("{}", m.to_json());
+    Ok(())
+}
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .map(|i| args.get(i + 1).expect("--trace needs a path").clone());
     // -- The global ecosystem ---------------------------------------------
     let eco = Ecosystem::generate(EcosystemConfig::default(), 2026);
     println!(
@@ -76,4 +120,9 @@ fn main() {
         bottleneck_shifts(&pipeline),
         pipeline.len()
     );
+
+    // -- Machine-readable observability ------------------------------------
+    if let Some(path) = trace_path {
+        export_trace(&path, &study.arrivals, 2026).expect("trace export failed");
+    }
 }

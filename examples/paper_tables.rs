@@ -137,7 +137,14 @@ fn main() {
         new.layers,
         new.components.len()
     );
-    for missing in ["MemEFS", "Pocket", "Crail", "FlashNet", "Graphalytics", "Granula"] {
+    for missing in [
+        "MemEFS",
+        "Pocket",
+        "Crail",
+        "FlashNet",
+        "Graphalytics",
+        "Granula",
+    ] {
         println!(
             "  {missing:<14} old: {}  new: {}",
             old.find(missing).map_or("absent", |_| "mapped"),

@@ -35,9 +35,7 @@ fn main() {
 
     println!("== 2. Design-space exploration (Figure 6) ==");
     let space = RuggedSpace::new(40, 3, 7);
-    for (process, satisfice_rate, novelty, quality) in
-        compare_processes(&space, 0.64, 400, 20)
-    {
+    for (process, satisfice_rate, novelty, quality) in compare_processes(&space, 0.64, 400, 20) {
         println!(
             "   {process:<12} satisfice rate {satisfice_rate:.2}  novelty {novelty:.2}  best quality {quality:.3}"
         );
@@ -52,9 +50,7 @@ fn main() {
     println!("== 3. A calibrated simulation kernel ==");
     let (wait, _) = simulate_mmc(2.4, 1.0, 3, 50_000, 11);
     let theory = mmc_mean_wait(3, 2.4, 1.0);
-    println!(
-        "   M/M/3 mean wait: simulated {wait:.3}s vs Erlang-C {theory:.3}s\n"
-    );
+    println!("   M/M/3 mean wait: simulated {wait:.3}s vs Erlang-C {theory:.3}s\n");
 
     println!("== 4. One Table-9 cell: portfolio scheduling on big data ==");
     let row = run_row(

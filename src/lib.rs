@@ -9,6 +9,8 @@
 //!   catalogs of principles and challenges).
 //! - [`des`] — the deterministic discrete-event simulation kernel every
 //!   domain simulator runs on.
+//! - [`telemetry`] — tracing, metrics, and run manifests: attach a
+//!   [`telemetry::Recorder`] to any simulation for machine-readable traces.
 //! - [`stats`] / [`workload`] — shared statistics and workload models.
 //! - Domain reproductions of the paper's Section-6 case studies:
 //!   [`p2p`], [`mmog`], [`datacenter`], [`serverless`], [`graph`],
@@ -35,4 +37,5 @@ pub use atlarge_p2p as p2p;
 pub use atlarge_scheduling as scheduling;
 pub use atlarge_serverless as serverless;
 pub use atlarge_stats as stats;
+pub use atlarge_telemetry as telemetry;
 pub use atlarge_workload as workload;

@@ -78,21 +78,24 @@ fn bdc_with_simulation_stage_stops_on_portfolio() {
         },
         StoppingCriterion::Budget { iterations: 7 },
     ]);
-    bdc.on(BdcStage::ExperimentalAnalysis, |r: &mut Vec<(Policy, f64)>, ctx| {
-        let policy = Policy::all()[ctx.iteration() % Policy::all().len()];
-        let m = simulate(
-            &jobs,
-            &[64],
-            policy,
-            &SimConfig {
-                estimate_sigma: 0.0,
-                seed: 5,
-            },
-        );
-        let q = (1.0 / m.mean_bounded_slowdown).min(1.0);
-        r.push((policy, q));
-        ctx.report_design(q);
-    });
+    bdc.on(
+        BdcStage::ExperimentalAnalysis,
+        |r: &mut Vec<(Policy, f64)>, ctx| {
+            let policy = Policy::all()[ctx.iteration() % Policy::all().len()];
+            let m = simulate(
+                &jobs,
+                &[64],
+                policy,
+                &SimConfig {
+                    estimate_sigma: 0.0,
+                    seed: 5,
+                },
+            );
+            let q = (1.0 / m.mean_bounded_slowdown).min(1.0);
+            r.push((policy, q));
+            ctx.report_design(q);
+        },
+    );
     let report = bdc.run(&mut results);
     assert_eq!(report.reason, StopReason::PortfolioComplete);
     assert_eq!(results.len(), report.iterations);

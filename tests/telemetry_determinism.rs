@@ -1,0 +1,215 @@
+//! Workspace-level telemetry invariants.
+//!
+//! The telemetry subsystem is observational: attaching a [`Recorder`] to a
+//! simulation must never change its outcome, and two traced runs of the
+//! same inputs must describe themselves identically (equal manifests and
+//! fingerprints, modulo wall time). These tests pin that contract across
+//! the instrumented domain simulators, plus the JSONL exporters' syntax.
+
+use atlarge::p2p::swarm::{run_swarm, run_swarm_traced, SwarmConfig};
+use atlarge::serverless::platform::{run_platform, run_platform_traced, FaasConfig, FunctionSpec};
+use atlarge::telemetry::Recorder;
+use proptest::prelude::*;
+
+fn specs() -> Vec<FunctionSpec> {
+    vec![FunctionSpec {
+        name: "f".into(),
+        exec_time: 0.2,
+        memory_gb: 0.5,
+    }]
+}
+
+/// A minimal JSON syntax checker: accepts exactly the subset the exporters
+/// emit (objects, strings, finite numbers, integers, null). Returns true
+/// iff `s` is one complete JSON value.
+fn is_valid_json(s: &str) -> bool {
+    fn skip_ws(b: &[u8], mut i: usize) -> usize {
+        while i < b.len() && (b[i] as char).is_ascii_whitespace() {
+            i += 1;
+        }
+        i
+    }
+    fn value(b: &[u8], i: usize) -> Option<usize> {
+        let i = skip_ws(b, i);
+        match b.get(i)? {
+            b'{' => {
+                let mut i = skip_ws(b, i + 1);
+                if b.get(i) == Some(&b'}') {
+                    return Some(i + 1);
+                }
+                loop {
+                    i = string(b, skip_ws(b, i))?;
+                    i = skip_ws(b, i);
+                    if b.get(i) != Some(&b':') {
+                        return None;
+                    }
+                    i = value(b, i + 1)?;
+                    i = skip_ws(b, i);
+                    match b.get(i)? {
+                        b',' => i += 1,
+                        b'}' => return Some(i + 1),
+                        _ => return None,
+                    }
+                }
+            }
+            b'[' => {
+                let mut i = skip_ws(b, i + 1);
+                if b.get(i) == Some(&b']') {
+                    return Some(i + 1);
+                }
+                loop {
+                    i = value(b, i)?;
+                    i = skip_ws(b, i);
+                    match b.get(i)? {
+                        b',' => i += 1,
+                        b']' => return Some(i + 1),
+                        _ => return None,
+                    }
+                }
+            }
+            b'"' => string(b, i),
+            b'n' => b[i..].starts_with(b"null").then_some(i + 4),
+            b't' => b[i..].starts_with(b"true").then_some(i + 4),
+            b'f' => b[i..].starts_with(b"false").then_some(i + 5),
+            _ => number(b, i),
+        }
+    }
+    fn string(b: &[u8], i: usize) -> Option<usize> {
+        if b.get(i) != Some(&b'"') {
+            return None;
+        }
+        let mut i = i + 1;
+        while let Some(&c) = b.get(i) {
+            match c {
+                b'"' => return Some(i + 1),
+                b'\\' => i += 2,
+                _ => i += 1,
+            }
+        }
+        None
+    }
+    fn number(b: &[u8], mut i: usize) -> Option<usize> {
+        let start = i;
+        if b.get(i) == Some(&b'-') {
+            i += 1;
+        }
+        let digits = |b: &[u8], mut i: usize| {
+            let s = i;
+            while i < b.len() && b[i].is_ascii_digit() {
+                i += 1;
+            }
+            (i > s).then_some(i)
+        };
+        i = digits(b, i)?;
+        if b.get(i) == Some(&b'.') {
+            i = digits(b, i + 1)?;
+        }
+        if matches!(b.get(i), Some(&b'e') | Some(&b'E')) {
+            i += 1;
+            if matches!(b.get(i), Some(&b'+') | Some(&b'-')) {
+                i += 1;
+            }
+            i = digits(b, i)?;
+        }
+        (i > start).then_some(i)
+    }
+    let b = s.as_bytes();
+    match value(b, 0) {
+        Some(end) => skip_ws(b, end) == b.len(),
+        None => false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Tracing never changes a serverless run, and two traced runs of the
+    /// same inputs produce the same manifest and fingerprint.
+    #[test]
+    fn prop_traced_equals_untraced_faas(
+        seed in 0u64..1000,
+        n in 1usize..40,
+        gap in 0.05f64..2.0,
+    ) {
+        let invocations: Vec<(f64, usize)> =
+            (0..n).map(|i| (i as f64 * gap, 0)).collect();
+        let plain = run_platform(specs(), FaasConfig::default(), &invocations, seed);
+
+        let rec_a = Recorder::new();
+        let a = run_platform_traced(
+            specs(), FaasConfig::default(), &invocations, seed, &rec_a,
+        );
+        let rec_b = Recorder::new();
+        let b = run_platform_traced(
+            specs(), FaasConfig::default(), &invocations, seed, &rec_b,
+        );
+
+        prop_assert_eq!(&plain, &a, "tracing changed the run");
+        prop_assert_eq!(&a, &b, "traced runs diverged");
+
+        let (ma, mb) = (rec_a.manifest(), rec_b.manifest());
+        prop_assert!(ma.same_run_as(&mb), "manifests differ: {ma:?} vs {mb:?}");
+        prop_assert_eq!(ma.fingerprint(), mb.fingerprint());
+        prop_assert_eq!(ma.seed, seed);
+        prop_assert_eq!(rec_a.counter("faas.invocations"), n as u64);
+    }
+
+    /// Same contract for the P2P swarm simulator.
+    #[test]
+    fn prop_traced_equals_untraced_swarm(
+        seed in 0u64..1000,
+        n in 1usize..20,
+    ) {
+        let config = SwarmConfig {
+            file_size: 5e6,
+            ..SwarmConfig::default()
+        };
+        let joins: Vec<f64> = (0..n).map(|i| i as f64 * 7.0).collect();
+        let plain = run_swarm(config, &joins, 30_000.0, seed);
+        let rec = Recorder::new();
+        let traced = run_swarm_traced(config, &joins, 30_000.0, seed, &rec);
+        prop_assert_eq!(plain, traced, "tracing changed the run");
+        let m = rec.manifest();
+        prop_assert_eq!(m.model.as_str(), "p2p.swarm");
+        prop_assert_eq!(rec.counter("swarm.joins"), n as u64);
+    }
+}
+
+/// Every line of both exporters is one complete, syntactically valid JSON
+/// value, and the trace stream ends with the run manifest.
+#[test]
+fn exported_jsonl_is_valid() {
+    let rec = Recorder::new();
+    let invocations: Vec<(f64, usize)> = (0..25).map(|i| (i as f64 * 0.3, 0)).collect();
+    run_platform_traced(specs(), FaasConfig::default(), &invocations, 42, &rec);
+
+    let mut trace = Vec::new();
+    rec.write_trace_jsonl(&mut trace).unwrap();
+    let trace = String::from_utf8(trace).unwrap();
+    let lines: Vec<&str> = trace.lines().collect();
+    assert!(!lines.is_empty());
+    for line in &lines {
+        assert!(is_valid_json(line), "invalid JSON line: {line}");
+    }
+    assert!(
+        lines.last().unwrap().contains("\"kind\":\"manifest\""),
+        "trace must end with the manifest"
+    );
+
+    let mut metrics = Vec::new();
+    rec.write_metrics_jsonl(&mut metrics).unwrap();
+    let metrics = String::from_utf8(metrics).unwrap();
+    assert!(metrics.lines().count() > 0);
+    for line in metrics.lines() {
+        assert!(is_valid_json(line), "invalid JSON line: {line}");
+    }
+}
+
+#[test]
+fn json_checker_rejects_garbage() {
+    assert!(is_valid_json(r#"{"a":1,"b":"x","c":null,"d":[1.5e-3,-2]}"#));
+    assert!(!is_valid_json(r#"{"a":1"#));
+    assert!(!is_valid_json(r#"{"a":}"#));
+    assert!(!is_valid_json("{} trailing"));
+    assert!(!is_valid_json(""));
+}
