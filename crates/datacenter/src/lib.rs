@@ -28,7 +28,9 @@
 
 pub mod cluster;
 pub mod environment;
+pub mod loadgen;
 pub mod refarch;
 
 pub use cluster::Cluster;
 pub use environment::Environment;
+pub use loadgen::{run_cluster, run_cluster_traced, ClusterRunStats};

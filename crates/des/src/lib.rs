@@ -17,8 +17,9 @@
 //!   the seeded RNG.
 //! - [`queueing`] — analytic M/M/c results (Erlang C) used to *validate*
 //!   the kernel against theory in the test suite.
-//! - [`monitor`] — deprecated aliases of the metric types that moved to
-//!   `atlarge-telemetry`.
+//!
+//! Metric types (counters, gauges, tallies) live in `atlarge-telemetry`;
+//! the old `monitor` module that once aliased them has been removed.
 //!
 //! # Observability
 //!
@@ -61,7 +62,6 @@
 //! assert_eq!(sim.now(), 2.0);
 //! ```
 
-pub mod monitor;
 pub mod queue;
 pub mod queueing;
 pub mod sim;

@@ -5,10 +5,14 @@ use std::collections::BinaryHeap;
 
 /// A scheduled entry: fires at `time`, with `seq` breaking ties so
 /// simultaneous events run in scheduling order (FIFO at equal times).
+/// `parent` is the id (`seq`) of the event whose handler scheduled this
+/// one, or `None` for externally scheduled roots — the provenance edge
+/// causal trace analysis walks.
 #[derive(Debug)]
 struct Entry<E> {
     time: f64,
     seq: u64,
+    parent: Option<u64>,
     event: E,
 }
 
@@ -71,19 +75,39 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Schedules `event` at absolute `time`.
+    /// Schedules `event` at absolute `time` as a causal root (no parent).
+    /// Returns the event's id (its sequence number).
     ///
     /// # Panics
     ///
     /// Panics if `time` is NaN or negative.
-    pub fn push(&mut self, time: f64, event: E) {
+    pub fn push(&mut self, time: f64, event: E) -> u64 {
+        self.push_from(time, None, event)
+    }
+
+    /// Schedules `event` at absolute `time`, recording `parent` — the id
+    /// of the event whose handler caused this schedule — as its causal
+    /// provenance. Returns the new event's id. Ids are the tie-breaking
+    /// sequence numbers, so they are unique, dense, and assigned in
+    /// schedule order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN or negative.
+    pub fn push_from(&mut self, time: f64, parent: Option<u64>, event: E) -> u64 {
         assert!(
             time.is_finite() && time >= 0.0,
             "event time must be finite and non-negative"
         );
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        self.heap.push(Entry {
+            time,
+            seq,
+            parent,
+            event,
+        });
+        seq
     }
 
     /// Removes and returns the earliest event as `(time, event)`.
@@ -91,13 +115,14 @@ impl<E> EventQueue<E> {
         self.heap.pop().map(|e| (e.time, e.event))
     }
 
-    /// Removes and returns the earliest event as `(time, seq, event)`,
-    /// exposing the tie-breaking sequence number. Sequence numbers are
-    /// assigned in push order, so the stream of `(time, seq)` pairs popped
-    /// from a queue is strictly increasing — the total order that makes
-    /// runs reproducible, and that trace tooling can sort on.
-    pub fn pop_entry(&mut self) -> Option<(f64, u64, E)> {
-        self.heap.pop().map(|e| (e.time, e.seq, e.event))
+    /// Removes and returns the earliest event as
+    /// `(time, id, parent, event)`, exposing the tie-breaking sequence
+    /// number (the event's id) and its causal parent. Ids are assigned in
+    /// push order, so the stream of `(time, id)` pairs popped from a queue
+    /// is strictly increasing — the total order that makes runs
+    /// reproducible, and that trace tooling can sort on.
+    pub fn pop_entry(&mut self) -> Option<(f64, u64, Option<u64>, E)> {
+        self.heap.pop().map(|e| (e.time, e.seq, e.parent, e.event))
     }
 
     /// Time of the next event without removing it.
@@ -172,6 +197,19 @@ mod tests {
     }
 
     #[test]
+    fn ids_are_dense_and_parents_round_trip() {
+        let mut q = EventQueue::new();
+        let root = q.push(1.0, "root");
+        let child = q.push_from(2.0, Some(root), "child");
+        assert_eq!(root, 0);
+        assert_eq!(child, 1);
+        let (t, id, parent, ev) = q.pop_entry().expect("root first");
+        assert_eq!((t, id, parent, ev), (1.0, root, None, "root"));
+        let (t, id, parent, ev) = q.pop_entry().expect("child second");
+        assert_eq!((t, id, parent, ev), (2.0, child, Some(root), "child"));
+    }
+
+    #[test]
     #[should_panic(expected = "finite")]
     fn rejects_nan_time() {
         let mut q = EventQueue::new();
@@ -226,7 +264,7 @@ mod tests {
             }
             let mut prev: Option<(f64, u64)> = None;
             let mut popped = 0;
-            while let Some((t, seq, _payload)) = q.pop_entry() {
+            while let Some((t, seq, _parent, _payload)) = q.pop_entry() {
                 if let Some((pt, ps)) = prev {
                     prop_assert!(
                         (t, seq) > (pt, ps),

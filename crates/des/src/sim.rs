@@ -37,6 +37,7 @@ pub struct Ctx<E> {
     rng: StdRng,
     stopped: bool,
     processed: u64,
+    current: Option<u64>,
     tracer: Option<Box<dyn Tracer>>,
     labeler: fn(&E) -> &'static str,
 }
@@ -69,17 +70,19 @@ impl<E> Ctx<E> {
         self.schedule_at(self.now + delay, event);
     }
 
-    /// Schedules `event` at an absolute time not before now.
+    /// Schedules `event` at an absolute time not before now. The new
+    /// event's causal parent is the event currently being handled.
     ///
     /// # Panics
     ///
     /// Panics if `time` precedes the current time.
     pub fn schedule_at(&mut self, time: f64, event: E) {
         assert!(time >= self.now, "cannot schedule into the past");
-        if let Some(tracer) = &self.tracer {
-            tracer.on_schedule(self.now, time, (self.labeler)(&event));
+        let label = self.tracer.as_ref().map(|_| (self.labeler)(&event));
+        let id = self.queue.push_from(time, self.current, event);
+        if let (Some(tracer), Some(label)) = (&self.tracer, label) {
+            tracer.on_schedule(self.now, time, label, id, self.current);
         }
-        self.queue.push(time, event);
     }
 
     /// The deterministic random source of this run.
@@ -100,6 +103,13 @@ impl<E> Ctx<E> {
     /// Number of pending events.
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Id of the event currently being handled (`None` before the first
+    /// dispatch). Events scheduled from within a handler record this id
+    /// as their causal parent.
+    pub fn current_event(&self) -> Option<u64> {
+        self.current
     }
 
     /// Whether a tracer is attached (e.g. to skip building expensive
@@ -155,6 +165,7 @@ impl<M: Model> Simulation<M> {
                 rng: StdRng::seed_from_u64(seed),
                 stopped: false,
                 processed: 0,
+                current: None,
                 tracer: None,
                 labeler: unlabeled::<M::Event>,
             },
@@ -195,12 +206,14 @@ impl<M: Model> Simulation<M> {
         self
     }
 
-    /// Schedules an initial event at absolute `time`.
+    /// Schedules an initial event at absolute `time`. Events scheduled
+    /// here are causal roots: they have no parent event.
     pub fn schedule(&mut self, time: f64, event: M::Event) {
-        if let Some(tracer) = &self.ctx.tracer {
-            tracer.on_schedule(self.ctx.now, time, (self.ctx.labeler)(&event));
+        let label = self.ctx.tracer.as_ref().map(|_| (self.ctx.labeler)(&event));
+        let id = self.ctx.queue.push(time, event);
+        if let (Some(tracer), Some(label)) = (&self.ctx.tracer, label) {
+            tracer.on_schedule(self.ctx.now, time, label, id, None);
         }
-        self.ctx.queue.push(time, event);
     }
 
     /// Runs until the event queue drains or the model calls [`Ctx::stop`].
@@ -217,12 +230,20 @@ impl<M: Model> Simulation<M> {
         while !self.ctx.stopped {
             match self.ctx.queue.peek_time() {
                 Some(t) if t <= horizon => {
-                    let (t, ev) = self.ctx.queue.pop().expect("peeked event exists");
+                    let (t, id, parent, ev) =
+                        self.ctx.queue.pop_entry().expect("peeked event exists");
                     debug_assert!(t >= self.ctx.now, "time must not go backwards");
                     self.ctx.now = t;
                     self.ctx.processed += 1;
+                    self.ctx.current = Some(id);
                     if let Some(tracer) = &self.ctx.tracer {
-                        tracer.on_dispatch(t, (self.ctx.labeler)(&ev), self.ctx.queue.len());
+                        tracer.on_dispatch(
+                            t,
+                            (self.ctx.labeler)(&ev),
+                            self.ctx.queue.len(),
+                            id,
+                            parent,
+                        );
                     }
                     self.model.handle(ev, &mut self.ctx);
                 }
@@ -246,12 +267,19 @@ impl<M: Model> Simulation<M> {
     pub fn step(&mut self, max_events: u64) -> u64 {
         let mut n = 0;
         while n < max_events && !self.ctx.stopped {
-            match self.ctx.queue.pop() {
-                Some((t, ev)) => {
+            match self.ctx.queue.pop_entry() {
+                Some((t, id, parent, ev)) => {
                     self.ctx.now = t;
                     self.ctx.processed += 1;
+                    self.ctx.current = Some(id);
                     if let Some(tracer) = &self.ctx.tracer {
-                        tracer.on_dispatch(t, (self.ctx.labeler)(&ev), self.ctx.queue.len());
+                        tracer.on_dispatch(
+                            t,
+                            (self.ctx.labeler)(&ev),
+                            self.ctx.queue.len(),
+                            id,
+                            parent,
+                        );
                     }
                     self.model.handle(ev, &mut self.ctx);
                     n += 1;
@@ -442,6 +470,27 @@ mod tests {
         let manifest = rec.manifest();
         assert_eq!(manifest.events_dispatched, 5);
         assert_eq!(manifest.sim_time, 9.0);
+    }
+
+    #[test]
+    fn follow_up_events_carry_causal_parents() {
+        let rec = Recorder::new();
+        let mut sim = Simulation::new(Counter { fired: vec![] }, 1).with_tracer(rec.clone());
+        sim.schedule(1.0, Ev::Tick(1));
+        sim.run();
+        let mut out = Vec::new();
+        rec.write_trace_jsonl(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let schedules: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("\"schedule\""))
+            .collect();
+        // The external root has no parent; every follow-up tick names one.
+        assert!(!schedules[0].contains("\"parent\""));
+        assert!(schedules[1..].iter().all(|l| l.contains("\"parent\"")));
+        // Tick(2) is scheduled by the dispatch of event 0, Tick(3) by event 1…
+        assert!(schedules[1].contains("\"parent\":0"));
+        assert!(schedules[2].contains("\"parent\":1"));
     }
 
     #[test]

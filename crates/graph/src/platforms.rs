@@ -190,6 +190,41 @@ pub fn run(platform: Platform, algorithm: Algorithm, graph: &Csr) -> RunCost {
     }
 }
 
+/// Runs `algorithm` on `graph` under `platform` with telemetry: the run's
+/// Granula operation tree is replayed onto `rec` as nested spans, and
+/// work/iteration metrics are recorded, so graph runs flow through the
+/// same observability pipeline as the DES-based domains.
+///
+/// The returned cost is identical to [`run`]'s — instrumentation is
+/// observational only.
+pub fn run_traced(
+    platform: Platform,
+    algorithm: Algorithm,
+    graph: &Csr,
+    rec: &atlarge_telemetry::Recorder,
+) -> RunCost {
+    use atlarge_telemetry::manifest::fnv1a;
+    let cost = run(platform, algorithm, graph);
+    let config = format!(
+        "{}|{}|{}|{}",
+        platform.name(),
+        algorithm.name(),
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    rec.set_run_info("graph.platform", 0, fnv1a(config.as_bytes()));
+    let breakdown = crate::granula::Breakdown::of(&cost, graph.num_vertices(), graph.num_edges());
+    breakdown.operation_tree(platform.name()).replay(rec);
+    rec.add("graph.work", cost.work);
+    rec.add("graph.iterations", u64::from(cost.iterations));
+    let mut t = 0.0;
+    for r in &cost.per_iteration {
+        t += r.critical_path;
+        rec.observe_at("graph.iter_cost", t, r.critical_path);
+    }
+    cost
+}
+
 /// Executes the algorithm, returning the output digest and the
 /// *active-set work* per iteration (what the sequential platform pays).
 fn execute(platform: Platform, algorithm: Algorithm, g: &Csr) -> (Vec<u64>, Vec<u64>) {
@@ -470,6 +505,28 @@ mod tests {
             accel_bfs > seq_bfs,
             "accel grid BFS {accel_bfs} should lose to sequential {seq_bfs}"
         );
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_records_profile() {
+        let g = grid(10);
+        let rec = atlarge_telemetry::Recorder::new();
+        let traced = run_traced(Platform::Sequential, Algorithm::Wcc, &g, &rec);
+        let plain = run(Platform::Sequential, Algorithm::Wcc, &g);
+        assert_eq!(traced.digest, plain.digest);
+        assert!((traced.critical_path - plain.critical_path).abs() < 1e-9);
+        assert_eq!(
+            rec.counter("graph.iterations"),
+            u64::from(traced.iterations)
+        );
+        assert_eq!(rec.counter("graph.work"), traced.work);
+        let stats = rec.span_stats();
+        assert_eq!(stats["sequential/job"].entries, 1);
+        assert_eq!(
+            rec.tally("graph.iter_cost").unwrap().len() as u32,
+            traced.iterations
+        );
+        assert_eq!(rec.manifest().model, "graph.platform");
     }
 
     #[test]

@@ -117,22 +117,80 @@ pub fn provision(
     }
 }
 
+/// Like [`provision`], but records the decision timeline and outcome
+/// metrics on `rec` under the policy's name: a gauge of the supply
+/// curve, a span bracketing the policy's evaluation window, and tallies
+/// of the headline metrics. Instrumentation is observational — the
+/// returned result is identical to [`provision`]'s.
+pub fn provision_traced(
+    trace: &PopulationTrace,
+    policy: ProvisioningPolicy,
+    interval: f64,
+    lead: f64,
+    rec: &atlarge_telemetry::Recorder,
+) -> ProvisioningResult {
+    use atlarge_telemetry::tracer::Tracer;
+    let horizon = trace.days * 86_400.0;
+    let name = policy.name();
+    let span = format!("mmog.provision/{name}");
+    rec.on_span_enter(0.0, &span);
+    let result = provision(trace, policy, interval, lead);
+    for &(t, servers) in result.supply.points() {
+        rec.gauge_set(&format!("mmog.supply.{name}"), t.min(horizon), servers);
+    }
+    rec.on_span_exit(horizon, &span);
+    rec.observe(&format!("mmog.overload.{name}"), result.overload_timeshare);
+    rec.observe(&format!("mmog.mean_servers.{name}"), result.mean_servers);
+    rec.observe(&format!("mmog.mean_idle.{name}"), result.mean_idle);
+    result
+}
+
 /// The \[71\]-shaped comparison: all three policies on an MMORPG trace.
 /// Returns `(policy name, result)` rows.
 pub fn compare_policies(seed: u64) -> Vec<(&'static str, ProvisioningResult)> {
+    compare_policies_impl(seed, None)
+}
+
+/// [`compare_policies`] with telemetry: per-policy provisioning spans,
+/// supply gauges, and outcome tallies land on `rec`, plus run identity
+/// for cross-run diffing.
+pub fn compare_policies_traced(
+    seed: u64,
+    rec: &atlarge_telemetry::Recorder,
+) -> Vec<(&'static str, ProvisioningResult)> {
+    compare_policies_impl(seed, Some(rec))
+}
+
+fn compare_policies_impl(
+    seed: u64,
+    rec: Option<&atlarge_telemetry::Recorder>,
+) -> Vec<(&'static str, ProvisioningResult)> {
     let trace = simulate_population(Genre::Mmorpg, 4.0, 0.08, seed);
     // A two-hour provisioning lead (procurement + boot + world handoff,
     // as the early datacenter studies assumed) makes reactive scaling lag
     // the morning ramp; decisions every 30 minutes.
     let interval = 1_800.0;
     let lead = 7_200.0;
+    if let Some(rec) = rec {
+        rec.set_run_info(
+            "mmog.provisioning",
+            seed,
+            interval as u64 ^ (lead as u64) << 20,
+        );
+    }
     [
         ProvisioningPolicy::StaticPeak,
         ProvisioningPolicy::Reactive { margin: 0.15 },
         ProvisioningPolicy::Predictive { margin: 0.15 },
     ]
     .into_iter()
-    .map(|p| (p.name(), provision(&trace, p, interval, lead)))
+    .map(|p| {
+        let r = match rec {
+            Some(rec) => provision_traced(&trace, p, interval, lead, rec),
+            None => provision(&trace, p, interval, lead),
+        };
+        (p.name(), r)
+    })
     .collect()
 }
 
@@ -184,6 +242,29 @@ mod tests {
             predictive <= reactive + 1e-9,
             "predictive {predictive} vs reactive {reactive}"
         );
+    }
+
+    #[test]
+    fn traced_comparison_matches_untraced_and_records_metrics() {
+        let rec = atlarge_telemetry::Recorder::new();
+        let traced = compare_policies_traced(3, &rec);
+        let plain = compare_policies(3);
+        for ((n1, r1), (n2, r2)) in traced.iter().zip(&plain) {
+            assert_eq!(n1, n2);
+            assert_eq!(r1, r2, "tracing must not change the {n1} result");
+        }
+        assert_eq!(rec.manifest().model, "mmog.provisioning");
+        for name in ["static", "reactive", "predictive"] {
+            assert_eq!(
+                rec.span_stats()[&format!("mmog.provision/{name}")].entries,
+                1
+            );
+            assert!(rec.gauge(&format!("mmog.supply.{name}")).is_some());
+            assert_eq!(
+                rec.tally(&format!("mmog.overload.{name}")).unwrap().len(),
+                1
+            );
+        }
     }
 
     #[test]

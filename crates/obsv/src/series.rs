@@ -1,0 +1,219 @@
+//! Metric time-series analysis: windowed aggregation and exported
+//! histogram quantiles.
+
+use crate::jsonl::Json;
+
+/// A `kind:"series"` metrics line: a timed metric stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesLine {
+    /// Metric name.
+    pub name: String,
+    /// Exported `(t, value)` points (possibly capped by the writer).
+    pub points: Vec<(f64, f64)>,
+    /// Points the writer omitted beyond its export cap.
+    pub omitted: u64,
+}
+
+/// A `kind:"histogram"` metrics line: fixed-bin counts over `[lo, hi)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramLine {
+    /// Metric name.
+    pub name: String,
+    /// Range start.
+    pub lo: f64,
+    /// Range end.
+    pub hi: f64,
+    /// Per-bin counts.
+    pub bins: Vec<u64>,
+}
+
+impl SeriesLine {
+    /// Reads a parsed metrics line; `None` if it is not a series.
+    pub fn from_json(v: &Json) -> Option<SeriesLine> {
+        if v.str_field("kind") != Some("series") {
+            return None;
+        }
+        let points = v
+            .get("points")?
+            .as_arr()?
+            .iter()
+            .filter_map(|p| {
+                let p = p.as_arr()?;
+                Some((p.first()?.as_f64()?, p.get(1)?.as_f64()?))
+            })
+            .collect();
+        Some(SeriesLine {
+            name: v.str_field("name")?.to_string(),
+            points,
+            omitted: v.u64_field("omitted").unwrap_or(0),
+        })
+    }
+}
+
+impl HistogramLine {
+    /// Reads a parsed metrics line; `None` if it is not a histogram.
+    pub fn from_json(v: &Json) -> Option<HistogramLine> {
+        if v.str_field("kind") != Some("histogram") {
+            return None;
+        }
+        Some(HistogramLine {
+            name: v.str_field("name")?.to_string(),
+            lo: v.f64_field("lo")?,
+            hi: v.f64_field("hi")?,
+            bins: v
+                .get("bins")?
+                .as_arr()?
+                .iter()
+                .map(|b| b.as_u64())
+                .collect::<Option<Vec<u64>>>()?,
+        })
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// Nearest-rank quantile estimate: the upper edge of the bin holding
+    /// the sample of rank `ceil(q * count)` — the same estimator as
+    /// `atlarge_stats::histogram::Histogram::quantile`, applied to the
+    /// exported bins. Within one bin width of the exact quantile for
+    /// in-range samples. `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= q <= 1.0`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let total = self.count();
+        if total == 0 || self.bins.is_empty() {
+            return None;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        let mut acc = 0u64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            acc += c;
+            if acc >= rank {
+                return Some(self.lo + width * (i + 1) as f64);
+            }
+        }
+        unreachable!("cumulative count reaches total")
+    }
+
+    /// The standard latency triple: (p50, p95, p99).
+    pub fn percentiles(&self) -> Option<(f64, f64, f64)> {
+        Some((
+            self.quantile(0.50)?,
+            self.quantile(0.95)?,
+            self.quantile(0.99)?,
+        ))
+    }
+}
+
+/// One aggregation window of a timed stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Window {
+    /// Window start time (inclusive).
+    pub start: f64,
+    /// Samples in the window.
+    pub count: u64,
+    /// Mean value, 0 when empty.
+    pub mean: f64,
+    /// Max value, 0 when empty.
+    pub max: f64,
+}
+
+/// Aggregates `(t, value)` points into fixed `width` windows starting
+/// at t=0. Empty leading/inner windows are emitted (zeroed) so plots
+/// keep their time axis; trailing windows stop at the last sample.
+///
+/// # Panics
+///
+/// Panics unless `width > 0`.
+pub fn windowed(points: &[(f64, f64)], width: f64) -> Vec<Window> {
+    assert!(width > 0.0, "window width must be positive");
+    let Some(last_t) = points
+        .iter()
+        .map(|&(t, _)| t)
+        .fold(None, |m: Option<f64>, t| Some(m.map_or(t, |m| m.max(t))))
+    else {
+        return Vec::new();
+    };
+    let n = (last_t / width).floor() as usize + 1;
+    let mut sums = vec![(0u64, 0.0f64, 0.0f64); n];
+    for &(t, v) in points {
+        let i = ((t / width).floor() as usize).min(n - 1);
+        let w = &mut sums[i];
+        w.0 += 1;
+        w.1 += v;
+        w.2 = if w.0 == 1 { v } else { w.2.max(v) };
+    }
+    sums.into_iter()
+        .enumerate()
+        .map(|(i, (count, sum, max))| Window {
+            start: i as f64 * width,
+            count,
+            mean: if count > 0 { sum / count as f64 } else { 0.0 },
+            max,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jsonl::parse;
+
+    #[test]
+    fn reads_series_and_histogram_lines() {
+        let s = parse(
+            r#"{"kind":"series","name":"lat","count":3,"omitted":1,"points":[[0.5,1.0],[1.5,2.0]]}"#,
+        )
+        .unwrap();
+        let s = SeriesLine::from_json(&s).unwrap();
+        assert_eq!(s.points.len(), 2);
+        assert_eq!(s.omitted, 1);
+
+        let h = parse(r#"{"kind":"histogram","name":"lat","lo":0.0,"hi":4.0,"bins":[1,0,2,1]}"#)
+            .unwrap();
+        let h = HistogramLine::from_json(&h).unwrap();
+        assert_eq!(h.count(), 4);
+        // rank(0.5)=2 -> cumulative reaches 2 in bin 2 (edge 3.0).
+        assert_eq!(h.quantile(0.5), Some(3.0));
+        assert_eq!(h.quantile(1.0), Some(4.0));
+        assert_eq!(h.quantile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn non_matching_kinds_read_as_none() {
+        let v = parse(r#"{"kind":"counter","name":"n","value":3}"#).unwrap();
+        assert!(SeriesLine::from_json(&v).is_none());
+        assert!(HistogramLine::from_json(&v).is_none());
+    }
+
+    #[test]
+    fn windows_aggregate_and_keep_empty_slots() {
+        let pts = [(0.5, 2.0), (0.9, 4.0), (2.5, 10.0)];
+        let w = windowed(&pts, 1.0);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].count, 2);
+        assert!((w[0].mean - 3.0).abs() < 1e-12);
+        assert!((w[0].max - 4.0).abs() < 1e-12);
+        assert_eq!(w[1].count, 0);
+        assert_eq!(w[2].count, 1);
+        assert!((w[2].start - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = HistogramLine {
+            name: "x".into(),
+            lo: 0.0,
+            hi: 1.0,
+            bins: vec![0, 0],
+        };
+        assert_eq!(h.quantile(0.5), None);
+        assert!(h.percentiles().is_none());
+    }
+}

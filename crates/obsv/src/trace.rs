@@ -1,0 +1,268 @@
+//! The typed view of an exported trace file.
+
+use crate::jsonl::{parse_lines, Json, ParseError};
+use std::fmt;
+
+/// One line of a trace export.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceLine {
+    /// An event was scheduled.
+    Schedule {
+        /// Simulated time of the schedule call.
+        t: f64,
+        /// Event label.
+        label: String,
+        /// When the event will fire.
+        fire_at: f64,
+        /// Kernel event id.
+        id: u64,
+        /// Causal parent, `None` for roots.
+        parent: Option<u64>,
+    },
+    /// An event was dispatched.
+    Dispatch {
+        /// Simulated dispatch time.
+        t: f64,
+        /// Event label.
+        label: String,
+        /// Kernel event id.
+        id: u64,
+        /// Causal parent, `None` for roots.
+        parent: Option<u64>,
+    },
+    /// A span opened.
+    SpanEnter {
+        /// Simulated time.
+        t: f64,
+        /// Span name.
+        label: String,
+    },
+    /// A span closed.
+    SpanExit {
+        /// Simulated time.
+        t: f64,
+        /// Span name.
+        label: String,
+    },
+}
+
+/// The identity block at the end of an export.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManifestInfo {
+    /// Model name.
+    pub model: String,
+    /// Seed, as exported (a decimal string).
+    pub seed: String,
+    /// Config digest (hex string).
+    pub config_digest: String,
+    /// Run fingerprint (hex string) — equal fingerprints mean the runs
+    /// are `same_run_as`-comparable.
+    pub fingerprint: String,
+    /// Final simulated time.
+    pub sim_time: f64,
+    /// Events dispatched in total.
+    pub events_dispatched: u64,
+    /// Trace records evicted from the ring buffer.
+    pub trace_dropped: u64,
+}
+
+/// A fully parsed trace: records plus the closing manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// The retained records, in export order.
+    pub lines: Vec<TraceLine>,
+    /// The manifest, when the export carried one.
+    pub manifest: Option<ManifestInfo>,
+}
+
+/// Why a trace failed to load.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// A line was not valid JSON.
+    Json(ParseError),
+    /// A line was valid JSON but not a known record shape.
+    Shape {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the mismatch.
+        msg: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Json(e) => write!(f, "{e}"),
+            TraceError::Shape { line, msg } => write!(f, "line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<ParseError> for TraceError {
+    fn from(e: ParseError) -> Self {
+        TraceError::Json(e)
+    }
+}
+
+fn shape(line: usize, msg: impl Into<String>) -> TraceError {
+    TraceError::Shape {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Reads `kind:"manifest"` fields out of a parsed line.
+pub fn manifest_of(v: &Json) -> Option<ManifestInfo> {
+    if v.str_field("kind") != Some("manifest") {
+        return None;
+    }
+    Some(ManifestInfo {
+        model: v.str_field("model")?.to_string(),
+        seed: v.str_field("seed")?.to_string(),
+        config_digest: v.str_field("config_digest")?.to_string(),
+        fingerprint: v.str_field("fingerprint")?.to_string(),
+        sim_time: v.f64_field("sim_time")?,
+        events_dispatched: v.u64_field("events_dispatched")?,
+        trace_dropped: v.u64_field("trace_dropped")?,
+    })
+}
+
+/// Parses a trace export (`Recorder::write_trace_jsonl` output).
+///
+/// Unknown kinds are an error — the reader and writer evolve together.
+pub fn parse_trace(text: &str) -> Result<Trace, TraceError> {
+    let mut lines = Vec::new();
+    let mut manifest = None;
+    for (i, v) in parse_lines(text)?.iter().enumerate() {
+        let lineno = i + 1;
+        let kind = v
+            .str_field("kind")
+            .ok_or_else(|| shape(lineno, "record has no kind"))?;
+        let t = || {
+            v.f64_field("t")
+                .ok_or_else(|| shape(lineno, "record has no time"))
+        };
+        let label = || {
+            v.str_field("label")
+                .map(str::to_string)
+                .ok_or_else(|| shape(lineno, "record has no label"))
+        };
+        match kind {
+            "schedule" => lines.push(TraceLine::Schedule {
+                t: t()?,
+                label: label()?,
+                fire_at: v
+                    .f64_field("fire_at")
+                    .ok_or_else(|| shape(lineno, "schedule has no fire_at"))?,
+                id: v
+                    .u64_field("id")
+                    .ok_or_else(|| shape(lineno, "schedule has no id"))?,
+                parent: v.u64_field("parent"),
+            }),
+            "dispatch" => lines.push(TraceLine::Dispatch {
+                t: t()?,
+                label: label()?,
+                id: v
+                    .u64_field("id")
+                    .ok_or_else(|| shape(lineno, "dispatch has no id"))?,
+                parent: v.u64_field("parent"),
+            }),
+            "span_enter" => lines.push(TraceLine::SpanEnter {
+                t: t()?,
+                label: label()?,
+            }),
+            "span_exit" => lines.push(TraceLine::SpanExit {
+                t: t()?,
+                label: label()?,
+            }),
+            "manifest" => {
+                manifest =
+                    Some(manifest_of(v).ok_or_else(|| shape(lineno, "incomplete manifest"))?);
+            }
+            other => return Err(shape(lineno, format!("unknown kind '{other}'"))),
+        }
+    }
+    Ok(Trace { lines, manifest })
+}
+
+impl Trace {
+    /// Final simulated time: the manifest's if present, else the latest
+    /// record time, else 0.
+    pub fn sim_time(&self) -> f64 {
+        if let Some(m) = &self.manifest {
+            return m.sim_time;
+        }
+        self.lines
+            .iter()
+            .map(|l| match l {
+                TraceLine::Schedule { t, .. }
+                | TraceLine::Dispatch { t, .. }
+                | TraceLine::SpanEnter { t, .. }
+                | TraceLine::SpanExit { t, .. } => *t,
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Number of dispatch records retained.
+    pub fn dispatches(&self) -> usize {
+        self.lines
+            .iter()
+            .filter(|l| matches!(l, TraceLine::Dispatch { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = concat!(
+        "{\"t\":0,\"kind\":\"schedule\",\"label\":\"a\",\"fire_at\":1,\"id\":0}\n",
+        "{\"t\":1,\"kind\":\"dispatch\",\"label\":\"a\",\"queue\":0,\"id\":0}\n",
+        "{\"t\":1,\"kind\":\"schedule\",\"label\":\"b\",\"fire_at\":2,\"id\":1,\"parent\":0}\n",
+        "{\"t\":1,\"kind\":\"span_enter\",\"label\":\"s\"}\n",
+        "{\"t\":2,\"kind\":\"span_exit\",\"label\":\"s\"}\n",
+        "{\"t\":2,\"kind\":\"dispatch\",\"label\":\"b\",\"queue\":0,\"id\":1,\"parent\":0}\n",
+        "{\"kind\":\"manifest\",\"schema\":1,\"model\":\"m\",\"seed\":\"7\",\
+         \"config_digest\":\"00000000000000aa\",\"events_scheduled\":2,\
+         \"events_dispatched\":2,\"sim_time\":2,\"trace_records\":6,\
+         \"trace_dropped\":0,\"fingerprint\":\"00000000000000bb\",\"wall_ms\":1.5}\n",
+    );
+
+    #[test]
+    fn parses_a_full_export() {
+        let tr = parse_trace(SAMPLE).unwrap();
+        assert_eq!(tr.lines.len(), 6);
+        assert_eq!(tr.dispatches(), 2);
+        let m = tr.manifest.as_ref().unwrap();
+        assert_eq!(m.model, "m");
+        assert_eq!(m.seed, "7");
+        assert_eq!(tr.sim_time(), 2.0);
+        assert_eq!(
+            tr.lines[2],
+            TraceLine::Schedule {
+                t: 1.0,
+                label: "b".into(),
+                fire_at: 2.0,
+                id: 1,
+                parent: Some(0),
+            }
+        );
+    }
+
+    #[test]
+    fn missing_manifest_falls_back_to_record_times() {
+        let body: String = SAMPLE.lines().take(6).collect::<Vec<_>>().join("\n");
+        let tr = parse_trace(&body).unwrap();
+        assert!(tr.manifest.is_none());
+        assert_eq!(tr.sim_time(), 2.0);
+    }
+
+    #[test]
+    fn unknown_kind_is_an_error() {
+        let err = parse_trace("{\"t\":0,\"kind\":\"mystery\"}").unwrap_err();
+        assert!(matches!(err, TraceError::Shape { .. }));
+    }
+}

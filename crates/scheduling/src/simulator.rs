@@ -11,6 +11,9 @@
 use crate::policy::{Policy, QueuedTask};
 use atlarge_des::sim::{Ctx, Model, Simulation};
 use atlarge_stats::dist::{Normal, Sample};
+use atlarge_telemetry::manifest::fnv1a;
+use atlarge_telemetry::tracer::EventLabel;
+use atlarge_telemetry::Recorder;
 use atlarge_workload::job::Job;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -113,6 +116,17 @@ enum Ev {
     Repair { pool: usize, cores: u32 },
 }
 
+impl EventLabel for Ev {
+    fn label(&self) -> &'static str {
+        match self {
+            Ev::Arrival(_) => "arrival",
+            Ev::Finish { .. } => "finish",
+            Ev::Fail(_) => "fail",
+            Ev::Repair { .. } => "repair",
+        }
+    }
+}
+
 /// A machine failure: at `time`, `cores` of `pool` fail for `duration`
 /// seconds. Tasks running on the failed cores are killed and resubmitted
 /// (the paper's P3: dynamic phenomena are first-class concerns).
@@ -162,6 +176,7 @@ struct SchedModel<C: Chooser> {
     makespan: f64,
     estimate_noise: Normal,
     noise_rng: StdRng,
+    recorder: Option<Recorder>,
 }
 
 impl<C: Chooser> SchedModel<C> {
@@ -240,8 +255,14 @@ impl<C: Chooser> SchedModel<C> {
         let free = self.free_cores();
         self.refresh_cache();
         let running = std::mem::take(&mut self.running_cache);
+        ctx.span_enter("sched.choose");
         let policy = self.chooser.choose(ctx.now(), &self.queue, free, &running);
+        ctx.span_exit("sched.choose");
         self.running_cache = running;
+        if let Some(rec) = &self.recorder {
+            rec.gauge_set("sched.queue_tasks", ctx.now(), self.queue.len() as f64);
+            rec.incr("sched.decisions");
+        }
         policy.order(&mut self.queue);
         if policy.backfills() {
             self.schedule_easy(ctx);
@@ -375,6 +396,10 @@ impl<C: Chooser> Model for SchedModel<C> {
                     // Standard bounded slowdown: max(1, response / max(T, 10s)).
                     self.slowdowns.push((resp / js.critical.max(10.0)).max(1.0));
                     self.makespan = self.makespan.max(ctx.now());
+                    if let Some(rec) = &self.recorder {
+                        rec.observe_at("sched.response_s", ctx.now(), resp);
+                        rec.incr("sched.jobs_completed");
+                    }
                 }
                 self.schedule(ctx);
             }
@@ -437,6 +462,33 @@ pub fn simulate_with_chooser<C: Chooser>(
     simulate_with_failures(jobs, pool_cores, chooser, config, &[])
 }
 
+/// Runs a full simulation under a fixed `policy` with telemetry: the
+/// kernel's causal event trace, a `sched.choose` span per decision,
+/// queue-depth gauges, and a timed response-latency stream land on
+/// `rec`. Instrumentation is observational — metrics equal
+/// [`simulate`]'s for the same inputs.
+pub fn simulate_traced(
+    jobs: &[Job],
+    pool_cores: &[u32],
+    policy: Policy,
+    config: &SimConfig,
+    rec: &Recorder,
+) -> SimMetrics {
+    simulate_with_chooser_traced(jobs, pool_cores, FixedChooser(policy), config, rec)
+}
+
+/// [`simulate_with_chooser`] with telemetry on `rec` — the traced entry
+/// point for the portfolio scheduler.
+pub fn simulate_with_chooser_traced<C: Chooser>(
+    jobs: &[Job],
+    pool_cores: &[u32],
+    chooser: C,
+    config: &SimConfig,
+    rec: &Recorder,
+) -> SimMetrics {
+    run_sim(jobs, pool_cores, chooser, config, &[], Some(rec))
+}
+
 /// Runs a full simulation with machine failures injected.
 ///
 /// # Panics
@@ -449,6 +501,17 @@ pub fn simulate_with_failures<C: Chooser>(
     chooser: C,
     config: &SimConfig,
     failures: &[FailureEvent],
+) -> SimMetrics {
+    run_sim(jobs, pool_cores, chooser, config, failures, None)
+}
+
+fn run_sim<C: Chooser>(
+    jobs: &[Job],
+    pool_cores: &[u32],
+    chooser: C,
+    config: &SimConfig,
+    failures: &[FailureEvent],
+    recorder: Option<&Recorder>,
 ) -> SimMetrics {
     assert!(!pool_cores.is_empty(), "need at least one pool");
     for f in failures {
@@ -487,8 +550,15 @@ pub fn simulate_with_failures<C: Chooser>(
         makespan: 0.0,
         estimate_noise: Normal::new(0.0, config.estimate_sigma),
         noise_rng: StdRng::seed_from_u64(config.seed),
+        recorder: recorder.cloned(),
     };
     let mut sim = Simulation::new(model, config.seed);
+    if let Some(rec) = recorder {
+        let cores: u32 = pool_cores.iter().sum();
+        let digest = fnv1a(format!("{}|{}|{cores}", jobs.len(), pool_cores.len()).as_bytes());
+        rec.set_run_info("scheduling.cluster", config.seed, digest);
+        sim = sim.with_tracer(rec.clone());
+    }
     for (i, j) in jobs.iter().enumerate() {
         sim.schedule(j.submit, Ev::Arrival(i));
     }
@@ -613,6 +683,37 @@ mod tests {
             let m = simulate(&jobs, &[4], p, &perfect());
             assert_eq!(m.jobs_completed, 25, "{p} lost jobs");
         }
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_records_metrics() {
+        let jobs: Vec<Job> = (0..15)
+            .map(|i| job(i, i as f64 * 3.0, vec![(10.0, 1), (6.0, 2)]))
+            .collect();
+        let rec = atlarge_telemetry::Recorder::new();
+        let traced = simulate_traced(&jobs, &[4], Policy::Sjf, &perfect(), &rec);
+        let plain = simulate(&jobs, &[4], Policy::Sjf, &perfect());
+        assert_eq!(traced, plain, "tracing must not change the outcome");
+        assert_eq!(rec.counter("sched.jobs_completed"), 15);
+        assert_eq!(rec.tally("sched.response_s").unwrap().len(), 15);
+        assert!(rec.span_stats()["sched.choose"].entries > 0);
+        assert!(rec.dispatches("arrival") == 15);
+        assert_eq!(rec.manifest().model, "scheduling.cluster");
+        assert!(rec.events_dispatched() > 0);
+    }
+
+    #[test]
+    fn traced_portfolio_records_decisions() {
+        use crate::portfolio::PortfolioScheduler;
+        let jobs: Vec<Job> = (0..12)
+            .map(|i| job(i, i as f64 * 4.0, vec![(10.0, 1)]))
+            .collect();
+        let rec = atlarge_telemetry::Recorder::new();
+        let portfolio = PortfolioScheduler::new(vec![Policy::Fcfs, Policy::Sjf], 2, 60.0);
+        let m = simulate_with_chooser_traced(&jobs, &[2], portfolio, &perfect(), &rec);
+        assert_eq!(m.jobs_completed, 12);
+        assert!(rec.counter("sched.decisions") > 0);
+        assert!(rec.gauge("sched.queue_tasks").is_some());
     }
 
     #[test]

@@ -114,6 +114,35 @@ impl Histogram {
             .collect()
     }
 
+    /// Nearest-rank quantile estimate: the upper edge of the bin holding
+    /// the sample of rank `ceil(q * count)`.
+    ///
+    /// For samples that fall inside the range the estimate is within one
+    /// bin width of the exact quantile; clamped out-of-range samples can
+    /// push it further, like every other fixed-bin summary. Returns `None`
+    /// on an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= q <= 1.0`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        let mut acc = 0u64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            acc += c;
+            if acc >= rank {
+                return Some(self.lo + width * (i + 1) as f64);
+            }
+        }
+        unreachable!("cumulative count reaches total")
+    }
+
     /// Merges another histogram with identical geometry into this one.
     ///
     /// # Panics
@@ -215,6 +244,34 @@ mod tests {
         a.record(0.1);
         b.record(0.9);
         assert!((a.total_variation(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_none_when_empty() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_within_one_bin_width() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        let xs: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+        h.record_all(xs.iter().copied());
+        for &(q, exact) in &[(0.5, 4.9), (0.95, 9.4), (0.99, 9.8)] {
+            let est = h.quantile(q).unwrap();
+            assert!(
+                (est - exact).abs() <= 1.0 + 1e-9,
+                "q={q}: est {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_extremes_hit_first_and_last_occupied_bin() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record_all([2.5, 7.5]);
+        assert_eq!(h.quantile(0.0), Some(3.0));
+        assert_eq!(h.quantile(1.0), Some(8.0));
     }
 
     #[test]

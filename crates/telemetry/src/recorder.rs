@@ -17,6 +17,13 @@ use std::time::Instant;
 /// Default bound of the event-trace ring buffer.
 pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
 
+/// Bins of the per-tally quantile histograms in the metrics export.
+pub const HISTOGRAM_BINS: usize = 32;
+
+/// Maximum `(t, value)` points exported per timed metric stream; the
+/// remainder is counted in the line's `omitted` field.
+pub const SERIES_EXPORT_CAP: usize = 4096;
+
 /// What a [`TraceRecord`] describes.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceKind {
@@ -24,11 +31,20 @@ pub enum TraceKind {
     Schedule {
         /// Absolute simulated time the event will fire at.
         fire_at: f64,
+        /// Kernel-assigned event id.
+        id: u64,
+        /// Id of the event whose handler scheduled this one (`None` for
+        /// externally scheduled roots).
+        parent: Option<u64>,
     },
     /// An event was dispatched; `queue_len` events remained pending.
     Dispatch {
         /// Pending events after the pop.
         queue_len: usize,
+        /// Kernel-assigned event id.
+        id: u64,
+        /// Causal parent id, as in [`TraceKind::Schedule`].
+        parent: Option<u64>,
     },
     /// An instrumented span was entered.
     SpanEnter,
@@ -48,19 +64,36 @@ pub struct TraceRecord {
 }
 
 impl TraceRecord {
-    /// One-line JSON rendering.
+    /// One-line JSON rendering. Schedule and dispatch records carry the
+    /// causal `id`/`parent` fields; `parent` is omitted for roots.
     pub fn to_json(&self) -> String {
         let mut fields = vec![("t", json_f64(self.time))];
         match &self.kind {
-            TraceKind::Schedule { fire_at } => {
+            TraceKind::Schedule {
+                fire_at,
+                id,
+                parent,
+            } => {
                 fields.push(("kind", json_str("schedule")));
                 fields.push(("label", json_str(&self.label)));
                 fields.push(("fire_at", json_f64(*fire_at)));
+                fields.push(("id", id.to_string()));
+                if let Some(p) = parent {
+                    fields.push(("parent", p.to_string()));
+                }
             }
-            TraceKind::Dispatch { queue_len } => {
+            TraceKind::Dispatch {
+                queue_len,
+                id,
+                parent,
+            } => {
                 fields.push(("kind", json_str("dispatch")));
                 fields.push(("label", json_str(&self.label)));
                 fields.push(("queue", queue_len.to_string()));
+                fields.push(("id", id.to_string()));
+                if let Some(p) = parent {
+                    fields.push(("parent", p.to_string()));
+                }
             }
             TraceKind::SpanEnter => {
                 fields.push(("kind", json_str("span_enter")));
@@ -97,6 +130,7 @@ struct State {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, Gauge>,
     tallies: BTreeMap<String, Tally>,
+    timed: BTreeMap<String, Vec<(f64, f64)>>,
     dispatches_by_label: BTreeMap<String, u64>,
     spans: BTreeMap<String, SpanStats>,
     open_spans: Vec<(String, f64, Instant)>,
@@ -167,7 +201,7 @@ fn bump(map: &mut BTreeMap<String, u64>, key: &str, n: u64) {
 /// let rec = Recorder::new();
 /// rec.incr("requests");
 /// rec.observe("latency_s", 0.25);
-/// rec.on_dispatch(1.0, "invoke", 3); // what the kernel calls
+/// rec.on_dispatch(1.0, "invoke", 3, 0, None); // what the kernel calls
 /// assert_eq!(rec.counter("requests"), 1);
 /// assert_eq!(rec.events_dispatched(), 1);
 /// ```
@@ -197,6 +231,7 @@ impl Recorder {
                 counters: BTreeMap::new(),
                 gauges: BTreeMap::new(),
                 tallies: BTreeMap::new(),
+                timed: BTreeMap::new(),
                 dispatches_by_label: BTreeMap::new(),
                 spans: BTreeMap::new(),
                 open_spans: Vec::new(),
@@ -277,6 +312,35 @@ impl Recorder {
     /// A snapshot of tally `name`, if it ever saw an observation.
     pub fn tally(&self, name: &str) -> Option<Tally> {
         self.lock().tallies.get(name).cloned()
+    }
+
+    /// Records one observation into tally `name` *with its simulated
+    /// timestamp*, making the metric a first-class time series: the value
+    /// lands in the tally (so summaries and histograms still work) and the
+    /// `(now, x)` point is appended to the metric's timed stream, which
+    /// windowed aggregation in the analysis layer consumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not finite.
+    pub fn observe_at(&self, name: &str, now: f64, x: f64) {
+        let mut st = self.lock();
+        st.see_time(now);
+        match st.tallies.get_mut(name) {
+            Some(t) => t.record(x),
+            None => {
+                let mut t = Tally::new();
+                t.record(x);
+                st.tallies.insert(name.to_string(), t);
+            }
+        }
+        st.timed.entry(name.to_string()).or_default().push((now, x));
+    }
+
+    /// The timed stream of metric `name` (points recorded through
+    /// [`Recorder::observe_at`]), in recording order.
+    pub fn timed(&self, name: &str) -> Option<Vec<(f64, f64)>> {
+        self.lock().timed.get(name).cloned()
     }
 
     // -- Trace and kernel-derived state ------------------------------------
@@ -389,9 +453,48 @@ impl Recorder {
                 fields.push(("min", json_f64(s.min())));
                 fields.push(("p50", json_f64(s.median())));
                 fields.push(("p95", json_f64(s.percentile(95.0))));
+                fields.push(("p99", json_f64(s.percentile(99.0))));
                 fields.push(("max", json_f64(s.max())));
             }
             writeln!(w, "{}", json_object(&fields))?;
+        }
+        // One fixed-bin quantile histogram per tally, so distributions
+        // survive the export (and cross-run diffs) rather than collapsing
+        // to scalar summaries.
+        for (name, t) in &st.tallies {
+            if let Some(s) = t.summary() {
+                let lo = s.min();
+                // Widen degenerate ranges so Histogram::new accepts them.
+                let hi = if s.max() > lo { s.max() } else { lo + 1.0 };
+                let h = t.histogram(lo, hi, HISTOGRAM_BINS);
+                let bins: Vec<String> = (0..h.num_bins())
+                    .map(|i| h.bin_count(i).to_string())
+                    .collect();
+                let line = json_object(&[
+                    ("kind", json_str("histogram")),
+                    ("name", json_str(name)),
+                    ("lo", json_f64(lo)),
+                    ("hi", json_f64(hi)),
+                    ("bins", format!("[{}]", bins.join(","))),
+                ]);
+                writeln!(w, "{line}")?;
+            }
+        }
+        // Timed streams (observe_at): raw (t, value) points, capped.
+        for (name, points) in &st.timed {
+            let kept = &points[..points.len().min(SERIES_EXPORT_CAP)];
+            let rendered: Vec<String> = kept
+                .iter()
+                .map(|&(t, v)| format!("[{},{}]", json_f64(t), json_f64(v)))
+                .collect();
+            let line = json_object(&[
+                ("kind", json_str("series")),
+                ("name", json_str(name)),
+                ("count", points.len().to_string()),
+                ("omitted", (points.len() - kept.len()).to_string()),
+                ("points", format!("[{}]", rendered.join(","))),
+            ]);
+            writeln!(w, "{line}")?;
         }
         for (name, s) in &st.spans {
             let line = json_object(&[
@@ -403,7 +506,11 @@ impl Recorder {
             ]);
             writeln!(w, "{line}")?;
         }
-        Ok(())
+        // Terminated by the manifest, like the trace export: a metrics
+        // file then carries its own run identity, which is what lets
+        // cross-run diffing key on `same_run_as` fingerprints without a
+        // side channel.
+        writeln!(w, "{}", st.manifest().to_json())
     }
 }
 
@@ -414,18 +521,22 @@ impl Default for Recorder {
 }
 
 impl Tracer for Recorder {
-    fn on_schedule(&self, now: f64, fire_at: f64, label: &str) {
+    fn on_schedule(&self, now: f64, fire_at: f64, label: &str, id: u64, parent: Option<u64>) {
         let mut st = self.lock();
         st.scheduled += 1;
         st.see_time(now);
         st.push_trace(TraceRecord {
             time: now,
             label: label.to_string(),
-            kind: TraceKind::Schedule { fire_at },
+            kind: TraceKind::Schedule {
+                fire_at,
+                id,
+                parent,
+            },
         });
     }
 
-    fn on_dispatch(&self, now: f64, label: &str, queue_len: usize) {
+    fn on_dispatch(&self, now: f64, label: &str, queue_len: usize, id: u64, parent: Option<u64>) {
         let mut st = self.lock();
         st.dispatched += 1;
         st.see_time(now);
@@ -433,7 +544,11 @@ impl Tracer for Recorder {
         st.push_trace(TraceRecord {
             time: now,
             label: label.to_string(),
-            kind: TraceKind::Dispatch { queue_len },
+            kind: TraceKind::Dispatch {
+                queue_len,
+                id,
+                parent,
+            },
         });
     }
 
@@ -486,9 +601,9 @@ mod tests {
     #[test]
     fn hooks_accumulate_counts_and_labels() {
         let rec = Recorder::new();
-        rec.on_schedule(0.0, 1.0, "tick");
-        rec.on_schedule(0.0, 2.0, "tick");
-        rec.on_dispatch(1.0, "tick", 1);
+        rec.on_schedule(0.0, 1.0, "tick", 0, None);
+        rec.on_schedule(0.0, 2.0, "tick", 1, Some(0));
+        rec.on_dispatch(1.0, "tick", 1, 0, None);
         rec.on_run_end(2.0, 1);
         assert_eq!(rec.events_scheduled(), 2);
         assert_eq!(rec.events_dispatched(), 1);
@@ -498,10 +613,32 @@ mod tests {
     }
 
     #[test]
+    fn trace_records_carry_causal_ids() {
+        let rec = Recorder::new();
+        rec.on_schedule(0.0, 1.0, "tick", 0, None);
+        rec.on_dispatch(1.0, "tick", 0, 0, None);
+        rec.on_schedule(1.0, 2.0, "tick", 1, Some(0));
+        let trace = rec.trace();
+        assert_eq!(
+            trace[0].kind,
+            TraceKind::Schedule {
+                fire_at: 1.0,
+                id: 0,
+                parent: None
+            }
+        );
+        let json = trace[2].to_json();
+        assert!(json.contains("\"id\":1"), "{json}");
+        assert!(json.contains("\"parent\":0"), "{json}");
+        // Roots omit the parent field entirely.
+        assert!(!trace[0].to_json().contains("parent"));
+    }
+
+    #[test]
     fn ring_buffer_is_bounded() {
         let rec = Recorder::with_trace_capacity(4);
         for i in 0..10 {
-            rec.on_dispatch(i as f64, "e", 0);
+            rec.on_dispatch(i as f64, "e", 0, i, None);
         }
         assert_eq!(rec.trace_len(), 4);
         assert_eq!(rec.trace_dropped(), 6);
@@ -515,7 +652,7 @@ mod tests {
     #[test]
     fn zero_capacity_disables_trace_but_not_metrics() {
         let rec = Recorder::with_trace_capacity(0);
-        rec.on_dispatch(1.0, "e", 0);
+        rec.on_dispatch(1.0, "e", 0, 0, None);
         rec.incr("c");
         assert_eq!(rec.trace_len(), 0);
         assert_eq!(rec.trace_dropped(), 1);
@@ -560,11 +697,12 @@ mod tests {
     fn jsonl_exports_have_one_object_per_line() {
         let rec = Recorder::new();
         rec.set_run_info("test.model", 7, 0xfeed);
-        rec.on_schedule(0.0, 1.0, "tick");
-        rec.on_dispatch(1.0, "tick", 0);
+        rec.on_schedule(0.0, 1.0, "tick", 0, None);
+        rec.on_dispatch(1.0, "tick", 0, 0, None);
         rec.incr("n");
         rec.gauge_set("g", 0.5, 2.0);
         rec.observe("lat", 0.25);
+        rec.observe_at("lat_t", 0.75, 0.5);
         rec.on_span_enter(0.0, "s");
         rec.on_span_exit(1.0, "s");
         rec.on_run_end(1.0, 1);
@@ -590,12 +728,43 @@ mod tests {
         rec.write_metrics_jsonl(&mut metrics)
             .expect("write metrics");
         let metrics = String::from_utf8(metrics).expect("utf8");
-        for kind in ["counter", "dispatches", "gauge", "tally", "span"] {
+        for kind in [
+            "counter",
+            "dispatches",
+            "gauge",
+            "tally",
+            "span",
+            "histogram",
+            "series",
+        ] {
             assert!(
                 metrics.contains(&format!("\"kind\":\"{kind}\"")),
                 "missing {kind} in {metrics}"
             );
         }
+        assert!(metrics.contains("\"p99\":"), "tallies report p99");
+        assert!(
+            metrics
+                .lines()
+                .last()
+                .expect("manifest")
+                .contains("\"kind\":\"manifest\""),
+            "metrics export is self-identifying"
+        );
+    }
+
+    #[test]
+    fn observe_at_feeds_tally_and_timed_stream() {
+        let rec = Recorder::new();
+        rec.observe_at("lat", 1.0, 0.2);
+        rec.observe_at("lat", 3.0, 0.4);
+        assert_eq!(rec.tally("lat").expect("tally exists").len(), 2);
+        assert_eq!(
+            rec.timed("lat").expect("stream exists"),
+            vec![(1.0, 0.2), (3.0, 0.4)]
+        );
+        assert_eq!(rec.sim_time(), 3.0);
+        assert!(rec.timed("missing").is_none());
     }
 
     #[test]

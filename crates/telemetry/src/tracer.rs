@@ -24,14 +24,24 @@ pub trait Tracer: Send {
     }
 
     /// An event was scheduled at simulated time `now` to fire at `fire_at`.
-    fn on_schedule(&self, now: f64, fire_at: f64, label: &str) {
-        let _ = (now, fire_at, label);
+    ///
+    /// `id` is the event's kernel-assigned id (unique and dense within a
+    /// run); `parent` is the id of the event whose handler performed this
+    /// schedule, or `None` for externally scheduled roots. The (id, parent)
+    /// edges form the causal forest trace analysis extracts critical paths
+    /// from.
+    fn on_schedule(&self, now: f64, fire_at: f64, label: &str, id: u64, parent: Option<u64>) {
+        let _ = (now, fire_at, label, id, parent);
     }
 
     /// An event was popped for execution at simulated time `now`;
-    /// `queue_len` is the number of events still pending.
-    fn on_dispatch(&self, now: f64, label: &str, queue_len: usize) {
-        let _ = (now, label, queue_len);
+    /// `queue_len` is the number of events still pending. `id` and
+    /// `parent` carry the same causal provenance as the matching
+    /// [`Tracer::on_schedule`] call, so dispatch records remain analyzable
+    /// even when their schedule records were evicted from a bounded trace
+    /// buffer.
+    fn on_dispatch(&self, now: f64, label: &str, queue_len: usize, id: u64, parent: Option<u64>) {
+        let _ = (now, label, queue_len, id, parent);
     }
 
     /// An instrumented region named `name` was entered at `now`.
@@ -81,8 +91,8 @@ mod tests {
     #[test]
     fn null_tracer_accepts_all_hooks() {
         let t = NullTracer;
-        t.on_schedule(0.0, 1.0, "a");
-        t.on_dispatch(1.0, "a", 0);
+        t.on_schedule(0.0, 1.0, "a", 0, None);
+        t.on_dispatch(1.0, "a", 0, 0, None);
         t.on_span_enter(1.0, "s");
         t.on_span_exit(1.5, "s");
         t.on_run_end(1.5, 1);
@@ -91,6 +101,6 @@ mod tests {
     #[test]
     fn tracer_is_object_safe() {
         let boxed: Box<dyn Tracer> = Box::new(NullTracer);
-        boxed.on_dispatch(0.0, "x", 3);
+        boxed.on_dispatch(0.0, "x", 3, 7, Some(2));
     }
 }

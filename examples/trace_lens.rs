@@ -1,0 +1,214 @@
+//! `trace_lens` — a lens over telemetry exports: causal critical paths,
+//! hierarchical profiles, and cross-run regression diffs.
+//!
+//! ```sh
+//! trace_lens critical-path <trace.jsonl>
+//! trace_lens profile [--chrome] <trace.jsonl>
+//! trace_lens diff [--threshold PCT] <a.metrics.jsonl> <b.metrics.jsonl>
+//! ```
+//!
+//! `profile --chrome` prints Chrome trace-event JSON on stdout — redirect
+//! it to a file and load it in Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing`. `diff` exits 0 when no metric moved beyond the
+//! threshold (default 1%), 2 when at least one did — usable directly as a
+//! CI regression gate.
+//!
+//! Generate inputs with `ecosystem_observatory --trace <dir>`, or with
+//! any of the domain `*_traced` entry points.
+
+use atlarge::obsv::{
+    critical_path, diff_exports, flamegraph_text, parse_trace, self_times, to_chrome_json,
+    PathSource,
+};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: trace_lens critical-path <trace.jsonl>\n\
+         \x20      trace_lens profile [--chrome] <trace.jsonl>\n\
+         \x20      trace_lens diff [--threshold PCT] <a.metrics.jsonl> <b.metrics.jsonl>"
+    );
+    ExitCode::FAILURE
+}
+
+fn read(path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("trace_lens: cannot read {path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn load_trace(path: &str) -> Result<atlarge::obsv::Trace, ExitCode> {
+    parse_trace(&read(path)?).map_err(|e| {
+        eprintln!("trace_lens: {path}: {e:?}");
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_critical_path(path: &str) -> Result<ExitCode, ExitCode> {
+    let trace = load_trace(path)?;
+    let Some(cp) = critical_path(&trace) else {
+        eprintln!("trace_lens: {path}: no dispatches or spans to build a path from");
+        return Err(ExitCode::FAILURE);
+    };
+    if let Some(m) = &trace.manifest {
+        println!(
+            "run: model={} seed={} fingerprint={}{}",
+            m.model,
+            m.seed,
+            m.fingerprint,
+            if m.trace_dropped > 0 {
+                format!(
+                    " ({} records dropped: path may be truncated)",
+                    m.trace_dropped
+                )
+            } else {
+                String::new()
+            }
+        );
+    }
+    let source = match cp.source {
+        PathSource::CausalChain => "causal chain",
+        PathSource::SpanTree => "span tree",
+    };
+    println!(
+        "critical path: {} steps over {:.3}s of {:.3}s simulated ({:.1}% serial), via {source}",
+        cp.steps.len(),
+        cp.path_time,
+        cp.total_time,
+        cp.coverage() * 100.0
+    );
+    // Long chains (periodic ticks, swarm rewires) would flood the
+    // terminal: show the head and tail and elide the middle.
+    const SHOWN: usize = 12;
+    let elide = cp.steps.len() > 2 * SHOWN;
+    for (i, pair) in cp.steps.windows(2).enumerate() {
+        if elide && i == SHOWN {
+            println!("  ... {} steps elided ...", cp.steps.len() - 2 * SHOWN);
+        }
+        if elide && (SHOWN..cp.steps.len() - SHOWN).contains(&i) {
+            continue;
+        }
+        println!(
+            "  t={:>12.3}  {:<24} +{:.3}s",
+            pair[0].time,
+            pair[0].label,
+            pair[1].time - pair[0].time
+        );
+    }
+    if let Some(last) = cp.steps.last() {
+        println!(
+            "  t={:>12.3}  {:<24} (tail, id {})",
+            last.time, last.label, last.id
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_profile(path: &str, chrome: bool) -> Result<ExitCode, ExitCode> {
+    let trace = load_trace(path)?;
+    if chrome {
+        let name = trace
+            .manifest
+            .as_ref()
+            .map_or_else(|| path.to_string(), |m| m.model.clone());
+        println!("{}", to_chrome_json(&trace, &name));
+        return Ok(ExitCode::SUCCESS);
+    }
+    let fg = flamegraph_text(&trace, 40);
+    if fg.is_empty() {
+        eprintln!("trace_lens: {path}: no spans to profile (try critical-path for event traces)");
+        return Err(ExitCode::FAILURE);
+    }
+    print!("{fg}");
+    println!("\ntop self-time:");
+    for s in self_times(&trace).into_iter().take(10) {
+        println!("  {:<30} {:>12.3}s  x{}", s.name, s.self_time, s.count);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_diff(a: &str, b: &str, threshold: f64) -> Result<ExitCode, ExitCode> {
+    let d = diff_exports(&read(a)?, &read(b)?).map_err(|e| {
+        eprintln!("trace_lens: {e:?}");
+        ExitCode::FAILURE
+    })?;
+    match (&d.manifest_a, &d.manifest_b) {
+        (Some(ma), Some(mb)) if d.comparable => println!(
+            "comparing same_run_as runs: model={} seed={} fingerprint={}",
+            ma.model, ma.seed, mb.fingerprint
+        ),
+        (Some(ma), Some(mb)) => println!(
+            "warning: fingerprints differ ({} vs {}) — deltas may reflect \
+             configuration, not regressions",
+            ma.fingerprint, mb.fingerprint
+        ),
+        _ => println!("warning: missing manifest(s) — comparability unknown"),
+    }
+    let regressions = d.regressions(threshold);
+    println!(
+        "{} aligned metrics changed, {} beyond {:.1}% threshold, {} unmatched",
+        d.changed.len(),
+        regressions.len(),
+        threshold * 100.0,
+        d.unmatched.len(),
+    );
+    for delta in &d.changed {
+        let flag = if delta.exceeds(threshold) { "!!" } else { "  " };
+        println!(
+            "  {flag} {:<44} {:>14.6} -> {:>14.6}  ({:+.2}%)",
+            delta.key,
+            delta.a,
+            delta.b,
+            delta.rel * 100.0
+        );
+    }
+    for key in &d.unmatched {
+        println!("  ?? {key:<44} present in only one run");
+    }
+    Ok(if regressions.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("critical-path") => match args.get(1) {
+            Some(path) => cmd_critical_path(path),
+            None => return usage(),
+        },
+        Some("profile") => {
+            let chrome = args.iter().any(|a| a == "--chrome");
+            match args.iter().skip(1).find(|a| !a.starts_with("--")) {
+                Some(path) => cmd_profile(path, chrome),
+                None => return usage(),
+            }
+        }
+        Some("diff") => {
+            let mut threshold = 0.01;
+            let mut files = Vec::new();
+            let mut it = args.iter().skip(1);
+            while let Some(a) = it.next() {
+                if a == "--threshold" {
+                    match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                        Some(pct) => threshold = pct / 100.0,
+                        None => return usage(),
+                    }
+                } else {
+                    files.push(a.clone());
+                }
+            }
+            match files.as_slice() {
+                [a, b] => cmd_diff(a, b, threshold),
+                _ => return usage(),
+            }
+        }
+        _ => return usage(),
+    };
+    match result {
+        Ok(code) | Err(code) => code,
+    }
+}

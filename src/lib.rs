@@ -11,6 +11,9 @@
 //!   domain simulator runs on.
 //! - [`telemetry`] — tracing, metrics, and run manifests: attach a
 //!   [`telemetry::Recorder`] to any simulation for machine-readable traces.
+//! - [`obsv`] — analysis over those exports: causal critical paths,
+//!   Chrome-trace/flamegraph profiling, histogram quantiles, and
+//!   cross-run regression diffing (see the `trace_lens` example).
 //! - [`stats`] / [`workload`] — shared statistics and workload models.
 //! - Domain reproductions of the paper's Section-6 case studies:
 //!   [`p2p`], [`mmog`], [`datacenter`], [`serverless`], [`graph`],
@@ -33,6 +36,7 @@ pub use atlarge_datacenter as datacenter;
 pub use atlarge_des as des;
 pub use atlarge_graph as graph;
 pub use atlarge_mmog as mmog;
+pub use atlarge_obsv as obsv;
 pub use atlarge_p2p as p2p;
 pub use atlarge_scheduling as scheduling;
 pub use atlarge_serverless as serverless;

@@ -1,0 +1,111 @@
+//! End-to-end properties of the observability pipeline: traced domain
+//! runs exported as JSONL, then analyzed with `atlarge-obsv` — the same
+//! path `trace_lens` and the CI regression gate walk.
+
+use atlarge::datacenter::run_cluster_traced;
+use atlarge::obsv::{critical_path, diff_exports, parse_trace, CriticalPath};
+use atlarge::stats::Histogram;
+use atlarge::telemetry::Recorder;
+use proptest::prelude::*;
+
+fn trace_string(rec: &Recorder) -> String {
+    let mut buf = Vec::new();
+    rec.write_trace_jsonl(&mut buf).expect("write to memory");
+    String::from_utf8(buf).expect("exports are UTF-8")
+}
+
+fn metrics_string(rec: &Recorder) -> String {
+    let mut buf = Vec::new();
+    rec.write_metrics_jsonl(&mut buf).expect("write to memory");
+    String::from_utf8(buf).expect("exports are UTF-8")
+}
+
+/// One traced datacenter run, exported and re-parsed — the round trip
+/// every analysis in this file starts from.
+fn traced_cluster_path(seed: u64) -> CriticalPath {
+    let rec = Recorder::new();
+    run_cluster_traced(4, 8, 60, seed, &rec);
+    let trace = parse_trace(&trace_string(&rec)).expect("export parses");
+    critical_path(&trace).expect("a run with events has a path")
+}
+
+proptest! {
+    // Each case is a full DES run; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Determinism end to end: same seed, same trace, same critical path
+    /// — byte-level export and analysis included.
+    #[test]
+    fn same_seed_runs_have_identical_critical_paths(seed in 0u64..1_000) {
+        let a = traced_cluster_path(seed);
+        let b = traced_cluster_path(seed);
+        prop_assert_eq!(a, b);
+    }
+
+    /// A causal chain cannot span more simulated time than the run took.
+    #[test]
+    fn critical_path_time_is_bounded_by_total(seed in 0u64..1_000) {
+        let cp = traced_cluster_path(seed);
+        prop_assert!(cp.path_time <= cp.total_time + 1e-9);
+        prop_assert!(cp.coverage() <= 1.0 + 1e-9);
+        prop_assert!(!cp.steps.is_empty());
+    }
+
+    /// The binned nearest-rank quantile is within one bin width of the
+    /// exact sample quantile, for both the stats-side estimator and the
+    /// obsv-side reader of its export.
+    #[test]
+    fn histogram_quantile_within_one_bin_of_exact(
+        samples in proptest::collection::vec(0.0f64..100.0, 1..400),
+        q in 0.0f64..=1.0,
+    ) {
+        let mut h = Histogram::new(0.0, 100.0, 32);
+        h.record_all(samples.iter().copied());
+        let est = h.quantile(q).expect("non-empty");
+
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+
+        let width = 100.0 / 32.0;
+        prop_assert!(
+            (est - exact).abs() <= width + 1e-9,
+            "estimate {est} vs exact {exact} (q={q}, width {width})"
+        );
+    }
+
+    /// Diffing a run against an identical re-execution reports zero
+    /// regressions at any threshold: fingerprints match and wall-clock
+    /// fields are excluded from comparison.
+    #[test]
+    fn self_diff_reports_zero_regressions(seed in 0u64..1_000) {
+        let export = || {
+            let rec = Recorder::new();
+            run_cluster_traced(4, 8, 60, seed, &rec);
+            metrics_string(&rec)
+        };
+        let d = diff_exports(&export(), &export()).expect("exports parse");
+        prop_assert!(d.comparable, "same seed must be same_run_as-comparable");
+        prop_assert!(d.changed.is_empty(), "unexpected deltas: {:?}", d.changed);
+        prop_assert!(d.unmatched.is_empty());
+        prop_assert!(d.regressions(0.0).is_empty());
+    }
+}
+
+/// A ring buffer too small for the run must say so in the manifest — on
+/// the recorder, in the export, and through the obsv reader — and the
+/// analysis must still produce a (truncated) path rather than fail.
+#[test]
+fn saturated_ring_reports_drops_and_still_yields_a_path() {
+    let rec = Recorder::with_trace_capacity(64);
+    run_cluster_traced(4, 8, 200, 9, &rec);
+    assert!(rec.trace_dropped() > 0, "200 jobs must overflow 64 records");
+
+    let trace = parse_trace(&trace_string(&rec)).expect("export parses");
+    let manifest = trace.manifest.as_ref().expect("manifest exported");
+    assert_eq!(manifest.trace_dropped, rec.trace_dropped());
+
+    let cp = critical_path(&trace).expect("retained suffix still chains");
+    assert!(cp.path_time <= cp.total_time + 1e-9);
+}
