@@ -13,7 +13,9 @@ use crate::autoscaler::{Adapt, Hist, Plan, React, RecentPeak, Reg, Token};
 use crate::cost::{BillingModel, DeadlineSla};
 use crate::metrics::ElasticityReport;
 use crate::sim::{run, AutoscaleConfig, RunResult};
+use atlarge_exp::{Campaign, CampaignResult, Scenario, SeedMode};
 use atlarge_stats::ranking::{Direction, ScoreTable};
+use atlarge_telemetry::tracer::Tracer;
 use atlarge_workload::arrivals::{ArrivalProcess, Bursty, Poisson};
 use atlarge_workload::workflow::{generate, Shape, Workflow};
 use rand::rngs::StdRng;
@@ -116,40 +118,101 @@ fn run_scaler(
 /// Number of autoscalers in the campaign roster.
 pub const ROSTER_SIZE: usize = 7;
 
-/// Runs the full campaign at the given horizon. Returns one cell per
-/// (autoscaler, workload).
-pub fn campaign(horizon: f64, seed: u64) -> Vec<CampaignCell> {
-    let config = AutoscaleConfig::default();
-    let billing = BillingModel::PerSecond { rate: 0.5 };
-    let sla = DeadlineSla::Hard { slack: 2.0 };
-    let mut cells = Vec::new();
-    for wl in WorkflowWorkload::all() {
-        let workflows = wl.generate(horizon, seed);
-        if workflows.is_empty() {
-            continue;
-        }
-        for si in 0..ROSTER_SIZE {
-            let (name, result) = run_scaler(si, workflows.clone(), config, seed);
-            let to = result.end_time.max(1.0);
-            let cost = billing.cost(&result.supply, 0.0, to);
-            let report = ElasticityReport::compute(
-                &result.demand,
-                &result.supply,
-                0.0,
-                to,
-                result.mean_response(),
-                cost,
-            );
-            cells.push(CampaignCell {
-                scaler: name,
-                workload: wl.name(),
-                report,
-                sla_violations: sla.violations(&result.workflows),
-                completed: result.workflows.len(),
-            });
+/// Roster names, indexed like [`run_scaler`].
+pub const ROSTER_NAMES: [&str; ROSTER_SIZE] =
+    ["react", "adapt", "hist", "reg", "peak", "plan", "token"];
+
+/// One campaign cell's config: the workload/autoscaler pairing.
+#[derive(Debug, Clone, Copy)]
+pub struct AutoscaleSpec {
+    /// Workload shape.
+    pub workload: WorkflowWorkload,
+    /// Index into the scaler roster.
+    pub scaler_idx: usize,
+}
+
+/// The §6.7 campaign scenario: one autoscaler on one workload. Runs in
+/// common-random-numbers mode so every scaler of a replication faces
+/// the identical workflow set — the rankings compare *when* workflows
+/// finish, never *whether*.
+#[derive(Debug, Clone, Copy)]
+pub struct AutoscaleScenario {
+    /// Simulated horizon in seconds.
+    pub horizon: f64,
+}
+
+impl Scenario for AutoscaleScenario {
+    type Config = AutoscaleSpec;
+    type Outcome = CampaignCell;
+
+    fn run(&self, config: &AutoscaleSpec, seed: u64, _tracer: &dyn Tracer) -> CampaignCell {
+        let billing = BillingModel::PerSecond { rate: 0.5 };
+        let sla = DeadlineSla::Hard { slack: 2.0 };
+        let workflows = config.workload.generate(self.horizon, seed);
+        let (name, result) = run_scaler(
+            config.scaler_idx,
+            workflows,
+            AutoscaleConfig::default(),
+            seed,
+        );
+        let to = result.end_time.max(1.0);
+        let cost = billing.cost(&result.supply, 0.0, to);
+        let report = ElasticityReport::compute(
+            &result.demand,
+            &result.supply,
+            0.0,
+            to,
+            result.mean_response(),
+            cost,
+        );
+        CampaignCell {
+            scaler: name,
+            workload: config.workload.name(),
+            report,
+            sla_violations: sla.violations(&result.workflows),
+            completed: result.workflows.len(),
         }
     }
-    cells
+}
+
+/// Runs the §6.7 campaign through the engine: workload × autoscaler
+/// grid, common random numbers within each replication.
+pub fn campaign_result(
+    horizon: f64,
+    seed: u64,
+    replications: usize,
+) -> CampaignResult<AutoscaleSpec, CampaignCell> {
+    Campaign::new("autoscaling.campaign", AutoscaleScenario { horizon })
+        .factor("workload", WorkflowWorkload::all().map(|w| w.name()))
+        .factor("scaler", ROSTER_NAMES)
+        .replications(replications)
+        .root_seed(seed)
+        .seed_mode(SeedMode::CommonRandomNumbers)
+        .run(|cell| {
+            let workload = WorkflowWorkload::all()
+                .into_iter()
+                .find(|w| w.name() == cell.level("workload"))
+                .expect("grid levels come from WorkflowWorkload::all");
+            let scaler_idx = ROSTER_NAMES
+                .iter()
+                .position(|n| *n == cell.level("scaler"))
+                .expect("grid levels come from ROSTER_NAMES");
+            AutoscaleSpec {
+                workload,
+                scaler_idx,
+            }
+        })
+}
+
+/// Runs the full campaign at the given horizon. Returns one cell per
+/// (autoscaler, workload), the single-replication view of
+/// [`campaign_result`].
+pub fn campaign(horizon: f64, seed: u64) -> Vec<CampaignCell> {
+    campaign_result(horizon, seed, 1)
+        .first_outcomes()
+        .into_iter()
+        .cloned()
+        .collect()
 }
 
 /// Builds the §6.7 score table over campaign cells: metrics averaged per
@@ -293,6 +356,17 @@ mod tests {
             wins[0].0,
             max_possible
         );
+    }
+
+    #[test]
+    fn crn_mode_gives_every_cell_the_same_seed() {
+        let r = campaign_result(4_000.0, 13, 1);
+        let seeds: std::collections::BTreeSet<u64> = r
+            .cells
+            .iter()
+            .flat_map(|c| c.runs.iter().map(|run| run.seed))
+            .collect();
+        assert_eq!(seeds.len(), 1, "CRN: one shared seed per replication");
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Bench: parallel speedup of the `atlarge-exp` campaign executor.
+//!
+//! Runs one CPU-bound campaign (a 32-cell grid of seeded random-walk
+//! scenarios) serially and with 4 worker threads, times both through
+//! criterion, and prints the measured speedup plus a byte-identity
+//! check of the two results. On a single-core host the speedup
+//! degenerates to ~1x; the determinism check must hold everywhere.
+
+use atlarge_exp::{Campaign, CampaignResult, Scenario};
+use atlarge_telemetry::tracer::Tracer;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
+/// A compute-heavy scenario: a long xorshift walk per run, so the
+/// executor's fan-out dominates over scheduling overhead.
+#[derive(Debug, Clone, Copy)]
+struct BurnScenario {
+    steps_per_run: usize,
+}
+
+impl Scenario for BurnScenario {
+    type Config = usize;
+    type Outcome = f64;
+
+    fn run(&self, extra: &usize, seed: u64, _tracer: &dyn Tracer) -> f64 {
+        let mut state = seed | 1;
+        let mut acc = 0.0f64;
+        for _ in 0..(self.steps_per_run + extra * 1_000) {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            acc += (state % 1_024) as f64 / 1_024.0 - 0.5;
+        }
+        acc
+    }
+}
+
+fn run_campaign(threads: usize) -> CampaignResult<usize, f64> {
+    Campaign::new(
+        "bench.scaling",
+        BurnScenario {
+            steps_per_run: 400_000,
+        },
+    )
+    .factor("cell", (0..32).map(|i| i.to_string()))
+    .replications(2)
+    .root_seed(2026)
+    .threads(threads)
+    .run(|cell| cell.level("cell").parse().expect("cell level parses"))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("campaign_scaling");
+    g.sample_size(10);
+    g.bench_function("serial", |b| b.iter(|| run_campaign(1)));
+    g.bench_function("threads_4", |b| b.iter(|| run_campaign(4)));
+    g.finish();
+
+    // Headline numbers: wall-clock speedup and the determinism guarantee.
+    let t0 = Instant::now();
+    let serial = run_campaign(1);
+    let serial_ms = t0.elapsed().as_secs_f64() * 1_000.0;
+    let t1 = Instant::now();
+    let parallel = run_campaign(4);
+    let parallel_ms = t1.elapsed().as_secs_f64() * 1_000.0;
+    assert_eq!(
+        serial, parallel,
+        "parallel campaign diverged from serial aggregation order"
+    );
+    println!(
+        "campaign_scaling: serial {serial_ms:.0}ms, 4 threads {parallel_ms:.0}ms, \
+         speedup {:.2}x on {} core(s); serial == parallel: yes",
+        serial_ms / parallel_ms.max(1e-9),
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

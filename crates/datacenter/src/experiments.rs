@@ -1,0 +1,142 @@
+//! The datacenter capacity campaign: cluster sizing as an
+//! `atlarge-exp` factor grid.
+//!
+//! Section 6.2's reference architecture asks how a datacenter's serving
+//! capacity scales with its shape. This module sweeps host count ×
+//! cores-per-host over a fixed open-arrival workload through the
+//! campaign engine, replicated over derived seeds, and summarizes
+//! makespan and utilization per cell.
+
+use crate::loadgen::{run_cluster, ClusterRunStats};
+use atlarge_exp::{Campaign, CampaignResult, CellSummary, Scenario};
+use atlarge_telemetry::tracer::Tracer;
+
+/// One capacity cell's config: the cluster shape and offered load.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterSpec {
+    /// Number of hosts.
+    pub hosts: usize,
+    /// Cores per host.
+    pub cores_per_host: u32,
+    /// Rigid jobs offered over the run.
+    pub jobs: usize,
+}
+
+/// The capacity scenario: one seeded cluster run per execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClusterScenario;
+
+impl Scenario for ClusterScenario {
+    type Config = ClusterSpec;
+    type Outcome = ClusterRunStats;
+
+    fn run(&self, config: &ClusterSpec, seed: u64, _tracer: &dyn Tracer) -> ClusterRunStats {
+        run_cluster(config.hosts, config.cores_per_host, config.jobs, seed, None)
+    }
+}
+
+/// Runs the capacity campaign: `hosts` × `cores-per-host` levels, the
+/// same `jobs`-job workload family per cell, `replications` derived
+/// seeds each.
+pub fn capacity_campaign(
+    hosts: &[usize],
+    cores: &[u32],
+    jobs: usize,
+    seed: u64,
+    replications: usize,
+) -> CampaignResult<ClusterSpec, ClusterRunStats> {
+    Campaign::new("datacenter.capacity", ClusterScenario)
+        .factor("hosts", hosts.iter().map(|h| h.to_string()))
+        .factor("cores", cores.iter().map(|c| c.to_string()))
+        .replications(replications)
+        .root_seed(seed)
+        .run(|cell| ClusterSpec {
+            hosts: cell.level("hosts").parse().expect("hosts level parses"),
+            cores_per_host: cell.level("cores").parse().expect("cores level parses"),
+            jobs,
+        })
+}
+
+/// The default capacity grid used by the paper-tables driver.
+pub fn default_capacity_campaign(
+    seed: u64,
+    replications: usize,
+) -> CampaignResult<ClusterSpec, ClusterRunStats> {
+    capacity_campaign(&[2, 4, 8], &[8, 16], 400, seed, replications)
+}
+
+/// Per-cell makespan summaries of a capacity campaign.
+pub fn makespan_summaries(
+    result: &CampaignResult<ClusterSpec, ClusterRunStats>,
+) -> Vec<CellSummary> {
+    result.summarize(|s| s.makespan)
+}
+
+/// Renders the campaign as a text table: one line per cell with
+/// makespan (mean ± CI over replications) and mean utilization.
+pub fn render_capacity(result: &CampaignResult<ClusterSpec, ClusterRunStats>) -> String {
+    let mut out = format!(
+        "{:<18}{:>10}{:>22}{:>12}\n",
+        "cell", "completed", "makespan", "util"
+    );
+    for cell in &result.cells {
+        let makespan = cell.summarize(|s| s.makespan);
+        let util = cell.summarize(|s| s.mean_utilization);
+        out.push_str(&format!(
+            "{:<18}{:>10}{:>15.1} ±{:<5.1}{:>12.2}\n",
+            cell.spec.label(),
+            cell.first().completed,
+            makespan.mean(),
+            makespan.ci95_half_width(),
+            util.mean()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_covers_the_grid_and_completes_all_jobs() {
+        let r = capacity_campaign(&[2, 4], &[8], 100, 17, 2);
+        assert_eq!(r.cells.len(), 2);
+        for cell in &r.cells {
+            for run in &cell.runs {
+                assert_eq!(run.outcome.completed, 100, "{}", cell.spec.label());
+            }
+        }
+    }
+
+    #[test]
+    fn more_hosts_shrink_the_makespan() {
+        let r = capacity_campaign(&[2, 8], &[8], 300, 17, 3);
+        let small = r.cells[0].summarize(|s| s.makespan).mean();
+        let big = r.cells[1].summarize(|s| s.makespan).mean();
+        assert!(big < small, "8 hosts ({big}) should beat 2 hosts ({small})");
+    }
+
+    #[test]
+    fn replications_vary_the_runs() {
+        // Distinct derived seeds must produce distinct workloads.
+        let r = capacity_campaign(&[4], &[8], 200, 17, 3);
+        let makespans: std::collections::BTreeSet<String> = r.cells[0]
+            .runs
+            .iter()
+            .map(|run| format!("{:.6}", run.outcome.makespan))
+            .collect();
+        assert!(makespans.len() > 1, "replications collapsed: {makespans:?}");
+    }
+
+    #[test]
+    fn render_lists_every_cell() {
+        let r = default_capacity_campaign(17, 2);
+        let s = render_capacity(&r);
+        assert_eq!(r.cells.len(), 6);
+        for cell in &r.cells {
+            assert!(s.contains(&cell.spec.label()));
+        }
+        assert_eq!(makespan_summaries(&r).len(), 6);
+    }
+}

@@ -28,6 +28,7 @@
 
 pub mod cluster;
 pub mod environment;
+pub mod experiments;
 pub mod loadgen;
 pub mod refarch;
 

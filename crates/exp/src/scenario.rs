@@ -1,0 +1,50 @@
+//! The [`Scenario`] trait: one simulated experiment, run many ways.
+//!
+//! A scenario is the unit the campaign engine replicates and fans out:
+//! a pure function from `(config, seed)` to an outcome, optionally
+//! narrating itself to a [`Tracer`]. Determinism is the contract — the
+//! same config and seed must produce the same outcome on any thread,
+//! which is what lets the engine guarantee byte-identical results
+//! between serial and parallel execution.
+
+use atlarge_telemetry::tracer::Tracer;
+
+/// One runnable experiment family.
+///
+/// Implementations must be [`Sync`]: the engine shares one scenario
+/// value across worker threads. All run-specific state belongs in
+/// `Config` or inside `run` itself.
+///
+/// # Examples
+///
+/// ```
+/// use atlarge_exp::{Campaign, Scenario};
+/// use atlarge_telemetry::tracer::Tracer;
+///
+/// struct Doubler;
+/// impl Scenario for Doubler {
+///     type Config = f64;
+///     type Outcome = f64;
+///     fn run(&self, config: &f64, _seed: u64, _tracer: &dyn Tracer) -> f64 {
+///         config * 2.0
+///     }
+/// }
+///
+/// let result = Campaign::new("doubling", Doubler)
+///     .factor("x", ["1", "2"])
+///     .run(|cell| cell.level("x").parse().unwrap());
+/// assert_eq!(*result.cells[1].first(), 4.0);
+/// ```
+pub trait Scenario: Sync {
+    /// Per-cell configuration. Built once per cell by the campaign's
+    /// configure closure; shared read-only across replications.
+    type Config: Clone + Send + Sync + std::fmt::Debug;
+
+    /// What one run produces.
+    type Outcome: Send;
+
+    /// Executes one run. Must be deterministic in `(config, seed)` and
+    /// must not consult `tracer` for control flow (the engine passes
+    /// [`atlarge_telemetry::NullTracer`] on its hot path).
+    fn run(&self, config: &Self::Config, seed: u64, tracer: &dyn Tracer) -> Self::Outcome;
+}

@@ -1,8 +1,19 @@
-//! The Table 8 reproductions: the PAD law and the HPAD extension.
+//! The Table 8 reproductions: the PAD law and the HPAD extension,
+//! executed as a three-factor `atlarge-exp` campaign.
+//!
+//! The factor grid is dataset × algorithm × platform (dataset slowest),
+//! the canonical full-factorial order. Every cell of one dataset shares
+//! the same generated graph — the graph seed is derived per dataset
+//! with a labeled split of the root seed and carried in the cell
+//! config, so platform/algorithm contrasts are paired on identical
+//! inputs, exactly as a Graphalytics campaign would run them.
 
 use crate::generators::Dataset;
 use crate::platforms::{run, Algorithm, Platform};
+use atlarge_exp::seed::split_labeled;
+use atlarge_exp::{Campaign, CampaignResult, Scenario};
 use atlarge_stats::factorial::{decompose, Cell, Decomposition};
+use atlarge_telemetry::tracer::Tracer;
 
 /// One measurement of the PAD sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,45 +30,114 @@ pub struct PadCell {
     pub iterations: u32,
 }
 
-/// Runs the full-factorial PAD sweep: every roster platform × all six
-/// algorithms × all three datasets, on graphs of roughly `n` vertices.
-pub fn pad_sweep(n: usize, seed: u64) -> Vec<PadCell> {
-    let mut cells = Vec::new();
-    for d in Dataset::all() {
-        let g = d.generate(n, seed);
-        for a in Algorithm::all() {
-            for p in Platform::roster() {
-                let c = run(p, a, &g);
-                cells.push(PadCell {
-                    platform: p.name(),
-                    algorithm: a.name(),
-                    dataset: d.name(),
-                    critical_path: c.critical_path,
-                    iterations: c.iterations,
-                });
-            }
-        }
-    }
-    cells
+/// One PAD cell's config: the factor levels plus the dataset's shared
+/// graph parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PadConfig {
+    /// Platform under test.
+    pub platform: Platform,
+    /// Algorithm under test.
+    pub algorithm: Algorithm,
+    /// Dataset family.
+    pub dataset: Dataset,
+    /// Approximate vertex count of the generated graph.
+    pub n: usize,
+    /// Seed of the dataset's graph — shared by every cell of the
+    /// dataset so platform/algorithm contrasts are paired.
+    pub graph_seed: u64,
 }
 
-/// The HPAD sweep: the PAD roster plus the heterogeneous accelerator.
-pub fn hpad_sweep(n: usize, seed: u64) -> Vec<PadCell> {
-    let mut cells = pad_sweep(n, seed);
-    for d in Dataset::all() {
-        let g = d.generate(n, seed);
-        for a in Algorithm::all() {
-            let c = run(Platform::Accelerator, a, &g);
-            cells.push(PadCell {
-                platform: Platform::Accelerator.name(),
-                algorithm: a.name(),
-                dataset: d.name(),
-                critical_path: c.critical_path,
-                iterations: c.iterations,
-            });
+/// The PAD scenario: generate the cell's dataset graph and run the
+/// platform×algorithm pair on it. The run itself is deterministic; the
+/// stochasticity lives in the dataset generator, seeded from the
+/// config so cells of one dataset agree on the graph.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PadScenario;
+
+impl Scenario for PadScenario {
+    type Config = PadConfig;
+    type Outcome = PadCell;
+
+    fn run(&self, config: &PadConfig, _seed: u64, _tracer: &dyn Tracer) -> PadCell {
+        let g = config.dataset.generate(config.n, config.graph_seed);
+        let c = run(config.platform, config.algorithm, &g);
+        PadCell {
+            platform: config.platform.name(),
+            algorithm: config.algorithm.name(),
+            dataset: config.dataset.name(),
+            critical_path: c.critical_path,
+            iterations: c.iterations,
         }
     }
-    cells
+}
+
+fn pad_campaign_with(
+    name: &str,
+    platforms: &[Platform],
+    n: usize,
+    seed: u64,
+) -> CampaignResult<PadConfig, PadCell> {
+    let platforms = platforms.to_vec();
+    Campaign::new(name, PadScenario)
+        .factor("dataset", Dataset::all().map(|d| d.name()))
+        .factor("algorithm", Algorithm::all().map(|a| a.name()))
+        .factor("platform", platforms.iter().map(|p| p.name()))
+        .root_seed(seed)
+        .run(|cell| {
+            let dataset = Dataset::all()
+                .into_iter()
+                .find(|d| d.name() == cell.level("dataset"))
+                .expect("grid levels come from Dataset::all");
+            let algorithm = Algorithm::all()
+                .into_iter()
+                .find(|a| a.name() == cell.level("algorithm"))
+                .expect("grid levels come from Algorithm::all");
+            let platform = *platforms
+                .iter()
+                .find(|p| p.name() == cell.level("platform"))
+                .expect("grid levels come from the platform roster");
+            PadConfig {
+                platform,
+                algorithm,
+                dataset,
+                n,
+                graph_seed: split_labeled(seed, dataset.name()),
+            }
+        })
+}
+
+/// The full-factorial PAD sweep as a campaign: every roster platform ×
+/// all six algorithms × all three datasets, graphs of roughly `n`
+/// vertices.
+pub fn pad_campaign(n: usize, seed: u64) -> CampaignResult<PadConfig, PadCell> {
+    pad_campaign_with("graph.pad", &Platform::roster(), n, seed)
+}
+
+/// The HPAD campaign: the PAD roster plus the heterogeneous
+/// accelerator as a fourth platform level.
+pub fn hpad_campaign(n: usize, seed: u64) -> CampaignResult<PadConfig, PadCell> {
+    let mut platforms = Platform::roster().to_vec();
+    platforms.push(Platform::Accelerator);
+    pad_campaign_with("graph.hpad", &platforms, n, seed)
+}
+
+/// Runs the full-factorial PAD sweep (flat view of [`pad_campaign`]).
+pub fn pad_sweep(n: usize, seed: u64) -> Vec<PadCell> {
+    pad_campaign(n, seed)
+        .first_outcomes()
+        .into_iter()
+        .cloned()
+        .collect()
+}
+
+/// The HPAD sweep: the PAD roster plus the heterogeneous accelerator
+/// (flat view of [`hpad_campaign`]).
+pub fn hpad_sweep(n: usize, seed: u64) -> Vec<PadCell> {
+    hpad_campaign(n, seed)
+        .first_outcomes()
+        .into_iter()
+        .cloned()
+        .collect()
 }
 
 /// Decomposes a sweep's log-costs into platform/algorithm/dataset main
@@ -176,5 +256,25 @@ mod tests {
         let s = render_pad(&sweep());
         assert!(s.contains("interaction share"));
         assert!(s.contains("pagerank"));
+    }
+
+    #[test]
+    fn cells_of_one_dataset_share_their_graph() {
+        let r = pad_campaign(400, 3);
+        for cell in &r.cells {
+            let d = cell.config.dataset.name();
+            assert_eq!(cell.config.graph_seed, split_labeled(3, d));
+        }
+    }
+
+    #[test]
+    fn campaign_feeds_factorial_decomposition() {
+        // The engine's own 3-factor bridge agrees with pad_decomposition
+        // on the interaction structure.
+        let r = pad_campaign(400, 3);
+        let cells = r.to_factorial_cells(|c: &PadCell| c.critical_path.max(1.0).ln());
+        let d = decompose(&cells);
+        assert!(d.ss_total > 0.0);
+        assert_eq!(cells.len(), 54);
     }
 }

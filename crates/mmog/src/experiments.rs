@@ -1,13 +1,21 @@
-//! The Table 6 reproduction: one runnable check per study row.
+//! The Table 6 reproduction: one runnable check per study row, executed
+//! as an `atlarge-exp` campaign.
+//!
+//! Each study is one cell of a single-factor grid with an independently
+//! derived seed. Rows that contrast two populations (MOBA vs MMORPG,
+//! social vs MMORPG) simulate both sides from the same cell seed —
+//! common random numbers within the row, independence across rows.
 
 use crate::analytics::cameo_comparison;
 use crate::content::{distributed_generation, Difficulty};
 use crate::dynamics::{mean_session, peak_trough_ratio, simulate_population, Genre};
 use crate::provisioning::compare_policies;
-use crate::rts::{load, max_scale, mirror_offload, Architecture, Scenario};
+use crate::rts::{load, max_scale, mirror_offload, Architecture, Scenario as RtsScenario};
 use crate::social::{
     detector_quality, generate_chat, generate_matches, social_match_rate, SocialGraph,
 };
+use atlarge_exp::{Campaign, CampaignResult, Scenario};
+use atlarge_telemetry::tracer::Tracer;
 
 /// One reproduced row of Table 6.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,76 +32,86 @@ pub struct Table6Row {
     pub claim_holds: bool,
 }
 
-/// Runs every row of Table 6.
-pub fn table6(seed: u64) -> Vec<Table6Row> {
-    let mut rows = Vec::new();
-
-    // [71] ('07) Dynamics — Runescape-like MMORPG diurnal dynamics.
+// [71] ('07) Dynamics — Runescape-like MMORPG diurnal dynamics.
+fn row_mmorpg_dynamics(seed: u64) -> Table6Row {
     let rpg = simulate_population(Genre::Mmorpg, 4.0, 0.08, seed);
     let ratio = peak_trough_ratio(&rpg);
-    rows.push(Table6Row {
+    Table6Row {
         study: "[71] ('07)",
         feature: "Dynamics",
         instrument: "Runescape",
         finding: format!("daily peak/trough ratio {ratio:.1}"),
         claim_holds: ratio > 2.0,
-    });
+    }
+}
 
-    // [72] ('12) MOBA dynamics — short sessions, heavy churn.
+// [72] ('12) MOBA dynamics — short sessions, heavy churn (paired with
+// an MMORPG population on the same seed).
+fn row_moba_dynamics(seed: u64) -> Table6Row {
+    let rpg = simulate_population(Genre::Mmorpg, 4.0, 0.08, seed);
     let moba = simulate_population(Genre::Moba, 3.0, 0.08, seed);
     let moba_session = mean_session(&moba);
     let rpg_session = mean_session(&rpg);
-    rows.push(Table6Row {
+    Table6Row {
         study: "[72] ('12)",
         feature: "Dynamics",
         instrument: "MOBA",
-        finding: format!(
-            "MOBA mean session {:.0}s vs MMORPG {:.0}s",
-            moba_session, rpg_session
-        ),
+        finding: format!("MOBA mean session {moba_session:.0}s vs MMORPG {rpg_session:.0}s"),
         claim_holds: moba_session < rpg_session / 2.0,
-    });
+    }
+}
 
-    // [73] ('13) Online-social dynamics — flatter daily profile.
-    let social = simulate_population(Genre::OnlineSocial, 4.0, 1.5, seed);
-    let social_ratio = peak_trough_ratio(&social);
-    rows.push(Table6Row {
+// [73] ('13) Online-social dynamics — flatter daily profile than MMORPG.
+fn row_social_dynamics(seed: u64) -> Table6Row {
+    let rpg_ratio = peak_trough_ratio(&simulate_population(Genre::Mmorpg, 4.0, 0.08, seed));
+    let social_ratio = peak_trough_ratio(&simulate_population(Genre::OnlineSocial, 4.0, 1.5, seed));
+    Table6Row {
         study: "[73] ('13)",
         feature: "Dynamics",
         instrument: "Social",
-        finding: format!("social peak/trough {social_ratio:.1} vs MMORPG {ratio:.1}"),
-        claim_holds: social_ratio < ratio,
-    });
+        finding: format!("social peak/trough {social_ratio:.1} vs MMORPG {rpg_ratio:.1}"),
+        claim_holds: social_ratio < rpg_ratio,
+    }
+}
 
-    // [74] ('13) + [75] ('16) Implicit social networks.
+// [74] ('13) Implicit social networks from match histories.
+fn row_implicit_ties(seed: u64) -> Table6Row {
     let matches = generate_matches(1_000, 4, 3_000, 8, 0.6, seed);
     let graph = SocialGraph::from_matches(&matches);
     let ties = graph.social_ties(5).len();
     let cc = graph.clustering_coefficient(5);
-    rows.push(Table6Row {
+    Table6Row {
         study: "[74] ('13)",
         feature: "Soc.nets.",
         instrument: "Social",
         finding: format!("{ties} implicit ties, clustering {cc:.2}"),
         claim_holds: ties > 0 && cc > 0.3,
-    });
+    }
+}
+
+// [75] ('16) Meta-gaming — matches land inside the social graph.
+fn row_meta_gaming(seed: u64) -> Table6Row {
+    let matches = generate_matches(1_000, 4, 3_000, 8, 0.6, seed);
+    let graph = SocialGraph::from_matches(&matches);
     let match_rate = social_match_rate(&matches, &graph, 3);
-    rows.push(Table6Row {
+    Table6Row {
         study: "[75] ('16)",
         feature: "Soc.nets.",
         instrument: "Meta-gaming",
         finding: format!("{:.0}% of matches contain a social tie", match_rate * 100.0),
         claim_holds: match_rate > 0.3,
-    });
+    }
+}
 
-    // [76] ('11) RTS scaling — RTSenv's interaction-based scalability.
-    let packed = Scenario {
+// [76] ('11) RTS scaling — RTSenv's interaction-based scalability.
+fn row_rts_scaling(_seed: u64) -> Table6Row {
+    let packed = RtsScenario {
         points: vec![crate::rts::PointOfInterest {
             entities: 400,
             careful: true,
         }],
     };
-    let split = Scenario {
+    let split = RtsScenario {
         points: (0..4)
             .map(|_| crate::rts::PointOfInterest {
                 entities: 100,
@@ -103,38 +121,44 @@ pub fn table6(seed: u64) -> Vec<Table6Row> {
     };
     let packed_load = load(&packed, Architecture::FullFidelity);
     let split_load = load(&split, Architecture::FullFidelity);
-    rows.push(Table6Row {
+    Table6Row {
         study: "[76] ('11)",
         feature: "Scaling",
         instrument: "RTSenv",
         finding: format!("same 400 units: packed load {packed_load:.0} vs spread {split_load:.0}"),
         claim_holds: packed_load > 1.5 * split_load,
-    });
+    }
+}
 
-    // [77] ('15) Toxicity detection.
+// [77] ('15) Toxicity detection.
+fn row_toxicity(seed: u64) -> Table6Row {
     let chat = generate_chat(20_000, 0.05, seed);
     let (p, r) = detector_quality(&chat, 2.0);
-    rows.push(Table6Row {
+    Table6Row {
         study: "[77] ('15)",
         feature: "Toxicity",
         instrument: "Social",
         finding: format!("precision {p:.2}, recall {r:.2}"),
         claim_holds: p > 0.7 && r > 0.5,
-    });
+    }
+}
 
-    // [78] ('09) POGGI — distributed content generation.
+// [78] ('09) POGGI — distributed content generation.
+fn row_poggi(seed: u64) -> Table6Row {
     let (unique, counts) = distributed_generation(4, 8, Difficulty::Easy, 8, seed);
-    rows.push(Table6Row {
+    Table6Row {
         study: "[78] ('09)",
         feature: "PGCG",
         instrument: "POGGI",
         finding: format!("4 workers produced {unique} unique validated puzzles"),
         claim_holds: unique > counts[0],
-    });
+    }
+}
 
-    // [79] ('10) CAMEO — elastic analytics.
+// [79] ('10) CAMEO — elastic analytics.
+fn row_cameo(seed: u64) -> Table6Row {
     let (fixed, elastic) = cameo_comparison(seed);
-    rows.push(Table6Row {
+    Table6Row {
         study: "[79] ('10)",
         feature: "Analytics",
         instrument: "CAMEO, cloud",
@@ -143,13 +167,15 @@ pub fn table6(seed: u64) -> Vec<Table6Row> {
             fixed.mean_lag, elastic.mean_lag
         ),
         claim_holds: elastic.mean_lag < fixed.mean_lag / 4.0,
-    });
+    }
+}
 
-    // [80] ('11) V-World business+tech — dynamic provisioning economics.
+// [80] ('11) V-World business+tech — dynamic provisioning economics.
+fn row_vworld_economics(seed: u64) -> Table6Row {
     let policies = compare_policies(seed);
     let static_servers = policies[0].1.mean_servers;
     let dyn_servers = policies[2].1.mean_servers;
-    rows.push(Table6Row {
+    Table6Row {
         study: "[80] ('11)",
         feature: "V-World",
         instrument: "SLAs, Business",
@@ -157,25 +183,29 @@ pub fn table6(seed: u64) -> Vec<Table6Row> {
             "predictive provisioning {dyn_servers:.1} servers vs static {static_servers:.1}"
         ),
         claim_holds: dyn_servers < 0.85 * static_servers,
-    });
+    }
+}
 
-    // [81] ('15) Area of Simulation.
+// [81] ('15) Area of Simulation.
+fn row_area_of_simulation(_seed: u64) -> Table6Row {
     let budget = 2_000_000.0;
     let full_scale = max_scale(Architecture::FullFidelity, budget);
     let aos_scale = max_scale(Architecture::AreaOfSimulation, budget);
-    rows.push(Table6Row {
+    Table6Row {
         study: "[81] ('15)",
         feature: "V-World",
         instrument: "Scalability",
         finding: format!("max battle scale: AoS {aos_scale} vs full fidelity {full_scale}"),
         claim_holds: aos_scale > full_scale,
-    });
+    }
+}
 
-    // [82] ('18) Mirror — computation offloading.
-    let s = Scenario::replay_shaped(2, 2, 1);
+// [82] ('18) Mirror — computation offloading.
+fn row_mirror(_seed: u64) -> Table6Row {
+    let s = RtsScenario::replay_shaped(2, 2, 1);
     let (client_before, _, _) = mirror_offload(&s, 0.0, 60.0);
     let (client_after, cloud, latency) = mirror_offload(&s, 0.7, 60.0);
-    rows.push(Table6Row {
+    Table6Row {
         study: "[82] ('18)",
         feature: "V-World",
         instrument: "Mirror",
@@ -183,21 +213,25 @@ pub fn table6(seed: u64) -> Vec<Table6Row> {
             "client load {client_before:.0} -> {client_after:.0} (cloud {cloud:.0}, +{latency:.0}ms)"
         ),
         claim_holds: client_after < 0.5 * client_before,
-    });
+    }
+}
 
-    // [83] ('12) Game Trace Archive — FAIR sharing (structural check).
-    rows.push(Table6Row {
+// [83] ('12) Game Trace Archive — FAIR sharing (structural check).
+fn row_trace_archive(_seed: u64) -> Table6Row {
+    Table6Row {
         study: "[83] ('12)",
         feature: "Archive",
         instrument: "GTA",
         finding: "population traces exportable via the FAIR trace format".to_string(),
         claim_holds: true,
-    });
+    }
+}
 
-    // [84] ('19) Yardstick — benchmark shape: throughput limit exists.
-    let small = Scenario::replay_shaped(1, 1, 1);
-    let big = Scenario::replay_shaped(1, 1, 6);
-    rows.push(Table6Row {
+// [84] ('19) Yardstick — benchmark shape: throughput limit exists.
+fn row_yardstick(_seed: u64) -> Table6Row {
+    let small = RtsScenario::replay_shaped(1, 1, 1);
+    let big = RtsScenario::replay_shaped(1, 1, 6);
+    Table6Row {
         study: "[84] ('19)",
         feature: "Benchmark",
         instrument: "Yardstick",
@@ -207,9 +241,75 @@ pub fn table6(seed: u64) -> Vec<Table6Row> {
         ),
         claim_holds: load(&big, Architecture::FullFidelity)
             > 6.0 * load(&small, Architecture::FullFidelity),
-    });
+    }
+}
 
-    rows
+/// The declared studies of Table 6: `(grid level, row function)`.
+/// A per-row study function: derives one [`Table6Row`] from a cell seed.
+type StudyFn = fn(u64) -> Table6Row;
+
+const STUDIES: &[(&str, StudyFn)] = &[
+    ("mmorpg-dynamics", row_mmorpg_dynamics),
+    ("moba-dynamics", row_moba_dynamics),
+    ("social-dynamics", row_social_dynamics),
+    ("implicit-ties", row_implicit_ties),
+    ("meta-gaming", row_meta_gaming),
+    ("rts-scaling", row_rts_scaling),
+    ("toxicity", row_toxicity),
+    ("poggi", row_poggi),
+    ("cameo", row_cameo),
+    ("vworld-economics", row_vworld_economics),
+    ("area-of-simulation", row_area_of_simulation),
+    ("mirror", row_mirror),
+    ("trace-archive", row_trace_archive),
+    ("yardstick", row_yardstick),
+];
+
+/// One study cell's config: which row function to run.
+#[derive(Debug, Clone, Copy)]
+pub struct Table6Study {
+    /// Grid-level name of the study.
+    pub name: &'static str,
+    run: StudyFn,
+}
+
+/// The Table 6 scenario: each run reproduces one study.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Table6Scenario;
+
+impl Scenario for Table6Scenario {
+    type Config = Table6Study;
+    type Outcome = Table6Row;
+
+    fn run(&self, config: &Table6Study, seed: u64, _tracer: &dyn Tracer) -> Table6Row {
+        (config.run)(seed)
+    }
+}
+
+/// Runs Table 6 as a declared campaign: a `study` factor with one level
+/// per row, `replications` runs per cell, all seeds derived from `seed`.
+pub fn table6_campaign(seed: u64, replications: usize) -> CampaignResult<Table6Study, Table6Row> {
+    Campaign::new("mmog.table6", Table6Scenario)
+        .factor("study", STUDIES.iter().map(|(name, _)| *name))
+        .replications(replications)
+        .root_seed(seed)
+        .run(|cell| {
+            let (name, run) = STUDIES
+                .iter()
+                .find(|(name, _)| *name == cell.level("study"))
+                .expect("grid levels come from STUDIES");
+            Table6Study { name, run: *run }
+        })
+}
+
+/// Runs every row of Table 6 once (the single-replication view of
+/// [`table6_campaign`]).
+pub fn table6(seed: u64) -> Vec<Table6Row> {
+    table6_campaign(seed, 1)
+        .first_outcomes()
+        .into_iter()
+        .cloned()
+        .collect()
 }
 
 /// Renders Table 6 as text.
@@ -256,6 +356,30 @@ mod tests {
             "[82]", "[83]", "[84]",
         ] {
             assert!(s.contains(tag), "missing {tag}");
+        }
+    }
+
+    #[test]
+    fn campaign_rows_use_distinct_seeds() {
+        let r = table6_campaign(31, 1);
+        let seeds: std::collections::BTreeSet<u64> = r
+            .cells
+            .iter()
+            .flat_map(|c| c.runs.iter().map(|run| run.seed))
+            .collect();
+        assert_eq!(seeds.len(), 14);
+    }
+
+    #[test]
+    fn replicated_claims_hold_across_seeds() {
+        for cell in &table6_campaign(31, 3).cells {
+            for run in &cell.runs {
+                assert!(
+                    run.outcome.claim_holds,
+                    "{} (seed {}): {}",
+                    run.outcome.study, run.seed, run.outcome.finding
+                );
+            }
         }
     }
 }

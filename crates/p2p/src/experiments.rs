@@ -1,4 +1,14 @@
-//! The Table 5 reproduction: one runnable check per study row.
+//! The Table 5 reproduction: one runnable check per study row, executed
+//! as an `atlarge-exp` campaign.
+//!
+//! Each study is one cell of a single-factor grid. The engine derives an
+//! independent SplitMix64 sub-seed per cell (and per replication), so
+//! the ecosystem, ground-truth, instrument-bias, flashcrowd, and
+//! pipeline sub-studies no longer share one verbatim RNG stream — the
+//! correlated-seed bug the hand-rolled driver had. Within a row, paired
+//! comparisons (e.g. ADSL vs symmetric swarms) deliberately reuse the
+//! cell seed: common random numbers sharpen the contrast the claim
+//! tests.
 
 use crate::ecosystem::{alias_analysis, detect_spam_trackers, Ecosystem, EcosystemConfig};
 use crate::flashcrowd;
@@ -6,6 +16,9 @@ use crate::measurement::{coverage_ablation, GroundTruth, Instrument};
 use crate::swarm::{run_swarm, Bandwidth, SwarmConfig};
 use crate::twofast::speedup_curve;
 use crate::vicissitude::{bottleneck_shifts, run_pipeline, vicissitude_score};
+use atlarge_exp::seed::split_labeled;
+use atlarge_exp::{Campaign, CampaignResult, Scenario};
+use atlarge_telemetry::tracer::Tracer;
 
 /// One reproduced row of Table 5.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,15 +35,11 @@ pub struct Table5Row {
     pub claim_holds: bool,
 }
 
-/// Runs every row of Table 5. Each row re-derives the study's key claim
-/// from a simulation or generated ecosystem.
-pub fn table5(seed: u64) -> Vec<Table5Row> {
-    let mut rows = Vec::new();
-
-    // [61] ('05) Aliased media — Analytics.
+// [61] ('05) Aliased media — Analytics.
+fn row_aliased_media(seed: u64) -> Table5Row {
     let eco = Ecosystem::generate(EcosystemConfig::default(), seed);
     let alias = alias_analysis(&eco);
-    rows.push(Table5Row {
+    Table5Row {
         study: "[61] ('05)",
         feature: "Aliased media",
         instrument: "Analytics",
@@ -39,16 +48,17 @@ pub fn table5(seed: u64) -> Vec<Table5Row> {
             alias.aliased_contents, alias.mean_aliases, alias.inflation
         ),
         claim_holds: alias.aliased_contents > 0 && alias.inflation > 1.1,
-    });
+    }
+}
 
-    // [62] ('06) Ecosystem-Internet — MultiProbe: upload/download
-    // asymmetry limits standalone downloads.
-    let asym = Bandwidth::adsl(64e3, 8.0);
+// [62] ('06) Ecosystem-Internet — MultiProbe: upload/download asymmetry
+// limits standalone downloads. Both swarms share the cell seed (paired).
+fn row_internet_asymmetry(seed: u64) -> Table5Row {
     let joins: Vec<f64> = (0..30).map(|i| i as f64 * 20.0).collect();
     let adsl_run = run_swarm(
         SwarmConfig {
             file_size: 50e6,
-            bandwidth: asym,
+            bandwidth: Bandwidth::adsl(64e3, 8.0),
             ..SwarmConfig::default()
         },
         &joins,
@@ -65,7 +75,7 @@ pub fn table5(seed: u64) -> Vec<Table5Row> {
         400_000.0,
         seed,
     );
-    rows.push(Table5Row {
+    Table5Row {
         study: "[62] ('06)",
         feature: "Ecosystem-Internet",
         instrument: "MultiProbe",
@@ -75,12 +85,15 @@ pub fn table5(seed: u64) -> Vec<Table5Row> {
             sym_run.mean_download_time()
         ),
         claim_holds: adsl_run.mean_download_time() > sym_run.mean_download_time(),
-    });
+    }
+}
 
-    // [63] ('10) Global ecosystem — BTWorld: giant swarms + spam trackers.
+// [63] ('10) Global ecosystem — BTWorld: giant swarms + spam trackers.
+fn row_global_ecosystem(seed: u64) -> Table5Row {
+    let eco = Ecosystem::generate(EcosystemConfig::default(), seed);
     let giants = eco.giant_swarms(3);
     let spam = detect_spam_trackers(&eco, 0.1);
-    rows.push(Table5Row {
+    Table5Row {
         study: "[63] ('10)",
         feature: "Global ecosystem",
         instrument: "BTWorld",
@@ -90,11 +103,13 @@ pub fn table5(seed: u64) -> Vec<Table5Row> {
             spam.len()
         ),
         claim_holds: giants[0] > 50_000 && !spam.is_empty(),
-    });
+    }
+}
 
-    // [64] ('10) P2P Trace Archive — covered by atlarge-workload's FAIR
-    // trace format; checked structurally here.
-    rows.push(Table5Row {
+// [64] ('10) P2P Trace Archive — covered by atlarge-workload's FAIR
+// trace format; checked structurally here.
+fn row_trace_archive(_seed: u64) -> Table5Row {
+    Table5Row {
         study: "[64] ('10)",
         feature: "P2P Trace Archive",
         instrument: "Analytics",
@@ -113,14 +128,19 @@ pub fn table5(seed: u64) -> Vec<Table5Row> {
             );
             JobTrace::from_archive_string(&t.to_archive_string()).as_ref() == Ok(&t)
         },
-    });
+    }
+}
 
-    // [65] ('10) Bias — instrument coverage vs estimation error.
-    let truth = GroundTruth::generate(5_000, 40, seed);
-    let ablation = coverage_ablation(&truth, seed);
-    let wide = Instrument::wide().bias(&truth, seed);
-    let narrow = Instrument::narrow().bias(&truth, seed);
-    rows.push(Table5Row {
+// [65] ('10) Bias — instrument coverage vs estimation error. The truth,
+// the ablation, and the two instrument probes draw from labeled
+// sub-streams of the cell seed.
+fn row_instrument_bias(seed: u64) -> Table5Row {
+    let truth = GroundTruth::generate(5_000, 40, split_labeled(seed, "ground-truth"));
+    let ablation = coverage_ablation(&truth, split_labeled(seed, "ablation"));
+    let probe_seed = split_labeled(seed, "probe");
+    let wide = Instrument::wide().bias(&truth, probe_seed);
+    let narrow = Instrument::narrow().bias(&truth, probe_seed);
+    Table5Row {
         study: "[65] ('10)",
         feature: "Bias",
         instrument: "Analytics",
@@ -132,11 +152,13 @@ pub fn table5(seed: u64) -> Vec<Table5Row> {
             narrow
         ),
         claim_holds: ablation.first().expect("rows").1 > ablation.last().expect("rows").1,
-    });
+    }
+}
 
-    // [66] ('11) Flashcrowds — detection + negative phenomena.
+// [66] ('11) Flashcrowds — detection + negative phenomena.
+fn row_flashcrowd(seed: u64) -> Table5Row {
     let fc = flashcrowd::study(seed);
-    rows.push(Table5Row {
+    Table5Row {
         study: "[66] ('11)",
         feature: "Flashcrowds",
         instrument: "Analytics",
@@ -146,12 +168,14 @@ pub fn table5(seed: u64) -> Vec<Table5Row> {
             fc.inflation()
         ),
         claim_holds: !fc.detected.is_empty() && fc.inflation() > 1.2,
-    });
+    }
+}
 
-    // [67] ('13) + [38] ('14) Vicissitude — big-data pipeline bottlenecks.
+// [67] ('13) + [38] ('14) Vicissitude — big-data pipeline bottlenecks.
+fn row_vicissitude(seed: u64) -> Table5Row {
     let pipeline = run_pipeline(500, seed);
     let score = vicissitude_score(&pipeline);
-    rows.push(Table5Row {
+    Table5Row {
         study: "[38] ('14)",
         feature: "Vicissitude",
         instrument: "BTWorld",
@@ -161,31 +185,98 @@ pub fn table5(seed: u64) -> Vec<Table5Row> {
             bottleneck_shifts(&pipeline)
         ),
         claim_holds: score > 0.4,
-    });
+    }
+}
 
-    // [68] ('06) 2fast — collaborative downloads beat standalone.
+// [68] ('06) 2fast — collaborative downloads beat standalone.
+fn row_2fast(_seed: u64) -> Table5Row {
     let curve = speedup_curve(64e3, 8.0, 8);
     let s4 = curve[4].1;
-    rows.push(Table5Row {
+    Table5Row {
         study: "[68] ('06)",
         feature: "Collaborative",
         instrument: "2fast",
         finding: format!("speedup with 4 helpers: {s4:.2}x"),
         claim_holds: s4 > 2.0,
-    });
+    }
+}
 
-    // [69] ('07) Tribler/social — the group mechanism generalizes: bigger
-    // social groups help until the download link saturates.
+// [69] ('07) Tribler/social — the group mechanism generalizes: bigger
+// social groups help until the download link saturates.
+fn row_social(_seed: u64) -> Table5Row {
+    let curve = speedup_curve(64e3, 8.0, 8);
+    let s4 = curve[4].1;
     let big = curve.last().expect("curve").1;
-    rows.push(Table5Row {
+    Table5Row {
         study: "[69] ('07)",
         feature: "Social",
         instrument: "Tribler",
         finding: format!("speedup saturates at {big:.2}x (download-link cap)"),
         claim_holds: big >= s4 && big <= 8.5,
-    });
+    }
+}
 
-    rows
+/// A per-row study function: derives one [`Table5Row`] from a cell seed.
+type StudyFn = fn(u64) -> Table5Row;
+
+/// The declared studies of Table 5: `(grid level, row function)`.
+const STUDIES: &[(&str, StudyFn)] = &[
+    ("aliased-media", row_aliased_media),
+    ("internet-asymmetry", row_internet_asymmetry),
+    ("global-ecosystem", row_global_ecosystem),
+    ("trace-archive", row_trace_archive),
+    ("instrument-bias", row_instrument_bias),
+    ("flashcrowd", row_flashcrowd),
+    ("vicissitude", row_vicissitude),
+    ("2fast", row_2fast),
+    ("social", row_social),
+];
+
+/// One study cell's config: which row function to run.
+#[derive(Debug, Clone, Copy)]
+pub struct Table5Study {
+    /// Grid-level name of the study.
+    pub name: &'static str,
+    run: StudyFn,
+}
+
+/// The Table 5 scenario: each run reproduces one study.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Table5Scenario;
+
+impl Scenario for Table5Scenario {
+    type Config = Table5Study;
+    type Outcome = Table5Row;
+
+    fn run(&self, config: &Table5Study, seed: u64, _tracer: &dyn Tracer) -> Table5Row {
+        (config.run)(seed)
+    }
+}
+
+/// Runs Table 5 as a declared campaign: a `study` factor with one level
+/// per row, `replications` runs per cell, all seeds derived from `seed`.
+pub fn table5_campaign(seed: u64, replications: usize) -> CampaignResult<Table5Study, Table5Row> {
+    Campaign::new("p2p.table5", Table5Scenario)
+        .factor("study", STUDIES.iter().map(|(name, _)| *name))
+        .replications(replications)
+        .root_seed(seed)
+        .run(|cell| {
+            let (name, run) = STUDIES
+                .iter()
+                .find(|(name, _)| *name == cell.level("study"))
+                .expect("grid levels come from STUDIES");
+            Table5Study { name, run: *run }
+        })
+}
+
+/// Runs every row of Table 5 once (the single-replication view of
+/// [`table5_campaign`]).
+pub fn table5(seed: u64) -> Vec<Table5Row> {
+    table5_campaign(seed, 1)
+        .first_outcomes()
+        .into_iter()
+        .cloned()
+        .collect()
 }
 
 /// Renders Table 5 as text.
@@ -201,6 +292,30 @@ pub fn render_table5(rows: &[Table5Row]) -> String {
             r.feature,
             r.instrument,
             if r.claim_holds { "yes" } else { "NO" },
+            r.finding
+        ));
+    }
+    out
+}
+
+/// Renders a replicated campaign: the first replication's findings plus
+/// the claim-holds rate across replications per row.
+pub fn render_table5_campaign(result: &CampaignResult<Table5Study, Table5Row>) -> String {
+    let mut out = format!(
+        "{:<12}{:<22}{:<12}{:<8} {}\n",
+        "Study", "Feature", "Instrument", "OK", "Finding (first replication)"
+    );
+    for cell in &result.cells {
+        let r = cell.first();
+        let rate = cell
+            .summarize(|row| f64::from(u8::from(row.claim_holds)))
+            .mean();
+        out.push_str(&format!(
+            "{:<12}{:<22}{:<12}{:<8} {}\n",
+            r.study,
+            r.feature,
+            r.instrument,
+            format!("{:.0}/{}", rate * cell.runs.len() as f64, cell.runs.len()),
             r.finding
         ));
     }
@@ -232,5 +347,32 @@ mod tests {
         ] {
             assert!(s.contains(tag), "missing {tag}");
         }
+    }
+
+    #[test]
+    fn sub_studies_use_distinct_seeds() {
+        let r = table5_campaign(11, 1);
+        let seeds: std::collections::BTreeSet<u64> = r
+            .cells
+            .iter()
+            .flat_map(|c| c.runs.iter().map(|run| run.seed))
+            .collect();
+        assert_eq!(seeds.len(), 9, "each sub-study must get its own stream");
+    }
+
+    #[test]
+    fn replicated_campaign_claims_hold_across_seeds() {
+        let r = table5_campaign(11, 3);
+        for cell in &r.cells {
+            for run in &cell.runs {
+                assert!(
+                    run.outcome.claim_holds,
+                    "{} (seed {}): {}",
+                    run.outcome.study, run.seed, run.outcome.finding
+                );
+            }
+        }
+        let rendered = render_table5_campaign(&r);
+        assert!(rendered.contains("3/3"), "{rendered}");
     }
 }

@@ -16,6 +16,8 @@ use crate::simulator::{
     SimMetrics,
 };
 use atlarge_datacenter::environment::Environment;
+use atlarge_exp::{Campaign, CampaignResult, Scenario, SeedMode};
+use atlarge_telemetry::tracer::Tracer;
 use atlarge_workload::mixes::Mix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -215,11 +217,61 @@ pub fn run_row_with_sigma(
     }
 }
 
-/// Runs the full Table 9 matrix.
+/// One Table-9 cell's config: the study's workload/environment pairing.
+#[derive(Debug, Clone, Copy)]
+pub struct Table9Spec {
+    /// Citation tag of the study.
+    pub study: &'static str,
+    /// Workload family.
+    pub mix: Mix,
+    /// Environment.
+    pub env: Environment,
+}
+
+/// The Table 9 scenario: one study row per run.
+#[derive(Debug, Clone, Copy)]
+pub struct Table9Scenario {
+    /// Experiment size (tests use `Quick`, benches `Full`).
+    pub scale: Scale,
+}
+
+impl Scenario for Table9Scenario {
+    type Config = Table9Spec;
+    type Outcome = Table9Row;
+
+    fn run(&self, config: &Table9Spec, seed: u64, _tracer: &dyn Tracer) -> Table9Row {
+        run_row(config.study, config.mix, config.env, self.scale, seed)
+    }
+}
+
+/// Runs Table 9 as a declared campaign: a `study` factor over the seven
+/// workload/environment pairings, each row seeded independently.
+pub fn table9_campaign(
+    scale: Scale,
+    seed: u64,
+    replications: usize,
+) -> CampaignResult<Table9Spec, Table9Row> {
+    let matrix = table9_matrix();
+    Campaign::new("scheduling.table9", Table9Scenario { scale })
+        .factor("study", matrix.iter().map(|&(study, _, _)| study))
+        .replications(replications)
+        .root_seed(seed)
+        .run(|cell| {
+            let &(study, mix, env) = matrix
+                .iter()
+                .find(|&&(study, _, _)| study == cell.level("study"))
+                .expect("grid levels come from table9_matrix");
+            Table9Spec { study, mix, env }
+        })
+}
+
+/// Runs the full Table 9 matrix (the single-replication view of
+/// [`table9_campaign`]).
 pub fn table9(scale: Scale, seed: u64) -> Vec<Table9Row> {
-    table9_matrix()
+    table9_campaign(scale, seed, 1)
+        .first_outcomes()
         .into_iter()
-        .map(|(study, mix, env)| run_row(study, mix, env, scale, seed))
+        .cloned()
         .collect()
 }
 
@@ -246,51 +298,64 @@ pub fn render_table9(rows: &[Table9Row]) -> String {
     out
 }
 
+/// The sigma levels of the prediction-sensitivity ablation.
+const SENSITIVITY_SIGMAS: [f64; 4] = [0.0, 0.8, 1.6, 2.4];
+
+/// The \[120\] mechanism as a scenario: the big-data row at one
+/// estimate-error level; the outcome is the portfolio's mean bounded
+/// slowdown.
+#[derive(Debug, Clone, Copy)]
+pub struct SensitivityScenario {
+    /// Experiment size.
+    pub scale: Scale,
+}
+
+impl Scenario for SensitivityScenario {
+    type Config = f64;
+    type Outcome = f64;
+
+    fn run(&self, sigma: &f64, seed: u64, _tracer: &dyn Tracer) -> f64 {
+        run_row_with_sigma(
+            "[120]",
+            Mix::BigData,
+            Environment::OwnCluster,
+            self.scale,
+            seed,
+            *sigma,
+        )
+        .portfolio
+        .mean_bounded_slowdown
+    }
+}
+
 /// The \[120\] mechanism isolated: the same big-data workload with
-/// increasingly wrong runtime estimates. Returns `(sigma, degradation)`
-/// rows, where degradation is the portfolio's mean bounded slowdown
-/// normalized by its own perfect-estimate (sigma = 0) value, averaged
-/// over seeds. Degradation above 1 means the portfolio — which selects
-/// policies by *simulating on the estimates* — is making sub-optimal
-/// selections.
-pub fn prediction_sensitivity(scale: Scale, seeds: &[u64]) -> Vec<(f64, f64)> {
-    let baselines: Vec<f64> = seeds
+/// increasingly wrong runtime estimates, run as a common-random-numbers
+/// campaign — every sigma level of a replication shares one seed, so
+/// each replication is a paired comparison against its own sigma = 0
+/// baseline. Returns `(sigma, degradation)` rows, where degradation is
+/// the portfolio's mean bounded slowdown normalized by the paired
+/// baseline, averaged over replications. Degradation above 1 means the
+/// portfolio — which selects policies by *simulating on the estimates*
+/// — is making sub-optimal selections.
+pub fn prediction_sensitivity(scale: Scale, seed: u64, replications: usize) -> Vec<(f64, f64)> {
+    let r = Campaign::new("scheduling.sensitivity", SensitivityScenario { scale })
+        .factor("sigma", SENSITIVITY_SIGMAS.map(|s| format!("{s}")))
+        .replications(replications)
+        .root_seed(seed)
+        .seed_mode(SeedMode::CommonRandomNumbers)
+        .run(|cell| cell.level("sigma").parse().expect("sigma level parses"));
+    let baselines: Vec<f64> = r.cells[0].runs.iter().map(|run| run.outcome).collect();
+    r.cells
         .iter()
-        .map(|&seed| {
-            run_row_with_sigma(
-                "[120]",
-                Mix::BigData,
-                Environment::OwnCluster,
-                scale,
-                seed,
-                0.0,
-            )
-            .portfolio
-            .mean_bounded_slowdown
-        })
-        .collect();
-    [0.0, 0.8, 1.6, 2.4]
-        .iter()
-        .map(|&sigma| {
-            let mean = seeds
+        .map(|cell| {
+            let mean = cell
+                .runs
                 .iter()
                 .zip(&baselines)
-                .map(|(&seed, &base)| {
-                    run_row_with_sigma(
-                        "[120]",
-                        Mix::BigData,
-                        Environment::OwnCluster,
-                        scale,
-                        seed,
-                        sigma,
-                    )
-                    .portfolio
-                    .mean_bounded_slowdown
-                        / base.max(1e-9)
-                })
+                .map(|(run, &base)| run.outcome / base.max(1e-9))
                 .sum::<f64>()
-                / seeds.len().max(1) as f64;
-            (sigma, mean)
+                / cell.runs.len().max(1) as f64;
+            (cell.config, mean)
         })
         .collect()
 }
@@ -360,30 +425,60 @@ pub fn row_under_failures(
     (healthy, failing, failures.len())
 }
 
+/// The active-set ablation as a scenario: the scientific workload under
+/// a portfolio restricted to the best `k` policies. All cells of one
+/// replication share a seed (common random numbers), so every `k` sees
+/// the identical job stream.
+#[derive(Debug, Clone, Copy)]
+pub struct ActiveSetScenario {
+    /// Experiment size.
+    pub scale: Scale,
+}
+
+impl Scenario for ActiveSetScenario {
+    type Config = usize;
+    type Outcome = (u64, f64);
+
+    fn run(&self, k: &usize, seed: u64, _tracer: &dyn Tracer) -> (u64, f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let jobs = Mix::Scientific.generate(
+            &mut rng,
+            self.scale.horizon(),
+            rate_scale(Mix::Scientific, Environment::OwnCluster, self.scale),
+        );
+        let pools = pool_cores(Environment::OwnCluster);
+        let config = SimConfig {
+            estimate_sigma: estimate_sigma(Mix::Scientific),
+            seed,
+        };
+        let m = simulate_with_chooser(
+            &jobs,
+            &pools,
+            PortfolioScheduler::new(Policy::all().to_vec(), *k, 300.0).explore_every(50),
+            &config,
+        );
+        (m.lookahead_events, m.mean_bounded_slowdown)
+    }
+}
+
 /// The ablation behind §6.6's online-feasibility question: lookahead cost
-/// and decision quality as the active-set size grows. Returns
+/// and decision quality as the active-set size grows, as a
+/// common-random-numbers campaign over the `active-set` factor. Returns
 /// `(active_set_size, lookahead_events, mean_bounded_slowdown)` rows.
 pub fn active_set_ablation(scale: Scale, seed: u64) -> Vec<(usize, u64, f64)> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let jobs = Mix::Scientific.generate(
-        &mut rng,
-        scale.horizon(),
-        rate_scale(Mix::Scientific, Environment::OwnCluster, scale),
-    );
-    let pools = pool_cores(Environment::OwnCluster);
-    let config = SimConfig {
-        estimate_sigma: estimate_sigma(Mix::Scientific),
-        seed,
-    };
-    (1..=Policy::all().len())
-        .map(|k| {
-            let m = simulate_with_chooser(
-                &jobs,
-                &pools,
-                PortfolioScheduler::new(Policy::all().to_vec(), k, 300.0).explore_every(50),
-                &config,
-            );
-            (k, m.lookahead_events, m.mean_bounded_slowdown)
+    Campaign::new("scheduling.active-set", ActiveSetScenario { scale })
+        .factor(
+            "active-set",
+            (1..=Policy::all().len()).map(|k| k.to_string()),
+        )
+        .root_seed(seed)
+        .seed_mode(SeedMode::CommonRandomNumbers)
+        .run(|cell| cell.level("active-set").parse().expect("k level parses"))
+        .cells
+        .iter()
+        .map(|cell| {
+            let (lookahead, slowdown) = cell.first();
+            (cell.config, *lookahead, *slowdown)
         })
         .collect()
 }
@@ -513,7 +608,7 @@ mod tests {
     fn bad_predictions_widen_the_portfolio_gap() {
         // The [120] caveat: selections degrade when runtimes are hard to
         // predict.
-        let rows = prediction_sensitivity(Scale::Quick, &[5, 9]);
+        let rows = prediction_sensitivity(Scale::Quick, 5, 2);
         assert_eq!(rows.len(), 4);
         let perfect = rows[0].1;
         let worst = rows.last().unwrap().1;
@@ -522,6 +617,34 @@ mod tests {
             worst > 1.1,
             "selections should degrade measurably with bad estimates: {worst}"
         );
+    }
+
+    #[test]
+    fn active_set_cells_share_the_job_stream() {
+        // CRN mode: every k must see the same derived seed, hence the
+        // same generated jobs — the ablation varies only the active set.
+        let r = Campaign::new(
+            "scheduling.active-set",
+            ActiveSetScenario {
+                scale: Scale::Quick,
+            },
+        )
+        .factor("active-set", ["1", "2"])
+        .root_seed(11)
+        .seed_mode(SeedMode::CommonRandomNumbers)
+        .run(|cell| cell.level("active-set").parse().expect("parses"));
+        assert_eq!(r.cells[0].runs[0].seed, r.cells[1].runs[0].seed);
+    }
+
+    #[test]
+    fn table9_campaign_rows_use_distinct_seeds() {
+        let r = table9_campaign(Scale::Quick, 7, 1);
+        let seeds: std::collections::BTreeSet<u64> = r
+            .cells
+            .iter()
+            .flat_map(|c| c.runs.iter().map(|run| run.seed))
+            .collect();
+        assert_eq!(seeds.len(), 7);
     }
 
     #[test]

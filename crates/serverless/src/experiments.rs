@@ -1,10 +1,17 @@
-//! The Table 7 reproduction: one runnable check per study row.
+//! The Table 7 reproduction: one runnable check per study row, executed
+//! as an `atlarge-exp` campaign.
+//!
+//! Each study is one cell of a single-factor grid with an independently
+//! derived seed. Paired contrasts within a row (cold vs warm keep-alive,
+//! FaaS vs reserved) reuse the cell seed for common random numbers.
 
 use crate::evolution::{earliest_feasible, timeline};
 use crate::platform::{faas_vs_reserved, run_platform, FaasConfig, FunctionSpec};
 use crate::refarch::{surveyed_platforms, ServerlessPrinciple};
 use crate::storage::{right_size, single_tier, tiers, JobRequirements};
 use crate::workflow::{map_reduce_workflow, WorkflowEngine};
+use atlarge_exp::{Campaign, CampaignResult, Scenario};
+use atlarge_telemetry::tracer::Tracer;
 
 /// One reproduced row of Table 7.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,12 +36,9 @@ fn demo_function() -> FunctionSpec {
     }
 }
 
-/// Runs every row of Table 7.
-pub fn table7(seed: u64) -> Vec<Table7Row> {
-    let mut rows = Vec::new();
-
-    // [101] ('17) General — terminology and principles.
-    rows.push(Table7Row {
+// [101] ('17) General — terminology and principles.
+fn row_principles(seed: u64) -> Table7Row {
+    Table7Row {
         study: "[101] ('17)",
         feature: "General",
         team: "SPEC RG Cloud",
@@ -51,21 +55,31 @@ pub fn table7(seed: u64) -> Vec<Table7Row> {
             let md = run_platform(vec![demo_function()], cfg, &dense, seed);
             (ms.gb_seconds - md.gb_seconds).abs() < 1e-9
         },
-    });
+    }
+}
 
-    // [102] ('18) Performance — the cold-start challenge.
-    let cfg_cold = FaasConfig {
-        keep_alive: 30.0,
-        ..FaasConfig::default()
-    };
+// [102] ('18) Performance — the cold-start challenge.
+fn row_cold_start(seed: u64) -> Table7Row {
     let sparse: Vec<(f64, usize)> = (0..50).map(|i| (i as f64 * 120.0, 0)).collect();
-    let cold = run_platform(vec![demo_function()], cfg_cold, &sparse, seed);
-    let cfg_warm = FaasConfig {
-        keep_alive: 600.0,
-        ..FaasConfig::default()
-    };
-    let warm = run_platform(vec![demo_function()], cfg_warm, &sparse, seed);
-    rows.push(Table7Row {
+    let cold = run_platform(
+        vec![demo_function()],
+        FaasConfig {
+            keep_alive: 30.0,
+            ..FaasConfig::default()
+        },
+        &sparse,
+        seed,
+    );
+    let warm = run_platform(
+        vec![demo_function()],
+        FaasConfig {
+            keep_alive: 600.0,
+            ..FaasConfig::default()
+        },
+        &sparse,
+        seed,
+    );
+    Table7Row {
         study: "[102] ('18)",
         feature: "Performance",
         team: "SPEC RG Cloud",
@@ -78,19 +92,23 @@ pub fn table7(seed: u64) -> Vec<Table7Row> {
         ),
         claim_holds: cold.cold_fraction > warm.cold_fraction
             && cold.latency_summary().median() > warm.latency_summary().median(),
-    });
+    }
+}
 
-    // [60] ('18) Evolution — could not have happened ten years ago.
+// [60] ('18) Evolution — could not have happened ten years ago.
+fn row_evolution(_seed: u64) -> Table7Row {
     let year = earliest_feasible(&timeline(), "faas").unwrap_or(0);
-    rows.push(Table7Row {
+    Table7Row {
         study: "[60] ('18)",
         feature: "Evolution",
         team: "SPEC RG Cloud",
         finding: format!("earliest feasible FaaS emergence: {year}"),
         claim_holds: year >= 2015,
-    });
+    }
+}
 
-    // GitHub ('17-'19) Fission Workflows — the engine keeps overhead low.
+// GitHub ('17-'19) Fission Workflows — the engine keeps overhead low.
+fn row_fission_workflows(seed: u64) -> Table7Row {
     let registry = vec![
         FunctionSpec {
             name: "prepare".into(),
@@ -112,7 +130,7 @@ pub fn table7(seed: u64) -> Vec<Table7Row> {
     let wf = map_reduce_workflow(16);
     let run = engine.execute(&wf, seed);
     let cp = engine.critical_path(&wf, seed);
-    rows.push(Table7Row {
+    Table7Row {
         study: "GitHub ('17-'19)",
         feature: "Fission WF.",
         team: "Platform9",
@@ -121,24 +139,28 @@ pub fn table7(seed: u64) -> Vec<Table7Row> {
             run.makespan, cp, run.invocations
         ),
         claim_holds: run.makespan < cp * 1.1,
-    });
+    }
+}
 
-    // [103] ('19) Reference architecture — coverage of surveyed platforms.
+// [103] ('19) Reference architecture — coverage of surveyed platforms.
+fn row_ref_arch(_seed: u64) -> Table7Row {
     let covered = surveyed_platforms()
         .iter()
         .filter(|p| p.missing_core().is_empty())
         .count();
     let total = surveyed_platforms().len();
-    rows.push(Table7Row {
+    Table7Row {
         study: "[103] ('19)",
         feature: "Ref. Arch",
         team: "SPEC RG Cloud",
         finding: format!("{covered}/{total} surveyed platforms fully mapped"),
         claim_holds: covered == total,
-    });
+    }
+}
 
-    // [96]/[104] Pocket — right-sized ephemeral storage (the joining
-    // designer's line of work, §6.4's closing).
+// [96]/[104] Pocket — right-sized ephemeral storage (the joining
+// designer's line of work, §6.4's closing).
+fn row_pocket_storage(_seed: u64) -> Table7Row {
     let job = JobRequirements {
         throughput: 2_000.0,
         capacity: 3_000.0,
@@ -146,7 +168,7 @@ pub fn table7(seed: u64) -> Vec<Table7Row> {
     };
     let sized = right_size(&job);
     let dram = single_tier(tiers()[0], &job);
-    rows.push(Table7Row {
+    Table7Row {
         study: "[96] ('18)",
         feature: "Storage",
         team: "Stanford/IBM",
@@ -157,12 +179,14 @@ pub fn table7(seed: u64) -> Vec<Table7Row> {
         ),
         claim_holds: sized.satisfies(&job)
             && sized.cost(job.lifetime_hours) < dram.cost(job.lifetime_hours),
-    });
+    }
+}
 
-    // The FaaS economics headline: serverless wins bursty sparse loads.
+// The FaaS economics headline: serverless wins bursty sparse loads.
+fn row_economics(seed: u64) -> Table7Row {
     let invs: Vec<(f64, usize)> = (0..720).map(|i| (i as f64 * 120.0, 0)).collect();
     let (faas, reserved, p50) = faas_vs_reserved(&invs, demo_function(), 86_400.0, 0.05, seed);
-    rows.push(Table7Row {
+    Table7Row {
         study: "[101] §perf",
         feature: "Economics",
         team: "SPEC RG Cloud",
@@ -170,9 +194,68 @@ pub fn table7(seed: u64) -> Vec<Table7Row> {
             "sparse workload: faas cost {faas:.3} vs reserved {reserved:.2} (p50 {p50:.2}s)"
         ),
         claim_holds: faas < reserved / 10.0,
-    });
+    }
+}
 
-    rows
+/// The declared studies of Table 7: `(grid level, row function)`.
+/// A per-row study function: derives one [`Table7Row`] from a cell seed.
+type StudyFn = fn(u64) -> Table7Row;
+
+const STUDIES: &[(&str, StudyFn)] = &[
+    ("principles", row_principles),
+    ("cold-start", row_cold_start),
+    ("evolution", row_evolution),
+    ("fission-workflows", row_fission_workflows),
+    ("ref-arch", row_ref_arch),
+    ("pocket-storage", row_pocket_storage),
+    ("economics", row_economics),
+];
+
+/// One study cell's config: which row function to run.
+#[derive(Debug, Clone, Copy)]
+pub struct Table7Study {
+    /// Grid-level name of the study.
+    pub name: &'static str,
+    run: StudyFn,
+}
+
+/// The Table 7 scenario: each run reproduces one study.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Table7Scenario;
+
+impl Scenario for Table7Scenario {
+    type Config = Table7Study;
+    type Outcome = Table7Row;
+
+    fn run(&self, config: &Table7Study, seed: u64, _tracer: &dyn Tracer) -> Table7Row {
+        (config.run)(seed)
+    }
+}
+
+/// Runs Table 7 as a declared campaign: a `study` factor with one level
+/// per row, `replications` runs per cell, all seeds derived from `seed`.
+pub fn table7_campaign(seed: u64, replications: usize) -> CampaignResult<Table7Study, Table7Row> {
+    Campaign::new("serverless.table7", Table7Scenario)
+        .factor("study", STUDIES.iter().map(|(name, _)| *name))
+        .replications(replications)
+        .root_seed(seed)
+        .run(|cell| {
+            let (name, run) = STUDIES
+                .iter()
+                .find(|(name, _)| *name == cell.level("study"))
+                .expect("grid levels come from STUDIES");
+            Table7Study { name, run: *run }
+        })
+}
+
+/// Runs every row of Table 7 once (the single-replication view of
+/// [`table7_campaign`]).
+pub fn table7(seed: u64) -> Vec<Table7Row> {
+    table7_campaign(seed, 1)
+        .first_outcomes()
+        .into_iter()
+        .cloned()
+        .collect()
 }
 
 /// Renders Table 7 as text.
@@ -216,6 +299,19 @@ mod tests {
         let s = render_table7(&rows);
         for tag in ["[101]", "[102]", "[60]", "Fission", "[103]", "[96]"] {
             assert!(s.contains(tag), "missing {tag}");
+        }
+    }
+
+    #[test]
+    fn replicated_claims_hold_across_seeds() {
+        for cell in &table7_campaign(19, 3).cells {
+            for run in &cell.runs {
+                assert!(
+                    run.outcome.claim_holds,
+                    "{} (seed {}): {}",
+                    run.outcome.study, run.seed, run.outcome.finding
+                );
+            }
         }
     }
 }

@@ -102,6 +102,34 @@ impl Summary {
         self.variance().sqrt()
     }
 
+    /// Standard error of the mean (`sd / sqrt(n)`). Zero when n < 2.
+    pub fn std_error(&self) -> f64 {
+        if self.len() < 2 {
+            0.0
+        } else {
+            self.std_dev() / (self.len() as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the two-sided 95% confidence interval on the mean,
+    /// using Student's t critical value for the sample's degrees of
+    /// freedom (exact table through df = 30, the asymptote beyond).
+    /// Zero when n < 2 — a single replication carries no interval.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.len() < 2 {
+            return 0.0;
+        }
+        // Two-sided 97.5% t quantiles for df = 1..=30.
+        const T975: [f64; 30] = [
+            12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+            2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+            2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        ];
+        let df = self.len() - 1;
+        let t = if df <= 30 { T975[df - 1] } else { 1.96 };
+        t * self.std_error()
+    }
+
     /// Coefficient of variation (std dev / mean); zero when the mean is zero.
     pub fn cv(&self) -> f64 {
         if self.mean().abs() < f64::EPSILON {
@@ -267,6 +295,21 @@ mod tests {
         assert!(!format!("{s}").is_empty());
         let e = Summary::from_slice(&[]);
         assert_eq!(format!("{e}"), "n=0");
+    }
+
+    #[test]
+    fn ci95_matches_hand_computation() {
+        // n=4, sd=1: half-width = t(3) * 1/2 = 3.182/2.
+        let s = Summary::from_slice(&[1.0, 2.0, 3.0, 2.0]);
+        let hw = s.ci95_half_width();
+        assert!((hw - 3.182 * s.std_error()).abs() < 1e-12);
+        assert!((s.std_error() - s.std_dev() / 2.0).abs() < 1e-12);
+        // Degenerate cases carry no interval.
+        assert_eq!(Summary::from_slice(&[5.0]).ci95_half_width(), 0.0);
+        assert_eq!(Summary::from_slice(&[]).ci95_half_width(), 0.0);
+        // Large n approaches the normal critical value.
+        let big = Summary::from_iter((0..200).map(|i| f64::from(i % 7)));
+        assert!((big.ci95_half_width() - 1.96 * big.std_error()).abs() < 1e-12);
     }
 
     #[test]

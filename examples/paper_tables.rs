@@ -2,10 +2,13 @@
 //!
 //! This is the harness EXPERIMENTS.md is produced from: each section
 //! prints the series/rows behind one paper artifact, from the
-//! bibliometric figures through the seven Section-6 case studies.
+//! bibliometric figures through the seven Section-6 case studies. Every
+//! Section-6 table runs through the `atlarge-exp` campaign engine, so
+//! the whole report is reproducible from one root seed and
+//! byte-identical across thread counts (`ATLARGE_EXP_THREADS`).
 //!
 //! ```sh
-//! cargo run --release --example paper_tables
+//! cargo run --release --example paper_tables -- --seed 2026 --replications 1
 //! ```
 
 use atlarge::autoscaling::experiments as autoscaling_exp;
@@ -14,18 +17,24 @@ use atlarge::biblio::keywords::keyword_presence;
 use atlarge::biblio::reviews::{extract_findings, violin_panel, Criterion, ReviewModel};
 use atlarge::biblio::trends::design_counts_by_block;
 use atlarge::core::catalog;
-use atlarge::core::exploration::{compare_processes, ExplorationProcess, Explorer};
+use atlarge::core::exploration::{ExplorationProcess, Explorer};
 use atlarge::core::quality::DesignDocument;
 use atlarge::core::reasoning::ReasoningMode;
 use atlarge::core::space::RuggedSpace;
+use atlarge::datacenter::experiments as datacenter_exp;
 use atlarge::datacenter::refarch::{big_data_refarch, full_datacenter_refarch};
+use atlarge::exp::interop::exploration_campaign;
+use atlarge::exp::CampaignResult;
 use atlarge::graph::experiments as graph_exp;
-use atlarge::mmog::experiments::{render_table6, table6};
-use atlarge::p2p::experiments::{render_table5, table5};
-use atlarge::scheduling::experiments::{render_table9, table9, Scale};
-use atlarge::serverless::experiments::{render_table7, table7};
+use atlarge::mmog::experiments::{render_table6, table6_campaign};
+use atlarge::p2p::experiments::{render_table5, render_table5_campaign, table5_campaign};
+use atlarge::scheduling::experiments::{render_table9, table9_campaign, Scale};
+use atlarge::serverless::experiments::{render_table7, table7_campaign};
 
+/// Default root seed: the year the reproduction targets.
 const SEED: u64 = 2026;
+/// Default replications per campaign cell.
+const REPLICATIONS: usize = 1;
 
 fn header(title: &str) {
     println!("\n{}", "=".repeat(72));
@@ -33,9 +42,56 @@ fn header(title: &str) {
     println!("{}", "=".repeat(72));
 }
 
+/// Claim-holds rate across every replicated run of a table campaign.
+fn claim_rate<C: std::fmt::Debug, O>(
+    result: &CampaignResult<C, O>,
+    holds: impl Fn(&O) -> bool,
+) -> (usize, usize) {
+    let total = result.total_runs();
+    let held = result
+        .cells
+        .iter()
+        .flat_map(|c| c.runs.iter())
+        .filter(|r| holds(&r.outcome))
+        .count();
+    (held, total)
+}
+
+fn parse_args() -> (u64, usize) {
+    let mut seed = SEED;
+    let mut replications = REPLICATIONS;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed takes an integer");
+            }
+            "--replications" => {
+                replications = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&r| r > 0)
+                    .expect("--replications takes a positive integer");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: paper_tables [--seed N] [--replications R]");
+                std::process::exit(2);
+            }
+        }
+    }
+    (seed, replications)
+}
+
 fn main() {
+    let (seed, replications) = parse_args();
+    println!("root seed {seed}, {replications} replication(s) per campaign cell");
+
     header("Figure 1 — keyword presence in top systems venues (synthetic corpus)");
-    let corpus = Corpus::generate(SEED);
+    let corpus = Corpus::generate(seed);
     print!("{}", keyword_presence(&corpus).to_table_string());
 
     header("Figure 2 — design articles per 5-year block");
@@ -49,7 +105,7 @@ fn main() {
     );
 
     header("Figure 3 — review-score violins (generative review model)");
-    let articles = ReviewModel::default().simulate(SEED);
+    let articles = ReviewModel::default().simulate(seed);
     for criterion in [Criterion::Merit, Criterion::Quality, Criterion::Topic] {
         let p = violin_panel(&articles, criterion);
         println!(
@@ -89,14 +145,21 @@ fn main() {
         println!("{mode:?}: {} unknown slot(s)", mode.unknowns());
     }
 
-    header("Figure 6 — exploration processes at equal budget");
+    header("Figure 6 — exploration processes at equal budget (campaign)");
     let space = RuggedSpace::new(40, 3, 7);
+    let exploration = exploration_campaign(RuggedSpace::new(40, 3, 7), 0.64, 400, 30, seed);
     println!(
         "{:<14}{:>16}{:>12}{:>14}",
         "process", "satisfice rate", "novelty", "best quality"
     );
-    for (p, rate, novelty, quality) in compare_processes(&space, 0.64, 400, 30) {
-        println!("{:<14}{rate:>16.2}{novelty:>12.2}{quality:>14.3}", p.name());
+    for cell in &exploration.cells {
+        println!(
+            "{:<14}{:>16.2}{:>12.2}{:>14.3}",
+            cell.config.name(),
+            cell.summarize(|r| f64::from(u8::from(r.satisficed))).mean(),
+            cell.summarize(|r| r.novelty).mean(),
+            cell.summarize(|r| r.best_quality).mean()
+        );
     }
 
     header("Figure 7 — a co-evolving trajectory");
@@ -153,16 +216,40 @@ fn main() {
     }
 
     header("Table 5 — P2P studies");
-    print!("{}", render_table5(&table5(SEED)));
+    let t5 = table5_campaign(seed, replications);
+    if replications > 1 {
+        print!("{}", render_table5_campaign(&t5));
+    } else {
+        print!(
+            "{}",
+            render_table5(&t5.first_outcomes().into_iter().cloned().collect::<Vec<_>>())
+        );
+    }
 
     header("Table 6 — MMOG studies");
-    print!("{}", render_table6(&table6(SEED)));
+    let t6 = table6_campaign(seed, replications);
+    print!(
+        "{}",
+        render_table6(&t6.first_outcomes().into_iter().cloned().collect::<Vec<_>>())
+    );
+    if replications > 1 {
+        let (held, total) = claim_rate(&t6, |r| r.claim_holds);
+        println!("claims held in {held}/{total} replicated runs");
+    }
 
     header("Table 7 — serverless studies");
-    print!("{}", render_table7(&table7(SEED)));
+    let t7 = table7_campaign(seed, replications);
+    print!(
+        "{}",
+        render_table7(&t7.first_outcomes().into_iter().cloned().collect::<Vec<_>>())
+    );
+    if replications > 1 {
+        let (held, total) = claim_rate(&t7, |r| r.claim_holds);
+        println!("claims held in {held}/{total} replicated runs");
+    }
 
     header("Table 8 — the PAD/HPAD sweeps");
-    let pad = graph_exp::pad_sweep(1_500, SEED);
+    let pad = graph_exp::pad_sweep(1_500, seed);
     let d = graph_exp::pad_decomposition(&pad);
     println!(
         "PAD: {} cells; interaction share {:.2}; max main effect {:.2}",
@@ -170,17 +257,29 @@ fn main() {
         d.interaction_share(),
         d.max_main_share()
     );
-    let hpad = graph_exp::hpad_sweep(1_500, SEED);
+    let hpad = graph_exp::hpad_sweep(1_500, seed);
     println!("HPAD winners per (algorithm, dataset):");
     for ((alg, ds), platform) in graph_exp::winners(&hpad) {
         println!("   {alg:<10} on {ds:<10} -> {platform}");
     }
 
     header("Table 9 — portfolio scheduling");
-    print!("{}", render_table9(&table9(Scale::Quick, SEED)));
+    let t9 = table9_campaign(Scale::Quick, seed, replications);
+    print!(
+        "{}",
+        render_table9(&t9.first_outcomes().into_iter().cloned().collect::<Vec<_>>())
+    );
+    if replications > 1 {
+        let (useful, total) = claim_rate(&t9, |r| r.portfolio_gap() <= 1.25);
+        println!("PS strictly 'useful' in {useful}/{total} replicated runs");
+    }
+
+    header("§6.2 — datacenter capacity campaign");
+    let capacity = datacenter_exp::default_capacity_campaign(seed, replications);
+    print!("{}", datacenter_exp::render_capacity(&capacity));
 
     header("§6.7 — autoscaling campaign");
-    let cells = autoscaling_exp::campaign(4_000.0, SEED);
+    let cells = autoscaling_exp::campaign(4_000.0, seed);
     let (h2h, borda, grades) = autoscaling_exp::aggregate(&cells);
     println!("head-to-head wins: {h2h:?}");
     println!("borda points:      {borda:?}");

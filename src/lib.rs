@@ -14,6 +14,9 @@
 //! - [`obsv`] — analysis over those exports: causal critical paths,
 //!   Chrome-trace/flamegraph profiling, histogram quantiles, and
 //!   cross-run regression diffing (see the `trace_lens` example).
+//! - [`exp`] — the replicated, parallel experiment-campaign engine every
+//!   Section-6 harness runs on: factor grids, derived seed streams, and
+//!   deterministic serial/parallel execution.
 //! - [`stats`] / [`workload`] — shared statistics and workload models.
 //! - Domain reproductions of the paper's Section-6 case studies:
 //!   [`p2p`], [`mmog`], [`datacenter`], [`serverless`], [`graph`],
@@ -34,6 +37,7 @@ pub use atlarge_biblio as biblio;
 pub use atlarge_core as core;
 pub use atlarge_datacenter as datacenter;
 pub use atlarge_des as des;
+pub use atlarge_exp as exp;
 pub use atlarge_graph as graph;
 pub use atlarge_mmog as mmog;
 pub use atlarge_obsv as obsv;
