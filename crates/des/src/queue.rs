@@ -32,10 +32,12 @@ impl<E> PartialOrd for Entry<E> {
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we need earliest-first.
+        // `total_cmp` keeps this hot comparison panic-free; `push_from`
+        // already rejects non-finite times at the API boundary, where
+        // IEEE total order and the usual `<` agree.
         other
             .time
-            .partial_cmp(&self.time)
-            .expect("event times are finite")
+            .total_cmp(&self.time)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }

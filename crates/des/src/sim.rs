@@ -230,8 +230,12 @@ impl<M: Model> Simulation<M> {
         while !self.ctx.stopped {
             match self.ctx.queue.peek_time() {
                 Some(t) if t <= horizon => {
-                    let (t, id, parent, ev) =
-                        self.ctx.queue.pop_entry().expect("peeked event exists");
+                    // A successful peek guarantees the pop; the `else`
+                    // arm keeps the dispatch loop panic-free regardless.
+                    let Some((t, id, parent, ev)) = self.ctx.queue.pop_entry() else {
+                        debug_assert!(false, "peeked event vanished before pop");
+                        break;
+                    };
                     debug_assert!(t >= self.ctx.now, "time must not go backwards");
                     self.ctx.now = t;
                     self.ctx.processed += 1;

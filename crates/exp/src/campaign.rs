@@ -20,8 +20,8 @@ use atlarge_stats::factorial;
 use atlarge_telemetry::export::{json_f64, json_object, json_str};
 use atlarge_telemetry::manifest::{config_digest, RunManifest, MANIFEST_SCHEMA};
 use atlarge_telemetry::tracer::{NullTracer, Tracer};
+use atlarge_telemetry::wall::Stopwatch;
 use std::io::{self, Write};
-use std::time::Instant;
 
 /// Environment variable overriding the campaign thread count.
 pub const THREADS_ENV: &str = "ATLARGE_EXP_THREADS";
@@ -144,7 +144,9 @@ impl<S: Scenario> Campaign<S> {
     where
         F: Fn(&CellSpec) -> S::Config,
     {
-        let started = Instant::now();
+        // Wall time is report-only (excluded from result equality); it is
+        // read through the telemetry boundary, never `Instant` directly.
+        let started = Stopwatch::start();
         let threads = self.resolve_threads();
         let cells: Vec<CellSpec> = self.grid.cells().collect();
         let configs: Vec<S::Config> = cells.iter().map(&configure).collect();
@@ -180,7 +182,7 @@ impl<S: Scenario> Campaign<S> {
             seed_mode: self.seed_mode,
             grid: self.grid,
             cells: cell_results,
-            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+            wall_ms: started.elapsed_ms(),
         }
     }
 
@@ -461,7 +463,7 @@ mod tests {
     #[test]
     fn seeds_are_unique_under_independent_mode() {
         let r = campaign(1);
-        let seeds: std::collections::HashSet<u64> = r
+        let seeds: std::collections::BTreeSet<u64> = r
             .cells
             .iter()
             .flat_map(|c| c.runs.iter().map(|run| run.seed))
@@ -479,7 +481,7 @@ mod tests {
             .threads(1)
             .run(|_| 1);
         for rep in 0..2 {
-            let seeds: std::collections::HashSet<u64> =
+            let seeds: std::collections::BTreeSet<u64> =
                 r.cells.iter().map(|c| c.runs[rep].seed).collect();
             assert_eq!(seeds.len(), 1, "replication {rep} must share one seed");
         }

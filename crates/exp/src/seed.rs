@@ -79,23 +79,23 @@ pub fn split_labeled(root: u64, label: &str) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     #[test]
     fn cells_are_pairwise_distinct() {
-        let seeds: HashSet<u64> = (0..10_000).map(|c| derive_seed(42, c, 3)).collect();
+        let seeds: BTreeSet<u64> = (0..10_000).map(|c| derive_seed(42, c, 3)).collect();
         assert_eq!(seeds.len(), 10_000);
     }
 
     #[test]
     fn replications_are_pairwise_distinct() {
-        let seeds: HashSet<u64> = (0..10_000).map(|r| derive_seed(42, 3, r)).collect();
+        let seeds: BTreeSet<u64> = (0..10_000).map(|r| derive_seed(42, 3, r)).collect();
         assert_eq!(seeds.len(), 10_000);
     }
 
     #[test]
     fn grid_of_cells_and_replications_has_no_collisions_in_practice() {
-        let mut seeds = HashSet::new();
+        let mut seeds = BTreeSet::new();
         for cell in 0..200 {
             for rep in 0..50 {
                 seeds.insert(derive_seed(7, cell, rep));
@@ -113,7 +113,7 @@ mod tests {
             "flashcrowd",
             "pipeline",
         ];
-        let distinct: HashSet<u64> = labels.iter().map(|l| split_labeled(11, l)).collect();
+        let distinct: BTreeSet<u64> = labels.iter().map(|l| split_labeled(11, l)).collect();
         assert_eq!(distinct.len(), labels.len());
         // And across roots the same label moves.
         assert_ne!(
@@ -125,7 +125,7 @@ mod tests {
     #[test]
     fn mix_is_a_permutation_sample() {
         // Bijectivity spot check: no collisions over a dense local range.
-        let outs: HashSet<u64> = (0..100_000u64).map(splitmix64_mix).collect();
+        let outs: BTreeSet<u64> = (0..100_000u64).map(splitmix64_mix).collect();
         assert_eq!(outs.len(), 100_000);
     }
 }

@@ -2,8 +2,10 @@
 //!
 //! All platforms execute the same synchronous vertex kernels and must
 //! produce identical outputs; they differ — as real platforms do — in
-//! *execution strategy*, which drives both a deterministic critical-path
-//! cost (the unit the PAD analysis decomposes) and real wall time:
+//! *execution strategy*, which drives a deterministic critical-path
+//! cost (the unit the PAD analysis decomposes) and a simulated wall
+//! time derived from it — never the host clock, so results cannot
+//! depend on machine speed:
 //!
 //! - [`Platform::Sequential`] — single-threaded with an active-set
 //!   (delta) optimization: only vertices with changed neighborhoods are
@@ -19,7 +21,7 @@
 
 use crate::algorithms;
 use crate::csr::Csr;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// The six Graphalytics algorithms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -130,7 +132,11 @@ pub struct RunCost {
     pub work: u64,
     /// Deterministic critical-path cost (the PAD analysis response).
     pub critical_path: f64,
-    /// Measured wall time.
+    /// Simulated wall time: the critical-path cost read as microseconds
+    /// (1 cost unit = 1 µs). Derived, never measured — identical across
+    /// hosts for the same (platform, algorithm, graph), so it may
+    /// participate in `PartialEq` without leaking host speed into
+    /// results.
     pub wall: Duration,
     /// Iterations executed.
     pub iterations: u32,
@@ -149,9 +155,7 @@ const ACCEL_SPEEDUP: f64 = 64.0;
 
 /// Runs `algorithm` on `graph` under `platform`.
 pub fn run(platform: Platform, algorithm: Algorithm, graph: &Csr) -> RunCost {
-    let start = Instant::now();
     let (digest, iters) = execute(platform, algorithm, graph);
-    let wall = start.elapsed();
     // Work/critical-path accounting per platform model.
     let n = graph.num_vertices() as u64;
     let m = graph.num_edges() as u64;
@@ -183,7 +187,10 @@ pub fn run(platform: Platform, algorithm: Algorithm, graph: &Csr) -> RunCost {
     RunCost {
         work: total_work,
         critical_path: cp,
-        wall,
+        // Simulated wall time: critical-path cost units as microseconds.
+        // Host speed must never reach a RunCost — it is compared for
+        // equality across platforms and runs.
+        wall: Duration::from_nanos((cp * 1e3) as u64),
         iterations: iters.len() as u32,
         per_iteration,
         digest,

@@ -1,0 +1,402 @@
+//! The analysis engine: walks the workspace, lexes every Rust file,
+//! runs the lint catalogue, applies allowlist directives, and produces
+//! a stable-ordered diagnostic report.
+
+use crate::allow::{self, AllowDirective};
+use crate::config::LintConfig;
+use crate::lexer::{self, Tok, TokKind};
+use crate::lints;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One reportable diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative, `/`-separated file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Lint id.
+    pub lint: String,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub suggestion: String,
+}
+
+impl Diagnostic {
+    /// `file:line: [lint] message` — the human rendering's first line.
+    pub fn headline(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// The result of linting a workspace (or a single file).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Gating diagnostics, sorted by (file, line, lint, message).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Diagnostics suppressed by a reasoned allowlist directive.
+    pub suppressed: usize,
+    /// Rust files scanned.
+    pub files: usize,
+}
+
+impl Report {
+    /// Whether the run is clean.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Lints one file's source text. `rel_path` must be workspace-relative
+/// with `/` separators (it drives scope/exempt matching).
+pub fn lint_source(rel_path: &str, source: &str, cfg: &LintConfig) -> Report {
+    let lexed = lexer::lex(source);
+    let test_mask = test_region_mask(&lexed.tokens);
+    let file_is_test = path_is_test(rel_path);
+
+    let findings = lints::run(&lexed.tokens, |lint_id, tok_idx| {
+        let settings = cfg.settings(lint_id);
+        if !settings.applies_to(rel_path) {
+            return false;
+        }
+        if settings.include_tests {
+            return true;
+        }
+        !(file_is_test || test_mask[tok_idx])
+    });
+
+    let directives = allow::collect(&lexed);
+    let mut diagnostics = Vec::new();
+    let mut suppressed = 0usize;
+    let mut used = vec![false; directives.len()];
+
+    for f in findings {
+        match suppressing_directive(&directives, f.lint, f.line) {
+            Some(d) => {
+                used[d] = true;
+                suppressed += 1;
+            }
+            None => diagnostics.push(Diagnostic {
+                file: rel_path.to_string(),
+                line: f.line,
+                lint: f.lint.to_string(),
+                message: f.message,
+                suggestion: f.suggestion,
+            }),
+        }
+    }
+
+    // Meta-lints: malformed and unused directives are diagnostics too.
+    for (i, d) in directives.iter().enumerate() {
+        let reasonless = d.reason.as_deref().is_none_or(|r| r.trim().is_empty());
+        if reasonless {
+            diagnostics.push(Diagnostic {
+                file: rel_path.to_string(),
+                line: d.line,
+                lint: lints::ALLOWLIST_INVALID.to_string(),
+                message: "allow directive carries no reason; it suppresses nothing".into(),
+                suggestion: "add `reason = \"...\"` explaining why the rule is safe to break here"
+                    .into(),
+            });
+            continue;
+        }
+        if let Some(unknown) = d.lints.iter().find(|l| !lints::is_known(l)) {
+            diagnostics.push(Diagnostic {
+                file: rel_path.to_string(),
+                line: d.line,
+                lint: lints::ALLOWLIST_INVALID.to_string(),
+                message: format!("allow directive names unknown lint `{unknown}`"),
+                suggestion: "run `atlarge-lint --list` for the lint catalogue".into(),
+            });
+            continue;
+        }
+        if !used[i] {
+            diagnostics.push(Diagnostic {
+                file: rel_path.to_string(),
+                line: d.line,
+                lint: lints::UNUSED_ALLOWLIST.to_string(),
+                message: "allow directive suppresses no diagnostic".into(),
+                suggestion: "delete it (the violation is gone) or move it next to the offending line".into(),
+            });
+        }
+    }
+
+    diagnostics.sort();
+    Report {
+        diagnostics,
+        suppressed,
+        files: 1,
+    }
+}
+
+/// The directive (by index) suppressing `lint` at `line`, if any. A
+/// directive only counts when it carries a non-empty reason and names
+/// a known lint — malformed directives are inert and reported instead.
+fn suppressing_directive(directives: &[AllowDirective], lint: &str, line: u32) -> Option<usize> {
+    directives.iter().position(|d| {
+        d.target_line == Some(line)
+            && d.lints.iter().any(|l| l == lint)
+            && d.reason.as_deref().is_some_and(|r| !r.trim().is_empty())
+            && d.lints.iter().all(|l| lints::is_known(l))
+    })
+}
+
+/// Whether the path is test code wholesale: under a `tests/` or
+/// `benches/` directory.
+pub fn path_is_test(rel_path: &str) -> bool {
+    rel_path
+        .split('/')
+        .any(|seg| seg == "tests" || seg == "benches")
+}
+
+/// Marks tokens inside `#[cfg(test)]`-gated or `#[test]`-gated `mod`/`fn`
+/// items. Conservative: only brace-delimited bodies directly following
+/// the attribute (plus any stacked attributes and a visibility) are
+/// masked.
+pub fn test_region_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Punct
+            && toks[i].text == "#"
+            && i + 1 < toks.len()
+            && toks[i + 1].text == "["
+        {
+            let attr_end = match matching(toks, i + 1, "[", "]") {
+                Some(e) => e,
+                None => break,
+            };
+            if attr_is_test_gate(&toks[i + 1..attr_end]) {
+                if let Some((open, close)) = gated_body(toks, attr_end + 1) {
+                    for m in mask.iter_mut().take(close + 1).skip(open) {
+                        *m = true;
+                    }
+                    i = attr_end + 1;
+                    continue;
+                }
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Whether the attribute tokens (between `[` and `]`, exclusive) gate
+/// on tests: `#[test]`, or a `cfg` whose predicate mentions `test` and
+/// not `not`.
+fn attr_is_test_gate(inner: &[Tok]) -> bool {
+    let idents: Vec<&str> = inner
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    if idents == ["test"] {
+        return true;
+    }
+    idents.first() == Some(&"cfg") && idents.contains(&"test") && !idents.contains(&"not")
+}
+
+/// After a test-gating attribute: skip further attributes and a
+/// visibility, then return the `{`..`}` body span of the next `mod` or
+/// `fn` item.
+fn gated_body(toks: &[Tok], mut i: usize) -> Option<(usize, usize)> {
+    loop {
+        if i >= toks.len() {
+            return None;
+        }
+        // Stacked attributes.
+        if toks[i].text == "#" && i + 1 < toks.len() && toks[i + 1].text == "[" {
+            i = matching(toks, i + 1, "[", "]")? + 1;
+            continue;
+        }
+        // Visibility: `pub` or `pub(crate)` etc.
+        if toks[i].text == "pub" {
+            i += 1;
+            if i < toks.len() && toks[i].text == "(" {
+                i = matching(toks, i, "(", ")")? + 1;
+            }
+            continue;
+        }
+        break;
+    }
+    if !matches!(toks[i].text.as_str(), "mod" | "fn") {
+        return None;
+    }
+    // Find the body's opening brace before any `;` (a `mod name;` has no
+    // body to mask).
+    let mut j = i + 1;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "{" => {
+                let close = matching(toks, j, "{", "}")?;
+                return Some((j, close));
+            }
+            ";" => return None,
+            _ => j += 1,
+        }
+    }
+    None
+}
+
+/// Index of the token closing the delimiter opened at `open_idx`.
+fn matching(toks: &[Tok], open_idx: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open_idx) {
+        if t.kind == TokKind::Punct {
+            if t.text == open {
+                depth += 1;
+            } else if t.text == close {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Recursively collects `.rs` files under `root/<roots>`, sorted by
+/// path, honoring the exclude list.
+pub fn collect_rust_files(root: &Path, cfg: &LintConfig) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for r in &cfg.roots {
+        walk(&root.join(r), root, cfg, &mut files);
+    }
+    files.sort();
+    files.dedup();
+    files
+}
+
+fn walk(dir: &Path, root: &Path, cfg: &LintConfig, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.filter_map(Result::ok).map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        let rel = relative(&path, root);
+        if cfg.is_excluded(&rel) {
+            continue;
+        }
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        if path.is_dir() {
+            walk(&path, root, cfg, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// `path` relative to `root`, `/`-separated.
+pub fn relative(path: &Path, root: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Lints every Rust file in the workspace rooted at `root`.
+pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> Report {
+    let mut report = Report::default();
+    for path in collect_rust_files(root, cfg) {
+        let Ok(source) = fs::read_to_string(&path) else {
+            continue;
+        };
+        let rel = relative(&path, root);
+        let file_report = lint_source(&rel, &source, cfg);
+        report.diagnostics.extend(file_report.diagnostics);
+        report.suppressed += file_report.suppressed;
+        report.files += 1;
+    }
+    report.diagnostics.sort();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LintConfig;
+
+    fn cfg() -> LintConfig {
+        LintConfig::default_config()
+    }
+
+    #[test]
+    fn cfg_test_modules_are_masked() {
+        let src = "fn hot() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn t() { let m: HashMap<u8, u8> = HashMap::new(); }\n}\n";
+        // unordered-iteration includes tests by default: all three
+        // mentions fire (the use plus two in the test body).
+        let r = lint_source("crates/x/src/lib.rs", src, &cfg());
+        assert_eq!(r.diagnostics.len(), 3);
+        // wall-clock (include_tests = false) would skip the same region.
+        let src2 =
+            "fn hot() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let i = Instant::now(); }\n}\n";
+        let r2 = lint_source("crates/x/src/lib.rs", src2, &cfg());
+        assert!(r2.is_clean(), "{:?}", r2.diagnostics);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_masked() {
+        let src = "#[cfg(not(test))]\nfn hot() { let i = Instant::now(); }\n";
+        let r = lint_source("crates/x/src/lib.rs", src, &cfg());
+        assert_eq!(r.diagnostics.len(), 1);
+    }
+
+    #[test]
+    fn reasoned_allow_suppresses_and_counts() {
+        let src = "// #[allow_atlarge(wall-clock-in-sim, reason = \"report-only\")]\nlet t = Instant::now();\n";
+        let r = lint_source("crates/x/src/lib.rs", src, &cfg());
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+        assert_eq!(r.suppressed, 1);
+    }
+
+    #[test]
+    fn reasonless_allow_is_inert_and_flagged() {
+        let src = "// #[allow_atlarge(wall-clock-in-sim)]\nlet t = Instant::now();\n";
+        let r = lint_source("crates/x/src/lib.rs", src, &cfg());
+        let lints: Vec<&str> = r.diagnostics.iter().map(|d| d.lint.as_str()).collect();
+        assert_eq!(lints, vec!["allowlist-invalid", "wall-clock-in-sim"]);
+    }
+
+    #[test]
+    fn unused_allow_is_flagged() {
+        let src = "// #[allow_atlarge(entropy-rng, reason = \"stale\")]\nlet x = 3;\n";
+        let r = lint_source("crates/x/src/lib.rs", src, &cfg());
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].lint, "unused-allowlist");
+    }
+
+    #[test]
+    fn unknown_lint_in_allow_is_flagged() {
+        let src =
+            "// #[allow_atlarge(wall-clock-in-simm, reason = \"typo\")]\nlet t = Instant::now();\n";
+        let r = lint_source("crates/x/src/lib.rs", src, &cfg());
+        let lints: Vec<&str> = r.diagnostics.iter().map(|d| d.lint.as_str()).collect();
+        assert_eq!(lints, vec!["allowlist-invalid", "wall-clock-in-sim"]);
+    }
+
+    #[test]
+    fn scope_and_boundary_respected() {
+        let src = "fn f() { let t = Instant::now(); x.unwrap(); }\n";
+        // Telemetry is the wall-clock boundary; unwrap is outside the
+        // kernel scope: clean.
+        let r = lint_source("crates/telemetry/src/recorder.rs", src, &cfg());
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+        // In the kernel both fire.
+        let r2 = lint_source("crates/des/src/sim.rs", src, &cfg());
+        assert_eq!(r2.diagnostics.len(), 2);
+    }
+}

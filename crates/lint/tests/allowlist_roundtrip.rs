@@ -1,0 +1,62 @@
+//! Property test: `allow::render` and the directive parser are
+//! round-trip partners. Any directive we can render — arbitrary lint
+//! ids, reasons full of quotes, backslashes, commas, and `)]` — must
+//! lex and parse back to exactly the ids and reason it was built from.
+
+use atlarge_lint::allow;
+use atlarge_lint::lexer::lex;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ID_HEAD: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+const ID_TAIL: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-";
+
+fn gen_id(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(1usize..12);
+    let mut id = String::new();
+    id.push(ID_HEAD[rng.gen_range(0..ID_HEAD.len())] as char);
+    for _ in 1..len {
+        id.push(ID_TAIL[rng.gen_range(0..ID_TAIL.len())] as char);
+    }
+    // `reason...` at the head of an item is the reserved key prefix.
+    if id.starts_with("reason") {
+        id.insert(0, 'z');
+    }
+    id
+}
+
+/// Printable ASCII, quotes and backslashes and `)]` included.
+fn gen_reason(rng: &mut StdRng, len: usize) -> String {
+    (0..len)
+        .map(|_| rng.gen_range(0x20u8..0x7f) as char)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn rendered_directives_round_trip(
+        seed in 0u64..u64::MAX,
+        n_lints in 0usize..4,
+        reason_len in 0usize..40,
+        has_reason in 0u8..2,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lints: Vec<String> = (0..n_lints).map(|_| gen_id(&mut rng)).collect();
+        let reason: Option<String> = (has_reason == 1).then(|| gen_reason(&mut rng, reason_len));
+
+        let rendered = allow::render(&lints, reason.as_deref());
+        let lexed = lex(&format!("{rendered}\nlet marker = 1;\n"));
+        let directives = allow::collect(&lexed);
+
+        prop_assert_eq!(directives.len(), 1, "rendered: {}", rendered);
+        let d = &directives[0];
+        prop_assert_eq!(&d.lints, &lints, "rendered: {}", rendered);
+        let parsed_reason = d.reason.as_deref().map(allow::unescape_reason);
+        prop_assert_eq!(&parsed_reason, &reason, "rendered: {}", rendered);
+        prop_assert_eq!(d.line, 1);
+        prop_assert_eq!(d.target_line, Some(2));
+    }
+}

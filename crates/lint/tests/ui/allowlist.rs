@@ -1,0 +1,22 @@
+//@ path: crates/core/src/allowlist_fixture.rs
+// ui fixture: allowlist etiquette is itself enforced.
+
+pub fn reasoned() {
+    // #[allow_atlarge(unordered-iteration, reason = "fixture: singleton map, order cannot matter")]
+    let _m: HashMap<u8, u8> = HashMap::new();
+}
+
+pub fn reasonless() {
+    // #[allow_atlarge(unordered-iteration)]
+    let _s: HashSet<u8> = HashSet::new();
+}
+
+pub fn unknown_lint() {
+    // #[allow_atlarge(determinism-vibes, reason = "no such lint")]
+    let _x = 1;
+}
+
+pub fn unused() {
+    // #[allow_atlarge(entropy-rng, reason = "stale escape")]
+    let _y = 2;
+}

@@ -1,0 +1,12 @@
+//@ path: crates/exp/src/entropy_fixture.rs
+// ui fixture: all randomness derives from campaign seeds.
+
+pub fn violate() {
+    let mut _a = rand::thread_rng();
+    let _b = StdRng::from_entropy();
+    let _c = OsRng;
+}
+
+pub fn seeded() {
+    let _r = StdRng::seed_from_u64(42);
+}

@@ -1,0 +1,12 @@
+//@ path: crates/exp/src/float_fixture.rs
+// ui fixture: merged-result float accumulation must pin its order.
+
+pub fn violate(xs: &[f64]) -> (f64, f64) {
+    let total = xs.iter().sum::<f64>();
+    let folded = xs.iter().fold(0.0, |a, b| a + b);
+    (total, folded)
+}
+
+pub fn order_insensitive(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}

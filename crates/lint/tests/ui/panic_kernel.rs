@@ -1,0 +1,16 @@
+//@ path: crates/des/src/panic_fixture.rs
+// ui fixture: the kernel's hot paths must fail gracefully.
+
+pub fn violate(v: &[u64], opt: Option<u64>) -> u64 {
+    let first = v[0];
+    let x = opt.unwrap();
+    let y = opt.expect("present");
+    if x > y {
+        panic!("impossible");
+    }
+    first + x
+}
+
+pub fn graceful(v: &[u64]) -> u64 {
+    v.first().copied().unwrap_or(0)
+}

@@ -1,0 +1,12 @@
+//@ path: crates/core/src/unordered_fixture.rs
+// ui fixture: hashed iteration order must never leak into results.
+
+use std::collections::HashMap;
+
+pub fn violate(keys: &[u32]) -> Vec<(u32, u32)> {
+    let mut m = HashMap::new();
+    for (i, k) in keys.iter().enumerate() {
+        m.insert(*k, i as u32);
+    }
+    m.into_iter().collect()
+}

@@ -1,0 +1,14 @@
+//@ path: crates/des/src/wall_clock_fixture.rs
+// ui fixture: simulation code must not read the host clock.
+
+use std::time::{Instant, SystemTime};
+
+pub fn violate() {
+    let _t = Instant::now();
+    let _s = SystemTime::now();
+}
+
+pub fn sanctioned() {
+    // #[allow_atlarge(wall-clock-in-sim, reason = "ui fixture: reasoned escape")]
+    let _t = Instant::now();
+}

@@ -1,0 +1,74 @@
+//! The self-test corpus: every `tests/ui/*.rs` fixture is linted under
+//! the default configuration and its rendered diagnostics must match
+//! the sibling `*.expected` file byte for byte.
+//!
+//! Each fixture's first line is a `//@ path: <virtual path>` header —
+//! the workspace-relative path the file pretends to live at, which is
+//! what drives per-lint scope and exemption matching.
+
+use atlarge_lint::{lint_source, LintConfig, Report};
+use std::fs;
+use std::path::PathBuf;
+
+/// Renders a report the way the CLI's human printer does, minus the
+/// trailing summary line (fixture-independent noise).
+fn render(report: &Report) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        out.push_str(&d.headline());
+        out.push('\n');
+        out.push_str("    = help: ");
+        out.push_str(&d.suggestion);
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn ui_fixtures_match_expected() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/ui");
+    let cfg = LintConfig::default_config();
+    let mut entries: Vec<_> = fs::read_dir(&dir)
+        .expect("tests/ui exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("rs"))
+        .collect();
+    entries.sort();
+    assert!(
+        entries.len() >= 6,
+        "expected a fixture per lint plus the allowlist corpus, found {}",
+        entries.len()
+    );
+
+    for path in entries {
+        let source = fs::read_to_string(&path).expect("fixture readable");
+        let virt = source
+            .lines()
+            .next()
+            .and_then(|l| l.strip_prefix("//@ path: "))
+            .unwrap_or_else(|| panic!("{}: missing `//@ path:` header", path.display()))
+            .trim();
+        let expected = fs::read_to_string(path.with_extension("expected"))
+            .unwrap_or_else(|_| panic!("{}: missing sibling .expected file", path.display()));
+        let actual = render(&lint_source(virt, &source, &cfg));
+        assert_eq!(
+            actual,
+            expected,
+            "fixture {} diverged from its .expected file",
+            path.display()
+        );
+    }
+}
+
+/// The reasoned directive in the wall-clock fixture must actually
+/// suppress (not merely hide) — the suppression count proves the
+/// allowlist path ran.
+#[test]
+fn fixtures_report_suppressions() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/ui");
+    let cfg = LintConfig::default_config();
+    let source = fs::read_to_string(dir.join("wall_clock.rs")).expect("fixture readable");
+    let report = lint_source("crates/des/src/wall_clock_fixture.rs", &source, &cfg);
+    assert_eq!(report.suppressed, 1);
+}

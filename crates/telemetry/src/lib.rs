@@ -37,6 +37,7 @@ pub mod manifest;
 pub mod metrics;
 pub mod recorder;
 pub mod tracer;
+pub mod wall;
 
 pub use manifest::RunManifest;
 pub use metrics::{Counter, Gauge, Tally};

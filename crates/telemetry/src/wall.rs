@@ -1,0 +1,68 @@
+//! Wall-clock access for measurement code — the *only* sanctioned door
+//! to the host clock.
+//!
+//! Simulation code must never read wall time: host speed would leak
+//! into results and break the serial ≡ parallel determinism contract
+//! (see `lint.toml`, lint `wall-clock-in-sim`). Measurement layers do
+//! legitimately need it — run manifests report how long a campaign
+//! took, profilers bracket spans in real time. Those layers call this
+//! module instead of `std::time::Instant` directly, so the workspace
+//! linter can allowlist exactly one crate (`atlarge-telemetry`) and
+//! flag every other wall-clock read as a determinism bug.
+//!
+//! The contract for callers: a [`Stopwatch`] reading may feed *reports*
+//! (manifest `wall_ms` fields, profiler output) but never *results* —
+//! nothing compared for equality between runs, nothing written to
+//! result JSONL lines that `trace_lens diff` gates on.
+
+use std::time::Instant;
+
+/// A started wall-clock timer.
+///
+/// # Examples
+///
+/// ```
+/// use atlarge_telemetry::wall::Stopwatch;
+///
+/// let sw = Stopwatch::start();
+/// let ms = sw.elapsed_ms();
+/// assert!(ms >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Milliseconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_ms(&self) -> f64 {
+        self.started.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotonic_and_nonnegative() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_ms();
+        let b = sw.elapsed_ms();
+        assert!(a >= 0.0);
+        assert!(b >= a);
+        assert!((sw.elapsed_secs() * 1e3 - sw.elapsed_ms()).abs() < 1e3);
+    }
+}

@@ -6,7 +6,7 @@ use atlarge::exp::seed::derive_seed;
 use atlarge::exp::{Campaign, Scenario};
 use atlarge::telemetry::tracer::Tracer;
 use proptest::prelude::*;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// A stochastic scenario: a seeded random walk whose outcome depends on
 /// every bit of the seed and on the configured length.
@@ -87,7 +87,7 @@ proptest! {
         root in 0u64..u64::MAX,
         replication in 0u64..4,
     ) {
-        let mut seen = HashSet::with_capacity(10_000);
+        let mut seen = BTreeSet::new();
         for cell in 0..10_000u64 {
             prop_assert!(
                 seen.insert(derive_seed(root, cell, replication)),
@@ -100,7 +100,7 @@ proptest! {
     /// and cells from replications: the two derivation axes do not alias.
     #[test]
     fn prop_seed_axes_do_not_alias(root in 0u64..u64::MAX) {
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         for cell in 0..100u64 {
             for replication in 0..100u64 {
                 prop_assert!(
@@ -110,4 +110,30 @@ proptest! {
             }
         }
     }
+}
+
+/// Two executions of the same campaign render byte-identical output —
+/// the end-to-end regression guard for the `unordered-iteration` lint:
+/// no iteration-order nondeterminism anywhere between scenario outcomes
+/// and the exported JSONL (the manifest line's digest included).
+#[test]
+fn identical_campaign_output_across_two_runs() {
+    let render = || {
+        let r = walk_campaign(4, 3, 2026, 4);
+        let mut buf = Vec::new();
+        let mean: &dyn Fn(&f64) -> f64 = &|&y| y;
+        r.write_metrics_jsonl(&mut buf, &[("walk", mean)])
+            .expect("in-memory write succeeds");
+        // Drop the manifest's wall_ms field (report-only, wall-clock):
+        // everything else must match byte-for-byte.
+        let text = String::from_utf8(buf).expect("JSONL is UTF-8");
+        text.lines()
+            .map(|l| match l.find("\"wall_ms\"") {
+                Some(i) => &l[..i],
+                None => l,
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(render(), render());
 }
