@@ -347,7 +347,9 @@ fn run_impl<A: Autoscaler>(
         arrived: 0,
         recorder: recorder.clone(),
     };
-    let mut sim = Simulation::new(model, seed);
+    // All task arrivals plus the scaler tick are scheduled up front;
+    // pre-size the event queue so the fill phase never reallocates.
+    let mut sim = Simulation::with_capacity(model, seed, submits.len() + 1);
     if let Some(rec) = recorder {
         sim = sim.with_tracer(rec);
     }

@@ -1,0 +1,299 @@
+//! DES kernel scheduling throughput: calendar queue vs binary heap.
+//!
+//! The kernel's future-event list is the hottest structure in every
+//! domain experiment, so its throughput is tracked as a committed
+//! baseline: `BENCH_des_kernel.json` at the workspace root, regenerated
+//! by running this bench without `--test`. Three workloads:
+//!
+//! - **hold** — the classic calendar-queue benchmark (Brown, CACM '88):
+//!   pop the minimum, push a replacement a random increment ahead, at a
+//!   steady pending population of 1e4 / 1e5 / 1e6. This is the regime
+//!   domain simulators live in and where the amortised-O(1) calendar
+//!   must beat the O(log n) heap.
+//! - **churn** — bursty push-then-pop batches over the same pending
+//!   populations, stressing insert cost and cursor re-seeks.
+//! - **chain** — a 200k self-scheduling event chain through the full
+//!   `Simulation` dispatch loop, untraced vs `NullTracer`, validating
+//!   that the split traced/untraced loop keeps tracing free when off.
+//!
+//! `--test` runs a seconds-scale smoke of every code path (CI); the
+//! full run reports medians and rewrites the JSON baseline.
+
+use atlarge_des::calendar::CalendarQueue;
+use atlarge_des::fel::{BinaryHeapFel, FutureEventList};
+use atlarge_des::queue::EventQueue;
+use atlarge_des::sim::{Ctx, Model, Simulation};
+use atlarge_telemetry::tracer::{EventLabel, NullTracer};
+use criterion::{criterion_group, Criterion};
+use std::time::Instant;
+
+/// Span of pending-event times; hold pushes land in `[now, now + SPAN)`.
+const SPAN: f64 = 1000.0;
+/// Pops+pushes measured per hold/churn repetition.
+const OPS: usize = 200_000;
+/// Events in the self-scheduling chain workload.
+const CHAIN_LEN: u64 = 200_000;
+
+/// Deterministic uniform(0,1) draws (splitmix-style LCG); benches must
+/// not depend on a seeded RNG crate so the two backends see byte-equal
+/// schedules.
+fn lcg(x: &mut u64) -> f64 {
+    *x = x
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    ((*x >> 11) as f64) / (1u64 << 53) as f64
+}
+
+fn prefill<F: FutureEventList<u64>>(pending: usize, seed: u64) -> EventQueue<u64, F> {
+    let mut q: EventQueue<u64, F> = EventQueue::default();
+    q.reserve(pending);
+    let mut x = seed;
+    for i in 0..pending {
+        q.push(lcg(&mut x) * SPAN, i as u64);
+    }
+    q
+}
+
+/// One hold step: pop the minimum, reschedule it a random increment ahead.
+fn hold_step<F: FutureEventList<u64>>(q: &mut EventQueue<u64, F>, x: &mut u64) {
+    let (t, _, _, p) = q.pop_entry().expect("hold queue is never empty");
+    q.push(t + lcg(x) * SPAN, p);
+}
+
+/// Seconds for `OPS` hold steps at a steady `pending` population.
+fn hold_secs<F: FutureEventList<u64>>(pending: usize, ops: usize, seed: u64) -> f64 {
+    let mut q = prefill::<F>(pending, seed);
+    let mut x = seed ^ 0x5851_f42d_4c95_7f2d;
+    for _ in 0..ops / 8 {
+        hold_step(&mut q, &mut x); // settle calibration before timing
+    }
+    let t0 = Instant::now();
+    for _ in 0..ops {
+        hold_step(&mut q, &mut x);
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+/// Seconds for `ops` operations of bursty churn (push 64, pop 64) on top
+/// of a steady `pending` population.
+fn churn_secs<F: FutureEventList<u64>>(pending: usize, ops: usize, seed: u64) -> f64 {
+    const BURST: usize = 64;
+    let mut q = prefill::<F>(pending, seed);
+    let mut x = seed ^ 0x9e37_79b9_7f4a_7c15;
+    let mut now = 0.0f64;
+    let rounds = ops / (2 * BURST);
+    let t0 = Instant::now();
+    for i in 0..rounds {
+        for j in 0..BURST {
+            q.push(now + lcg(&mut x) * SPAN, (i * BURST + j) as u64);
+        }
+        for _ in 0..BURST {
+            let (t, _, _, p) = q.pop_entry().expect("churn queue is never empty");
+            now = t;
+            std::hint::black_box(p);
+        }
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+struct Tick;
+
+impl EventLabel for Tick {
+    fn label(&self) -> &'static str {
+        "tick"
+    }
+}
+
+struct Chain {
+    remaining: u64,
+}
+
+impl Model for Chain {
+    type Event = Tick;
+
+    fn handle(&mut self, _ev: Tick, ctx: &mut Ctx<Tick>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.schedule_in(1.0, Tick);
+        }
+    }
+}
+
+/// Seconds to dispatch a `len`-event chain through the full kernel loop.
+fn chain_secs(len: u64, traced: bool) -> f64 {
+    let mut sim = Simulation::with_capacity(Chain { remaining: len }, 1, 4);
+    if traced {
+        sim = sim.with_tracer(NullTracer);
+    }
+    sim.schedule(0.0, Tick);
+    let t0 = Instant::now();
+    sim.run();
+    let dt = t0.elapsed().as_secs_f64();
+    std::hint::black_box(sim.now());
+    dt
+}
+
+/// Median of `reps` measurements.
+fn median(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
+    let mut v: Vec<f64> = (0..reps).map(|_| f()).collect();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    v[v.len() / 2]
+}
+
+/// Criterion registrations: per-op medians for quick eyeballing. The
+/// JSON baseline below is the artifact of record.
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des_kernel");
+    g.sample_size(10);
+    for &pending in &[10_000usize, 100_000] {
+        g.bench_function(&format!("hold/calendar/{pending}"), |b| {
+            let mut q = prefill::<CalendarQueue<u64>>(pending, 7);
+            let mut x = 99u64;
+            b.iter(|| hold_step(&mut q, &mut x));
+        });
+        g.bench_function(&format!("hold/heap/{pending}"), |b| {
+            let mut q = prefill::<BinaryHeapFel<u64>>(pending, 7);
+            let mut x = 99u64;
+            b.iter(|| hold_step(&mut q, &mut x));
+        });
+    }
+    g.bench_function("chain/untraced", |b| b.iter(|| chain_secs(20_000, false)));
+    g.bench_function("chain/null_tracer", |b| b.iter(|| chain_secs(20_000, true)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+struct Row {
+    pending: usize,
+    heap_mops: f64,
+    calendar_mops: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.calendar_mops / self.heap_mops
+    }
+}
+
+fn measure_rows(
+    reps: usize,
+    ops: usize,
+    pendings: &[usize],
+    secs: fn(usize, usize, u64) -> f64,
+    heap_secs: fn(usize, usize, u64) -> f64,
+) -> Vec<Row> {
+    pendings
+        .iter()
+        .map(|&pending| Row {
+            pending,
+            heap_mops: ops as f64 / median(reps, || heap_secs(pending, ops, 42)) / 1e6,
+            calendar_mops: ops as f64 / median(reps, || secs(pending, ops, 42)) / 1e6,
+        })
+        .collect()
+}
+
+fn json_rows(rows: &[Row]) -> String {
+    let items: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"pending\": {}, \"heap_mops\": {:.2}, \"calendar_mops\": {:.2}, \"speedup\": {:.2}}}",
+                r.pending,
+                r.heap_mops,
+                r.calendar_mops,
+                r.speedup()
+            )
+        })
+        .collect();
+    items.join(",\n")
+}
+
+fn print_rows(kind: &str, rows: &[Row]) {
+    for r in rows {
+        println!(
+            "  {kind} @ {:>7} pending: heap {:.2} Mops/s, calendar {:.2} Mops/s ({:.2}x)",
+            r.pending,
+            r.heap_mops,
+            r.calendar_mops,
+            r.speedup()
+        );
+    }
+}
+
+/// Full measurement pass: medians over `reps`, printed and written to
+/// `BENCH_des_kernel.json` at the workspace root.
+fn baseline() {
+    let pendings = [10_000usize, 100_000, 1_000_000];
+    let reps = 5;
+    println!("des_kernel baseline ({OPS} ops per measurement, median of {reps} runs):");
+    let hold = measure_rows(
+        reps,
+        OPS,
+        &pendings,
+        hold_secs::<CalendarQueue<u64>>,
+        hold_secs::<BinaryHeapFel<u64>>,
+    );
+    print_rows("hold ", &hold);
+    let churn = measure_rows(
+        reps,
+        OPS,
+        &pendings,
+        churn_secs::<CalendarQueue<u64>>,
+        churn_secs::<BinaryHeapFel<u64>>,
+    );
+    print_rows("churn", &churn);
+    let untraced = median(9, || chain_secs(CHAIN_LEN, false));
+    let null = median(9, || chain_secs(CHAIN_LEN, true));
+    let untraced_mops = CHAIN_LEN as f64 / untraced / 1e6;
+    let null_mops = CHAIN_LEN as f64 / null / 1e6;
+    let overhead_pct = (null / untraced - 1.0) * 100.0;
+    println!(
+        "  chain ({CHAIN_LEN} events): untraced {untraced_mops:.2} Mops/s, NullTracer {null_mops:.2} Mops/s ({overhead_pct:+.2}%)"
+    );
+
+    let json = format!(
+        "{{\n  \"schema\": \"atlarge-bench/des_kernel/v1\",\n  \"ops_per_measurement\": {OPS},\n  \"median_of_runs\": {reps},\n  \"time_span\": {SPAN:.1},\n  \"hold\": [\n{}\n  ],\n  \"churn\": [\n{}\n  ],\n  \"chain\": {{\n    \"events\": {CHAIN_LEN},\n    \"untraced_mops\": {untraced_mops:.2},\n    \"null_tracer_mops\": {null_mops:.2},\n    \"null_overhead_pct\": {overhead_pct:.2}\n  }}\n}}\n",
+        json_rows(&hold),
+        json_rows(&churn),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_des_kernel.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// Seconds-scale smoke of every measured code path, for CI.
+fn smoke() {
+    let hold = measure_rows(
+        1,
+        5_000,
+        &[2_000],
+        hold_secs::<CalendarQueue<u64>>,
+        hold_secs::<BinaryHeapFel<u64>>,
+    );
+    let churn = measure_rows(
+        1,
+        5_000,
+        &[2_000],
+        churn_secs::<CalendarQueue<u64>>,
+        churn_secs::<BinaryHeapFel<u64>>,
+    );
+    let chain = chain_secs(5_000, false) + chain_secs(5_000, true);
+    assert!(hold[0].heap_mops > 0.0 && hold[0].calendar_mops > 0.0);
+    assert!(churn[0].heap_mops > 0.0 && churn[0].calendar_mops > 0.0);
+    assert!(chain > 0.0);
+    println!("des_kernel smoke: hold/churn/chain paths all ran (--test mode, no JSON written)");
+}
+
+fn main() {
+    // The vendored criterion shim ignores CLI flags, so honor Criterion's
+    // `--test` contract (run everything briefly, measure nothing) here.
+    if std::env::args().any(|a| a == "--test") {
+        smoke();
+        return;
+    }
+    benches();
+    baseline();
+}

@@ -16,6 +16,14 @@
 //! untraced path too — the chain (one schedule per dispatch) and the
 //! fan-out tree (two, the per-schedule worst case) both keep the
 //! NullTracer ratio under the same 2% bound.
+//!
+//! Since the run loop split into monomorphized traced/untraced bodies
+//! (selected once per `run_until` call), the "one branch per hook site"
+//! story changed: the untraced body now carries *no* per-dispatch tracer
+//! branch at all. The sliced-run section below re-validates the ≈0%
+//! NullTracer bound on that shape, driving the same chain through many
+//! short `run_until` horizons so the per-call loop selection itself is
+//! also inside the measurement.
 
 use atlarge_des::sim::{Ctx, Model, Simulation};
 use atlarge_telemetry::recorder::Recorder;
@@ -108,6 +116,39 @@ fn run_fanout_null_traced() -> f64 {
     sim.now()
 }
 
+/// Drives the chain through many short `run_until` horizons instead of
+/// one free run, so the per-call traced/untraced loop selection is part
+/// of the measurement.
+fn run_sliced(traced: bool) -> f64 {
+    let mut sim = Simulation::new(
+        Chain {
+            remaining: CHAIN_LEN,
+        },
+        1,
+    );
+    if traced {
+        sim = sim.with_tracer(NullTracer);
+    }
+    sim.schedule(0.0, Tick);
+    let mut horizon = 0.0;
+    while !sim.is_stopped() {
+        horizon += 1000.0;
+        sim.run_until(horizon);
+        if sim.now() < horizon {
+            break; // queue drained inside this slice
+        }
+    }
+    sim.now()
+}
+
+fn run_untraced_sliced() -> f64 {
+    run_sliced(false)
+}
+
+fn run_null_traced_sliced() -> f64 {
+    run_sliced(true)
+}
+
 fn run_recorded() -> f64 {
     let rec = Recorder::with_trace_capacity(1024);
     let mut sim = Simulation::new(
@@ -143,6 +184,8 @@ fn bench(c: &mut Criterion) {
     g.bench_function("recorder", |b| b.iter(run_recorded));
     g.bench_function("fanout_untraced", |b| b.iter(run_fanout_untraced));
     g.bench_function("fanout_null_tracer", |b| b.iter(run_fanout_null_traced));
+    g.bench_function("sliced_untraced", |b| b.iter(run_untraced_sliced));
+    g.bench_function("sliced_null_tracer", |b| b.iter(run_null_traced_sliced));
     g.finish();
 
     // Warm up, then report the headline ratios.
@@ -154,9 +197,12 @@ fn bench(c: &mut Criterion) {
     let rec = median_secs(15, run_recorded);
     let fan_base = median_secs(15, run_fanout_untraced);
     let fan_null = median_secs(15, run_fanout_null_traced);
+    let sliced_base = median_secs(15, run_untraced_sliced);
+    let sliced_null = median_secs(15, run_null_traced_sliced);
     let null_overhead = (null / base - 1.0) * 100.0;
     let rec_overhead = (rec / base - 1.0) * 100.0;
     let fan_overhead = (fan_null / fan_base - 1.0) * 100.0;
+    let sliced_overhead = (sliced_null / sliced_base - 1.0) * 100.0;
     println!("telemetry overhead over {CHAIN_LEN} kernel events (median of 15 runs):");
     println!("  untraced:    {:.2} ms (baseline)", base * 1e3);
     println!(
@@ -169,6 +215,12 @@ fn bench(c: &mut Criterion) {
     println!(
         "  NullTracer:  {:.2} ms ({fan_overhead:+.2}% — target < 2%)",
         fan_null * 1e3
+    );
+    println!("sliced run_until (split-loop selection once per 1000-event slice):");
+    println!("  untraced:    {:.2} ms (baseline)", sliced_base * 1e3);
+    println!(
+        "  NullTracer:  {:.2} ms ({sliced_overhead:+.2}% — target < 2%)",
+        sliced_null * 1e3
     );
 }
 

@@ -157,7 +157,9 @@ pub fn run_cluster(
         queued_peak: 0,
         recorder: rec.cloned(),
     };
-    let mut sim = Simulation::new(model, seed);
+    // All arrivals are scheduled up front; pre-size the event queue so
+    // the fill phase never reallocates.
+    let mut sim = Simulation::with_capacity(model, seed, arrivals.len());
     if let Some(rec) = rec {
         sim = sim.with_tracer(rec.clone());
     }

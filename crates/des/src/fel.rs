@@ -1,0 +1,217 @@
+//! The sealed future-event-list (FEL) abstraction behind
+//! [`EventQueue`](crate::queue::EventQueue).
+//!
+//! A FEL is the kernel's priority structure: it stores [`Entry`] values
+//! and yields them in strictly increasing `(time, seq)` order. Two
+//! implementations exist:
+//!
+//! - [`CalendarQueue`](crate::calendar::CalendarQueue) — the default: a
+//!   Brown-style bucketed ring with adaptive bucket width and a
+//!   sorted-overflow far-future band. Amortised O(1) insert and pop.
+//! - [`BinaryHeapFel`] — the original `std::collections::BinaryHeap`
+//!   backend, O(log n) per operation. Retained as the reference
+//!   implementation: the equivalence suite runs both side by side on
+//!   adversarial schedules and asserts identical pop sequences, and the
+//!   `des_kernel` bench measures the speedup against it.
+//!
+//! The trait is **sealed**: the total order over `(time, seq)` is the
+//! reproducibility contract of every simulation in the workspace, and
+//! only implementations proven equivalent by the in-tree suite may back
+//! an `EventQueue`.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+/// A scheduled event: fires at `time`, with `seq` breaking ties so
+/// simultaneous events run in scheduling order (FIFO at equal times).
+/// `parent` is the id (`seq`) of the event whose handler scheduled this
+/// one, or `None` for externally scheduled roots — the provenance edge
+/// causal trace analysis walks.
+#[derive(Debug, Clone)]
+pub struct Entry<E> {
+    /// Absolute simulated firing time. Always finite and non-negative
+    /// (enforced at the `EventQueue` API boundary).
+    pub time: f64,
+    /// Dense, unique sequence number — the event's id and the tie-break.
+    pub seq: u64,
+    /// Causal parent id, `None` for external roots.
+    pub parent: Option<u64>,
+    /// The event payload.
+    pub event: E,
+}
+
+impl<E> Entry<E> {
+    /// The total-order key: lexicographic `(time, seq)`.
+    #[inline]
+    pub fn key(&self) -> (f64, u64) {
+        (self.time, self.seq)
+    }
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Ascending (time, seq): the natural pop order. `total_cmp`
+        // keeps this hot comparison panic-free; `push_from` already
+        // rejects non-finite times at the API boundary, where IEEE
+        // total order and the usual `<` agree.
+        self.time
+            .total_cmp(&other.time)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+mod private {
+    /// Seals [`super::FutureEventList`]: only in-tree backends proven
+    /// order-equivalent may implement it.
+    pub trait Sealed {}
+}
+
+impl<E> private::Sealed for BinaryHeapFel<E> {}
+impl<E> private::Sealed for crate::calendar::CalendarQueue<E> {}
+
+/// A deterministic future-event list: entries come back in strictly
+/// increasing `(time, seq)` order.
+///
+/// This trait is sealed; see the [module docs](self) for why. All
+/// methods must preserve one invariant — for any interleaving of
+/// `insert` and `pop_min`, the popped `(time, seq)` pairs are exactly
+/// the sorted order of the inserted keys still present.
+pub trait FutureEventList<E>: private::Sealed {
+    /// Creates a FEL pre-sized for about `events` pending entries.
+    fn with_capacity(events: usize) -> Self;
+
+    /// Adds an entry. Keys (`(time, seq)`) are unique by construction:
+    /// `EventQueue` assigns `seq` from a dense counter.
+    fn insert(&mut self, entry: Entry<E>);
+
+    /// Removes and returns the entry with the smallest `(time, seq)`.
+    fn pop_min(&mut self) -> Option<Entry<E>>;
+
+    /// Removes and returns the minimum entry only if its time is at
+    /// most `horizon` — the single-traversal fused peek-then-pop the
+    /// dispatch loop runs on.
+    fn pop_min_until(&mut self, horizon: f64) -> Option<Entry<E>>;
+
+    /// Time of the minimum entry without removing it.
+    fn peek_min_time(&self) -> Option<f64>;
+
+    /// Number of stored entries.
+    fn len(&self) -> usize;
+
+    /// Whether no entries are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes all entries.
+    fn clear(&mut self);
+
+    /// Pre-reserves room for `additional` more entries.
+    fn reserve(&mut self, additional: usize);
+}
+
+/// The reference FEL: a `std::collections::BinaryHeap` min-ordered via
+/// [`Reverse`]. O(log n) insert and pop, with a full `(time, seq)`
+/// comparison at every sift step — the cost profile the calendar queue
+/// exists to beat. Kept for the side-by-side equivalence proptests and
+/// the `des_kernel` benchmark.
+#[derive(Debug)]
+pub struct BinaryHeapFel<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+}
+
+impl<E> Default for BinaryHeapFel<E> {
+    fn default() -> Self {
+        Self::with_capacity(0)
+    }
+}
+
+impl<E> FutureEventList<E> for BinaryHeapFel<E> {
+    fn with_capacity(events: usize) -> Self {
+        BinaryHeapFel {
+            heap: BinaryHeap::with_capacity(events),
+        }
+    }
+
+    fn insert(&mut self, entry: Entry<E>) {
+        self.heap.push(Reverse(entry));
+    }
+
+    fn pop_min(&mut self) -> Option<Entry<E>> {
+        self.heap.pop().map(|r| r.0)
+    }
+
+    fn pop_min_until(&mut self, horizon: f64) -> Option<Entry<E>> {
+        match self.heap.peek() {
+            Some(r) if r.0.time <= horizon => self.heap.pop().map(|r| r.0),
+            _ => None,
+        }
+    }
+
+    fn peek_min_time(&self) -> Option<f64> {
+        self.heap.peek().map(|r| r.0.time)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_order_is_time_then_seq() {
+        let e = |time, seq| Entry {
+            time,
+            seq,
+            parent: None,
+            event: (),
+        };
+        assert!(e(1.0, 5) < e(2.0, 0));
+        assert!(e(1.0, 1) < e(1.0, 2));
+        assert_eq!(e(1.0, 1), e(1.0, 1));
+    }
+
+    #[test]
+    fn heap_fel_pops_sorted_and_honours_horizon() {
+        let mut fel = BinaryHeapFel::with_capacity(4);
+        for (t, s) in [(3.0, 0), (1.0, 1), (2.0, 2), (1.0, 3)] {
+            fel.insert(Entry {
+                time: t,
+                seq: s,
+                parent: None,
+                event: s,
+            });
+        }
+        assert_eq!(fel.peek_min_time(), Some(1.0));
+        assert!(fel.pop_min_until(0.5).is_none());
+        let a = fel.pop_min_until(1.0).map(|e| e.key());
+        assert_eq!(a, Some((1.0, 1)));
+        let rest: Vec<_> = std::iter::from_fn(|| fel.pop_min().map(|e| e.key())).collect();
+        assert_eq!(rest, vec![(1.0, 3), (2.0, 2), (3.0, 0)]);
+        assert!(fel.is_empty());
+    }
+}

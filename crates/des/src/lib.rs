@@ -12,11 +12,20 @@
 //! - [`queue::EventQueue`] — a total-order priority queue over
 //!   `(time, sequence)` pairs, so simultaneous events fire in insertion
 //!   order.
+//! - [`fel`] — the sealed [`fel::FutureEventList`] abstraction the queue
+//!   stores through: the amortised-O(1) [`calendar::CalendarQueue`]
+//!   (default) and the O(log n) reference [`fel::BinaryHeapFel`], proven
+//!   pop-for-pop identical by the side-by-side equivalence suite.
 //! - [`sim::Simulation`] / [`sim::Model`] — the engine: a model consumes
 //!   events and schedules new ones through a [`sim::Ctx`], which also carries
-//!   the seeded RNG.
+//!   the seeded RNG. The dispatch loop is monomorphized into split
+//!   traced/untraced bodies and pops through a fused peek-then-pop.
 //! - [`queueing`] — analytic M/M/c results (Erlang C) used to *validate*
 //!   the kernel against theory in the test suite.
+//!
+//! Kernel throughput is tracked by the `des_kernel` Criterion bench in
+//! `atlarge-bench`, whose summary is committed as `BENCH_des_kernel.json`
+//! at the workspace root.
 //!
 //! Metric types (counters, gauges, tallies) live in `atlarge-telemetry`;
 //! the old `monitor` module that once aliased them has been removed.
@@ -62,10 +71,14 @@
 //! assert_eq!(sim.now(), 2.0);
 //! ```
 
+pub mod calendar;
+pub mod fel;
 pub mod queue;
 pub mod queueing;
 pub mod sim;
 
 pub use atlarge_telemetry::tracer::{EventLabel, NullTracer, Tracer};
+pub use calendar::CalendarQueue;
+pub use fel::{BinaryHeapFel, FutureEventList};
 pub use queue::EventQueue;
 pub use sim::{Ctx, Model, Simulation};

@@ -1,52 +1,21 @@
 //! The event queue: a total-order priority queue over simulated time.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
-/// A scheduled entry: fires at `time`, with `seq` breaking ties so
-/// simultaneous events run in scheduling order (FIFO at equal times).
-/// `parent` is the id (`seq`) of the event whose handler scheduled this
-/// one, or `None` for externally scheduled roots — the provenance edge
-/// causal trace analysis walks.
-#[derive(Debug)]
-struct Entry<E> {
-    time: f64,
-    seq: u64,
-    parent: Option<u64>,
-    event: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we need earliest-first.
-        // `total_cmp` keeps this hot comparison panic-free; `push_from`
-        // already rejects non-finite times at the API boundary, where
-        // IEEE total order and the usual `<` agree.
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
+use crate::calendar::CalendarQueue;
+use crate::fel::{Entry, FutureEventList};
+use std::marker::PhantomData;
 
 /// A deterministic future-event list.
 ///
 /// Events pop in non-decreasing time order; events scheduled for the same
 /// instant pop in the order they were pushed. This total order is what makes
 /// simulation runs reproducible byte-for-byte.
+///
+/// The storage behind the queue is a sealed [`FutureEventList`] backend,
+/// defaulting to the amortised-O(1) [`CalendarQueue`]. The reference
+/// [`BinaryHeapFel`](crate::fel::BinaryHeapFel) backend is retained for the
+/// equivalence suite and the `des_kernel` benchmark; both backends pop the
+/// byte-for-byte identical `(time, seq, parent, event)` sequence on any
+/// schedule.
 ///
 /// # Examples
 ///
@@ -63,20 +32,30 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(q.pop(), None);
 /// ```
 #[derive(Debug)]
-pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+pub struct EventQueue<E, F: FutureEventList<E> = CalendarQueue<E>> {
+    fel: F,
     seq: u64,
+    _event: PhantomData<fn() -> E>,
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue on the default calendar-queue backend.
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            seq: 0,
-        }
+        Self::default()
     }
 
+    /// Creates an empty queue pre-sized for about `events` pending
+    /// events, so steady-state scheduling stays allocation-free.
+    pub fn with_capacity(events: usize) -> Self {
+        EventQueue {
+            fel: CalendarQueue::with_capacity(events),
+            seq: 0,
+            _event: PhantomData,
+        }
+    }
+}
+
+impl<E, F: FutureEventList<E>> EventQueue<E, F> {
     /// Schedules `event` at absolute `time` as a causal root (no parent).
     /// Returns the event's id (its sequence number).
     ///
@@ -103,7 +82,7 @@ impl<E> EventQueue<E> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry {
+        self.fel.insert(Entry {
             time,
             seq,
             parent,
@@ -114,7 +93,7 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the earliest event as `(time, event)`.
     pub fn pop(&mut self) -> Option<(f64, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        self.fel.pop_min().map(|e| (e.time, e.event))
     }
 
     /// Removes and returns the earliest event as
@@ -124,39 +103,66 @@ impl<E> EventQueue<E> {
     /// is strictly increasing — the total order that makes runs
     /// reproducible, and that trace tooling can sort on.
     pub fn pop_entry(&mut self) -> Option<(f64, u64, Option<u64>, E)> {
-        self.heap.pop().map(|e| (e.time, e.seq, e.parent, e.event))
+        self.fel
+            .pop_min()
+            .map(|e| (e.time, e.seq, e.parent, e.event))
+    }
+
+    /// [`EventQueue::pop_entry`], but only if the earliest event's time
+    /// is at most `horizon`. This is the dispatch loop's fused
+    /// peek-then-pop: one backend traversal instead of two.
+    pub fn pop_entry_until(&mut self, horizon: f64) -> Option<(f64, u64, Option<u64>, E)> {
+        self.fel
+            .pop_min_until(horizon)
+            .map(|e| (e.time, e.seq, e.parent, e.event))
     }
 
     /// Time of the next event without removing it.
     pub fn peek_time(&self) -> Option<f64> {
-        self.heap.peek().map(|e| e.time)
+        self.fel.peek_min_time()
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.fel.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.fel.is_empty()
     }
 
     /// Removes all pending events.
+    ///
+    /// The sequence counter keeps running: event ids stay unique (and
+    /// monotone) across a `clear()`, so causal traces that straddle a
+    /// reset never alias two events onto one id. A future "reset"
+    /// refactor must preserve this — see the regression test
+    /// `clear_does_not_reuse_ids`.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        self.fel.clear();
+    }
+
+    /// Pre-reserves room for `additional` more pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.fel.reserve(additional);
     }
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E, F: FutureEventList<E>> Default for EventQueue<E, F> {
     fn default() -> Self {
-        Self::new()
+        EventQueue {
+            fel: F::with_capacity(0),
+            seq: 0,
+            _event: PhantomData,
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fel::BinaryHeapFel;
     use proptest::prelude::*;
 
     #[test]
@@ -196,6 +202,43 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn clear_does_not_reuse_ids() {
+        // `clear()` keeps the sequence counter running: ids stay unique
+        // across clears, so trace tooling can never see one id name two
+        // different events. Regression-guards any future "reset" work.
+        let mut q = EventQueue::new();
+        let a = q.push(1.0, "a");
+        let b = q.push(2.0, "b");
+        q.clear();
+        let c = q.push(0.5, "c");
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(c, 2, "ids must continue, not restart, after clear()");
+        assert_eq!(q.pop_entry(), Some((0.5, 2, None, "c")));
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut q = EventQueue::with_capacity(1024);
+        assert!(q.is_empty());
+        q.push(2.0, "b");
+        q.push(1.0, "a");
+        assert_eq!(q.pop(), Some((1.0, "a")));
+        assert_eq!(q.pop(), Some((2.0, "b")));
+    }
+
+    #[test]
+    fn pop_entry_until_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.push(1.0, "a");
+        q.push(3.0, "b");
+        assert_eq!(q.pop_entry_until(0.5), None);
+        assert_eq!(q.pop_entry_until(1.0), Some((1.0, 0, None, "a")));
+        assert_eq!(q.pop_entry_until(2.0), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_entry_until(f64::INFINITY), Some((3.0, 1, None, "b")));
     }
 
     #[test]
@@ -292,6 +335,26 @@ mod tests {
                 n += 1;
             }
             prop_assert_eq!(n, times.len());
+        }
+
+        /// The heap backend satisfies the same contract the calendar
+        /// default is tested on above (the full adversarial side-by-side
+        /// suite lives in tests/fel_equivalence.rs).
+        #[test]
+        fn prop_heap_backend_total_order(
+            times in proptest::collection::vec(0.0f64..100.0, 1..200),
+        ) {
+            let mut q = EventQueue::<usize, BinaryHeapFel<usize>>::default();
+            for (i, &t) in times.iter().enumerate() {
+                q.push((t * 4.0).round() / 4.0, i);
+            }
+            let mut prev: Option<(f64, u64)> = None;
+            while let Some((t, seq, _, _)) = q.pop_entry() {
+                if let Some(p) = prev {
+                    prop_assert!((t, seq) > p);
+                }
+                prev = Some((t, seq));
+            }
         }
     }
 }

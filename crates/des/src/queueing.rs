@@ -165,7 +165,13 @@ pub fn simulate_mmc(lambda: f64, mu: f64, servers: usize, jobs: usize, seed: u64
     sim.schedule(0.0, StationEvent::Arrival);
     sim.run();
     let m = sim.model();
-    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let mean = |v: &[f64]| {
+        let mut total = 0.0;
+        for x in v {
+            total += x;
+        }
+        total / v.len().max(1) as f64
+    };
     (mean(m.waits()), mean(m.responses()))
 }
 

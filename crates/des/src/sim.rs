@@ -78,10 +78,16 @@ impl<E> Ctx<E> {
     /// Panics if `time` precedes the current time.
     pub fn schedule_at(&mut self, time: f64, event: E) {
         assert!(time >= self.now, "cannot schedule into the past");
-        let label = self.tracer.as_ref().map(|_| (self.labeler)(&event));
-        let id = self.queue.push_from(time, self.current, event);
-        if let (Some(tracer), Some(label)) = (&self.tracer, label) {
-            tracer.on_schedule(self.now, time, label, id, self.current);
+        // One branch on the untraced hot path; the label is only built
+        // when somebody is listening.
+        if self.tracer.is_some() {
+            let label = (self.labeler)(&event);
+            let id = self.queue.push_from(time, self.current, event);
+            if let Some(tracer) = &self.tracer {
+                tracer.on_schedule(self.now, time, label, id, self.current);
+            }
+        } else {
+            self.queue.push_from(time, self.current, event);
         }
     }
 
@@ -157,11 +163,19 @@ pub struct Simulation<M: Model> {
 impl<M: Model> Simulation<M> {
     /// Creates a simulation over `model`, seeding the RNG with `seed`.
     pub fn new(model: M, seed: u64) -> Self {
+        Self::with_capacity(model, seed, 0)
+    }
+
+    /// [`Simulation::new`] with the event queue pre-sized for about
+    /// `events` pending events — worth passing wherever the initial
+    /// population is known (e.g. one event per arriving job, peer, or
+    /// invocation), so the fill phase stays allocation-quiet.
+    pub fn with_capacity(model: M, seed: u64, events: usize) -> Self {
         Simulation {
             model,
             ctx: Ctx {
                 now: 0.0,
-                queue: EventQueue::new(),
+                queue: EventQueue::with_capacity(events),
                 rng: StdRng::seed_from_u64(seed),
                 stopped: false,
                 processed: 0,
@@ -225,71 +239,82 @@ impl<M: Model> Simulation<M> {
     /// Runs until `horizon` (exclusive for later events), queue exhaustion,
     /// or [`Ctx::stop`]. Events at exactly `horizon` still execute. Returns
     /// the number of events processed in this call.
+    ///
+    /// The dispatch loop is monomorphized into a traced and an untraced
+    /// body, chosen once per call: the untraced hot path carries no
+    /// per-dispatch tracer branch at all.
     pub fn run_until(&mut self, horizon: f64) -> u64 {
+        if self.ctx.tracer.is_some() {
+            self.run_loop::<true>(horizon)
+        } else {
+            self.run_loop::<false>(horizon)
+        }
+    }
+
+    fn run_loop<const TRACED: bool>(&mut self, horizon: f64) -> u64 {
         let start = self.ctx.processed;
         while !self.ctx.stopped {
-            match self.ctx.queue.peek_time() {
-                Some(t) if t <= horizon => {
-                    // A successful peek guarantees the pop; the `else`
-                    // arm keeps the dispatch loop panic-free regardless.
-                    let Some((t, id, parent, ev)) = self.ctx.queue.pop_entry() else {
-                        debug_assert!(false, "peeked event vanished before pop");
-                        break;
-                    };
-                    debug_assert!(t >= self.ctx.now, "time must not go backwards");
-                    self.ctx.now = t;
-                    self.ctx.processed += 1;
-                    self.ctx.current = Some(id);
-                    if let Some(tracer) = &self.ctx.tracer {
-                        tracer.on_dispatch(
-                            t,
-                            (self.ctx.labeler)(&ev),
-                            self.ctx.queue.len(),
-                            id,
-                            parent,
-                        );
-                    }
-                    self.model.handle(ev, &mut self.ctx);
-                }
-                Some(_) => {
-                    // Next event is beyond the horizon; advance the clock to
-                    // the horizon so repeated bounded runs compose.
+            // Fused peek-then-pop: one queue traversal per dispatch.
+            let Some((t, id, parent, ev)) = self.ctx.queue.pop_entry_until(horizon) else {
+                if self.ctx.queue.peek_time().is_some() {
+                    // Next event is beyond the horizon; advance the clock
+                    // to the horizon so repeated bounded runs compose.
                     self.ctx.now = horizon;
-                    break;
+                }
+                break;
+            };
+            self.dispatch::<TRACED>(t, id, parent, ev);
+        }
+        if TRACED {
+            if let Some(tracer) = &self.ctx.tracer {
+                tracer.on_run_end(self.ctx.now, self.ctx.processed);
+            }
+        }
+        self.ctx.processed - start
+    }
+
+    /// The single dispatch body both [`Simulation::run_until`] and
+    /// [`Simulation::step`] execute: clock/bookkeeping updates, the
+    /// monotonicity check, the (compile-time-gated) tracer hook, and the
+    /// model callback.
+    #[inline(always)]
+    fn dispatch<const TRACED: bool>(&mut self, t: f64, id: u64, parent: Option<u64>, ev: M::Event) {
+        debug_assert!(t >= self.ctx.now, "time must not go backwards");
+        self.ctx.now = t;
+        self.ctx.processed += 1;
+        self.ctx.current = Some(id);
+        if TRACED {
+            if let Some(tracer) = &self.ctx.tracer {
+                tracer.on_dispatch(t, (self.ctx.labeler)(&ev), self.ctx.queue.len(), id, parent);
+            }
+        }
+        self.model.handle(ev, &mut self.ctx);
+    }
+
+    /// Runs at most `max_events` further events (subject to stop/drain).
+    /// Returns the number of events processed in this call.
+    ///
+    /// Shares the dispatch body (and thus the monotonicity check and the
+    /// end-of-run tracer hook) with [`Simulation::run_until`], so a
+    /// stepped run observes exactly what a free run does.
+    pub fn step(&mut self, max_events: u64) -> u64 {
+        let traced = self.ctx.tracer.is_some();
+        let mut n = 0;
+        while n < max_events && !self.ctx.stopped {
+            match self.ctx.queue.pop_entry() {
+                Some((t, id, parent, ev)) => {
+                    if traced {
+                        self.dispatch::<true>(t, id, parent, ev);
+                    } else {
+                        self.dispatch::<false>(t, id, parent, ev);
+                    }
+                    n += 1;
                 }
                 None => break,
             }
         }
         if let Some(tracer) = &self.ctx.tracer {
             tracer.on_run_end(self.ctx.now, self.ctx.processed);
-        }
-        self.ctx.processed - start
-    }
-
-    /// Runs at most `max_events` further events (subject to stop/drain).
-    /// Returns the number of events processed in this call.
-    pub fn step(&mut self, max_events: u64) -> u64 {
-        let mut n = 0;
-        while n < max_events && !self.ctx.stopped {
-            match self.ctx.queue.pop_entry() {
-                Some((t, id, parent, ev)) => {
-                    self.ctx.now = t;
-                    self.ctx.processed += 1;
-                    self.ctx.current = Some(id);
-                    if let Some(tracer) = &self.ctx.tracer {
-                        tracer.on_dispatch(
-                            t,
-                            (self.ctx.labeler)(&ev),
-                            self.ctx.queue.len(),
-                            id,
-                            parent,
-                        );
-                    }
-                    self.model.handle(ev, &mut self.ctx);
-                    n += 1;
-                }
-                None => break,
-            }
         }
         n
     }
@@ -533,6 +558,37 @@ mod tests {
         sim.schedule(1.0, E::Work);
         sim.run();
         assert_eq!(rec.span_stats()["work.body"].entries, 1);
+    }
+
+    #[test]
+    fn step_fires_on_run_end_like_run_until() {
+        // Regression guard for the old `step` body, which skipped the
+        // end-of-run tracer hook (and the monotonicity debug_assert) that
+        // `run_until` fired. Both paths now share `dispatch` and both must
+        // close with `on_run_end`.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        #[derive(Clone)]
+        struct RunEndCounter(Arc<AtomicU64>);
+        impl Tracer for RunEndCounter {
+            fn on_run_end(&self, _now: f64, _processed: u64) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let ends = Arc::new(AtomicU64::new(0));
+        let mut sim =
+            Simulation::new(Counter { fired: vec![] }, 1).with_tracer(RunEndCounter(ends.clone()));
+        sim.schedule(0.0, Ev::Tick(1));
+        assert_eq!(sim.step(2), 2);
+        assert_eq!(
+            ends.load(Ordering::SeqCst),
+            1,
+            "step() must fire on_run_end exactly once per call"
+        );
+        sim.run();
+        assert_eq!(ends.load(Ordering::SeqCst), 2);
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! Side-by-side equivalence: [`CalendarQueue`] vs the [`BinaryHeapFel`]
+//! reference.
+//!
+//! The calendar queue may only replace the heap because it is *provably
+//! indistinguishable*: for any schedule — including the adversarial
+//! ones below (heavy ties, bimodal far-future bands, resize-triggering
+//! skew, nine decades of time scale, interleaved push/pop) — both
+//! backends pop the byte-for-byte identical
+//! `(time, seq, parent, event)` sequence. Every domain experiment's
+//! campaign metrics are a pure function of that sequence, so this suite
+//! plus `campaign_engine`'s two-run regression test is what licenses
+//! the kernel swap without re-validating seven domains event by event.
+
+use atlarge_des::calendar::CalendarQueue;
+use atlarge_des::fel::{BinaryHeapFel, FutureEventList};
+use atlarge_des::queue::EventQueue;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// One step of a queue program.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Push(f64),
+    Pop,
+    PopUntil(f64),
+}
+
+type Popped = (f64, u64, Option<u64>, u32);
+
+/// Runs a program on a fresh queue with the given backend, recording
+/// every pop result (including `None`s — their positions must match
+/// too), then drains the remainder.
+fn run_program<F: FutureEventList<u32>>(ops: &[Op]) -> (Vec<Option<Popped>>, usize) {
+    let mut q: EventQueue<u32, F> = EventQueue::default();
+    let mut out = Vec::new();
+    let mut payload: u32 = 0;
+    for &op in ops {
+        match op {
+            Op::Push(t) => {
+                // Deterministic causal parents so the `parent` slot is
+                // exercised by the comparison as well.
+                let parent = if payload.is_multiple_of(3) {
+                    None
+                } else {
+                    Some(u64::from(payload / 2))
+                };
+                q.push_from(t, parent, payload);
+                payload += 1;
+            }
+            Op::Pop => out.push(q.pop_entry()),
+            Op::PopUntil(h) => out.push(q.pop_entry_until(h)),
+        }
+    }
+    let leftover = q.len();
+    while let Some(e) = q.pop_entry() {
+        out.push(Some(e));
+    }
+    (out, leftover)
+}
+
+/// Asserts both backends produce identical pop streams for `ops`.
+fn assert_backends_agree(ops: &[Op]) {
+    let (calendar, cal_len) = run_program::<CalendarQueue<u32>>(ops);
+    let (heap, heap_len) = run_program::<BinaryHeapFel<u32>>(ops);
+    assert_eq!(cal_len, heap_len, "len() diverged");
+    assert_eq!(
+        calendar, heap,
+        "calendar and heap backends popped different sequences"
+    );
+}
+
+#[test]
+fn equal_time_flood_with_interleaved_pops() {
+    // 10k events on one instant, pops interleaved every few pushes:
+    // the all-in-one-bucket worst case, FIFO carried purely by seq.
+    let mut ops = Vec::new();
+    for i in 0..10_000u32 {
+        ops.push(Op::Push(42.0));
+        if i % 7 == 3 {
+            ops.push(Op::Pop);
+        }
+        if i % 11 == 5 {
+            ops.push(Op::PopUntil(42.0));
+        }
+    }
+    assert_backends_agree(&ops);
+}
+
+#[test]
+fn steady_hold_churn_through_rebuilds() {
+    // A classic hold pattern grown to 50k pending: pop one, push one a
+    // deterministic pseudo-exponential step ahead. Crosses every grow
+    // watermark; the closing drain crosses every shrink watermark.
+    let mut ops = Vec::new();
+    let mut x: u64 = 0x9e3779b97f4a7c15;
+    let mut now = 0.0f64;
+    for i in 0..50_000u32 {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+        now += u * 0.001;
+        ops.push(Op::Push(now + u * 10.0));
+        if i > 1000 && i % 2 == 0 {
+            ops.push(Op::Pop);
+        }
+    }
+    assert_backends_agree(&ops);
+}
+
+proptest! {
+    /// Heavy ties: times quantized to quarters so most pushes collide,
+    /// with pops and horizon-pops interleaved.
+    #[test]
+    fn prop_tie_heavy_schedules_agree(
+        raw in proptest::collection::vec((0u8..5, 0u32..40), 1..400),
+    ) {
+        let ops: Vec<Op> = raw
+            .iter()
+            .map(|&(sel, t)| {
+                let time = f64::from(t) / 4.0;
+                match sel {
+                    0..=2 => Op::Push(time),
+                    3 => Op::Pop,
+                    _ => Op::PopUntil(time + 0.25),
+                }
+            })
+            .collect();
+        assert_backends_agree(&ops);
+    }
+
+    /// Bimodal times: a near mode in [0, 1) and a far mode around 1e6,
+    /// which lives in the calendar's overflow band and forces window
+    /// advances mid-schedule.
+    #[test]
+    fn prop_bimodal_schedules_agree(
+        raw in proptest::collection::vec((0u8..6, 0.0f64..1.0, 0u8..2), 1..300),
+    ) {
+        let ops: Vec<Op> = raw
+            .iter()
+            .map(|&(sel, t, mode)| {
+                let time = if mode == 0 { t } else { 1e6 + t };
+                match sel {
+                    0..=2 => Op::Push(time),
+                    3 => Op::Pop,
+                    4 => Op::PopUntil(t),
+                    _ => Op::PopUntil(1e6 + t),
+                }
+            })
+            .collect();
+        assert_backends_agree(&ops);
+    }
+
+    /// Resize-triggering skew: push-heavy programs long enough to cross
+    /// several grow watermarks, with quartically-skewed times (gap
+    /// distribution designed to fool a head-sampled width estimate),
+    /// then a full drain across the shrink watermarks.
+    #[test]
+    fn prop_skewed_growth_schedules_agree(
+        raw in proptest::collection::vec((0u8..5, 0.0f64..1.0), 1..1500),
+    ) {
+        let ops: Vec<Op> = raw
+            .iter()
+            .map(|&(sel, t)| {
+                let time = t * t * t * t * 5e3;
+                if sel < 4 { Op::Push(time) } else { Op::Pop }
+            })
+            .collect();
+        assert_backends_agree(&ops);
+    }
+
+    /// Nine decades of time scale (1e-9..1e9) in one schedule.
+    #[test]
+    fn prop_nine_decade_schedules_agree(
+        raw in proptest::collection::vec((0u8..4, 0u8..19, 1.0f64..10.0), 1..300),
+    ) {
+        let ops: Vec<Op> = raw
+            .iter()
+            .map(|&(sel, exp, frac)| {
+                let time = 1e-9 * 10f64.powi(i32::from(exp)) * frac;
+                if sel < 3 { Op::Push(time) } else { Op::Pop }
+            })
+            .collect();
+        assert_backends_agree(&ops);
+    }
+
+    /// Interleaved push/pop (not just push-all-pop-all) preserves the
+    /// strict `(time, seq)` order: every pop returns exactly the
+    /// minimum of the queue's current contents, checked against a
+    /// BTreeSet reference model. Non-negative finite f64 bit patterns
+    /// order like the numbers, so the model key is exact.
+    #[test]
+    fn prop_interleaved_pop_is_always_current_min(
+        raw in proptest::collection::vec((0u8..3, 0.0f64..100.0), 1..600),
+    ) {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut model: BTreeSet<(u64, u64)> = BTreeSet::new();
+        let mut payload = 0u32;
+        for &(sel, t) in &raw {
+            if sel < 2 {
+                let time = (t * 8.0).round() / 8.0;
+                let id = q.push(time, payload);
+                model.insert((time.to_bits(), id));
+                payload += 1;
+            } else {
+                let got = q.pop_entry().map(|(time, id, _, _)| (time.to_bits(), id));
+                let want = model.iter().next().copied();
+                prop_assert_eq!(got, want, "pop is not the current minimum");
+                if let Some(k) = want {
+                    model.remove(&k);
+                }
+            }
+        }
+        while let Some((time, id, _, _)) = q.pop_entry() {
+            let want = model.iter().next().copied();
+            prop_assert_eq!(Some((time.to_bits(), id)), want);
+            if let Some(k) = want {
+                model.remove(&k);
+            }
+        }
+        prop_assert!(model.is_empty(), "queue lost events");
+    }
+}

@@ -307,7 +307,9 @@ fn run_swarm_impl(
         horizon,
         recorder: recorder.clone(),
     };
-    let mut sim = Simulation::new(model, seed);
+    // Every join is scheduled up front; pre-size the event queue so the
+    // fill phase never reallocates.
+    let mut sim = Simulation::with_capacity(model, seed, join_times.len() + 2);
     if let Some(rec) = recorder {
         sim = sim.with_tracer(rec);
     }

@@ -552,7 +552,9 @@ fn run_sim<C: Chooser>(
         noise_rng: StdRng::seed_from_u64(config.seed),
         recorder: recorder.cloned(),
     };
-    let mut sim = Simulation::new(model, config.seed);
+    // Arrivals and failure injections are scheduled up front; pre-size
+    // the event queue so the fill phase never reallocates.
+    let mut sim = Simulation::with_capacity(model, config.seed, jobs.len() + failures.len());
     if let Some(rec) = recorder {
         let cores: u32 = pool_cores.iter().sum();
         let digest = fnv1a(format!("{}|{}|{cores}", jobs.len(), pool_cores.len()).as_bytes());

@@ -272,7 +272,9 @@ fn run_platform_impl(
     }
     let mut platform = FaasPlatform::new(functions, config);
     platform.recorder = recorder.clone();
-    let mut sim = Simulation::new(platform, seed);
+    // Every invocation is scheduled up front; pre-size the event queue
+    // so the fill phase never reallocates.
+    let mut sim = Simulation::with_capacity(platform, seed, invocations.len());
     if let Some(rec) = recorder {
         sim = sim.with_tracer(rec);
     }
