@@ -13,7 +13,9 @@ use crate::autoscaler::{Adapt, Hist, Plan, React, RecentPeak, Reg, Token};
 use crate::cost::{BillingModel, DeadlineSla};
 use crate::metrics::ElasticityReport;
 use crate::sim::{run, AutoscaleConfig, RunResult};
-use atlarge_exp::{Campaign, CampaignResult, Scenario, SeedMode};
+use atlarge_exp::registry::{parse_param, run_replicated, CellOutput, CellScenario, ParamSpec};
+use atlarge_exp::{Campaign, CampaignResult, CancelToken, Scenario, SeedMode};
+use atlarge_stats::descriptive::Summary;
 use atlarge_stats::ranking::{Direction, ScoreTable};
 use atlarge_telemetry::tracer::Tracer;
 use atlarge_workload::arrivals::{ArrivalProcess, Bursty, Poisson};
@@ -272,6 +274,101 @@ pub fn aggregate(
     )
 }
 
+/// One autoscaler-on-workload pairing as a servable exploration query,
+/// with the elasticity metrics the §6.7 campaign grades on.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AutoscaleCell;
+
+impl CellScenario for AutoscaleCell {
+    fn domain(&self) -> &str {
+        "autoscaling"
+    }
+
+    fn describe(&self) -> &str {
+        "one autoscaler on one workflow workload, scored by elasticity metrics"
+    }
+
+    fn params(&self) -> Vec<ParamSpec> {
+        let workloads: Vec<&str> = WorkflowWorkload::all().iter().map(|w| w.name()).collect();
+        vec![
+            ParamSpec::choice("workload", "workflow arrival/shape family", &workloads),
+            ParamSpec::choice("scaler", "autoscaling policy", &ROSTER_NAMES),
+            ParamSpec::optional("horizon", "simulated horizon in seconds", "4000"),
+        ]
+    }
+
+    fn run_cell(
+        &self,
+        params: &BTreeMap<String, String>,
+        seed: u64,
+        replications: usize,
+        cancel: &CancelToken,
+        tracer: &dyn Tracer,
+    ) -> Result<CellOutput, String> {
+        let workload = WorkflowWorkload::all()
+            .into_iter()
+            .find(|w| w.name() == params["workload"])
+            .expect("choice validation");
+        let scaler_idx = ROSTER_NAMES
+            .iter()
+            .position(|n| *n == params["scaler"])
+            .expect("choice validation");
+        let horizon: f64 = parse_param(params, "horizon")?;
+        if !horizon.is_finite() || !(100.0..=1_000_000.0).contains(&horizon) {
+            return Err(format!(
+                "parameter 'horizon': {horizon} outside 100..=1000000"
+            ));
+        }
+        let spec = AutoscaleSpec {
+            workload,
+            scaler_idx,
+        };
+        let runs = run_replicated(
+            &AutoscaleScenario { horizon },
+            &spec,
+            seed,
+            replications,
+            cancel,
+            tracer,
+        )?;
+        let summarize = |f: &dyn Fn(&CampaignCell) -> f64| Summary::from_iter(runs.iter().map(f));
+        Ok(CellOutput {
+            metrics: vec![
+                (
+                    "under_accuracy".to_string(),
+                    summarize(&|c| c.report.under_accuracy),
+                ),
+                (
+                    "over_accuracy".to_string(),
+                    summarize(&|c| c.report.over_accuracy),
+                ),
+                (
+                    "avg_utilization".to_string(),
+                    summarize(&|c| c.report.avg_utilization),
+                ),
+                (
+                    "instability".to_string(),
+                    summarize(&|c| c.report.instability),
+                ),
+                (
+                    "mean_response".to_string(),
+                    summarize(&|c| c.report.mean_response),
+                ),
+                ("cost".to_string(), summarize(&|c| c.report.cost)),
+                (
+                    "sla_violations".to_string(),
+                    summarize(&|c| c.sla_violations as f64),
+                ),
+                ("completed".to_string(), summarize(&|c| c.completed as f64)),
+            ],
+            notes: vec![
+                ("scaler".to_string(), runs[0].scaler.to_string()),
+                ("workload".to_string(), runs[0].workload.to_string()),
+            ],
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -378,5 +475,48 @@ mod tests {
         for c in &cs {
             assert!(c.sla_violations <= c.completed);
         }
+    }
+
+    #[test]
+    fn serve_cell_validates_and_runs_deterministically() {
+        let mut reg = atlarge_exp::Registry::new();
+        reg.register(Box::new(AutoscaleCell));
+        let raw = BTreeMap::from([
+            ("workload".to_string(), "bursty".to_string()),
+            ("scaler".to_string(), "token".to_string()),
+        ]);
+        let params = reg.validate("autoscaling", &raw).expect("valid query");
+        assert_eq!(params["horizon"], "4000", "horizon defaults");
+
+        let tracer = atlarge_telemetry::NullTracer;
+        let run = || {
+            AutoscaleCell
+                .run_cell(&params, 41, 2, &CancelToken::new(), &tracer)
+                .expect("runs clean")
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.notes, b.notes);
+        for ((ka, sa), (kb, sb)) in a.metrics.iter().zip(&b.metrics) {
+            assert_eq!(ka, kb);
+            assert_eq!(sa.mean(), sb.mean(), "metric {ka} must be deterministic");
+        }
+        assert!(a
+            .notes
+            .contains(&("scaler".to_string(), "token".to_string())));
+    }
+
+    #[test]
+    fn serve_cell_bounds_the_horizon() {
+        let tracer = atlarge_telemetry::NullTracer;
+        let mut reg = atlarge_exp::Registry::new();
+        reg.register(Box::new(AutoscaleCell));
+        let mut params = reg
+            .validate("autoscaling", &BTreeMap::new())
+            .expect("defaults");
+        params.insert("horizon".to_string(), "5".to_string());
+        let err = AutoscaleCell
+            .run_cell(&params, 1, 1, &CancelToken::new(), &tracer)
+            .unwrap_err();
+        assert!(err.contains("outside"), "{err}");
     }
 }

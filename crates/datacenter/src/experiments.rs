@@ -8,8 +8,11 @@
 //! makespan and utilization per cell.
 
 use crate::loadgen::{run_cluster, ClusterRunStats};
-use atlarge_exp::{Campaign, CampaignResult, CellSummary, Scenario};
+use atlarge_exp::registry::{parse_param, run_replicated, CellOutput, CellScenario, ParamSpec};
+use atlarge_exp::{Campaign, CampaignResult, CancelToken, CellSummary, Scenario};
+use atlarge_stats::descriptive::Summary;
 use atlarge_telemetry::tracer::Tracer;
+use std::collections::BTreeMap;
 
 /// One capacity cell's config: the cluster shape and offered load.
 #[derive(Debug, Clone, Copy)]
@@ -94,6 +97,75 @@ pub fn render_capacity(result: &CampaignResult<ClusterSpec, ClusterRunStats>) ->
     out
 }
 
+/// One capacity-planning cell as a servable exploration query: cluster
+/// shape and offered load as numeric knobs, replicated with
+/// campaign-compatible seeding.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CapacityCell;
+
+impl CellScenario for CapacityCell {
+    fn domain(&self) -> &str {
+        "datacenter"
+    }
+
+    fn describe(&self) -> &str {
+        "seeded rigid-job capacity run against a homogeneous cluster"
+    }
+
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![
+            ParamSpec::optional("hosts", "number of hosts", "4"),
+            ParamSpec::optional("cores_per_host", "cores per host", "16"),
+            ParamSpec::optional("jobs", "rigid jobs offered over the run", "400"),
+        ]
+    }
+
+    fn run_cell(
+        &self,
+        params: &BTreeMap<String, String>,
+        seed: u64,
+        replications: usize,
+        cancel: &CancelToken,
+        tracer: &dyn Tracer,
+    ) -> Result<CellOutput, String> {
+        let hosts: usize = parse_param(params, "hosts")?;
+        let cores_per_host: u32 = parse_param(params, "cores_per_host")?;
+        let jobs: usize = parse_param(params, "jobs")?;
+        if hosts == 0 || cores_per_host == 0 {
+            return Err("parameters 'hosts' and 'cores_per_host' must be positive".to_string());
+        }
+        if jobs == 0 || jobs > 100_000 {
+            return Err(format!("parameter 'jobs': {jobs} outside 1..=100000"));
+        }
+        let spec = ClusterSpec {
+            hosts,
+            cores_per_host,
+            jobs,
+        };
+        let runs = run_replicated(&ClusterScenario, &spec, seed, replications, cancel, tracer)?;
+        let summarize =
+            |f: &dyn Fn(&ClusterRunStats) -> f64| Summary::from_iter(runs.iter().map(f));
+        Ok(CellOutput {
+            metrics: vec![
+                ("makespan".to_string(), summarize(&|s| s.makespan)),
+                (
+                    "utilization".to_string(),
+                    summarize(&|s| s.mean_utilization),
+                ),
+                ("completed".to_string(), summarize(&|s| s.completed as f64)),
+                (
+                    "queued_peak".to_string(),
+                    summarize(&|s| s.queued_peak as f64),
+                ),
+            ],
+            notes: vec![(
+                "cluster".to_string(),
+                format!("{hosts} hosts x {cores_per_host} cores, {jobs} jobs"),
+            )],
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,5 +210,41 @@ mod tests {
             assert!(s.contains(&cell.spec.label()));
         }
         assert_eq!(makespan_summaries(&r).len(), 6);
+    }
+
+    #[test]
+    fn serve_cell_matches_campaign_cell_statistics() {
+        // A served "4 hosts x 16 cores, 400 jobs" query must reproduce
+        // the matching cell of the declared capacity campaign.
+        let r = capacity_campaign(&[4], &[16], 400, 17, 3);
+        let campaign_makespan = r.cells[0].summarize(|s| s.makespan);
+
+        let mut reg = atlarge_exp::Registry::new();
+        reg.register(Box::new(CapacityCell));
+        let params = reg
+            .validate("datacenter", &BTreeMap::new())
+            .expect("defaults fill");
+        assert_eq!(params["hosts"], "4");
+        let tracer = atlarge_telemetry::NullTracer;
+        let out = CapacityCell
+            .run_cell(&params, 17, 3, &CancelToken::new(), &tracer)
+            .expect("runs clean");
+        assert_eq!(out.metrics[0].0, "makespan");
+        assert_eq!(out.metrics[0].1.mean(), campaign_makespan.mean());
+        assert_eq!(out.metrics[0].1.len(), 3);
+    }
+
+    #[test]
+    fn serve_cell_rejects_degenerate_clusters() {
+        let tracer = atlarge_telemetry::NullTracer;
+        let raw = BTreeMap::from([
+            ("hosts".to_string(), "0".to_string()),
+            ("cores_per_host".to_string(), "16".to_string()),
+            ("jobs".to_string(), "10".to_string()),
+        ]);
+        let err = CapacityCell
+            .run_cell(&raw, 1, 1, &CancelToken::new(), &tracer)
+            .unwrap_err();
+        assert!(err.contains("positive"), "{err}");
     }
 }

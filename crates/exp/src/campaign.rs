@@ -11,7 +11,8 @@
 //! twice therefore yields byte-identical text whether it was computed
 //! on one thread or sixteen.
 
-use crate::executor::run_indexed;
+use crate::cancel::CancelToken;
+use crate::executor::run_indexed_cancellable;
 use crate::grid::{CellSpec, FactorGrid};
 use crate::scenario::Scenario;
 use crate::seed::derive_seed;
@@ -144,6 +145,23 @@ impl<S: Scenario> Campaign<S> {
     where
         F: Fn(&CellSpec) -> S::Config,
     {
+        self.run_cancellable(configure, &CancelToken::new())
+            .expect("a fresh token is never cancelled")
+    }
+
+    /// [`Campaign::run`] with cooperative cancellation: workers poll
+    /// `cancel` between `(cell, replication)` jobs and stop at the next
+    /// boundary once it fires. Returns `None` when cancelled — never a
+    /// partial result, so a completed campaign remains byte-identical
+    /// to any other completion of the same declaration.
+    pub fn run_cancellable<F>(
+        self,
+        configure: F,
+        cancel: &CancelToken,
+    ) -> Option<CampaignResult<S::Config, S::Outcome>>
+    where
+        F: Fn(&CellSpec) -> S::Config,
+    {
         // Wall time is report-only (excluded from result equality); it is
         // read through the telemetry boundary, never `Instant` directly.
         let started = Stopwatch::start();
@@ -154,10 +172,10 @@ impl<S: Scenario> Campaign<S> {
         let jobs = cells.len() * reps;
 
         let scenario = &self.scenario;
-        let outcomes: Vec<S::Outcome> = run_indexed(jobs, threads, |j| {
+        let outcomes: Vec<S::Outcome> = run_indexed_cancellable(jobs, threads, cancel, |j| {
             let (cell, rep) = (j / reps, j % reps);
             scenario.run(&configs[cell], self.seed_of(cell, rep), &NullTracer)
-        });
+        })?;
 
         let mut cell_results: Vec<CellResult<S::Config, S::Outcome>> = cells
             .into_iter()
@@ -175,7 +193,7 @@ impl<S: Scenario> Campaign<S> {
                 outcome,
             });
         }
-        CampaignResult {
+        Some(CampaignResult {
             name: self.name,
             root_seed: self.root_seed,
             replications: reps,
@@ -183,7 +201,7 @@ impl<S: Scenario> Campaign<S> {
             grid: self.grid,
             cells: cell_results,
             wall_ms: started.elapsed_ms(),
-        }
+        })
     }
 
     /// Re-runs a single `(cell, replication)` with an attached tracer —
@@ -563,5 +581,34 @@ mod tests {
     #[should_panic(expected = "at least one replication")]
     fn zero_replications_panics() {
         let _ = Campaign::new("z", Mixer).replications(0);
+    }
+
+    #[test]
+    fn cancelled_campaign_yields_nothing() {
+        let token = CancelToken::new();
+        token.cancel();
+        let r = Campaign::new("c", Mixer)
+            .factor("x", ["a", "b"])
+            .replications(4)
+            .threads(1)
+            .run_cancellable(|c| c.index as u64, &token);
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn uncancelled_campaign_equals_plain_run() {
+        let configure = |c: &CellSpec| c.index as u64;
+        let build = || {
+            Campaign::new("c", Mixer)
+                .factor("x", ["a", "b", "c"])
+                .replications(3)
+                .root_seed(7)
+                .threads(2)
+        };
+        let plain = build().run(configure);
+        let cancellable = build()
+            .run_cancellable(configure, &CancelToken::new())
+            .expect("token never fired");
+        assert_eq!(plain, cancellable);
     }
 }

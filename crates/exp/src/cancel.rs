@@ -1,0 +1,87 @@
+//! Cooperative cancellation for campaign execution.
+//!
+//! A long-running exploration service cannot afford to finish a
+//! campaign whose requester is gone: a [`CancelToken`] is a cheaply
+//! cloneable flag the executor and the replication loops poll between
+//! jobs, so an in-flight cell stops at the next job boundary instead of
+//! running to completion. Cancellation is *cooperative and
+//! deterministic-safe*: a run either completes (and is byte-identical
+//! to any other completion) or returns nothing — a cancelled run never
+//! yields partial results that could be mistaken for a full campaign.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag.
+///
+/// Cloning shares the flag: cancelling any clone cancels them all.
+/// Tokens start un-cancelled and can only ever transition to cancelled
+/// (there is no reset — one token per unit of cancellable work).
+///
+/// # Examples
+///
+/// ```
+/// use atlarge_exp::cancel::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let watcher = token.clone();
+/// assert!(!watcher.is_cancelled());
+/// token.cancel();
+/// assert!(watcher.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation was requested on this token (or any clone).
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+        // Idempotent.
+        a.cancel();
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn fresh_tokens_are_independent() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        a.cancel();
+        assert!(!b.is_cancelled());
+    }
+
+    #[test]
+    fn token_crosses_threads() {
+        let token = CancelToken::new();
+        let t = token.clone();
+        std::thread::spawn(move || t.cancel())
+            .join()
+            .expect("cancel thread");
+        assert!(token.is_cancelled());
+    }
+}

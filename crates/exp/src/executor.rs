@@ -11,6 +11,7 @@
 //! interleaving**, which is what lets the campaign engine guarantee
 //! byte-identical aggregation between serial and parallel runs.
 
+use crate::cancel::CancelToken;
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
@@ -24,8 +25,35 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_indexed_cancellable(jobs, threads, &CancelToken::new(), job)
+        .expect("a fresh token is never cancelled")
+}
+
+/// [`run_indexed`] with cooperative cancellation: every worker checks
+/// `cancel` before claiming its next job, so cancellation takes effect
+/// at the next job boundary. Returns `None` if the token fired before
+/// every job completed — a cancelled execution yields *no* results,
+/// never partial ones, so callers cannot mistake an aborted campaign
+/// for a finished one.
+pub fn run_indexed_cancellable<T, F>(
+    jobs: usize,
+    threads: usize,
+    cancel: &CancelToken,
+    job: F,
+) -> Option<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     if threads <= 1 || jobs <= 1 {
-        return (0..jobs).map(job).collect();
+        let mut out = Vec::with_capacity(jobs);
+        for j in 0..jobs {
+            if cancel.is_cancelled() {
+                return None;
+            }
+            out.push(job(j));
+        }
+        return Some(out);
     }
     let workers = threads.min(jobs);
     // Round-robin initial partition: worker w owns jobs w, w+workers, …
@@ -42,6 +70,9 @@ where
                 scope.spawn(move || {
                     let mut done: Vec<(usize, T)> = Vec::new();
                     loop {
+                        if cancel.is_cancelled() {
+                            break;
+                        }
                         // Own queue first (front), then steal from the
                         // back of the first non-empty victim.
                         let next = queues[w].lock().expect("queue lock").pop_front();
@@ -68,11 +99,16 @@ where
         debug_assert!(slots[idx].is_none(), "job {idx} ran twice");
         slots[idx] = Some(value);
     }
-    slots
-        .into_iter()
-        .enumerate()
-        .map(|(i, s)| s.unwrap_or_else(|| panic!("job {i} never ran")))
-        .collect()
+    if cancel.is_cancelled() && slots.iter().any(Option::is_none) {
+        return None;
+    }
+    Some(
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| s.unwrap_or_else(|| panic!("job {i} never ran")))
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -109,6 +145,40 @@ mod tests {
     #[test]
     fn more_threads_than_jobs_is_fine() {
         assert_eq!(run_indexed(3, 64, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn pre_cancelled_runs_yield_nothing() {
+        let token = CancelToken::new();
+        token.cancel();
+        assert_eq!(run_indexed_cancellable(100, 1, &token, |i| i), None);
+        assert_eq!(run_indexed_cancellable(100, 4, &token, |i| i), None);
+    }
+
+    #[test]
+    fn mid_run_cancellation_stops_at_a_job_boundary() {
+        let token = CancelToken::new();
+        let ran = AtomicUsize::new(0);
+        let t = token.clone();
+        let out = run_indexed_cancellable(1000, 1, &token, |i| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            if i == 9 {
+                t.cancel();
+            }
+            i
+        });
+        assert_eq!(out, None);
+        assert_eq!(ran.load(Ordering::Relaxed), 10, "stops after job 9");
+    }
+
+    #[test]
+    fn uncancelled_token_matches_plain_run() {
+        let token = CancelToken::new();
+        let f = |i: usize| i * 3 + 1;
+        assert_eq!(
+            run_indexed_cancellable(57, 4, &token, f),
+            Some(run_indexed(57, 1, f))
+        );
     }
 
     #[test]

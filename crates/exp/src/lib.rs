@@ -46,15 +46,19 @@
 //! ```
 
 pub mod campaign;
+pub mod cancel;
 pub mod executor;
 pub mod grid;
 pub mod interop;
+pub mod registry;
 pub mod scenario;
 pub mod seed;
 
 pub use campaign::{
     Campaign, CampaignResult, CellResult, CellRun, CellSummary, NamedMetric, SeedMode,
 };
+pub use cancel::CancelToken;
 pub use grid::{CellSpec, Factor, FactorGrid};
+pub use registry::{CellOutput, CellScenario, ParamSpec, Registry};
 pub use scenario::Scenario;
 pub use seed::{derive_seed, split_labeled};

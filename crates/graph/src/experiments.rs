@@ -10,10 +10,13 @@
 
 use crate::generators::Dataset;
 use crate::platforms::{run, Algorithm, Platform};
+use atlarge_exp::registry::{parse_param, run_replicated, CellOutput, CellScenario, ParamSpec};
 use atlarge_exp::seed::split_labeled;
-use atlarge_exp::{Campaign, CampaignResult, Scenario};
+use atlarge_exp::{Campaign, CampaignResult, CancelToken, Scenario};
+use atlarge_stats::descriptive::Summary;
 use atlarge_stats::factorial::{decompose, Cell, Decomposition};
 use atlarge_telemetry::tracer::Tracer;
+use std::collections::BTreeMap;
 
 /// One measurement of the PAD sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -198,6 +201,95 @@ pub fn render_pad(cells: &[PadCell]) -> String {
     out
 }
 
+/// Every platform a query may name: the PAD roster plus the
+/// heterogeneous accelerator (the HPAD extension).
+fn platform_roster_hpad() -> Vec<Platform> {
+    let mut platforms = Platform::roster().to_vec();
+    platforms.push(Platform::Accelerator);
+    platforms
+}
+
+/// One PAD cell as a servable exploration query: platform × algorithm ×
+/// dataset choices plus a graph-size knob. Graph seeding follows the
+/// campaign convention (`split_labeled` on the dataset name), so served
+/// cells are directly comparable with [`pad_campaign`] sweeps.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PadExplorerCell;
+
+impl CellScenario for PadExplorerCell {
+    fn domain(&self) -> &str {
+        "graph"
+    }
+
+    fn describe(&self) -> &str {
+        "one PAD cell: a platform running an algorithm on a generated dataset"
+    }
+
+    fn params(&self) -> Vec<ParamSpec> {
+        let platforms: Vec<&str> = platform_roster_hpad().iter().map(|p| p.name()).collect();
+        let algorithms: Vec<&str> = Algorithm::all().iter().map(|a| a.name()).collect();
+        let datasets: Vec<&str> = Dataset::all().iter().map(|d| d.name()).collect();
+        vec![
+            ParamSpec::choice("platform", "graph-processing platform model", &platforms),
+            ParamSpec::choice("algorithm", "graph algorithm to run", &algorithms),
+            ParamSpec::choice("dataset", "generated dataset family", &datasets),
+            ParamSpec::optional("n", "approximate vertex count of the graph", "600"),
+        ]
+    }
+
+    fn run_cell(
+        &self,
+        params: &BTreeMap<String, String>,
+        seed: u64,
+        replications: usize,
+        cancel: &CancelToken,
+        tracer: &dyn Tracer,
+    ) -> Result<CellOutput, String> {
+        let platform = *platform_roster_hpad()
+            .iter()
+            .find(|p| p.name() == params["platform"])
+            .expect("choice validation");
+        let algorithm = Algorithm::all()
+            .into_iter()
+            .find(|a| a.name() == params["algorithm"])
+            .expect("choice validation");
+        let dataset = Dataset::all()
+            .into_iter()
+            .find(|d| d.name() == params["dataset"])
+            .expect("choice validation");
+        let n: usize = parse_param(params, "n")?;
+        if n == 0 || n > 200_000 {
+            return Err(format!("parameter 'n': {n} outside 1..=200000"));
+        }
+        let config = PadConfig {
+            platform,
+            algorithm,
+            dataset,
+            n,
+            graph_seed: split_labeled(seed, dataset.name()),
+        };
+        let rows = run_replicated(&PadScenario, &config, seed, replications, cancel, tracer)?;
+        let first = &rows[0];
+        Ok(CellOutput {
+            metrics: vec![
+                (
+                    "critical_path".to_string(),
+                    Summary::from_iter(rows.iter().map(|r| r.critical_path)),
+                ),
+                (
+                    "iterations".to_string(),
+                    Summary::from_iter(rows.iter().map(|r| f64::from(r.iterations))),
+                ),
+            ],
+            notes: vec![
+                ("platform".to_string(), first.platform.to_string()),
+                ("algorithm".to_string(), first.algorithm.to_string()),
+                ("dataset".to_string(), first.dataset.to_string()),
+            ],
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,5 +368,64 @@ mod tests {
         let d = decompose(&cells);
         assert!(d.ss_total > 0.0);
         assert_eq!(cells.len(), 54);
+    }
+
+    #[test]
+    fn serve_cell_matches_campaign_cell_exactly() {
+        // A served graph query must agree byte-for-byte with the
+        // corresponding cell of the declared PAD campaign: same graph
+        // seed convention, same deterministic platform model.
+        let seed = 3;
+        let r = pad_campaign(400, seed);
+        let campaign_cell = r
+            .cells
+            .iter()
+            .find(|c| {
+                c.config.platform.name() == "edge-centric"
+                    && c.config.algorithm.name() == "pagerank"
+                    && c.config.dataset.name() == "powerlaw"
+            })
+            .expect("full factorial contains the cell");
+
+        let mut reg = atlarge_exp::Registry::new();
+        reg.register(Box::new(PadExplorerCell));
+        let raw = BTreeMap::from([
+            ("platform".to_string(), "edge-centric".to_string()),
+            ("algorithm".to_string(), "pagerank".to_string()),
+            ("dataset".to_string(), "powerlaw".to_string()),
+            ("n".to_string(), "400".to_string()),
+        ]);
+        let params = reg.validate("graph", &raw).expect("valid query");
+        let tracer = atlarge_telemetry::NullTracer;
+        let out = PadExplorerCell
+            .run_cell(&params, seed, 1, &CancelToken::new(), &tracer)
+            .expect("runs clean");
+        assert_eq!(out.metrics[0].0, "critical_path");
+        assert_eq!(out.metrics[0].1.mean(), campaign_cell.first().critical_path);
+        assert_eq!(
+            out.metrics[1].1.mean(),
+            f64::from(campaign_cell.first().iterations)
+        );
+    }
+
+    #[test]
+    fn serve_cell_rejects_degenerate_sizes() {
+        let tracer = atlarge_telemetry::NullTracer;
+        let mut reg = atlarge_exp::Registry::new();
+        reg.register(Box::new(PadExplorerCell));
+        let defaults = reg.validate("graph", &BTreeMap::new()).expect("defaults");
+        assert_eq!(defaults["n"], "600");
+        let mut params = defaults.clone();
+        params.insert("n".to_string(), "0".to_string());
+        let err = PadExplorerCell
+            .run_cell(&params, 1, 1, &CancelToken::new(), &tracer)
+            .unwrap_err();
+        assert!(err.contains("outside"), "{err}");
+        let mut params = defaults;
+        params.insert("n".to_string(), "forty".to_string());
+        let err = PadExplorerCell
+            .run_cell(&params, 1, 1, &CancelToken::new(), &tracer)
+            .unwrap_err();
+        assert!(err.contains("cannot parse"), "{err}");
     }
 }

@@ -1,0 +1,189 @@
+//! Public fingerprint canonicalization over run manifests.
+//!
+//! [`RunManifest::fingerprint`](atlarge_telemetry::RunManifest::fingerprint)
+//! hashes a canonical rendering of a run's identity; until now both the
+//! rendering and its uses were internal to regression diffing. A result
+//! cache needs the *string itself* as a key — collision-free where the
+//! 64-bit hash is merely collision-resistant, and printable for logs
+//! and HTTP headers — so this module makes the canonical form public
+//! with a documented contract:
+//!
+//! - [`canonical_key`] covers exactly the fields
+//!   [`same_run_as`](atlarge_telemetry::RunManifest::same_run_as)
+//!   compares: schema, model, seed, config digest, event counts,
+//!   simulated horizon, and trace extent. **Wall-clock time is
+//!   excluded**, so two executions of the same logical run — serial or
+//!   parallel, today or tomorrow — produce the same key.
+//! - The mapping is injective on those fields: every field lands in a
+//!   fixed position with an unambiguous encoding (the free-form model
+//!   string is length-prefixed so embedded separators cannot alias two
+//!   manifests onto one key; floats are encoded by bit pattern, not by
+//!   display rounding).
+//!
+//! Equal keys ⇔ `same_run_as` — the cache-key contract an exploration
+//! service relies on when it serves a cached body for a repeated query.
+
+use atlarge_telemetry::RunManifest;
+
+/// Version tag of the canonical encoding. Bump when the format changes
+/// so persisted keys from older encodings can never alias new ones.
+pub const KEY_SCHEMA: &str = "ak1";
+
+/// The canonical cache key of a manifest.
+///
+/// Deterministic, printable (no whitespace or control characters for
+/// any model string the workspace produces), and equal for two
+/// manifests iff
+/// [`same_run_as`](atlarge_telemetry::RunManifest::same_run_as) holds
+/// between them — in particular, manifests differing only in wall-clock
+/// metadata share a key.
+///
+/// # Examples
+///
+/// ```
+/// use atlarge_obsv::fingerprint::canonical_key;
+/// use atlarge_telemetry::manifest::{RunManifest, MANIFEST_SCHEMA};
+///
+/// let run = RunManifest {
+///     schema: MANIFEST_SCHEMA,
+///     model: "serve.autoscaling".into(),
+///     seed: 2026,
+///     config_digest: 0xABCD,
+///     events_scheduled: 5,
+///     events_dispatched: 5,
+///     sim_time: 4000.0,
+///     trace_records: 0,
+///     trace_dropped: 0,
+///     wall_ms: 17.3,
+/// };
+/// let mut rerun = run.clone();
+/// rerun.wall_ms = 9000.0; // slower machine, same run
+/// assert_eq!(canonical_key(&run), canonical_key(&rerun));
+/// ```
+pub fn canonical_key(manifest: &RunManifest) -> String {
+    // The model string is the only free-form field; prefixing its byte
+    // length keeps the encoding injective even if a model name were to
+    // contain the separator.
+    format!(
+        "{KEY_SCHEMA}|{}|{}:{}|{}|{:016x}|{}|{}|{:016x}|{}|{}",
+        manifest.schema,
+        manifest.model.len(),
+        manifest.model,
+        manifest.seed,
+        manifest.config_digest,
+        manifest.events_scheduled,
+        manifest.events_dispatched,
+        manifest.sim_time.to_bits(),
+        manifest.trace_records,
+        manifest.trace_dropped,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlarge_telemetry::manifest::MANIFEST_SCHEMA;
+
+    fn base() -> RunManifest {
+        RunManifest {
+            schema: MANIFEST_SCHEMA,
+            model: "obsv.fixture".into(),
+            seed: 42,
+            config_digest: 0xDEAD_BEEF,
+            events_scheduled: 100,
+            events_dispatched: 99,
+            sim_time: 250.5,
+            trace_records: 10,
+            trace_dropped: 1,
+            wall_ms: 12.0,
+        }
+    }
+
+    #[test]
+    fn wall_clock_only_differences_share_a_key() {
+        let a = base();
+        let mut b = base();
+        b.wall_ms = 99_999.0;
+        assert!(a.same_run_as(&b));
+        assert_eq!(canonical_key(&a), canonical_key(&b));
+    }
+
+    #[test]
+    fn every_identity_field_changes_the_key() {
+        let reference = canonical_key(&base());
+        let variants: Vec<RunManifest> = vec![
+            {
+                let mut m = base();
+                m.schema += 1;
+                m
+            },
+            {
+                let mut m = base();
+                m.model = "obsv.other".into();
+                m
+            },
+            {
+                let mut m = base();
+                m.seed += 1;
+                m
+            },
+            {
+                let mut m = base();
+                m.config_digest ^= 1;
+                m
+            },
+            {
+                let mut m = base();
+                m.events_scheduled += 1;
+                m
+            },
+            {
+                let mut m = base();
+                m.events_dispatched += 1;
+                m
+            },
+            {
+                let mut m = base();
+                m.sim_time += 0.5;
+                m
+            },
+            {
+                let mut m = base();
+                m.trace_records += 1;
+                m
+            },
+            {
+                let mut m = base();
+                m.trace_dropped += 1;
+                m
+            },
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert!(!v.same_run_as(&base()), "variant {i} should differ");
+            assert_ne!(canonical_key(v), reference, "variant {i} aliased");
+        }
+    }
+
+    #[test]
+    fn model_length_prefix_blocks_separator_aliasing() {
+        // Adversarial pair: model strings that would collide if the
+        // encoding simply joined fields with '|'.
+        let mut a = base();
+        a.model = "m|1".into();
+        a.seed = 2;
+        let mut b = base();
+        b.model = "m".into();
+        // Without the length prefix "m|1|2|…" could also parse as
+        // model="m", seed=1 followed by 2. Keys must differ.
+        b.seed = 1;
+        assert_ne!(canonical_key(&a), canonical_key(&b));
+    }
+
+    #[test]
+    fn key_is_stable_and_printable() {
+        let key = canonical_key(&base());
+        assert!(key.starts_with("ak1|"));
+        assert_eq!(key, canonical_key(&base()));
+        assert!(key.chars().all(|c| !c.is_whitespace() && !c.is_control()));
+    }
+}

@@ -23,12 +23,16 @@
 //!   exports by name, report relative deltas against a threshold,
 //!   keyed on `same_run_as` manifest fingerprints (wall-clock fields
 //!   excluded, so identical logical runs diff to zero).
+//! - [`fingerprint`] — the canonical manifest rendering behind those
+//!   fingerprints, exposed as a public, injective cache key
+//!   ([`fingerprint::canonical_key`]) for result caches and services.
 //!
 //! The user-facing entry point is the `trace_lens` example binary:
 //! `trace_lens critical-path|profile|diff <jsonl>…`.
 
 pub mod causal;
 pub mod diff;
+pub mod fingerprint;
 pub mod jsonl;
 pub mod profile;
 pub mod series;
@@ -36,6 +40,7 @@ pub mod trace;
 
 pub use causal::{critical_path, CriticalPath, PathSource, PathStep};
 pub use diff::{diff_exports, parse_metrics, MetricDelta, RunDiff};
+pub use fingerprint::canonical_key;
 pub use profile::{flamegraph_text, self_times, to_chrome_json};
 pub use series::{windowed, HistogramLine, SeriesLine, Window};
 pub use trace::{parse_trace, ManifestInfo, Trace, TraceLine};

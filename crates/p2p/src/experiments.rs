@@ -16,9 +16,12 @@ use crate::measurement::{coverage_ablation, GroundTruth, Instrument};
 use crate::swarm::{run_swarm, Bandwidth, SwarmConfig};
 use crate::twofast::speedup_curve;
 use crate::vicissitude::{bottleneck_shifts, run_pipeline, vicissitude_score};
+use atlarge_exp::registry::{run_replicated, CellOutput, CellScenario, ParamSpec};
 use atlarge_exp::seed::split_labeled;
-use atlarge_exp::{Campaign, CampaignResult, Scenario};
+use atlarge_exp::{Campaign, CampaignResult, CancelToken, Scenario};
+use atlarge_stats::descriptive::Summary;
 use atlarge_telemetry::tracer::Tracer;
+use std::collections::BTreeMap;
 
 /// One reproduced row of Table 5.
 #[derive(Debug, Clone, PartialEq)]
@@ -322,6 +325,66 @@ pub fn render_table5_campaign(result: &CampaignResult<Table5Study, Table5Row>) -
     out
 }
 
+/// Table 5 as a servable exploration cell: a query names one study and
+/// gets the replicated claim-holds rate plus the row's printed columns.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Table5Cell;
+
+impl CellScenario for Table5Cell {
+    fn domain(&self) -> &str {
+        "p2p"
+    }
+
+    fn describe(&self) -> &str {
+        "Table 5 peer-to-peer study reproductions, one study row per cell"
+    }
+
+    fn params(&self) -> Vec<ParamSpec> {
+        let names: Vec<&str> = STUDIES.iter().map(|(name, _)| *name).collect();
+        vec![ParamSpec::choice(
+            "study",
+            "which Table 5 study row to reproduce",
+            &names,
+        )]
+    }
+
+    fn run_cell(
+        &self,
+        params: &BTreeMap<String, String>,
+        seed: u64,
+        replications: usize,
+        cancel: &CancelToken,
+        tracer: &dyn Tracer,
+    ) -> Result<CellOutput, String> {
+        let chosen = params.get("study").expect("validated params").as_str();
+        let (name, run) = STUDIES
+            .iter()
+            .find(|(name, _)| *name == chosen)
+            .expect("choice validation admits only STUDIES levels");
+        let rows = run_replicated(
+            &Table5Scenario,
+            &Table5Study { name, run: *run },
+            seed,
+            replications,
+            cancel,
+            tracer,
+        )?;
+        let first = &rows[0];
+        Ok(CellOutput {
+            metrics: vec![(
+                "claim_holds".to_string(),
+                Summary::from_iter(rows.iter().map(|r| f64::from(u8::from(r.claim_holds)))),
+            )],
+            notes: vec![
+                ("study".to_string(), first.study.to_string()),
+                ("feature".to_string(), first.feature.to_string()),
+                ("instrument".to_string(), first.instrument.to_string()),
+                ("finding".to_string(), first.finding.clone()),
+            ],
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,5 +437,67 @@ mod tests {
         }
         let rendered = render_table5_campaign(&r);
         assert!(rendered.contains("3/3"), "{rendered}");
+    }
+
+    #[test]
+    fn serve_cell_validates_and_runs_deterministically() {
+        let mut reg = atlarge_exp::Registry::new();
+        reg.register(Box::new(Table5Cell));
+        let raw = BTreeMap::from([("study".to_string(), "flashcrowd".to_string())]);
+        let params = reg.validate("p2p", &raw).expect("valid query");
+
+        let tracer = atlarge_telemetry::NullTracer;
+        let cell = Table5Cell;
+        let run = || {
+            cell.run_cell(&params, 11, 2, &CancelToken::new(), &tracer)
+                .expect("runs clean")
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.notes, b.notes, "repeat queries must agree");
+        assert_eq!(
+            a.metrics[0].1.mean(),
+            b.metrics[0].1.mean(),
+            "claim rate must be deterministic"
+        );
+        assert_eq!(a.metrics[0].1.len(), 2);
+        assert!(a.notes.iter().any(|(k, _)| k == "finding"));
+    }
+
+    #[test]
+    fn serve_cell_default_is_first_study_and_bad_choice_rejected() {
+        let mut reg = atlarge_exp::Registry::new();
+        reg.register(Box::new(Table5Cell));
+        let defaults = reg
+            .validate("p2p", &BTreeMap::new())
+            .expect("defaults fill");
+        assert_eq!(defaults["study"], "aliased-media");
+        let raw = BTreeMap::from([("study".to_string(), "nonesuch".to_string())]);
+        let err = reg.validate("p2p", &raw).unwrap_err();
+        assert!(err.contains("not one of"), "{err}");
+    }
+
+    #[test]
+    fn serve_cell_matches_single_study_campaign_seeds() {
+        // The servable cell must reproduce the exact outcome stream a
+        // declared single-cell campaign yields for the same root seed.
+        let (name, run) = STUDIES[5];
+        assert_eq!(name, "flashcrowd");
+        let direct = Campaign::new("p2p.one", Table5Scenario)
+            .replications(3)
+            .root_seed(77)
+            .run(|_| Table5Study { name, run });
+        let tracer = atlarge_telemetry::NullTracer;
+        let params = BTreeMap::from([("study".to_string(), "flashcrowd".to_string())]);
+        let out = Table5Cell
+            .run_cell(&params, 77, 3, &CancelToken::new(), &tracer)
+            .expect("runs clean");
+        let campaign_rate = direct.cells[0]
+            .summarize(|r| f64::from(u8::from(r.claim_holds)))
+            .mean();
+        assert_eq!(out.metrics[0].1.mean(), campaign_rate);
+        assert_eq!(
+            out.notes.iter().find(|(k, _)| k == "finding").unwrap().1,
+            direct.cells[0].first().finding
+        );
     }
 }

@@ -16,11 +16,15 @@ use crate::simulator::{
     SimMetrics,
 };
 use atlarge_datacenter::environment::Environment;
+use atlarge_exp::registry::{run_replicated, CellOutput, CellScenario, ParamSpec};
+use atlarge_exp::CancelToken;
 use atlarge_exp::{Campaign, CampaignResult, Scenario, SeedMode};
+use atlarge_stats::descriptive::Summary;
 use atlarge_telemetry::tracer::Tracer;
 use atlarge_workload::mixes::Mix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::BTreeMap;
 
 /// How big to run the experiment (tests use `Quick`, benches `Full`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -483,6 +487,107 @@ pub fn active_set_ablation(scale: Scale, seed: u64) -> Vec<(usize, u64, f64)> {
         .collect()
 }
 
+/// The short, URL-friendly study tag of a matrix row: `"[114] ('13)"`
+/// becomes `"114"`.
+fn short_tag(tag: &'static str) -> String {
+    tag.trim_start_matches('[')
+        .split(']')
+        .next()
+        .expect("matrix tags are bracketed")
+        .to_string()
+}
+
+/// Table 9 as a servable exploration cell: a query names one
+/// study (by citation number) and a scale, and gets the portfolio
+/// scheduler's metrics against the best and worst single policies.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Table9Cell;
+
+impl CellScenario for Table9Cell {
+    fn domain(&self) -> &str {
+        "scheduling"
+    }
+
+    fn describe(&self) -> &str {
+        "Table 9 portfolio-scheduling rows: portfolio vs single policies"
+    }
+
+    fn params(&self) -> Vec<ParamSpec> {
+        let tags: Vec<String> = table9_matrix()
+            .iter()
+            .map(|&(t, _, _)| short_tag(t))
+            .collect();
+        let tag_refs: Vec<&str> = tags.iter().map(|s| s.as_str()).collect();
+        vec![
+            ParamSpec::choice("study", "citation number of the Table 9 row", &tag_refs),
+            ParamSpec::choice(
+                "scale",
+                "experiment size (quick = test-sized)",
+                &["quick", "full"],
+            ),
+        ]
+    }
+
+    fn run_cell(
+        &self,
+        params: &BTreeMap<String, String>,
+        seed: u64,
+        replications: usize,
+        cancel: &CancelToken,
+        tracer: &dyn Tracer,
+    ) -> Result<CellOutput, String> {
+        let scale = match params["scale"].as_str() {
+            "full" => Scale::Full,
+            _ => Scale::Quick,
+        };
+        let (study, mix, env) = table9_matrix()
+            .into_iter()
+            .find(|&(t, _, _)| short_tag(t) == params["study"])
+            .expect("choice validation admits only matrix tags");
+        let rows = run_replicated(
+            &Table9Scenario { scale },
+            &Table9Spec { study, mix, env },
+            seed,
+            replications,
+            cancel,
+            tracer,
+        )?;
+        let first = &rows[0];
+        let summarize = |f: &dyn Fn(&Table9Row) -> f64| Summary::from_iter(rows.iter().map(f));
+        Ok(CellOutput {
+            metrics: vec![
+                (
+                    "portfolio_gap".to_string(),
+                    summarize(&|r| r.portfolio_gap()),
+                ),
+                (
+                    "portfolio_slowdown".to_string(),
+                    summarize(&|r| r.portfolio.mean_bounded_slowdown),
+                ),
+                (
+                    "best_single_slowdown".to_string(),
+                    summarize(&|r| r.best_single_slowdown().1),
+                ),
+                (
+                    "worst_single_slowdown".to_string(),
+                    summarize(&|r| r.worst_single_slowdown().1),
+                ),
+                ("makespan".to_string(), summarize(&|r| r.portfolio.makespan)),
+            ],
+            notes: vec![
+                ("study".to_string(), first.study.to_string()),
+                ("mix".to_string(), format!("{:?}", first.mix)),
+                ("environment".to_string(), format!("{:?}", first.env)),
+                (
+                    "best_single".to_string(),
+                    first.best_single_slowdown().0.name().to_string(),
+                ),
+                ("finding".to_string(), first.finding().to_string()),
+            ],
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -654,5 +759,39 @@ mod tests {
         assert_eq!(m[0].1, Mix::Synthetic);
         assert_eq!(m[6].1, Mix::BigData);
         assert_eq!(m[4].2, Environment::MultiCluster);
+    }
+
+    #[test]
+    fn serve_cell_offers_short_tags_and_runs_deterministically() {
+        let mut reg = atlarge_exp::Registry::new();
+        reg.register(Box::new(Table9Cell));
+        let spec = &Table9Cell.params()[0];
+        assert_eq!(
+            spec.choices,
+            ["114", "115", "116", "117", "118", "119", "120"]
+        );
+
+        let raw = BTreeMap::from([("study".to_string(), "116".to_string())]);
+        let params = reg.validate("scheduling", &raw).expect("valid query");
+        assert_eq!(params["scale"], "quick", "scale defaults to quick");
+        let tracer = atlarge_telemetry::NullTracer;
+        let run = || {
+            Table9Cell
+                .run_cell(&params, 7, 1, &CancelToken::new(), &tracer)
+                .expect("runs clean")
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.notes, b.notes);
+        let gap = |o: &CellOutput| {
+            o.metrics
+                .iter()
+                .find(|(k, _)| k == "portfolio_gap")
+                .expect("gap metric")
+                .1
+                .mean()
+        };
+        assert_eq!(gap(&a), gap(&b));
+        assert!(gap(&a) > 0.0);
+        assert!(a.notes.iter().any(|(k, v)| k == "mix" && v == "SciGaming"));
     }
 }

@@ -1,0 +1,194 @@
+//! A small blocking HTTP client for the server's dialect — used by the
+//! integration tests, the load bench, and the `observatory_client`
+//! example, so none of them need an external HTTP dependency.
+//!
+//! Supports exactly what the server emits: fixed `Content-Length`
+//! bodies and `Transfer-Encoding: chunked` streams (decoded fully
+//! before returning). One-shot [`get`] opens a fresh connection;
+//! [`ClientConn`] keeps one open for keep-alive request sequences.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// A fully read response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code of the response line.
+    pub status: u16,
+    /// Header `(name, value)` pairs in wire order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The decoded body (de-chunked when the transfer was chunked).
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// First header value with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+fn bad_data(context: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, context.to_string())
+}
+
+fn read_response<R: BufRead>(reader: &mut R) -> std::io::Result<HttpResponse> {
+    let mut status_line = String::new();
+    if reader.read_line(&mut status_line)? == 0 {
+        return Err(bad_data("connection closed before status line"));
+    }
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| bad_data("malformed status line"))?;
+
+    let mut headers = Vec::new();
+    let mut content_length: Option<usize> = None;
+    let mut chunked = false;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(bad_data("connection closed inside headers"));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad_data("malformed header"))?;
+        let name = name.to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            content_length = value.parse().ok();
+        }
+        if name == "transfer-encoding" && value.eq_ignore_ascii_case("chunked") {
+            chunked = true;
+        }
+        headers.push((name, value));
+    }
+
+    let body = if chunked {
+        read_chunked(reader)?
+    } else {
+        let length = content_length.ok_or_else(|| bad_data("response without length"))?;
+        let mut body = vec![0u8; length];
+        reader.read_exact(&mut body)?;
+        body
+    };
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+fn read_chunked<R: BufRead>(reader: &mut R) -> std::io::Result<Vec<u8>> {
+    let mut body = Vec::new();
+    loop {
+        let mut size_line = String::new();
+        if reader.read_line(&mut size_line)? == 0 {
+            return Err(bad_data("connection closed inside chunked body"));
+        }
+        let size = usize::from_str_radix(size_line.trim(), 16)
+            .map_err(|_| bad_data("malformed chunk size"))?;
+        if size == 0 {
+            let mut trailer = String::new();
+            reader.read_line(&mut trailer)?; // the final CRLF
+            return Ok(body);
+        }
+        let start = body.len();
+        body.resize(start + size, 0);
+        reader.read_exact(&mut body[start..])?;
+        let mut crlf = [0u8; 2];
+        reader.read_exact(&mut crlf)?;
+        if &crlf != b"\r\n" {
+            return Err(bad_data("chunk not terminated by CRLF"));
+        }
+    }
+}
+
+/// One request over a fresh connection (`Connection: close`).
+pub fn get(addr: &str, path_and_query: &str) -> std::io::Result<HttpResponse> {
+    let stream = TcpStream::connect(addr)?;
+    // One `write_all` per request head, and no Nagle: a head split
+    // across small writes interacts with delayed ACKs for a flat
+    // ~40 ms per round-trip on loopback.
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let head =
+        format!("GET {path_and_query} HTTP/1.1\r\nHost: atlarge\r\nConnection: close\r\n\r\n");
+    writer.write_all(head.as_bytes())?;
+    writer.flush()?;
+    read_response(&mut reader)
+}
+
+/// A keep-alive connection for request sequences (benches hammer the
+/// server through these to measure the server, not the TCP handshake).
+pub struct ClientConn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl ClientConn {
+    /// Connects to `addr`.
+    pub fn connect(addr: &str) -> std::io::Result<ClientConn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(ClientConn {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Issues one keep-alive GET and reads the full response.
+    pub fn get(&mut self, path_and_query: &str) -> std::io::Result<HttpResponse> {
+        let head = format!("GET {path_and_query} HTTP/1.1\r\nHost: atlarge\r\n\r\n");
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.flush()?;
+        read_response(&mut self.reader)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_fixed_length_response() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 4\r\nX-Atlarge-Cache: hit\r\n\r\nbody";
+        let r = read_response(&mut BufReader::new(&raw[..])).expect("parses");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.header("x-atlarge-cache"), Some("hit"));
+        assert_eq!(r.header("X-Atlarge-Cache"), Some("hit"), "case-insensitive");
+        assert_eq!(r.body, b"body");
+    }
+
+    #[test]
+    fn decodes_a_chunked_response() {
+        let raw =
+            b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n6\r\nhello\n\r\n5\r\nworld\r\n0\r\n\r\n";
+        let r = read_response(&mut BufReader::new(&raw[..])).expect("parses");
+        assert_eq!(r.body_str(), "hello\nworld");
+    }
+
+    #[test]
+    fn truncated_responses_are_errors_not_hangs() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nshort";
+        assert!(read_response(&mut BufReader::new(&raw[..])).is_err());
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\nff\r\nnope";
+        assert!(read_response(&mut BufReader::new(&raw[..])).is_err());
+    }
+}

@@ -1,0 +1,333 @@
+//! A minimal HTTP/1.1 dialect — exactly the subset the exploration
+//! server speaks, written against `std` only.
+//!
+//! Requests are `GET` with a path and query string; responses are
+//! either fixed bodies (`Content-Length`) or live streams
+//! (`Transfer-Encoding: chunked`, via [`ChunkedWriter`]). Parsing is
+//! deliberately strict: a malformed request line or an oversized
+//! header block is a `400`, never a guess — the server's determinism
+//! story starts with refusing ambiguous input.
+
+use std::io::{BufRead, Write};
+
+/// Upper bound on the request line plus headers, to keep a misbehaving
+/// client from growing server memory.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed request head (this dialect has no request bodies).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method, e.g. `GET`.
+    pub method: String,
+    /// Decoded path without the query string, e.g. `/run`.
+    pub path: String,
+    /// Decoded `key=value` pairs of the query string, in wire order.
+    pub query: Vec<(String, String)>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the connection before a request line arrived.
+    Closed,
+    /// Transport failure mid-request.
+    Io(std::io::Error),
+    /// Syntactically invalid request — answer 400 and hang up.
+    Malformed(String),
+}
+
+/// Reads one request head from `reader`.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ReadError> {
+    let mut line = String::new();
+    let mut head_bytes = 0;
+    match reader.read_line(&mut line) {
+        Ok(0) => return Err(ReadError::Closed),
+        Ok(n) => head_bytes += n,
+        Err(e) => return Err(ReadError::Io(e)),
+    }
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m.to_string(), t.to_string(), v.to_string()),
+        _ => return Err(ReadError::Malformed(format!("bad request line: {line:?}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed(format!(
+            "unsupported version {version}"
+        )));
+    }
+
+    // Headers: we only act on Connection; everything else is skipped.
+    let mut keep_alive = version == "HTTP/1.1";
+    loop {
+        let mut header = String::new();
+        match reader.read_line(&mut header) {
+            Ok(0) => return Err(ReadError::Malformed("eof inside headers".to_string())),
+            Ok(n) => head_bytes += n,
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(ReadError::Malformed("request head too large".to_string()));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("connection") {
+                let value = value.trim();
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+        } else {
+            return Err(ReadError::Malformed(format!("bad header: {header:?}")));
+        }
+    }
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (target, Vec::new()),
+    };
+    Ok(Request {
+        method,
+        path,
+        query,
+        keep_alive,
+    })
+}
+
+/// Decodes a query string into `key=value` pairs, applying `%XX` and
+/// `+` decoding to both halves. Keys without `=` get an empty value.
+pub fn parse_query(q: &str) -> Vec<(String, String)> {
+    q.split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| match part.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(part), String::new()),
+        })
+        .collect()
+}
+
+/// Decodes `%XX` escapes and `+`-as-space; invalid escapes pass
+/// through literally, which keeps decoding total (no error path).
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// The reason phrase for the status codes this server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete fixed-length response. `extra_headers` are
+/// emitted verbatim after the standard ones.
+pub fn write_response<W: Write>(
+    w: &mut W,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
+        reason(status),
+        body.len()
+    )?;
+    for (name, value) in extra_headers {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Writes the head of a chunked streaming response; follow with a
+/// [`ChunkedWriter`] over the same stream.
+pub fn write_chunked_head<W: Write>(
+    w: &mut W,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n",
+        reason(status)
+    )?;
+    for (name, value) in extra_headers {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
+    w.flush()
+}
+
+/// A `Transfer-Encoding: chunked` body encoder: every `write` becomes
+/// one chunk, so each flushed trace line reaches the client framed and
+/// parseable immediately.
+pub struct ChunkedWriter<W: Write> {
+    inner: W,
+    finished: bool,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Wraps `inner`, which must already carry the chunked head.
+    pub fn new(inner: W) -> Self {
+        ChunkedWriter {
+            inner,
+            finished: false,
+        }
+    }
+
+    /// Writes the terminating zero-length chunk.
+    pub fn finish(mut self) -> std::io::Result<()> {
+        self.finished = true;
+        self.inner.write_all(b"0\r\n\r\n")?;
+        self.inner.flush()
+    }
+}
+
+impl<W: Write> Write for ChunkedWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        write!(self.inner, "{:x}\r\n", buf.len())?;
+        self.inner.write_all(buf)?;
+        self.inner.write_all(b"\r\n")?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, ReadError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_a_full_request() {
+        let r = parse("GET /run?domain=graph&n=400 HTTP/1.1\r\nHost: x\r\n\r\n").expect("parses");
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/run");
+        assert_eq!(
+            r.query,
+            vec![
+                ("domain".to_string(), "graph".to_string()),
+                ("n".to_string(), "400".to_string())
+            ]
+        );
+        assert!(r.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn connection_close_is_honored() {
+        let r = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").expect("parses");
+        assert!(!r.keep_alive);
+        let r = parse("GET / HTTP/1.0\r\n\r\n").expect("parses");
+        assert!(!r.keep_alive, "HTTP/1.0 defaults to close");
+    }
+
+    #[test]
+    fn malformed_heads_are_rejected() {
+        assert!(matches!(
+            parse("GARBAGE\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(parse(""), Err(ReadError::Closed)));
+        assert!(matches!(
+            parse("GET / SPDY/9\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nnocolonhere\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn percent_decoding_round_trips() {
+        assert_eq!(percent_decode("a%20b+c"), "a b c");
+        assert_eq!(percent_decode("%5B114%5D"), "[114]");
+        assert_eq!(percent_decode("100%"), "100%", "dangling escape is literal");
+        assert_eq!(percent_decode("%zz"), "%zz", "bad hex is literal");
+    }
+
+    #[test]
+    fn chunked_writer_frames_every_write() {
+        let mut buf = Vec::new();
+        {
+            let mut w = ChunkedWriter::new(&mut buf);
+            w.write_all(b"hello\n").unwrap();
+            w.write_all(b"world").unwrap();
+            w.finish().unwrap();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text, "6\r\nhello\n\r\n5\r\nworld\r\n0\r\n\r\n");
+    }
+
+    #[test]
+    fn responses_carry_length_and_extra_headers() {
+        let mut buf = Vec::new();
+        write_response(
+            &mut buf,
+            200,
+            "application/json",
+            &[("X-Atlarge-Cache", "hit")],
+            b"{}",
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("X-Atlarge-Cache: hit\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

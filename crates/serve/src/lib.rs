@@ -1,0 +1,88 @@
+//! `atlarge-serve` — the persistent design-exploration server.
+//!
+//! The AtLarge vision's design process (§5) is iterative: pose a
+//! what-if question, simulate, inspect, refine. Running a whole
+//! campaign binary per question makes that loop minutes long; this
+//! crate makes it a keep-alive HTTP round-trip. A long-lived server
+//! holds every reproduced domain behind one query schema
+//! ([`Registry`]), executes cells on a bounded work-stealing pool
+//! (overload answers `503`, never a growing backlog), and memoizes
+//! rendered results in a fingerprint-keyed LRU — repeat questions are
+//! answered from cache with **byte-identical** bodies, the same
+//! reproducibility contract (`same_run_as`) the rest of the workspace
+//! gates on, now applied to a service boundary.
+//!
+//! Endpoints:
+//!
+//! - `GET /healthz` — liveness plus the registered domain list.
+//! - `GET /domains` — the query schema: every domain's parameters,
+//!   defaults, and choices.
+//! - `GET /run?domain=<d>&seed=<n>&replications=<r>&<param>=<v>…` —
+//!   execute (or recall) one cell; `X-Atlarge-Cache: hit|miss` and
+//!   `X-Atlarge-Key` report cache behavior without touching the body.
+//! - `GET /trace?…` — the same query, streamed live as JSONL trace
+//!   records over chunked transfer encoding, closed by the query
+//!   manifest and the result document.
+//! - `GET /stats` — queue depth, cache hit rate, and per-domain
+//!   latency quantiles from log-scale histograms.
+//!
+//! Everything is `std`-only: sockets from `std::net`, the HTTP/1.1
+//! subset hand-written in [`http`], JSON via `atlarge-telemetry`'s
+//! canonical encoder. No runtime, no framework, no serde.
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod pool;
+pub mod query;
+pub mod server;
+pub mod stats;
+
+pub use atlarge_exp::Registry;
+pub use cache::ResultCache;
+pub use client::{get, ClientConn, HttpResponse};
+pub use pool::WorkPool;
+pub use query::{cache_key, parse_run_query, RunQuery};
+pub use server::{ServeConfig, Server};
+pub use stats::ServerStats;
+
+/// The standard registry: every reproduced domain of the paper's
+/// Table 5–9 and §6 studies, under its published domain name.
+pub fn standard_registry() -> Registry {
+    let mut registry = Registry::new();
+    registry.register(Box::new(atlarge_p2p::experiments::Table5Cell));
+    registry.register(Box::new(atlarge_mmog::experiments::Table6Cell));
+    registry.register(Box::new(atlarge_serverless::experiments::Table7Cell));
+    registry.register(Box::new(atlarge_graph::experiments::PadExplorerCell));
+    registry.register(Box::new(atlarge_scheduling::experiments::Table9Cell));
+    registry.register(Box::new(atlarge_datacenter::experiments::CapacityCell));
+    registry.register(Box::new(atlarge_autoscaling::experiments::AutoscaleCell));
+    registry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_registry_serves_all_seven_domains() {
+        let registry = standard_registry();
+        assert_eq!(
+            registry.domains(),
+            vec![
+                "autoscaling",
+                "datacenter",
+                "graph",
+                "mmog",
+                "p2p",
+                "scheduling",
+                "serverless"
+            ]
+        );
+        for domain in registry.domains() {
+            let scenario = registry.get(domain).expect("listed");
+            assert!(!scenario.describe().is_empty());
+            assert!(!scenario.params().is_empty(), "{domain} declares params");
+        }
+    }
+}

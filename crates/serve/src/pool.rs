@@ -1,0 +1,283 @@
+//! The query execution pool: thread-per-core workers over per-worker
+//! deques with work stealing, behind a bounded admission gate.
+//!
+//! The server's overload policy lives here. Admission is a single
+//! atomic reservation against a global queue budget — when the budget
+//! is exhausted, [`WorkPool::reserve`] refuses and the caller answers
+//! `503` *before* any work is enqueued, so an overloaded server sheds
+//! load in O(1) instead of growing a backlog. Reservations are split
+//! from submission ([`Ticket`]) so a caller can secure a slot, then
+//! move expensive resources (a client's TCP stream, a result channel)
+//! into the job knowing it cannot be bounced.
+//!
+//! Placement round-robins across worker deques; idle workers steal
+//! from the back of their siblings' deques, so one slow query never
+//! serializes the queue behind it.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolShared {
+    /// One deque per worker; `submit` pushes to the back, the owner
+    /// pops the front, thieves pop the back.
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Queued-but-not-started jobs, bounded by `capacity`.
+    depth: AtomicUsize,
+    /// Maximum queued jobs before reservations refuse.
+    capacity: usize,
+    /// Round-robin placement cursor.
+    next: AtomicUsize,
+    shutdown: AtomicBool,
+    sleep: Mutex<()>,
+    wake: Condvar,
+}
+
+/// A reserved queue slot: proof that a later [`WorkPool::submit`]
+/// cannot be refused. Dropping an unused ticket releases the slot.
+pub struct Ticket {
+    shared: Arc<PoolShared>,
+    spent: bool,
+}
+
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        if !self.spent {
+            self.shared.depth.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+/// A fixed-size worker pool with bounded admission.
+pub struct WorkPool {
+    shared: Arc<PoolShared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WorkPool {
+    /// A pool of `threads` workers refusing work beyond
+    /// `queue_capacity` queued jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` or `queue_capacity` is zero.
+    pub fn new(threads: usize, queue_capacity: usize) -> Self {
+        assert!(threads > 0, "a pool needs at least one worker");
+        assert!(
+            queue_capacity > 0,
+            "a zero-capacity pool refuses everything"
+        );
+        let shared = Arc::new(PoolShared {
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            depth: AtomicUsize::new(0),
+            capacity: queue_capacity,
+            next: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{idx}"))
+                    .spawn(move || worker_loop(&shared, idx))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkPool {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Number of workers.
+    pub fn threads(&self) -> usize {
+        self.shared.queues.len()
+    }
+
+    /// Jobs currently queued (admitted, not yet started).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.depth.load(Ordering::Acquire)
+    }
+
+    /// Reserves one queue slot, or `None` when the pool is saturated —
+    /// the caller's cue to answer `503 Service Unavailable`.
+    pub fn reserve(&self) -> Option<Ticket> {
+        let admitted = self
+            .shared
+            .depth
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |d| {
+                (d < self.shared.capacity).then_some(d + 1)
+            })
+            .is_ok();
+        admitted.then(|| Ticket {
+            shared: Arc::clone(&self.shared),
+            spent: false,
+        })
+    }
+
+    /// Enqueues `job` against a previously reserved slot.
+    pub fn submit(&self, mut ticket: Ticket, job: Job) {
+        ticket.spent = true;
+        drop(ticket);
+        let n = self.shared.queues.len();
+        let start = self.shared.next.fetch_add(1, Ordering::Relaxed) % n;
+        self.shared.queues[start]
+            .lock()
+            .expect("pool queue lock")
+            .push_back(job);
+        self.shared.wake.notify_all();
+    }
+
+    /// Convenience: reserve and submit in one step.
+    pub fn try_submit(&self, job: Job) -> Result<(), Job> {
+        match self.reserve() {
+            Some(ticket) => {
+                self.submit(ticket, job);
+                Ok(())
+            }
+            None => Err(job),
+        }
+    }
+
+    /// Stops accepting work, drains nothing, and joins the workers.
+    /// Queued jobs that have not started are dropped. Idempotent, and
+    /// callable through a shared reference (the server shuts its pool
+    /// down while connection threads may still hold clones of the
+    /// surrounding `Arc`).
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.wake.notify_all();
+        let handles: Vec<JoinHandle<()>> = self
+            .workers
+            .lock()
+            .expect("pool worker list")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            handle.join().expect("pool worker panicked");
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, own: usize) {
+    let n = shared.queues.len();
+    loop {
+        // Own queue first (front = FIFO), then steal from siblings
+        // (back = the work they would reach last).
+        let mut job = shared.queues[own]
+            .lock()
+            .expect("pool queue lock")
+            .pop_front();
+        if job.is_none() {
+            for offset in 1..n {
+                let victim = (own + offset) % n;
+                job = shared.queues[victim]
+                    .lock()
+                    .expect("pool queue lock")
+                    .pop_back();
+                if job.is_some() {
+                    break;
+                }
+            }
+        }
+        match job {
+            Some(job) => {
+                shared.depth.fetch_sub(1, Ordering::AcqRel);
+                job();
+            }
+            None => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                let guard = shared.sleep.lock().expect("pool sleep lock");
+                // Re-check under the lock so a submit between the empty
+                // poll and this wait cannot be slept through for long;
+                // the timeout bounds the race window regardless.
+                let _unused = shared
+                    .wake
+                    .wait_timeout(guard, std::time::Duration::from_millis(20))
+                    .expect("pool sleep lock");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::mpsc;
+
+    #[test]
+    fn runs_submitted_jobs_on_many_workers() {
+        let pool = WorkPool::new(4, 64);
+        let counter = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..32 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.try_submit(Box::new(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                tx.send(()).expect("receiver lives");
+            }))
+            .ok()
+            .expect("capacity 64 admits 32 jobs");
+        }
+        for _ in 0..32 {
+            rx.recv().expect("job completes");
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn saturated_pool_refuses_admission() {
+        let pool = WorkPool::new(1, 2);
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let release_rx = Arc::new(Mutex::new(release_rx));
+        let (started_tx, started_rx) = mpsc::channel();
+        // One job occupies the worker...
+        let rx = Arc::clone(&release_rx);
+        let st = started_tx.clone();
+        pool.try_submit(Box::new(move || {
+            st.send(()).expect("test alive");
+            rx.lock().expect("rx lock").recv().expect("release signal");
+        }))
+        .ok()
+        .expect("first job admitted");
+        started_rx.recv().expect("worker picked up the blocker");
+        // ...then the queue budget (2) fills with blocked jobs...
+        for _ in 0..2 {
+            let rx = Arc::clone(&release_rx);
+            pool.try_submit(Box::new(move || {
+                rx.lock().expect("rx lock").recv().expect("release signal");
+            }))
+            .ok()
+            .expect("queued within capacity");
+        }
+        // ...and the next admission is refused.
+        assert!(pool.reserve().is_none(), "saturated pool must refuse");
+        assert_eq!(pool.queue_depth(), 2);
+        for _ in 0..3 {
+            release_tx.send(()).expect("jobs waiting");
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn dropped_tickets_release_their_slot() {
+        let pool = WorkPool::new(1, 1);
+        {
+            let ticket = pool.reserve().expect("slot free");
+            assert!(pool.reserve().is_none(), "slot held by ticket");
+            drop(ticket);
+        }
+        assert!(pool.reserve().is_some(), "dropped ticket released the slot");
+        pool.shutdown();
+    }
+}

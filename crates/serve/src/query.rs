@@ -1,0 +1,363 @@
+//! What-if query parsing, identity, and rendering.
+//!
+//! A query arrives as URL pairs (`domain=graph&algorithm=bfs&seed=7`),
+//! is canonicalized by the [`Registry`]'s parameter validation
+//! (defaults filled, unknown keys refused), and from then on has ONE
+//! identity: a [`RunManifest`] built *before* the run — model
+//! `serve.<domain>`, the query seed, and a config digest over the
+//! canonical parameters — rendered to a cache key by
+//! [`atlarge_obsv::fingerprint::canonical_key`]. Two spellings of the
+//! same cell (`n=400` explicit vs defaulted, reordered pairs) collapse
+//! to one key; any semantic difference (seed, replications, any
+//! parameter) separates keys.
+//!
+//! Rendering is deterministic by construction: every map is a
+//! `BTreeMap` or an order-stable `Vec`, floats go through the
+//! workspace's canonical [`json_f64`], and nothing wall-clock-derived
+//! enters the body — which is what makes "cache hits are byte-identical
+//! to cold runs" a provable property rather than an aspiration.
+
+use atlarge_exp::registry::CellOutput;
+use atlarge_exp::Registry;
+use atlarge_obsv::fingerprint::canonical_key;
+use atlarge_telemetry::export::{json_f64, json_object, json_str};
+use atlarge_telemetry::manifest::{fnv1a, RunManifest, MANIFEST_SCHEMA};
+use std::collections::BTreeMap;
+
+/// Hard ceiling on per-query replications, so one query cannot
+/// monopolize a worker indefinitely.
+pub const MAX_REPLICATIONS: usize = 64;
+
+/// Default seed when a query omits one — fixed, so the cacheable
+/// common case ("just show me this cell") is shared across clients.
+pub const DEFAULT_SEED: u64 = 42;
+
+/// A validated, canonical what-if query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunQuery {
+    /// Registered domain name.
+    pub domain: String,
+    /// Root seed of the replication stream.
+    pub seed: u64,
+    /// Replications to run (`1..=MAX_REPLICATIONS`).
+    pub replications: usize,
+    /// Canonical cell parameters (validated, defaults filled).
+    pub params: BTreeMap<String, String>,
+}
+
+/// Parses and validates raw query pairs against `registry`.
+///
+/// Reserved keys: `domain` (required), `seed`, `replications`. Every
+/// other key is a cell parameter checked by the domain's declared
+/// [`ParamSpec`](atlarge_exp::ParamSpec)s.
+pub fn parse_run_query(
+    registry: &Registry,
+    pairs: &[(String, String)],
+) -> Result<RunQuery, String> {
+    let mut domain = None;
+    let mut seed = DEFAULT_SEED;
+    let mut replications = 1usize;
+    let mut raw = BTreeMap::new();
+    for (key, value) in pairs {
+        match key.as_str() {
+            "domain" => domain = Some(value.clone()),
+            "seed" => {
+                seed = value
+                    .parse()
+                    .map_err(|_| format!("parameter 'seed': cannot parse '{value}'"))?;
+            }
+            "replications" => {
+                replications = value
+                    .parse()
+                    .map_err(|_| format!("parameter 'replications': cannot parse '{value}'"))?;
+            }
+            _ => {
+                if raw.insert(key.clone(), value.clone()).is_some() {
+                    return Err(format!("parameter '{key}' given twice"));
+                }
+            }
+        }
+    }
+    let domain = domain.ok_or("missing required parameter 'domain'")?;
+    if !(1..=MAX_REPLICATIONS).contains(&replications) {
+        return Err(format!(
+            "parameter 'replications': {replications} outside 1..={MAX_REPLICATIONS}"
+        ));
+    }
+    let params = registry.validate(&domain, &raw)?;
+    Ok(RunQuery {
+        domain,
+        seed,
+        replications,
+        params,
+    })
+}
+
+/// The query's identity as a run manifest, computed *before* the run.
+///
+/// Extent fields (events, simulated time, trace counts) are zero: the
+/// identity of a cached result is what was asked, not what executing
+/// it happened to cost. `wall_ms` is zero and excluded from the key
+/// anyway.
+pub fn query_manifest(query: &RunQuery) -> RunManifest {
+    let mut canon = format!("replications={}", query.replications);
+    for (key, value) in &query.params {
+        canon.push('\u{1f}'); // field separator no declared ParamSpec name contains
+        canon.push_str(key);
+        canon.push('=');
+        canon.push_str(value);
+    }
+    RunManifest {
+        schema: MANIFEST_SCHEMA,
+        model: format!("serve.{}", query.domain),
+        seed: query.seed,
+        config_digest: fnv1a(canon.as_bytes()),
+        events_scheduled: 0,
+        events_dispatched: 0,
+        sim_time: 0.0,
+        trace_records: 0,
+        trace_dropped: 0,
+        wall_ms: 0.0,
+    }
+}
+
+/// The cache key of a query: the canonical fingerprint rendering of
+/// [`query_manifest`].
+pub fn cache_key(query: &RunQuery) -> String {
+    canonical_key(&query_manifest(query))
+}
+
+fn json_string_map<'a, I: Iterator<Item = (&'a str, &'a str)>>(entries: I) -> String {
+    let rendered: Vec<String> = entries
+        .map(|(k, v)| format!("{}:{}", json_str(k), json_str(v)))
+        .collect();
+    format!("{{{}}}", rendered.join(","))
+}
+
+/// Renders the response body of a completed query. Deterministic:
+/// byte-identical across repeats, threads, and cache hits.
+pub fn render_body(query: &RunQuery, key: &str, output: &CellOutput) -> String {
+    let metrics: Vec<String> = output
+        .metrics
+        .iter()
+        .map(|(name, summary)| {
+            format!(
+                "{}:{}",
+                json_str(name),
+                json_object(&[
+                    ("mean", json_f64(summary.mean())),
+                    ("std_dev", json_f64(summary.std_dev())),
+                    ("min", json_f64(summary.min())),
+                    ("max", json_f64(summary.max())),
+                    ("n", summary.len().to_string()),
+                ])
+            )
+        })
+        .collect();
+    let mut body = json_object(&[
+        ("domain", json_str(&query.domain)),
+        ("seed", query.seed.to_string()),
+        ("replications", query.replications.to_string()),
+        ("key", json_str(key)),
+        (
+            "params",
+            json_string_map(query.params.iter().map(|(k, v)| (k.as_str(), v.as_str()))),
+        ),
+        ("metrics", format!("{{{}}}", metrics.join(","))),
+        (
+            "notes",
+            json_string_map(output.notes.iter().map(|(k, v)| (k.as_str(), v.as_str()))),
+        ),
+    ]);
+    body.push('\n');
+    body
+}
+
+/// Renders the `/domains` directory: every registered domain with its
+/// declared parameters, for clients discovering the query schema.
+pub fn render_domains(registry: &Registry) -> String {
+    let domains: Vec<String> = registry
+        .domains()
+        .iter()
+        .map(|name| {
+            let scenario = registry.get(name).expect("listed domains resolve");
+            let params: Vec<String> = scenario
+                .params()
+                .iter()
+                .map(|spec| {
+                    let choices: Vec<String> = spec.choices.iter().map(|c| json_str(c)).collect();
+                    json_object(&[
+                        ("name", json_str(&spec.name)),
+                        ("help", json_str(&spec.help)),
+                        (
+                            "default",
+                            spec.default
+                                .as_deref()
+                                .map(json_str)
+                                .unwrap_or_else(|| "null".to_string()),
+                        ),
+                        ("choices", format!("[{}]", choices.join(","))),
+                    ])
+                })
+                .collect();
+            format!(
+                "{}:{}",
+                json_str(name),
+                json_object(&[
+                    ("description", json_str(scenario.describe())),
+                    ("params", format!("[{}]", params.join(","))),
+                ])
+            )
+        })
+        .collect();
+    format!("{{{}}}\n", domains.join(","))
+}
+
+/// The `{"error": ...}` body of a refused request.
+pub fn error_body(message: &str) -> String {
+    let mut body = json_object(&[("error", json_str(message))]);
+    body.push('\n');
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlarge_exp::registry::{CellScenario, ParamSpec};
+    use atlarge_exp::CancelToken;
+    use atlarge_stats::descriptive::Summary;
+    use atlarge_telemetry::tracer::Tracer;
+
+    struct Echo;
+
+    impl CellScenario for Echo {
+        fn domain(&self) -> &str {
+            "echo"
+        }
+        fn describe(&self) -> &str {
+            "test fixture"
+        }
+        fn params(&self) -> Vec<ParamSpec> {
+            vec![
+                ParamSpec::optional("x", "a knob", "1"),
+                ParamSpec::choice("mode", "a mode", &["fast", "slow"]),
+            ]
+        }
+        fn run_cell(
+            &self,
+            params: &BTreeMap<String, String>,
+            seed: u64,
+            replications: usize,
+            _cancel: &CancelToken,
+            _tracer: &dyn Tracer,
+        ) -> Result<CellOutput, String> {
+            let x: f64 = params["x"].parse().map_err(|_| "bad x".to_string())?;
+            Ok(CellOutput {
+                metrics: vec![(
+                    "x".to_string(),
+                    Summary::from_iter((0..replications).map(|_| x + seed as f64)),
+                )],
+                notes: vec![("mode".to_string(), params["mode"].clone())],
+            })
+        }
+    }
+
+    fn registry() -> Registry {
+        let mut reg = Registry::new();
+        reg.register(Box::new(Echo));
+        reg
+    }
+
+    fn pairs(spec: &[(&str, &str)]) -> Vec<(String, String)> {
+        spec.iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn equivalent_spellings_share_a_cache_key() {
+        let reg = registry();
+        // Defaults filled vs explicit, and reordered pairs.
+        let a = parse_run_query(&reg, &pairs(&[("domain", "echo")])).expect("valid");
+        let b = parse_run_query(
+            &reg,
+            &pairs(&[("mode", "fast"), ("x", "1"), ("domain", "echo")]),
+        )
+        .expect("valid");
+        assert_eq!(cache_key(&a), cache_key(&b));
+        assert!(cache_key(&a).starts_with("ak1|"));
+    }
+
+    #[test]
+    fn every_semantic_difference_changes_the_key() {
+        let reg = registry();
+        let base = parse_run_query(&reg, &pairs(&[("domain", "echo")])).expect("valid");
+        let variants = [
+            pairs(&[("domain", "echo"), ("x", "2")]),
+            pairs(&[("domain", "echo"), ("mode", "slow")]),
+            pairs(&[("domain", "echo"), ("seed", "7")]),
+            pairs(&[("domain", "echo"), ("replications", "3")]),
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            let q = parse_run_query(&reg, v).expect("valid");
+            assert_ne!(cache_key(&q), cache_key(&base), "variant {i} aliased");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_queries_with_reasons() {
+        let reg = registry();
+        let missing = parse_run_query(&reg, &pairs(&[("x", "1")])).unwrap_err();
+        assert!(missing.contains("domain"), "{missing}");
+        let unknown =
+            parse_run_query(&reg, &pairs(&[("domain", "echo"), ("bogus", "1")])).unwrap_err();
+        assert!(unknown.contains("unknown parameter"), "{unknown}");
+        let seed =
+            parse_run_query(&reg, &pairs(&[("domain", "echo"), ("seed", "abc")])).unwrap_err();
+        assert!(seed.contains("seed"), "{seed}");
+        let reps = parse_run_query(
+            &reg,
+            &pairs(&[("domain", "echo"), ("replications", "100000")]),
+        )
+        .unwrap_err();
+        assert!(reps.contains("replications"), "{reps}");
+        let dup = parse_run_query(&reg, &pairs(&[("domain", "echo"), ("x", "1"), ("x", "2")]))
+            .unwrap_err();
+        assert!(dup.contains("twice"), "{dup}");
+    }
+
+    #[test]
+    fn rendered_bodies_are_deterministic_and_json_shaped() {
+        let reg = registry();
+        let q = parse_run_query(&reg, &pairs(&[("domain", "echo"), ("seed", "5")])).expect("valid");
+        let tracer = atlarge_telemetry::NullTracer;
+        let cell = Echo;
+        let out = cell
+            .run_cell(
+                &q.params,
+                q.seed,
+                q.replications,
+                &CancelToken::new(),
+                &tracer,
+            )
+            .expect("runs");
+        let key = cache_key(&q);
+        let a = render_body(&q, &key, &out);
+        let b = render_body(&q, &key, &out);
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"domain\":\"echo\""), "{a}");
+        assert!(a.contains("\"metrics\":{\"x\":{\"mean\":6"), "{a}");
+        assert!(a.contains("\"notes\":{\"mode\":\"fast\"}"), "{a}");
+        assert!(a.ends_with('\n'));
+    }
+
+    #[test]
+    fn domains_directory_lists_params_and_defaults() {
+        let reg = registry();
+        let doc = render_domains(&reg);
+        assert!(doc.contains("\"echo\""), "{doc}");
+        assert!(doc.contains("\"default\":\"1\""), "{doc}");
+        assert!(doc.contains("\"choices\":[\"fast\",\"slow\"]"), "{doc}");
+        assert!(doc.contains("\"description\":\"test fixture\""), "{doc}");
+    }
+}

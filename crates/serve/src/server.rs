@@ -1,0 +1,479 @@
+//! The exploration server: a TCP accept loop, per-connection reader
+//! threads, and the shared query pool behind them.
+//!
+//! Request flow for `/run`: parse → validate → cache probe → on a
+//! miss, reserve a pool slot (or `503`), execute the cell on a worker,
+//! render once, cache the rendered bytes, answer. A later hit returns
+//! the *same* `Arc` of bytes the cold run produced — byte-identity is
+//! structural, not re-derived. `/trace` reserves a slot the same way,
+//! then moves the client's stream into the job, where a
+//! [`JsonlSink`](atlarge_telemetry::JsonlSink) narrates the run live
+//! over chunked transfer encoding; a client hangup latches the sink's
+//! error hook, which cancels the run at the next replication boundary.
+//!
+//! Wall-clock readings (per-domain latency histograms) go through
+//! [`Stopwatch`] only, and only into `/stats` — never into a response
+//! body the cache could serve back.
+
+use crate::cache::ResultCache;
+use crate::http::{
+    read_request, write_chunked_head, write_response, ChunkedWriter, ReadError, Request,
+};
+use crate::pool::WorkPool;
+use crate::query::{
+    cache_key, error_body, parse_run_query, query_manifest, render_body, render_domains,
+};
+use crate::stats::ServerStats;
+use atlarge_exp::{CancelToken, Registry};
+use atlarge_telemetry::wall::Stopwatch;
+use atlarge_telemetry::JsonlSink;
+use atlarge_telemetry::NullTracer;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Server tuning knobs.
+pub struct ServeConfig {
+    /// Listen address; port `0` binds an ephemeral port (tests).
+    pub addr: String,
+    /// Pool workers; `0` means one per available core.
+    pub threads: usize,
+    /// Queued queries admitted before `503`.
+    pub queue_capacity: usize,
+    /// Cached result bodies.
+    pub cache_capacity: usize,
+    /// Cache shards.
+    pub cache_shards: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 0,
+            queue_capacity: 128,
+            cache_capacity: 1024,
+            cache_shards: 8,
+        }
+    }
+}
+
+struct Shared {
+    registry: Registry,
+    pool: WorkPool,
+    cache: ResultCache,
+    stats: ServerStats,
+    running: AtomicBool,
+    /// Open connections, so shutdown can wait for them to drain.
+    connections: Mutex<usize>,
+    drained: Condvar,
+}
+
+/// A running exploration server. Dropping the handle without calling
+/// [`Server::shutdown`] leaves detached threads running; call
+/// `shutdown` for an orderly stop.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the accept loop, and returns once the socket is
+    /// listening — `addr()` is immediately connectable.
+    pub fn start(registry: Registry, config: ServeConfig) -> std::io::Result<Server> {
+        let threads = if config.threads > 0 {
+            config.threads
+        } else {
+            std::thread::available_parallelism().map_or(2, |n| n.get())
+        };
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            registry,
+            pool: WorkPool::new(threads, config.queue_capacity),
+            cache: ResultCache::new(config.cache_capacity, config.cache_shards),
+            stats: ServerStats::new(),
+            running: AtomicBool::new(true),
+            connections: Mutex::new(0),
+            drained: Condvar::new(),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("serve-accept".to_string())
+            .spawn(move || accept_loop(&listener, &accept_shared))
+            .expect("spawn accept loop");
+        Ok(Server {
+            shared,
+            addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolved port when `addr` asked for `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, waits for open connections to finish, and
+    /// joins every thread the server owns.
+    pub fn shutdown(mut self) {
+        self.shared.running.store(false, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _nudge = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            handle.join().expect("accept loop panicked");
+        }
+        let mut open = self
+            .shared
+            .connections
+            .lock()
+            .expect("connection count lock");
+        while *open > 0 {
+            open = self
+                .shared
+                .drained
+                .wait(open)
+                .expect("connection count lock");
+        }
+        drop(open);
+        self.shared.pool.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if !shared.running.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        // Responses (and especially chunked trace records) go out as
+        // several small writes; without NODELAY, Nagle + delayed ACKs
+        // turn each into a ~40 ms stall on loopback.
+        let _best_effort = stream.set_nodelay(true);
+        *shared.connections.lock().expect("connection count lock") += 1;
+        let conn_shared = Arc::clone(shared);
+        let spawned = std::thread::Builder::new()
+            .name("serve-conn".to_string())
+            .spawn(move || {
+                handle_connection(stream, &conn_shared);
+                let mut open = conn_shared
+                    .connections
+                    .lock()
+                    .expect("connection count lock");
+                *open -= 1;
+                if *open == 0 {
+                    conn_shared.drained.notify_all();
+                }
+            });
+        if spawned.is_err() {
+            let mut open = shared.connections.lock().expect("connection count lock");
+            *open -= 1;
+            if *open == 0 {
+                shared.drained.notify_all();
+            }
+        }
+    }
+}
+
+/// How often an idle connection wakes up to check for server shutdown.
+const IDLE_POLL: std::time::Duration = std::time::Duration::from_millis(50);
+/// Idle keep-alive connections are reaped after this long without a
+/// request (clients send a request head in one write, so a poll-tick
+/// timeout mid-request does not happen in practice).
+const IDLE_MAX: std::time::Duration = std::time::Duration::from_secs(30);
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    // A bounded read timeout keeps this thread responsive to shutdown:
+    // without it, an open keep-alive connection would pin the drain in
+    // `Server::shutdown` until the client went away on its own.
+    let _best_effort = read_half.set_read_timeout(Some(IDLE_POLL));
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut idle = std::time::Duration::ZERO;
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(request) => request,
+            Err(ReadError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if !shared.running.load(Ordering::Acquire) {
+                    return;
+                }
+                idle += IDLE_POLL;
+                if idle >= IDLE_MAX {
+                    return;
+                }
+                continue;
+            }
+            Err(ReadError::Closed) | Err(ReadError::Io(_)) => return,
+            Err(ReadError::Malformed(reason)) => {
+                shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+                let _closing = write_response(
+                    &mut writer,
+                    400,
+                    "application/json",
+                    &[],
+                    error_body(&reason).as_bytes(),
+                );
+                return;
+            }
+        };
+        idle = std::time::Duration::ZERO;
+        let keep_alive = request.keep_alive;
+        // `/trace` takes ownership of the stream for its lifetime.
+        if request.method == "GET" && request.path == "/trace" {
+            if let Ok(stream) = writer.into_inner() {
+                handle_trace(stream, &request, shared);
+            }
+            return;
+        }
+        if route(&mut writer, &request, shared).is_err() {
+            return; // client hung up mid-response
+        }
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+fn route<W: Write>(w: &mut W, request: &Request, shared: &Arc<Shared>) -> std::io::Result<()> {
+    if request.method != "GET" {
+        shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+        return write_response(
+            w,
+            405,
+            "application/json",
+            &[],
+            error_body("only GET is supported").as_bytes(),
+        );
+    }
+    match request.path.as_str() {
+        "/healthz" => {
+            let domains: Vec<String> = shared
+                .registry
+                .domains()
+                .iter()
+                .map(|d| format!("\"{d}\""))
+                .collect();
+            let body = format!(
+                "{{\"status\":\"ok\",\"domains\":[{}]}}\n",
+                domains.join(",")
+            );
+            write_response(w, 200, "application/json", &[], body.as_bytes())
+        }
+        "/domains" => {
+            let body = render_domains(&shared.registry);
+            write_response(w, 200, "application/json", &[], body.as_bytes())
+        }
+        "/stats" => {
+            let body = format!("{}\n", shared.stats.render_json(shared.pool.queue_depth()));
+            write_response(w, 200, "application/json", &[], body.as_bytes())
+        }
+        "/run" => handle_run(w, request, shared),
+        _ => {
+            shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+            write_response(
+                w,
+                404,
+                "application/json",
+                &[],
+                error_body(&format!("no route {}", request.path)).as_bytes(),
+            )
+        }
+    }
+}
+
+fn handle_run<W: Write>(w: &mut W, request: &Request, shared: &Arc<Shared>) -> std::io::Result<()> {
+    let watch = Stopwatch::start();
+    shared.stats.queries.fetch_add(1, Ordering::Relaxed);
+    let query = match parse_run_query(&shared.registry, &request.query) {
+        Ok(query) => query,
+        Err(reason) => {
+            shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+            return write_response(
+                w,
+                400,
+                "application/json",
+                &[],
+                error_body(&reason).as_bytes(),
+            );
+        }
+    };
+    let key = cache_key(&query);
+
+    if let Some(body) = shared.cache.get(&key) {
+        shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+        let result = write_response(
+            w,
+            200,
+            "application/json",
+            &[("X-Atlarge-Cache", "hit"), ("X-Atlarge-Key", &key)],
+            &body,
+        );
+        shared
+            .stats
+            .record_latency(&query.domain, watch.elapsed_ms());
+        return result;
+    }
+
+    let Some(ticket) = shared.pool.reserve() else {
+        shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        return write_response(
+            w,
+            503,
+            "application/json",
+            &[("Retry-After", "1")],
+            error_body("query pool saturated, retry later").as_bytes(),
+        );
+    };
+
+    let (tx, rx) = mpsc::channel();
+    let job_shared = Arc::clone(shared);
+    let job_query = query.clone();
+    shared.pool.submit(
+        ticket,
+        Box::new(move || {
+            let scenario = job_shared
+                .registry
+                .get(&job_query.domain)
+                .expect("validated queries name registered domains");
+            let outcome = scenario.run_cell(
+                &job_query.params,
+                job_query.seed,
+                job_query.replications,
+                &CancelToken::new(),
+                &NullTracer,
+            );
+            // A send failure means the connection thread is gone; the
+            // result simply goes unobserved.
+            let _unobserved = tx.send(outcome);
+        }),
+    );
+
+    match rx.recv() {
+        Ok(Ok(output)) => {
+            let body = Arc::new(render_body(&query, &key, &output).into_bytes());
+            shared.cache.insert(&key, Arc::clone(&body));
+            shared.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+            let result = write_response(
+                w,
+                200,
+                "application/json",
+                &[("X-Atlarge-Cache", "miss"), ("X-Atlarge-Key", &key)],
+                &body,
+            );
+            shared
+                .stats
+                .record_latency(&query.domain, watch.elapsed_ms());
+            result
+        }
+        Ok(Err(reason)) => {
+            shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+            write_response(
+                w,
+                400,
+                "application/json",
+                &[],
+                error_body(&reason).as_bytes(),
+            )
+        }
+        Err(_) => write_response(
+            w,
+            500,
+            "application/json",
+            &[],
+            error_body("worker dropped the query").as_bytes(),
+        ),
+    }
+}
+
+/// Streams a traced run as chunked JSONL. Runs on the connection
+/// thread's budget but inside a pool reservation, so tracing traffic
+/// and `/run` traffic share one admission gate.
+fn handle_trace(mut stream: TcpStream, request: &Request, shared: &Arc<Shared>) {
+    let query = match parse_run_query(&shared.registry, &request.query) {
+        Ok(query) => query,
+        Err(reason) => {
+            shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+            let _closing = write_response(
+                &mut stream,
+                400,
+                "application/json",
+                &[],
+                error_body(&reason).as_bytes(),
+            );
+            return;
+        }
+    };
+    let Some(ticket) = shared.pool.reserve() else {
+        shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        let _closing = write_response(
+            &mut stream,
+            503,
+            "application/json",
+            &[("Retry-After", "1")],
+            error_body("query pool saturated, retry later").as_bytes(),
+        );
+        return;
+    };
+    shared.stats.trace_streams.fetch_add(1, Ordering::Relaxed);
+
+    let key = cache_key(&query);
+    if write_chunked_head(
+        &mut stream,
+        200,
+        "application/jsonl",
+        &[("X-Atlarge-Key", &key)],
+    )
+    .is_err()
+    {
+        return; // ticket drop releases the slot
+    }
+
+    let (tx, rx) = mpsc::channel();
+    let job_shared = Arc::clone(shared);
+    shared.pool.submit(
+        ticket,
+        Box::new(move || {
+            let cancel = CancelToken::new();
+            let hangup = cancel.clone();
+            let sink = JsonlSink::new(ChunkedWriter::new(stream)).on_error(move || hangup.cancel());
+            let scenario = job_shared
+                .registry
+                .get(&query.domain)
+                .expect("validated queries name registered domains");
+            let outcome = scenario.run_cell(
+                &query.params,
+                query.seed,
+                query.replications,
+                &cancel,
+                &sink,
+            );
+            let manifest = query_manifest(&query);
+            // Closing handshake: manifest line, then the final result
+            // line (or the error), then the terminating chunk.
+            if let Ok(mut chunked) = sink.finish_into(&manifest) {
+                let tail = match &outcome {
+                    Ok(output) => render_body(&query, &cache_key(&query), output),
+                    Err(reason) => error_body(reason),
+                };
+                if chunked.write_all(tail.as_bytes()).is_ok() {
+                    let _closing = chunked.finish();
+                }
+            }
+            let _unobserved = tx.send(());
+        }),
+    );
+    // Wait for the stream job so this connection's lifetime covers it
+    // (shutdown's drain then covers trace streams too).
+    let _finished = rx.recv();
+}

@@ -10,8 +10,11 @@ use crate::platform::{faas_vs_reserved, run_platform, FaasConfig, FunctionSpec};
 use crate::refarch::{surveyed_platforms, ServerlessPrinciple};
 use crate::storage::{right_size, single_tier, tiers, JobRequirements};
 use crate::workflow::{map_reduce_workflow, WorkflowEngine};
-use atlarge_exp::{Campaign, CampaignResult, Scenario};
+use atlarge_exp::registry::{run_replicated, CellOutput, CellScenario, ParamSpec};
+use atlarge_exp::{Campaign, CampaignResult, CancelToken, Scenario};
+use atlarge_stats::descriptive::Summary;
 use atlarge_telemetry::tracer::Tracer;
+use std::collections::BTreeMap;
 
 /// One reproduced row of Table 7.
 #[derive(Debug, Clone, PartialEq)]
@@ -277,6 +280,66 @@ pub fn render_table7(rows: &[Table7Row]) -> String {
     out
 }
 
+/// Table 7 as a servable exploration cell: a query names one study and
+/// gets the replicated claim-holds rate plus the row's printed columns.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Table7Cell;
+
+impl CellScenario for Table7Cell {
+    fn domain(&self) -> &str {
+        "serverless"
+    }
+
+    fn describe(&self) -> &str {
+        "Table 7 serverless study reproductions, one study row per cell"
+    }
+
+    fn params(&self) -> Vec<ParamSpec> {
+        let names: Vec<&str> = STUDIES.iter().map(|(name, _)| *name).collect();
+        vec![ParamSpec::choice(
+            "study",
+            "which Table 7 study row to reproduce",
+            &names,
+        )]
+    }
+
+    fn run_cell(
+        &self,
+        params: &BTreeMap<String, String>,
+        seed: u64,
+        replications: usize,
+        cancel: &CancelToken,
+        tracer: &dyn Tracer,
+    ) -> Result<CellOutput, String> {
+        let chosen = params.get("study").expect("validated params").as_str();
+        let (name, run) = STUDIES
+            .iter()
+            .find(|(name, _)| *name == chosen)
+            .expect("choice validation admits only STUDIES levels");
+        let rows = run_replicated(
+            &Table7Scenario,
+            &Table7Study { name, run: *run },
+            seed,
+            replications,
+            cancel,
+            tracer,
+        )?;
+        let first = &rows[0];
+        Ok(CellOutput {
+            metrics: vec![(
+                "claim_holds".to_string(),
+                Summary::from_iter(rows.iter().map(|r| f64::from(u8::from(r.claim_holds)))),
+            )],
+            notes: vec![
+                ("study".to_string(), first.study.to_string()),
+                ("feature".to_string(), first.feature.to_string()),
+                ("team".to_string(), first.team.to_string()),
+                ("finding".to_string(), first.finding.clone()),
+            ],
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -313,5 +376,28 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn serve_cell_reports_team_and_is_deterministic() {
+        let mut reg = atlarge_exp::Registry::new();
+        reg.register(Box::new(Table7Cell));
+        assert_eq!(Table7Cell.params()[0].choices.len(), 7);
+
+        let tracer = atlarge_telemetry::NullTracer;
+        let raw = BTreeMap::from([("study".to_string(), "cold-start".to_string())]);
+        let params = reg.validate("serverless", &raw).expect("valid query");
+        let run = || {
+            Table7Cell
+                .run_cell(&params, 31, 2, &CancelToken::new(), &tracer)
+                .expect("runs clean")
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.notes, b.notes);
+        assert_eq!(a.metrics[0].1.mean(), b.metrics[0].1.mean());
+        assert!(
+            a.notes.iter().any(|(k, _)| k == "team"),
+            "Table 7 keeps its team column"
+        );
     }
 }

@@ -36,10 +36,12 @@ pub mod export;
 pub mod manifest;
 pub mod metrics;
 pub mod recorder;
+pub mod sink;
 pub mod tracer;
 pub mod wall;
 
 pub use manifest::RunManifest;
 pub use metrics::{Counter, Gauge, Tally};
 pub use recorder::{Recorder, SpanStats, TraceKind, TraceRecord};
+pub use sink::JsonlSink;
 pub use tracer::{EventLabel, NullTracer, Tracer};

@@ -12,6 +12,7 @@
 //! Pass `--trace out.jsonl` to re-run the flashcrowd swarm with the
 //! telemetry recorder attached: the kernel event trace plus the run
 //! manifest land in `out.jsonl`, domain metrics in `out.metrics.jsonl`.
+//! Missing parent directories are created.
 //!
 //! Pass `--trace <dir>` (any path not ending in `.jsonl`) to export
 //! *every* instrumented domain: the directory fills with one
@@ -19,226 +20,18 @@
 //! (p2p, serverless, autoscaling, datacenter, graph, mmog, scheduling).
 //! `--seed N` reseeds all of them — export two seeds and feed the
 //! metrics files to `trace_lens diff`.
+//!
+//! The export machinery lives in [`atlarge::observatory`]; for the
+//! interactive what-if loop over the same domains, see the
+//! `observatory_serve` example.
 
-use atlarge::autoscaling::autoscaler::React;
-use atlarge::autoscaling::sim::{run_traced as run_autoscaling_traced, AutoscaleConfig};
-use atlarge::datacenter::run_cluster_traced;
-use atlarge::exp::{Campaign, Scenario};
-use atlarge::graph::generators::preferential_attachment;
-use atlarge::graph::platforms::{run_traced as run_graph_traced, Algorithm, Platform};
-use atlarge::mmog::provisioning::compare_policies_traced;
+use atlarge::observatory::{export_all_domains, export_trace};
 use atlarge::p2p::ecosystem::{alias_analysis, detect_spam_trackers, Ecosystem, EcosystemConfig};
 use atlarge::p2p::flashcrowd;
 use atlarge::p2p::measurement::{coverage_ablation, GroundTruth, Instrument};
-use atlarge::p2p::swarm::{run_swarm_traced, SwarmConfig};
 use atlarge::p2p::twofast::speedup_curve;
 use atlarge::p2p::vicissitude::{bottleneck_shifts, run_pipeline, vicissitude_score};
-use atlarge::scheduling::policy::Policy;
-use atlarge::scheduling::simulator::{simulate_traced, SimConfig};
-use atlarge::serverless::platform::{run_platform_traced, FaasConfig, FunctionSpec};
-use atlarge::telemetry::tracer::Tracer;
-use atlarge::telemetry::Recorder;
-use atlarge::workload::job::{Job, JobId, Task};
-use atlarge::workload::workflow::{generate, Shape};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::fs::File;
-use std::io::BufWriter;
 use std::path::Path;
-
-/// Runs the flashcrowd swarm traced on `rec`.
-fn trace_p2p(arrivals: &[f64], seed: u64, rec: &Recorder) {
-    let config = SwarmConfig {
-        file_size: 50e6,
-        mean_seed_time: 1_000.0,
-        ..SwarmConfig::default()
-    };
-    run_swarm_traced(config, arrivals, 80_000.0, seed, rec);
-}
-
-/// Writes `rec`'s trace and metrics as `<dir>/<domain>.{trace,metrics}.jsonl`
-/// and returns the summary line for the export listing.
-fn write_domain(dir: &Path, domain: &str, rec: &Recorder) -> std::io::Result<String> {
-    let trace_path = dir.join(format!("{domain}.trace.jsonl"));
-    let mut w = BufWriter::new(File::create(&trace_path)?);
-    rec.write_trace_jsonl(&mut w)?;
-    let mut w = BufWriter::new(File::create(dir.join(format!("{domain}.metrics.jsonl")))?);
-    rec.write_metrics_jsonl(&mut w)?;
-    let m = rec.manifest();
-    Ok(format!(
-        "  {domain:<12} model={:<20} events={:<7} sim_time={:>10.1} trace_records={}{}",
-        m.model,
-        m.events_dispatched,
-        m.sim_time,
-        m.trace_records,
-        if m.trace_dropped > 0 {
-            format!(" (dropped {})", m.trace_dropped)
-        } else {
-            String::new()
-        }
-    ))
-}
-
-/// The traced-export scenario: one instrumented domain per cell, each
-/// writing its own JSONL pair into the export directory. Cells touch
-/// disjoint files, so the campaign can fan domains across threads; the
-/// summary lines come back as outcomes and print in canonical order.
-struct ExportScenario {
-    dir: std::path::PathBuf,
-    arrivals: Vec<f64>,
-}
-
-/// The seven instrumented domains of the observatory export.
-const EXPORT_DOMAINS: [&str; 7] = [
-    "p2p",
-    "serverless",
-    "autoscaling",
-    "datacenter",
-    "graph",
-    "mmog",
-    "scheduling",
-];
-
-impl ExportScenario {
-    fn export(&self, domain: &str, seed: u64) -> std::io::Result<String> {
-        let rec = Recorder::new();
-        match domain {
-            "p2p" => trace_p2p(&self.arrivals, seed, &rec),
-            "serverless" => {
-                let functions = vec![
-                    FunctionSpec {
-                        name: "thumbnail".into(),
-                        exec_time: 0.8,
-                        memory_gb: 0.5,
-                    },
-                    FunctionSpec {
-                        name: "transcode".into(),
-                        exec_time: 3.0,
-                        memory_gb: 2.0,
-                    },
-                ];
-                let invocations: Vec<(f64, usize)> = (0..400)
-                    .map(|i| (f64::from(i) * 2.5, (i % 3 == 0) as usize))
-                    .collect();
-                let cfg = FaasConfig {
-                    keep_alive: 60.0,
-                    ..FaasConfig::default()
-                };
-                run_platform_traced(functions, cfg, &invocations, seed, &rec);
-            }
-            "autoscaling" => {
-                let mut rng = StdRng::seed_from_u64(seed);
-                let workflows: Vec<_> = (0..12)
-                    .map(|i| generate(&mut rng, Shape::ForkJoin(6), 30.0, 0.3, f64::from(i) * 40.0))
-                    .collect();
-                run_autoscaling_traced(workflows, React, AutoscaleConfig::default(), seed, &rec);
-            }
-            "datacenter" => {
-                run_cluster_traced(8, 16, 400, seed, &rec);
-            }
-            "graph" => {
-                let graph = preferential_attachment(600, 4, seed);
-                run_graph_traced(Platform::Sequential, Algorithm::PageRank, &graph, &rec);
-            }
-            "mmog" => {
-                compare_policies_traced(seed, &rec);
-            }
-            "scheduling" => {
-                let jobs: Vec<Job> = (0..40)
-                    .map(|i| {
-                        Job::new(
-                            JobId(i),
-                            i as f64 * 5.0,
-                            vec![Task::new(8.0 + (i % 7) as f64, 1), Task::new(12.0, 2)],
-                        )
-                    })
-                    .collect();
-                let sched_cfg = SimConfig {
-                    estimate_sigma: 0.3,
-                    seed,
-                };
-                simulate_traced(&jobs, &[8, 8], Policy::Sjf, &sched_cfg, &rec);
-            }
-            other => unreachable!("unknown export domain {other}"),
-        }
-        write_domain(&self.dir, domain, &rec)
-    }
-}
-
-impl Scenario for ExportScenario {
-    type Config = String;
-    type Outcome = std::io::Result<String>;
-
-    fn run(&self, domain: &String, seed: u64, _tracer: &dyn Tracer) -> Self::Outcome {
-        self.export(domain, seed)
-    }
-}
-
-/// Re-runs every instrumented domain traced — a seven-cell `domain`
-/// campaign — and writes one JSONL pair per domain into `dir`. The same
-/// root seed reseeds every domain's derived stream; export two roots
-/// and feed the metrics files to `trace_lens diff`.
-fn export_all_domains(dir: &Path, arrivals: &[f64], seed: u64) -> std::io::Result<()> {
-    std::fs::create_dir_all(dir)?;
-    println!(
-        "\nexporting traced runs for every domain (seed {seed}) -> {}",
-        dir.display()
-    );
-
-    let result = Campaign::new(
-        "observatory.export",
-        ExportScenario {
-            dir: dir.to_path_buf(),
-            arrivals: arrivals.to_vec(),
-        },
-    )
-    .factor("domain", EXPORT_DOMAINS)
-    .root_seed(seed)
-    .run(|cell| cell.level("domain").to_string());
-
-    for cell in &result.cells {
-        match cell.first() {
-            Ok(line) => println!("{line}"),
-            Err(e) => {
-                return Err(std::io::Error::new(
-                    e.kind(),
-                    format!("{} export failed: {e}", cell.config),
-                ))
-            }
-        }
-    }
-
-    println!(
-        "analyze with: trace_lens critical-path {0}/p2p.trace.jsonl; \
-         trace_lens profile --chrome {0}/graph.trace.jsonl; \
-         trace_lens diff {0}/p2p.metrics.jsonl <other>/p2p.metrics.jsonl",
-        dir.display()
-    );
-    Ok(())
-}
-
-/// Legacy single-file mode: flashcrowd swarm trace + metrics JSONL.
-fn export_trace(path: &str, arrivals: &[f64], seed: u64) -> std::io::Result<()> {
-    let rec = Recorder::new();
-    trace_p2p(arrivals, seed, &rec);
-    let mut trace = BufWriter::new(File::create(path)?);
-    rec.write_trace_jsonl(&mut trace)?;
-    let metrics_path = format!("{}.metrics.jsonl", path.trim_end_matches(".jsonl"));
-    let mut metrics = BufWriter::new(File::create(&metrics_path)?);
-    rec.write_metrics_jsonl(&mut metrics)?;
-    let m = rec.manifest();
-    println!(
-        "\ntrace: {} records ({} dropped) -> {path}; metrics -> {metrics_path}",
-        rec.trace_len(),
-        rec.trace_dropped()
-    );
-    println!(
-        "manifest: model={} seed={} events={}/{} sim_time={:.0}",
-        m.model, m.seed, m.events_dispatched, m.events_scheduled, m.sim_time,
-    );
-    println!("{}", m.to_json());
-    Ok(())
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -313,10 +106,38 @@ fn main() {
     // -- Machine-readable observability ------------------------------------
     if let Some(path) = trace_path {
         if path.ends_with(".jsonl") {
-            export_trace(&path, &study.arrivals, seed).expect("trace export failed");
+            let export =
+                export_trace(Path::new(&path), &study.arrivals, seed).expect("trace export failed");
+            let m = &export.manifest;
+            println!(
+                "\ntrace: {} records ({} dropped) -> {}; metrics -> {}",
+                export.records,
+                export.dropped,
+                export.trace_path.display(),
+                export.metrics_path.display()
+            );
+            println!(
+                "manifest: model={} seed={} events={}/{} sim_time={:.0}",
+                m.model, m.seed, m.events_dispatched, m.events_scheduled, m.sim_time,
+            );
+            println!("{}", m.to_json());
         } else {
-            export_all_domains(Path::new(&path), &study.arrivals, seed)
-                .expect("trace export failed");
+            let dir = Path::new(&path);
+            println!(
+                "\nexporting traced runs for every domain (seed {seed}) -> {}",
+                dir.display()
+            );
+            let lines =
+                export_all_domains(dir, &study.arrivals, seed).expect("trace export failed");
+            for line in lines {
+                println!("{line}");
+            }
+            println!(
+                "analyze with: trace_lens critical-path {0}/p2p.trace.jsonl; \
+                 trace_lens profile --chrome {0}/graph.trace.jsonl; \
+                 trace_lens diff {0}/p2p.metrics.jsonl <other>/p2p.metrics.jsonl",
+                dir.display()
+            );
         }
     }
 }

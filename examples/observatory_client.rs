@@ -1,0 +1,66 @@
+//! A what-if session against a running exploration server — the client
+//! half of `observatory_serve`, using the crate's own std-only HTTP
+//! client (no curl required).
+//!
+//! ```sh
+//! cargo run --release --example observatory_serve &
+//! cargo run --release --example observatory_client
+//! ```
+//!
+//! Pass `--addr HOST:PORT` (default `127.0.0.1:7411`) and optionally a
+//! query string (default a small datacenter capacity question). The
+//! client asks the same question twice over one keep-alive connection to
+//! demonstrate the cache contract: second answer is a hit, byte-identical.
+
+use atlarge::serve::ClientConn;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let addr = args
+        .iter()
+        .position(|a| a == "--addr")
+        .map_or("127.0.0.1:7411".to_string(), |i| {
+            args.get(i + 1).expect("--addr needs HOST:PORT").clone()
+        });
+    let query = args
+        .iter()
+        .skip(1)
+        .find(|a| a.starts_with("/run?") || a.starts_with("/trace?"))
+        .cloned()
+        .unwrap_or_else(|| "/run?domain=datacenter&hosts=8&jobs=400&replications=3".to_string());
+
+    let mut conn = match ClientConn::connect(&addr) {
+        Ok(conn) => conn,
+        Err(e) => {
+            eprintln!("cannot reach {addr}: {e}");
+            eprintln!("start the server first: cargo run --release --example observatory_serve");
+            std::process::exit(1);
+        }
+    };
+
+    let health = conn.get("/healthz").expect("healthz");
+    println!("server: {}", health.body_str().trim_end());
+
+    println!("\nasking: {query}");
+    let cold = conn.get(&query).expect("query");
+    println!(
+        "[{} {} in {}] {}",
+        cold.status,
+        cold.header("X-Atlarge-Cache").unwrap_or("-"),
+        cold.header("X-Atlarge-Key")
+            .map_or("-", |k| &k[..12.min(k.len())]),
+        cold.body_str().trim_end()
+    );
+
+    println!("\nasking again (same connection):");
+    let warm = conn.get(&query).expect("query");
+    println!(
+        "[{} {}] byte-identical to first answer: {}",
+        warm.status,
+        warm.header("X-Atlarge-Cache").unwrap_or("-"),
+        warm.body == cold.body
+    );
+
+    let stats = conn.get("/stats").expect("stats");
+    println!("\nstats: {}", stats.body_str().trim_end());
+}

@@ -17,6 +17,9 @@
 //! - [`exp`] — the replicated, parallel experiment-campaign engine every
 //!   Section-6 harness runs on: factor grids, derived seed streams, and
 //!   deterministic serial/parallel execution.
+//! - [`serve`] — the persistent design-exploration server: every domain
+//!   behind one HTTP query schema, with fingerprint-keyed result caching
+//!   and streaming trace telemetry (see the `observatory_serve` example).
 //! - [`stats`] / [`workload`] — shared statistics and workload models.
 //! - Domain reproductions of the paper's Section-6 case studies:
 //!   [`p2p`], [`mmog`], [`datacenter`], [`serverless`], [`graph`],
@@ -32,6 +35,8 @@
 //! assert_eq!(s.median(), 2.0);
 //! ```
 
+pub mod observatory;
+
 pub use atlarge_autoscaling as autoscaling;
 pub use atlarge_biblio as biblio;
 pub use atlarge_core as core;
@@ -43,6 +48,7 @@ pub use atlarge_mmog as mmog;
 pub use atlarge_obsv as obsv;
 pub use atlarge_p2p as p2p;
 pub use atlarge_scheduling as scheduling;
+pub use atlarge_serve as serve;
 pub use atlarge_serverless as serverless;
 pub use atlarge_stats as stats;
 pub use atlarge_telemetry as telemetry;

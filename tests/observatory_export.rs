@@ -1,0 +1,130 @@
+//! Regression tests for the observatory trace export
+//! (`atlarge::observatory`), especially output-directory creation:
+//! the single-file `.jsonl` mode used to fail with `NotFound` when the
+//! target's parent directory did not exist yet.
+
+use atlarge::observatory::{export_all_domains, export_trace, EXPORT_DOMAINS};
+use std::path::{Path, PathBuf};
+
+/// A unique scratch directory, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir =
+            std::env::temp_dir().join(format!("atlarge-observatory-{tag}-{}", std::process::id()));
+        let _clean_slate = std::fs::remove_dir_all(&dir);
+        Scratch(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _best_effort = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A short arrival burst so the traced swarm stays cheap.
+fn arrivals() -> Vec<f64> {
+    (0..40).map(|i| f64::from(i) * 12.5).collect()
+}
+
+#[test]
+fn single_file_export_creates_missing_parent_directories() {
+    let scratch = Scratch::new("jsonl-parent");
+    // The regression: a path whose parent does not exist yet.
+    let target = scratch.path().join("out").join("run.jsonl");
+    assert!(!target.parent().unwrap().exists(), "precondition");
+
+    let export = export_trace(&target, &arrivals(), 7).expect("export creates parent dirs");
+    assert!(export.trace_path.is_file(), "trace file written");
+    assert!(export.metrics_path.is_file(), "metrics file written");
+    assert_eq!(
+        export.metrics_path,
+        scratch.path().join("out").join("run.metrics.jsonl")
+    );
+    assert!(export.records > 0, "swarm produced trace records");
+
+    // The trace file ends with the manifest line.
+    let text = std::fs::read_to_string(&export.trace_path).expect("readable");
+    let last = text.lines().last().expect("non-empty");
+    assert!(last.contains("\"kind\":\"manifest\""), "got: {last}");
+    assert_eq!(export.manifest.seed, 7);
+}
+
+#[test]
+fn single_file_export_handles_deeply_nested_paths() {
+    let scratch = Scratch::new("jsonl-nested");
+    let target = scratch
+        .path()
+        .join("a")
+        .join("b")
+        .join("c")
+        .join("deep.jsonl");
+    let export = export_trace(&target, &arrivals(), 11).expect("nested parents created");
+    assert!(export.trace_path.is_file());
+    assert!(export.metrics_path.is_file());
+}
+
+#[test]
+fn single_file_export_still_works_with_a_bare_filename() {
+    // A bare relative filename has an empty parent component; the
+    // parent-creation fix must not trip over it. Run from a scratch
+    // cwd-independent spot by using the temp dir as an existing parent.
+    let scratch = Scratch::new("jsonl-bare");
+    std::fs::create_dir_all(scratch.path()).expect("scratch dir");
+    let target = scratch.path().join("flat.jsonl");
+    let export = export_trace(&target, &arrivals(), 3).expect("existing parent untouched");
+    assert!(export.trace_path.is_file());
+}
+
+#[test]
+fn directory_export_creates_the_directory_and_all_domain_pairs() {
+    let scratch = Scratch::new("dir-mode");
+    let dir = scratch.path().join("every-domain");
+    let lines = export_all_domains(&dir, &arrivals(), 5).expect("export succeeds");
+    assert_eq!(lines.len(), EXPORT_DOMAINS.len());
+    for domain in EXPORT_DOMAINS {
+        assert!(
+            dir.join(format!("{domain}.trace.jsonl")).is_file(),
+            "{domain} trace missing"
+        );
+        assert!(
+            dir.join(format!("{domain}.metrics.jsonl")).is_file(),
+            "{domain} metrics missing"
+        );
+    }
+    // Summary lines come back in canonical domain order.
+    for (line, domain) in lines.iter().zip(EXPORT_DOMAINS) {
+        assert!(
+            line.trim_start().starts_with(domain),
+            "line out of order: {line}"
+        );
+    }
+}
+
+#[test]
+fn exports_are_deterministic_for_a_seed() {
+    let scratch = Scratch::new("determinism");
+    let once = scratch.path().join("once.jsonl");
+    let twice = scratch.path().join("twice.jsonl");
+    export_trace(&once, &arrivals(), 13).expect("first export");
+    export_trace(&twice, &arrivals(), 13).expect("second export");
+    let a = std::fs::read_to_string(&once).expect("readable");
+    let b = std::fs::read_to_string(&twice).expect("readable");
+    // Manifest lines carry wall-clock, so compare the record lines.
+    let a_records: Vec<&str> = a
+        .lines()
+        .filter(|l| !l.contains("\"kind\":\"manifest\""))
+        .collect();
+    let b_records: Vec<&str> = b
+        .lines()
+        .filter(|l| !l.contains("\"kind\":\"manifest\""))
+        .collect();
+    assert_eq!(a_records, b_records, "same seed, same trace");
+    assert!(!a_records.is_empty());
+}

@@ -1,0 +1,144 @@
+//! Property tests for the exploration server's reproducibility
+//! contract: for *any* sequence of what-if queries, every response —
+//! cold or cached, under whatever interleaving the connection and pool
+//! threads produce — is byte-identical to a fresh single-threaded
+//! execution of the same cell.
+
+use atlarge::exp::{CancelToken, Registry};
+use atlarge::serve::query::{parse_run_query, render_body};
+use atlarge::serve::{cache_key, get, standard_registry, ServeConfig, Server};
+use atlarge::telemetry::NullTracer;
+use proptest::prelude::*;
+
+/// One generated what-if query over the cheap corners of two domains,
+/// decoded from plain integer draws (the vendored proptest has no
+/// union strategies).
+fn build_query(pick: u64, seed: u64, reps: u64, a: u64, b: u64) -> String {
+    let seed = seed % 1_000;
+    let reps = 1 + reps % 3;
+    if pick.is_multiple_of(2) {
+        let hosts = 1 + a % 4;
+        let cores = 2 + b % 7;
+        let jobs = 20 + (a % 5) * 13;
+        format!(
+            "/run?domain=datacenter&hosts={hosts}&cores_per_host={cores}&jobs={jobs}&seed={seed}&replications={reps}"
+        )
+    } else {
+        let platform = ["sequential", "parallel", "edge-centric", "accelerator"][(a % 4) as usize];
+        let algorithm = ["bfs", "pagerank", "wcc"][(b % 3) as usize];
+        let n = 250 + (a % 4) * 50;
+        format!(
+            "/run?domain=graph&platform={platform}&algorithm={algorithm}&n={n}&seed={seed}&replications={reps}"
+        )
+    }
+}
+
+/// The reference answer: parse + validate the same query string, then
+/// run the cell directly on this thread — no server, no pool, no cache
+/// — and render it with the same canonical encoder.
+fn reference_body(registry: &Registry, path_and_query: &str) -> Vec<u8> {
+    let query_string = path_and_query
+        .split_once('?')
+        .expect("generated queries carry a query string")
+        .1;
+    let pairs: Vec<(String, String)> = query_string
+        .split('&')
+        .map(|pair| {
+            let (k, v) = pair.split_once('=').expect("k=v");
+            (k.to_string(), v.to_string())
+        })
+        .collect();
+    let query = parse_run_query(registry, &pairs).expect("generated queries validate");
+    let output = registry
+        .get(&query.domain)
+        .expect("registered domain")
+        .run_cell(
+            &query.params,
+            query.seed,
+            query.replications,
+            &CancelToken::new(),
+            &NullTracer,
+        )
+        .expect("cheap cells succeed");
+    render_body(&query, &cache_key(&query), &output).into_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any query sequence: every server answer (first ask = cold run on
+    /// the pool, second ask = cache hit) equals the fresh
+    /// single-threaded reference, byte for byte.
+    #[test]
+    fn prop_responses_match_fresh_single_threaded_runs(
+        picks in collection::vec((0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX), 1..5),
+    ) {
+        let registry = standard_registry();
+        let server = Server::start(standard_registry(), ServeConfig::default())
+            .expect("bind ephemeral port");
+        let addr = server.addr().to_string();
+
+        for (pick, seed, reps, a, b) in picks {
+            let path = build_query(pick, seed, reps, a, b);
+            let expected = reference_body(&registry, &path);
+
+            let cold = get(&addr, &path).expect("cold response");
+            prop_assert_eq!(cold.status, 200, "{}", cold.body_str());
+            prop_assert_eq!(
+                &cold.body,
+                &expected,
+                "cold body diverged from the single-threaded reference for {}",
+                &path
+            );
+
+            let cached = get(&addr, &path).expect("cached response");
+            prop_assert_eq!(cached.header("X-Atlarge-Cache"), Some("hit"));
+            prop_assert_eq!(
+                &cached.body,
+                &expected,
+                "cache hit diverged from the single-threaded reference for {}",
+                &path
+            );
+        }
+        server.shutdown();
+    }
+
+    /// Equivalent spellings (reordered pairs, defaults made explicit)
+    /// alias to the same cache entry; the first spelling's cold body
+    /// answers every later spelling.
+    #[test]
+    fn prop_equivalent_spellings_share_one_cache_entry(
+        a in 0u64..u64::MAX,
+        b in 0u64..u64::MAX,
+        seed in 0u64..500,
+    ) {
+        let server = Server::start(standard_registry(), ServeConfig::default())
+            .expect("bind ephemeral port");
+        let addr = server.addr().to_string();
+
+        let hosts = 1 + a % 4;
+        let jobs = 20 + (b % 5) * 13;
+        let spellings = [
+            format!("/run?domain=datacenter&hosts={hosts}&jobs={jobs}&seed={seed}"),
+            format!("/run?jobs={jobs}&seed={seed}&domain=datacenter&hosts={hosts}"),
+            // Defaults written out: cores_per_host and replications.
+            format!(
+                "/run?domain=datacenter&hosts={hosts}&cores_per_host=16&jobs={jobs}&seed={seed}&replications=1"
+            ),
+        ];
+        let first = get(&addr, &spellings[0]).expect("cold response");
+        prop_assert_eq!(first.status, 200, "{}", first.body_str());
+        prop_assert_eq!(first.header("X-Atlarge-Cache"), Some("miss"));
+        for spelling in &spellings[1..] {
+            let again = get(&addr, spelling).expect("response");
+            prop_assert_eq!(
+                again.header("X-Atlarge-Cache"),
+                Some("hit"),
+                "alias missed the cache: {}",
+                spelling
+            );
+            prop_assert_eq!(&again.body, &first.body);
+        }
+        server.shutdown();
+    }
+}
