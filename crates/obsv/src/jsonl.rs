@@ -69,6 +69,14 @@ impl Json {
         }
     }
 
+    /// This value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Float member `key`, a convenience for the common case.
     pub fn f64_field(&self, key: &str) -> Option<f64> {
         self.get(key).and_then(Json::as_f64)
@@ -82,6 +90,11 @@ impl Json {
     /// String member `key`.
     pub fn str_field(&self, key: &str) -> Option<&str> {
         self.get(key).and_then(Json::as_str)
+    }
+
+    /// Boolean member `key`.
+    pub fn bool_field(&self, key: &str) -> Option<bool> {
+        self.get(key).and_then(Json::as_bool)
     }
 }
 

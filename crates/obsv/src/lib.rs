@@ -42,5 +42,5 @@ pub use causal::{critical_path, CriticalPath, PathSource, PathStep};
 pub use diff::{diff_exports, parse_metrics, MetricDelta, RunDiff};
 pub use fingerprint::canonical_key;
 pub use profile::{flamegraph_text, self_times, to_chrome_json};
-pub use series::{windowed, HistogramLine, SeriesLine, Window};
+pub use series::{windowed, HistogramLine, PulseLine, SeriesLine, Window};
 pub use trace::{parse_trace, ManifestInfo, Trace, TraceLine};

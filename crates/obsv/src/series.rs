@@ -111,6 +111,60 @@ impl HistogramLine {
     }
 }
 
+/// A `kind:"pulse"` line from the exploration server's `/watch`
+/// stream: one aggregation window of live serving telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PulseLine {
+    /// Server uptime at window close, milliseconds (wall, report-only).
+    pub t_ms: f64,
+    /// Window length, milliseconds.
+    pub window_ms: f64,
+    /// Requests whose spans completed inside the window.
+    pub requests: u64,
+    /// Requests per second over the window.
+    pub rps: f64,
+    /// Cache hit rate among answered queries, `[0, 1]`.
+    pub hit_rate: f64,
+    /// Shed (`503`) fraction of admission decisions, `[0, 1]`.
+    pub shed_rate: f64,
+    /// Server errors inside the window.
+    pub errors: u64,
+    /// Pool queue depth sampled at window close.
+    pub queue_depth: u64,
+    /// End-to-end latency median; `None` for an empty window.
+    pub p50_ms: Option<f64>,
+    /// End-to-end latency p99; `None` for an empty window.
+    pub p99_ms: Option<f64>,
+    /// SLO state: `"ok"`, `"warn"`, or `"critical"`.
+    pub slo_state: String,
+    /// Whether the availability objective is not critically burning.
+    pub slo_healthy: bool,
+}
+
+impl PulseLine {
+    /// Reads a parsed `/watch` line; `None` if it is not a pulse.
+    pub fn from_json(v: &Json) -> Option<PulseLine> {
+        if v.str_field("kind") != Some("pulse") {
+            return None;
+        }
+        let slo = v.get("slo")?;
+        Some(PulseLine {
+            t_ms: v.f64_field("t_ms")?,
+            window_ms: v.f64_field("window_ms")?,
+            requests: v.u64_field("requests")?,
+            rps: v.f64_field("rps")?,
+            hit_rate: v.f64_field("hit_rate")?,
+            shed_rate: v.f64_field("shed_rate")?,
+            errors: v.u64_field("errors")?,
+            queue_depth: v.u64_field("queue_depth")?,
+            p50_ms: v.f64_field("p50_ms"),
+            p99_ms: v.f64_field("p99_ms"),
+            slo_state: slo.str_field("state")?.to_string(),
+            slo_healthy: slo.bool_field("healthy")?,
+        })
+    }
+}
+
 /// One aggregation window of a timed stream.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Window {
@@ -190,6 +244,25 @@ mod tests {
         let v = parse(r#"{"kind":"counter","name":"n","value":3}"#).unwrap();
         assert!(SeriesLine::from_json(&v).is_none());
         assert!(HistogramLine::from_json(&v).is_none());
+        assert!(PulseLine::from_json(&v).is_none());
+    }
+
+    #[test]
+    fn reads_pulse_lines_with_and_without_quantiles() {
+        let line = r#"{"kind":"pulse","t_ms":1500.0,"window_ms":1000.0,"requests":42,"rps":42.0,"hit_rate":0.5,"shed_rate":0.0,"errors":0,"queue_depth":3,"p50_ms":1.2,"p99_ms":9.5,"stages":{},"slo":{"state":"ok","healthy":true},"slowest":null}"#;
+        let p = PulseLine::from_json(&parse(line).unwrap()).expect("pulse");
+        assert_eq!(p.requests, 42);
+        assert_eq!(p.queue_depth, 3);
+        assert_eq!(p.p99_ms, Some(9.5));
+        assert_eq!(p.slo_state, "ok");
+        assert!(p.slo_healthy);
+
+        // An idle window carries null quantiles.
+        let idle = r#"{"kind":"pulse","t_ms":2500.0,"window_ms":1000.0,"requests":0,"rps":0.0,"hit_rate":0.0,"shed_rate":0.0,"errors":0,"queue_depth":0,"p50_ms":null,"p99_ms":null,"slo":{"state":"ok","healthy":true}}"#;
+        let p = PulseLine::from_json(&parse(idle).unwrap()).expect("pulse");
+        assert_eq!(p.requests, 0);
+        assert_eq!(p.p50_ms, None);
+        assert_eq!(p.p99_ms, None);
     }
 
     #[test]

@@ -181,6 +181,11 @@ pub fn parse_trace(text: &str) -> Result<Trace, TraceError> {
                 manifest =
                     Some(manifest_of(v).ok_or_else(|| shape(lineno, "incomplete manifest"))?);
             }
+            // The exploration server's `/trace` streams interleave one
+            // wall-clock request span (the serving-side story of the
+            // run) with the simulation's records; it carries no
+            // simulated time, so causal analysis skips it.
+            "server_span" => {}
             other => return Err(shape(lineno, format!("unknown kind '{other}'"))),
         }
     }

@@ -120,6 +120,11 @@ impl ResultCache {
             .sum()
     }
 
+    /// Total entry budget (per-shard budget times shard count).
+    pub fn capacity(&self) -> usize {
+        self.per_shard_capacity * self.shards.len()
+    }
+
     /// Whether the cache holds nothing.
     pub fn is_empty(&self) -> bool {
         self.len() == 0

@@ -7,7 +7,7 @@
 //! before returning). One-shot [`get`] opens a fresh connection;
 //! [`ClientConn`] keeps one open for keep-alive request sequences.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 
 /// A fully read response.
@@ -116,6 +116,149 @@ fn read_chunked<R: BufRead>(reader: &mut R) -> std::io::Result<Vec<u8>> {
             return Err(bad_data("chunk not terminated by CRLF"));
         }
     }
+}
+
+/// A response whose body is consumed incrementally, line by line — the
+/// client side of the server's streaming endpoints (`/trace`,
+/// `/watch`). Dropping it mid-stream closes the connection, which the
+/// server observes as a hangup on its next write.
+pub struct StreamingResponse {
+    /// Status code of the response line.
+    pub status: u16,
+    /// Header `(name, value)` pairs in wire order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    reader: BufReader<TcpStream>,
+    chunked: bool,
+    /// Bytes of a fixed-length body not yet consumed (non-chunked).
+    remaining_fixed: usize,
+    done: bool,
+    pending: Vec<u8>,
+}
+
+impl StreamingResponse {
+    /// First header value with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The next decoded body line (without its trailing newline), or
+    /// `None` once the stream's terminating chunk has been read.
+    /// Blocks until the server emits the next line.
+    pub fn next_line(&mut self) -> std::io::Result<Option<String>> {
+        loop {
+            if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+                let rest = self.pending.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.pending, rest);
+                line.pop(); // the newline
+                return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+            }
+            if self.done {
+                if self.pending.is_empty() {
+                    return Ok(None);
+                }
+                let line = std::mem::take(&mut self.pending);
+                return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+            }
+            self.fill()?;
+        }
+    }
+
+    /// Reads one more chunk (or fixed-body slice) into `pending`.
+    fn fill(&mut self) -> std::io::Result<()> {
+        if self.chunked {
+            let mut size_line = String::new();
+            if self.reader.read_line(&mut size_line)? == 0 {
+                return Err(bad_data("connection closed inside chunked body"));
+            }
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| bad_data("malformed chunk size"))?;
+            if size == 0 {
+                let mut trailer = String::new();
+                self.reader.read_line(&mut trailer)?; // the final CRLF
+                self.done = true;
+                return Ok(());
+            }
+            let start = self.pending.len();
+            self.pending.resize(start + size, 0);
+            self.reader.read_exact(&mut self.pending[start..])?;
+            let mut crlf = [0u8; 2];
+            self.reader.read_exact(&mut crlf)?;
+            if &crlf != b"\r\n" {
+                return Err(bad_data("chunk not terminated by CRLF"));
+            }
+        } else {
+            let start = self.pending.len();
+            self.pending.resize(start + self.remaining_fixed, 0);
+            self.reader.read_exact(&mut self.pending[start..])?;
+            self.remaining_fixed = 0;
+            self.done = true;
+        }
+        Ok(())
+    }
+}
+
+/// Opens a fresh connection and returns once the response head is in,
+/// leaving the body to be consumed line by line — for the streaming
+/// endpoints, where reading the whole body first would defeat the
+/// point. Non-chunked (error) responses also work: their fixed body
+/// comes back through [`StreamingResponse::next_line`] the same way.
+pub fn get_stream(addr: &str, path_and_query: &str) -> std::io::Result<StreamingResponse> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let head =
+        format!("GET {path_and_query} HTTP/1.1\r\nHost: atlarge\r\nConnection: close\r\n\r\n");
+    writer.write_all(head.as_bytes())?;
+    writer.flush()?;
+
+    let mut status_line = String::new();
+    if reader.read_line(&mut status_line)? == 0 {
+        return Err(bad_data("connection closed before status line"));
+    }
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| bad_data("malformed status line"))?;
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    let mut chunked = false;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(bad_data("connection closed inside headers"));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad_data("malformed header"))?;
+        let name = name.to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            content_length = value.parse().unwrap_or(0);
+        }
+        if name == "transfer-encoding" && value.eq_ignore_ascii_case("chunked") {
+            chunked = true;
+        }
+        headers.push((name, value));
+    }
+    Ok(StreamingResponse {
+        status,
+        headers,
+        reader,
+        chunked,
+        remaining_fixed: content_length,
+        done: false,
+        pending: Vec::new(),
+    })
 }
 
 /// One request over a fresh connection (`Connection: close`).

@@ -21,10 +21,21 @@
 //!   execute (or recall) one cell; `X-Atlarge-Cache: hit|miss` and
 //!   `X-Atlarge-Key` report cache behavior without touching the body.
 //! - `GET /trace?…` — the same query, streamed live as JSONL trace
-//!   records over chunked transfer encoding, closed by the query
-//!   manifest and the result document.
-//! - `GET /stats` — queue depth, cache hit rate, and per-domain
-//!   latency quantiles from log-scale histograms.
+//!   records over chunked transfer encoding, closed by a
+//!   `server_span` record (the serving-side story of the request),
+//!   the query manifest, and the result document.
+//! - `GET /stats` — queue depth, cache hit rate, SLO state, and
+//!   per-domain latency quantiles from log-scale histograms.
+//! - `GET /metrics` — Prometheus text exposition: counters, gauges,
+//!   per-stage and per-domain latency histograms, SLO burn rates.
+//! - `GET /watch?windows=<n>&window_ms=<m>` — chunked JSONL stream of
+//!   per-window aggregates (rps, p50/p99 per stage, hit rate, shed
+//!   rate, queue depth, SLO burn) — the live dashboard feed.
+//!
+//! The observability plane behind `/metrics`, `/watch`, and the
+//! request-scoped spans is [`pulse`]: lock-free sharded histograms
+//! over [`atlarge_telemetry::hist`], a per-second SLO sample ring, and
+//! a request-id counter whose ids ride the `X-Atlarge-Request` header.
 //!
 //! Everything is `std`-only: sockets from `std::net`, the HTTP/1.1
 //! subset hand-written in [`http`], JSON via `atlarge-telemetry`'s
@@ -34,14 +45,16 @@ pub mod cache;
 pub mod client;
 pub mod http;
 pub mod pool;
+pub mod pulse;
 pub mod query;
 pub mod server;
 pub mod stats;
 
 pub use atlarge_exp::Registry;
 pub use cache::ResultCache;
-pub use client::{get, ClientConn, HttpResponse};
+pub use client::{get, get_stream, ClientConn, HttpResponse, StreamingResponse};
 pub use pool::WorkPool;
+pub use pulse::{retry_after_secs, Outcome, Pulse, SloSpec, SloStatus, SpanRecord, Stage};
 pub use query::{cache_key, parse_run_query, RunQuery};
 pub use server::{ServeConfig, Server};
 pub use stats::ServerStats;

@@ -104,6 +104,11 @@ impl WorkPool {
         self.shared.depth.load(Ordering::Acquire)
     }
 
+    /// Queue budget the admission gate enforces.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
     /// Reserves one queue slot, or `None` when the pool is saturated —
     /// the caller's cue to answer `503 Service Unavailable`.
     pub fn reserve(&self) -> Option<Ticket> {

@@ -11,20 +11,28 @@
 //! over chunked transfer encoding; a client hangup latches the sink's
 //! error hook, which cancels the run at the next replication boundary.
 //!
-//! Wall-clock readings (per-domain latency histograms) go through
-//! [`Stopwatch`] only, and only into `/stats` — never into a response
-//! body the cache could serve back.
+//! Every request gets a server-scoped id ([`Pulse::begin_request`]),
+//! echoed in the `X-Atlarge-Request` header and attached to the span
+//! the pulse plane records, so one request is traceable from HTTP
+//! accept through admission, queueing, the run, and the response
+//! write. Wall-clock readings go through [`Stopwatch`] only, and only
+//! into reports (`/stats`, `/metrics`, `/watch`, headers) — never into
+//! a response body the cache could serve back.
 
 use crate::cache::ResultCache;
 use crate::http::{
     read_request, write_chunked_head, write_response, ChunkedWriter, ReadError, Request,
 };
 use crate::pool::WorkPool;
+use crate::pulse::{
+    render_prometheus, render_window, ExpositionGauges, Outcome, Pulse, SloSpec, SpanRecord,
+};
 use crate::query::{
     cache_key, error_body, parse_run_query, query_manifest, render_body, render_domains,
 };
 use crate::stats::ServerStats;
 use atlarge_exp::{CancelToken, Registry};
+use atlarge_telemetry::export::{json_f64, json_object, json_str};
 use atlarge_telemetry::wall::Stopwatch;
 use atlarge_telemetry::JsonlSink;
 use atlarge_telemetry::NullTracer;
@@ -46,6 +54,8 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Cache shards.
     pub cache_shards: usize,
+    /// Service-level objectives the pulse plane tracks burn against.
+    pub slo: SloSpec,
 }
 
 impl Default for ServeConfig {
@@ -56,6 +66,7 @@ impl Default for ServeConfig {
             queue_capacity: 128,
             cache_capacity: 1024,
             cache_shards: 8,
+            slo: SloSpec::default(),
         }
     }
 }
@@ -65,6 +76,7 @@ struct Shared {
     pool: WorkPool,
     cache: ResultCache,
     stats: ServerStats,
+    pulse: Pulse,
     running: AtomicBool,
     /// Open connections, so shutdown can wait for them to drain.
     connections: Mutex<usize>,
@@ -78,6 +90,7 @@ pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
+    ticker: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -91,11 +104,13 @@ impl Server {
         };
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let pulse = Pulse::new(&registry.domains(), threads, config.slo);
         let shared = Arc::new(Shared {
             registry,
             pool: WorkPool::new(threads, config.queue_capacity),
             cache: ResultCache::new(config.cache_capacity, config.cache_shards),
             stats: ServerStats::new(),
+            pulse,
             running: AtomicBool::new(true),
             connections: Mutex::new(0),
             drained: Condvar::new(),
@@ -105,10 +120,16 @@ impl Server {
             .name("serve-accept".to_string())
             .spawn(move || accept_loop(&listener, &accept_shared))
             .expect("spawn accept loop");
+        let ticker_shared = Arc::clone(&shared);
+        let ticker = std::thread::Builder::new()
+            .name("serve-pulse".to_string())
+            .spawn(move || ticker_loop(&ticker_shared))
+            .expect("spawn pulse ticker");
         Ok(Server {
             shared,
             addr,
             accept: Some(accept),
+            ticker: Some(ticker),
         })
     }
 
@@ -139,7 +160,28 @@ impl Server {
                 .expect("connection count lock");
         }
         drop(open);
+        if let Some(handle) = self.ticker.take() {
+            handle.join().expect("pulse ticker panicked");
+        }
         self.shared.pool.shutdown();
+    }
+}
+
+/// Advances SLO burn accounting once per second until shutdown,
+/// sleeping in short steps so shutdown never waits a full tick.
+fn ticker_loop(shared: &Arc<Shared>) {
+    const STEP: std::time::Duration = std::time::Duration::from_millis(100);
+    const TICK: std::time::Duration = std::time::Duration::from_secs(1);
+    loop {
+        let mut slept = std::time::Duration::ZERO;
+        while slept < TICK {
+            if !shared.running.load(Ordering::Acquire) {
+                return;
+            }
+            std::thread::sleep(STEP);
+            slept += STEP;
+        }
+        shared.pulse.tick();
     }
 }
 
@@ -229,10 +271,15 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
         };
         idle = std::time::Duration::ZERO;
         let keep_alive = request.keep_alive;
-        // `/trace` takes ownership of the stream for its lifetime.
-        if request.method == "GET" && request.path == "/trace" {
+        // Streaming endpoints take ownership of the stream for their
+        // lifetime.
+        if request.method == "GET" && (request.path == "/trace" || request.path == "/watch") {
             if let Ok(stream) = writer.into_inner() {
-                handle_trace(stream, &request, shared);
+                if request.path == "/trace" {
+                    handle_trace(stream, &request, shared);
+                } else {
+                    handle_watch(stream, &request, shared);
+                }
             }
             return;
         }
@@ -243,6 +290,15 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
             return;
         }
     }
+}
+
+/// First value of query parameter `key`, if present.
+fn query_param<'a>(request: &'a Request, key: &str) -> Option<&'a str> {
+    request
+        .query
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
 }
 
 fn route<W: Write>(w: &mut W, request: &Request, shared: &Arc<Shared>) -> std::io::Result<()> {
@@ -258,25 +314,85 @@ fn route<W: Write>(w: &mut W, request: &Request, shared: &Arc<Shared>) -> std::i
     }
     match request.path.as_str() {
         "/healthz" => {
+            let slo = shared.pulse.slo_status();
             let domains: Vec<String> = shared
                 .registry
                 .domains()
                 .iter()
                 .map(|d| format!("\"{d}\""))
                 .collect();
+            let queue_depth = shared.pool.queue_depth();
+            let queue_capacity = shared.pool.capacity();
+            let cache_entries = shared.cache.len();
+            let cache_capacity = shared.cache.capacity();
             let body = format!(
-                "{{\"status\":\"ok\",\"domains\":[{}]}}\n",
-                domains.join(",")
+                "{}\n",
+                json_object(&[
+                    (
+                        "status",
+                        json_str(if slo.healthy { "ok" } else { "degraded" }),
+                    ),
+                    ("domains", format!("[{}]", domains.join(","))),
+                    ("uptime_ms", json_f64(shared.pulse.uptime_ms())),
+                    (
+                        "pool",
+                        json_object(&[
+                            ("workers", shared.pool.threads().to_string()),
+                            ("queue_depth", queue_depth.to_string()),
+                            ("queue_capacity", queue_capacity.to_string()),
+                            (
+                                "saturation",
+                                json_f64(queue_depth as f64 / queue_capacity.max(1) as f64),
+                            ),
+                        ]),
+                    ),
+                    (
+                        "cache",
+                        json_object(&[
+                            ("entries", cache_entries.to_string()),
+                            ("capacity", cache_capacity.to_string()),
+                            (
+                                "occupancy",
+                                json_f64(cache_entries as f64 / cache_capacity.max(1) as f64),
+                            ),
+                            ("hit_rate", json_f64(shared.stats.hit_rate())),
+                        ]),
+                    ),
+                    ("slo", slo.render_json(shared.pulse.slo_spec())),
+                ])
             );
-            write_response(w, 200, "application/json", &[], body.as_bytes())
+            // A server critically burning its availability budget asks
+            // the balancer to take it out of rotation; the body still
+            // carries the full diagnosis.
+            let status = if slo.healthy { 200 } else { 503 };
+            write_response(w, status, "application/json", &[], body.as_bytes())
         }
         "/domains" => {
             let body = render_domains(&shared.registry);
             write_response(w, 200, "application/json", &[], body.as_bytes())
         }
         "/stats" => {
-            let body = format!("{}\n", shared.stats.render_json(shared.pool.queue_depth()));
+            let body = format!(
+                "{}\n",
+                shared
+                    .stats
+                    .render_json(shared.pool.queue_depth(), &shared.pulse)
+            );
             write_response(w, 200, "application/json", &[], body.as_bytes())
+        }
+        "/metrics" => {
+            let body = render_prometheus(
+                &shared.pulse,
+                &shared.stats,
+                &ExpositionGauges {
+                    queue_depth: shared.pool.queue_depth(),
+                    queue_capacity: shared.pool.capacity(),
+                    workers: shared.pool.threads(),
+                    cache_entries: shared.cache.len(),
+                    cache_capacity: shared.cache.capacity(),
+                },
+            );
+            write_response(w, 200, "text/plain; version=0.0.4", &[], body.as_bytes())
         }
         "/run" => handle_run(w, request, shared),
         _ => {
@@ -293,7 +409,9 @@ fn route<W: Write>(w: &mut W, request: &Request, shared: &Arc<Shared>) -> std::i
 }
 
 fn handle_run<W: Write>(w: &mut W, request: &Request, shared: &Arc<Shared>) -> std::io::Result<()> {
-    let watch = Stopwatch::start();
+    let total = Stopwatch::start();
+    let req_id = shared.pulse.begin_request();
+    let req_header = req_id.to_string();
     shared.stats.queries.fetch_add(1, Ordering::Relaxed);
     let query = match parse_run_query(&shared.registry, &request.query) {
         Ok(query) => query,
@@ -303,7 +421,7 @@ fn handle_run<W: Write>(w: &mut W, request: &Request, shared: &Arc<Shared>) -> s
                 w,
                 400,
                 "application/json",
-                &[],
+                &[("X-Atlarge-Request", &req_header)],
                 error_body(&reason).as_bytes(),
             );
         }
@@ -312,36 +430,40 @@ fn handle_run<W: Write>(w: &mut W, request: &Request, shared: &Arc<Shared>) -> s
 
     if let Some(body) = shared.cache.get(&key) {
         shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+        let write_watch = Stopwatch::start();
         let result = write_response(
             w,
             200,
             "application/json",
-            &[("X-Atlarge-Cache", "hit"), ("X-Atlarge-Key", &key)],
+            &[
+                ("X-Atlarge-Cache", "hit"),
+                ("X-Atlarge-Key", &key),
+                ("X-Atlarge-Request", &req_header),
+            ],
             &body,
         );
-        shared
-            .stats
-            .record_latency(&query.domain, watch.elapsed_ms());
+        shared.pulse.observe(
+            req_id,
+            &query.domain,
+            Outcome::Hit,
+            [0, 0, 0, write_watch.elapsed_nanos()],
+        );
         return result;
     }
 
     let Some(ticket) = shared.pool.reserve() else {
-        shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
-        return write_response(
-            w,
-            503,
-            "application/json",
-            &[("Retry-After", "1")],
-            error_body("query pool saturated, retry later").as_bytes(),
-        );
+        return shed(w, shared, &req_header);
     };
 
     let (tx, rx) = mpsc::channel();
     let job_shared = Arc::clone(shared);
     let job_query = query.clone();
+    let queued = Stopwatch::start();
     shared.pool.submit(
         ticket,
         Box::new(move || {
+            let queue_ns = queued.elapsed_nanos();
+            let run_watch = Stopwatch::start();
             let scenario = job_shared
                 .registry
                 .get(&job_query.domain)
@@ -355,51 +477,91 @@ fn handle_run<W: Write>(w: &mut W, request: &Request, shared: &Arc<Shared>) -> s
             );
             // A send failure means the connection thread is gone; the
             // result simply goes unobserved.
-            let _unobserved = tx.send(outcome);
+            let _unobserved = tx.send((outcome, queue_ns, run_watch.elapsed_nanos()));
         }),
     );
 
     match rx.recv() {
-        Ok(Ok(output)) => {
+        Ok((Ok(output), queue_ns, run_ns)) => {
+            let render_watch = Stopwatch::start();
             let body = Arc::new(render_body(&query, &key, &output).into_bytes());
             shared.cache.insert(&key, Arc::clone(&body));
             shared.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+            let render_ns = render_watch.elapsed_nanos();
+            let write_watch = Stopwatch::start();
             let result = write_response(
                 w,
                 200,
                 "application/json",
-                &[("X-Atlarge-Cache", "miss"), ("X-Atlarge-Key", &key)],
+                &[
+                    ("X-Atlarge-Cache", "miss"),
+                    ("X-Atlarge-Key", &key),
+                    ("X-Atlarge-Request", &req_header),
+                ],
                 &body,
             );
-            shared
-                .stats
-                .record_latency(&query.domain, watch.elapsed_ms());
+            shared.pulse.observe(
+                req_id,
+                &query.domain,
+                Outcome::Miss,
+                [queue_ns, run_ns, render_ns, write_watch.elapsed_nanos()],
+            );
             result
         }
-        Ok(Err(reason)) => {
+        Ok((Err(reason), _, _)) => {
             shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
             write_response(
                 w,
                 400,
                 "application/json",
-                &[],
+                &[("X-Atlarge-Request", &req_header)],
                 error_body(&reason).as_bytes(),
             )
         }
-        Err(_) => write_response(
-            w,
-            500,
-            "application/json",
-            &[],
-            error_body("worker dropped the query").as_bytes(),
-        ),
+        Err(_) => {
+            shared.stats.server_errors.fetch_add(1, Ordering::Relaxed);
+            shared.pulse.observe(
+                req_id,
+                &query.domain,
+                Outcome::Error,
+                [0, total.elapsed_nanos(), 0, 0],
+            );
+            write_response(
+                w,
+                500,
+                "application/json",
+                &[("X-Atlarge-Request", &req_header)],
+                error_body("worker dropped the query").as_bytes(),
+            )
+        }
     }
+}
+
+/// Answers `503` with a `Retry-After` derived from the pulse plane's
+/// service-time EWMA and the current backlog, and charges the shed to
+/// the availability budget.
+fn shed<W: Write>(w: &mut W, shared: &Arc<Shared>, req_header: &str) -> std::io::Result<()> {
+    shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+    shared.pulse.observe_shed();
+    let retry = shared
+        .pulse
+        .retry_after_secs(shared.pool.queue_depth(), shared.pool.threads())
+        .to_string();
+    write_response(
+        w,
+        503,
+        "application/json",
+        &[("Retry-After", &retry), ("X-Atlarge-Request", req_header)],
+        error_body("query pool saturated, retry later").as_bytes(),
+    )
 }
 
 /// Streams a traced run as chunked JSONL. Runs on the connection
 /// thread's budget but inside a pool reservation, so tracing traffic
 /// and `/run` traffic share one admission gate.
 fn handle_trace(mut stream: TcpStream, request: &Request, shared: &Arc<Shared>) {
+    let req_id = shared.pulse.begin_request();
+    let req_header = req_id.to_string();
     let query = match parse_run_query(&shared.registry, &request.query) {
         Ok(query) => query,
         Err(reason) => {
@@ -408,21 +570,14 @@ fn handle_trace(mut stream: TcpStream, request: &Request, shared: &Arc<Shared>) 
                 &mut stream,
                 400,
                 "application/json",
-                &[],
+                &[("X-Atlarge-Request", &req_header)],
                 error_body(&reason).as_bytes(),
             );
             return;
         }
     };
     let Some(ticket) = shared.pool.reserve() else {
-        shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
-        let _closing = write_response(
-            &mut stream,
-            503,
-            "application/json",
-            &[("Retry-After", "1")],
-            error_body("query pool saturated, retry later").as_bytes(),
-        );
+        let _closing = shed(&mut stream, shared, &req_header);
         return;
     };
     shared.stats.trace_streams.fetch_add(1, Ordering::Relaxed);
@@ -432,7 +587,7 @@ fn handle_trace(mut stream: TcpStream, request: &Request, shared: &Arc<Shared>) 
         &mut stream,
         200,
         "application/jsonl",
-        &[("X-Atlarge-Key", &key)],
+        &[("X-Atlarge-Key", &key), ("X-Atlarge-Request", &req_header)],
     )
     .is_err()
     {
@@ -441,9 +596,12 @@ fn handle_trace(mut stream: TcpStream, request: &Request, shared: &Arc<Shared>) 
 
     let (tx, rx) = mpsc::channel();
     let job_shared = Arc::clone(shared);
+    let queued = Stopwatch::start();
     shared.pool.submit(
         ticket,
         Box::new(move || {
+            let queue_ns = queued.elapsed_nanos();
+            let run_watch = Stopwatch::start();
             let cancel = CancelToken::new();
             let hangup = cancel.clone();
             let sink = JsonlSink::new(ChunkedWriter::new(stream)).on_error(move || hangup.cancel());
@@ -458,9 +616,28 @@ fn handle_trace(mut stream: TcpStream, request: &Request, shared: &Arc<Shared>) 
                 &cancel,
                 &sink,
             );
+            let run_ns = run_watch.elapsed_nanos();
+            let client_gone = sink.has_failed();
+            // The serving-side span rides in the stream itself, ahead
+            // of the manifest so the manifest stays the last record
+            // before the closing result document.
+            let span = SpanRecord {
+                id: req_id,
+                domain: query.domain.clone(),
+                outcome: if outcome.is_ok() || client_gone {
+                    Outcome::Stream
+                } else {
+                    Outcome::Error
+                },
+                stage_ns: [queue_ns, run_ns, 0, 0],
+                total_ns: queue_ns + run_ns,
+                seq: 0,
+            };
+            sink.emit_raw(&span.render_trace_line());
             let manifest = query_manifest(&query);
             // Closing handshake: manifest line, then the final result
             // line (or the error), then the terminating chunk.
+            let write_watch = Stopwatch::start();
             if let Ok(mut chunked) = sink.finish_into(&manifest) {
                 let tail = match &outcome {
                     Ok(output) => render_body(&query, &cache_key(&query), output),
@@ -470,10 +647,117 @@ fn handle_trace(mut stream: TcpStream, request: &Request, shared: &Arc<Shared>) 
                     let _closing = chunked.finish();
                 }
             }
+            if outcome.is_err() && !client_gone {
+                job_shared
+                    .stats
+                    .server_errors
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            job_shared.pulse.observe(
+                req_id,
+                &query.domain,
+                span.outcome,
+                [queue_ns, run_ns, 0, write_watch.elapsed_nanos()],
+            );
             let _unobserved = tx.send(());
         }),
     );
     // Wait for the stream job so this connection's lifetime covers it
     // (shutdown's drain then covers trace streams too).
     let _finished = rx.recv();
+}
+
+/// `/watch` window length bounds, milliseconds.
+const WATCH_WINDOW_MIN_MS: u64 = 100;
+/// See [`WATCH_WINDOW_MIN_MS`].
+const WATCH_WINDOW_MAX_MS: u64 = 60_000;
+
+/// Streams 1-second (configurable) aggregate windows as chunked JSONL
+/// `kind:"pulse"` lines until the client hangs up, the server shuts
+/// down, or the requested window count is reached.
+fn handle_watch(mut stream: TcpStream, request: &Request, shared: &Arc<Shared>) {
+    let req_id = shared.pulse.begin_request();
+    let req_header = req_id.to_string();
+    let windows: u64 = match query_param(request, "windows").map(str::parse).transpose() {
+        Ok(n) => n.unwrap_or(0),
+        Err(_) => {
+            shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+            let _closing = write_response(
+                &mut stream,
+                400,
+                "application/json",
+                &[("X-Atlarge-Request", &req_header)],
+                error_body("windows must be a non-negative integer").as_bytes(),
+            );
+            return;
+        }
+    };
+    let window_ms: u64 = match query_param(request, "window_ms")
+        .map(str::parse)
+        .transpose()
+    {
+        Ok(n) => n
+            .unwrap_or(1_000)
+            .clamp(WATCH_WINDOW_MIN_MS, WATCH_WINDOW_MAX_MS),
+        Err(_) => {
+            shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+            let _closing = write_response(
+                &mut stream,
+                400,
+                "application/json",
+                &[("X-Atlarge-Request", &req_header)],
+                error_body("window_ms must be a positive integer").as_bytes(),
+            );
+            return;
+        }
+    };
+    if write_chunked_head(
+        &mut stream,
+        200,
+        "application/jsonl",
+        &[("X-Atlarge-Request", &req_header)],
+    )
+    .is_err()
+    {
+        return;
+    }
+    shared.stats.watch_streams.fetch_add(1, Ordering::Relaxed);
+
+    let mut chunked = ChunkedWriter::new(stream);
+    let watch = Stopwatch::start();
+    let window = std::time::Duration::from_millis(window_ms);
+    let mut prev = shared.pulse.snapshot(&shared.stats);
+    let mut last_s = watch.elapsed_secs();
+    let mut emitted = 0u64;
+    loop {
+        let mut slept = std::time::Duration::ZERO;
+        while slept < window {
+            if !shared.running.load(Ordering::Acquire) {
+                let _closing = chunked.finish();
+                return;
+            }
+            let step = IDLE_POLL.min(window - slept);
+            std::thread::sleep(step);
+            slept += step;
+        }
+        let now_s = watch.elapsed_secs();
+        let cur = shared.pulse.snapshot(&shared.stats);
+        let line = render_window(
+            &shared.pulse,
+            &prev,
+            &cur,
+            now_s - last_s,
+            shared.pool.queue_depth(),
+        );
+        if chunked.write_all(line.as_bytes()).is_err() {
+            return; // client hung up; nothing to clean beyond the stream
+        }
+        prev = cur;
+        last_s = now_s;
+        emitted += 1;
+        if windows != 0 && emitted >= windows {
+            let _closing = chunked.finish();
+            return;
+        }
+    }
 }

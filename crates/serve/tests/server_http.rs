@@ -276,20 +276,38 @@ fn trace_streams_chunked_jsonl_with_manifest_and_result() {
     );
     let body = trace.body_str();
     let lines: Vec<&str> = body.lines().collect();
-    // 2 replications × 4 hook calls, then manifest, then the result.
-    assert_eq!(lines.len(), 10, "{body}");
+    // 2 replications × 4 hook calls, then the serving-side span, the
+    // manifest, and the result.
+    assert_eq!(lines.len(), 11, "{body}");
     assert!(lines[0].contains("\"kind\":\"span_enter\""), "{}", lines[0]);
-    assert!(lines[8].contains("\"kind\":\"manifest\""), "{}", lines[8]);
     assert!(
-        lines[8].contains("\"model\":\"serve.echo\""),
+        lines[8].contains("\"kind\":\"server_span\""),
         "{}",
         lines[8]
     );
-    assert!(lines[9].starts_with("{\"domain\":\"echo\""), "{}", lines[9]);
+    // The streamed span carries the same request id as the header —
+    // one request is traceable end to end across the telemetry.
+    let req_id = trace.header("X-Atlarge-Request").expect("request id");
+    assert!(
+        lines[8].contains(&format!("\"req\":{req_id},")),
+        "span {} vs header {req_id}",
+        lines[8]
+    );
+    assert!(lines[9].contains("\"kind\":\"manifest\""), "{}", lines[9]);
+    assert!(
+        lines[9].contains("\"model\":\"serve.echo\""),
+        "{}",
+        lines[9]
+    );
+    assert!(
+        lines[10].starts_with("{\"domain\":\"echo\""),
+        "{}",
+        lines[10]
+    );
 
     // The traced result agrees with the /run body for the same query.
     let run = get(&addr, "/run?domain=echo&x=5&replications=2").expect("runs");
-    assert_eq!(lines[9], run.body_str().trim_end());
+    assert_eq!(lines[10], run.body_str().trim_end());
 
     let stats = get(&addr, "/stats").expect("stats");
     assert!(

@@ -33,6 +33,7 @@
 //! property.
 
 pub mod export;
+pub mod hist;
 pub mod manifest;
 pub mod metrics;
 pub mod recorder;
@@ -40,6 +41,7 @@ pub mod sink;
 pub mod tracer;
 pub mod wall;
 
+pub use hist::{AtomicHistogram, HistogramSnapshot, ShardedHistogram};
 pub use manifest::RunManifest;
 pub use metrics::{Counter, Gauge, Tally};
 pub use recorder::{Recorder, SpanStats, TraceKind, TraceRecord};

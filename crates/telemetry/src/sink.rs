@@ -92,6 +92,15 @@ impl<W: Write + Send> JsonlSink<W> {
         Ok(st.writer)
     }
 
+    /// Emits one pre-rendered JSON line through the same latched-error
+    /// machinery as the tracer hooks. This is how a streaming server
+    /// interleaves its own records (e.g. a `server_span` describing the
+    /// request that carried this run) with the simulation's trace lines
+    /// without racing the sink's writer.
+    pub fn emit_raw(&self, json_line: &str) {
+        self.emit(json_line.to_string());
+    }
+
     fn emit(&self, line: String) {
         let mut st = self.state.lock().expect("sink lock");
         if st.error.is_some() {

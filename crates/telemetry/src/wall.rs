@@ -50,6 +50,13 @@ impl Stopwatch {
     pub fn elapsed_secs(&self) -> f64 {
         self.started.elapsed().as_secs_f64()
     }
+
+    /// Whole nanoseconds elapsed since [`Stopwatch::start`] — the
+    /// resolution the lock-free latency histograms
+    /// ([`crate::hist`]) record at. Saturates after ~584 years.
+    pub fn elapsed_nanos(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
 }
 
 #[cfg(test)]
@@ -64,5 +71,6 @@ mod tests {
         assert!(a >= 0.0);
         assert!(b >= a);
         assert!((sw.elapsed_secs() * 1e3 - sw.elapsed_ms()).abs() < 1e3);
+        assert!(sw.elapsed_nanos() >= (b * 1e6) as u64);
     }
 }

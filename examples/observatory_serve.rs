@@ -44,6 +44,11 @@ fn main() {
     println!("  curl 'http://{at}/run?domain=p2p&study=flashcrowd&replications=5'");
     println!("  curl 'http://{at}/trace?domain=graph&algorithm=pagerank&n=400'");
     println!("  curl 'http://{at}/stats'              # watch the cache warm up");
+    println!("  curl 'http://{at}/metrics'            # Prometheus text exposition");
+    println!("  curl 'http://{at}/watch'              # live 1s-window JSONL stream");
+    println!();
+    println!("or tail the live dashboard:");
+    println!("  cargo run --release --example trace_lens -- watch {at}");
     println!();
     println!("repeat a query to see X-Atlarge-Cache flip from miss to hit");
     println!("(the body stays byte-identical). Ctrl-C to stop.");

@@ -5,6 +5,7 @@
 //! trace_lens critical-path <trace.jsonl>
 //! trace_lens profile [--chrome] <trace.jsonl>
 //! trace_lens diff [--threshold PCT] <a.metrics.jsonl> <b.metrics.jsonl>
+//! trace_lens watch [--once] [--windows N] [--window-ms M] <host:port>
 //! ```
 //!
 //! `profile --chrome` prints Chrome trace-event JSON on stdout — redirect
@@ -13,20 +14,30 @@
 //! threshold (default 1%), 2 when at least one did — usable directly as a
 //! CI regression gate.
 //!
-//! Generate inputs with `ecosystem_observatory --trace <dir>`, or with
-//! any of the domain `*_traced` entry points.
+//! `watch` tails a running exploration server's `/watch` stream and
+//! renders each window as one terminal row with sparklines for rps,
+//! p99, hit rate, shed rate, and queue depth. It exits 0 when every
+//! observed window was within SLO, 2 when any window reported a
+//! critical burn or an unhealthy server — `watch --once` is therefore
+//! a one-shot SLO gate for CI.
+//!
+//! Generate file inputs with `ecosystem_observatory --trace <dir>`, or
+//! with any of the domain `*_traced` entry points.
 
+use atlarge::obsv::jsonl::parse;
 use atlarge::obsv::{
     critical_path, diff_exports, flamegraph_text, parse_trace, self_times, to_chrome_json,
-    PathSource,
+    PathSource, PulseLine,
 };
+use atlarge::serve::client::get_stream;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: trace_lens critical-path <trace.jsonl>\n\
          \x20      trace_lens profile [--chrome] <trace.jsonl>\n\
-         \x20      trace_lens diff [--threshold PCT] <a.metrics.jsonl> <b.metrics.jsonl>"
+         \x20      trace_lens diff [--threshold PCT] <a.metrics.jsonl> <b.metrics.jsonl>\n\
+         \x20      trace_lens watch [--once] [--windows N] [--window-ms M] <host:port>"
     );
     ExitCode::FAILURE
 }
@@ -173,6 +184,114 @@ fn cmd_diff(a: &str, b: &str, threshold: f64) -> Result<ExitCode, ExitCode> {
     })
 }
 
+/// History length for the terminal sparklines.
+const SPARK_WIDTH: usize = 30;
+
+/// Renders `values` as a fixed-palette sparkline scaled to its own max
+/// (an all-zero history renders as a flat floor).
+fn spark(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().fold(0.0f64, f64::max);
+    values
+        .iter()
+        .map(|&v| {
+            if max <= 0.0 {
+                BARS[0]
+            } else {
+                BARS[(((v / max) * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
+}
+
+/// A bounded sparkline history.
+struct History(Vec<f64>);
+
+impl History {
+    fn new() -> History {
+        History(Vec::new())
+    }
+    fn push(&mut self, v: f64) {
+        self.0.push(v);
+        if self.0.len() > SPARK_WIDTH {
+            self.0.remove(0);
+        }
+    }
+    fn spark(&self) -> String {
+        spark(&self.0)
+    }
+}
+
+fn cmd_watch(addr: &str, windows: u64, window_ms: u64, once: bool) -> Result<ExitCode, ExitCode> {
+    let windows = if once { 1 } else { windows };
+    let path = format!("/watch?windows={windows}&window_ms={window_ms}");
+    let mut stream = get_stream(addr, &path).map_err(|e| {
+        eprintln!("trace_lens: cannot reach {addr}: {e}");
+        ExitCode::FAILURE
+    })?;
+    if stream.status != 200 {
+        eprintln!("trace_lens: {addr}{path} answered {}", stream.status);
+        return Err(ExitCode::FAILURE);
+    }
+    let mut rps = History::new();
+    let mut p99 = History::new();
+    let mut hit = History::new();
+    let mut shed = History::new();
+    let mut queue = History::new();
+    let mut seen = 0u64;
+    let mut violated = false;
+    loop {
+        let line = match stream.next_line() {
+            Ok(Some(line)) => line,
+            Ok(None) => break,
+            Err(e) => {
+                eprintln!("trace_lens: stream ended: {e}");
+                break;
+            }
+        };
+        let Ok(value) = parse(&line) else { continue };
+        let Some(pulse) = PulseLine::from_json(&value) else {
+            continue;
+        };
+        seen += 1;
+        rps.push(pulse.rps);
+        p99.push(pulse.p99_ms.unwrap_or(0.0));
+        hit.push(pulse.hit_rate);
+        shed.push(pulse.shed_rate);
+        queue.push(pulse.queue_depth as f64);
+        if pulse.slo_state == "critical" || !pulse.slo_healthy {
+            violated = true;
+        }
+        println!(
+            "[{seen:>4}] rps {:>8.1} {}  p99 {:>8} {}  hit {:>3.0}% {}  shed {:>3.0}% {}  q {:>3} {}  slo {}{}",
+            pulse.rps,
+            rps.spark(),
+            pulse
+                .p99_ms
+                .map_or_else(|| "-".to_string(), |ms| format!("{ms:.2}ms")),
+            p99.spark(),
+            pulse.hit_rate * 100.0,
+            hit.spark(),
+            pulse.shed_rate * 100.0,
+            shed.spark(),
+            pulse.queue_depth,
+            queue.spark(),
+            pulse.slo_state,
+            if pulse.slo_healthy { "" } else { " UNHEALTHY" },
+        );
+    }
+    if seen == 0 {
+        eprintln!("trace_lens: no pulse windows received");
+        return Err(ExitCode::FAILURE);
+    }
+    Ok(if violated {
+        eprintln!("trace_lens: SLO violated in {seen} observed window(s)");
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
@@ -204,6 +323,32 @@ fn main() -> ExitCode {
             match files.as_slice() {
                 [a, b] => cmd_diff(a, b, threshold),
                 _ => return usage(),
+            }
+        }
+        Some("watch") => {
+            let mut once = false;
+            let mut windows = 0u64;
+            let mut window_ms = 1_000u64;
+            let mut addr = None;
+            let mut it = args.iter().skip(1);
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--once" => once = true,
+                    "--windows" => match it.next().and_then(|v| v.parse().ok()) {
+                        Some(n) => windows = n,
+                        None => return usage(),
+                    },
+                    "--window-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                        Some(ms) => window_ms = ms,
+                        None => return usage(),
+                    },
+                    other if !other.starts_with("--") => addr = Some(other.to_string()),
+                    _ => return usage(),
+                }
+            }
+            match addr {
+                Some(addr) => cmd_watch(&addr, windows, window_ms, once),
+                None => return usage(),
             }
         }
         _ => return usage(),

@@ -1,0 +1,368 @@
+//! Integration tests of the server's streaming observability plane:
+//! `/watch` windows, `/metrics` exposition validity, request-id
+//! traceability, and — most importantly — mid-stream client hangups:
+//! a dropped `/trace` or `/watch` consumer must cancel the work it was
+//! watching, return the worker slot, and leave statistics intact.
+
+use atlarge::exp::registry::{CellOutput, CellScenario, ParamSpec};
+use atlarge::exp::{CancelToken, Registry};
+use atlarge::obsv::jsonl::parse;
+use atlarge::obsv::PulseLine;
+use atlarge::serve::client::{get, get_stream};
+use atlarge::serve::{ServeConfig, Server};
+use atlarge::stats::Summary;
+use atlarge::telemetry::tracer::Tracer;
+use std::collections::BTreeMap;
+
+/// A fast fixture cell.
+struct QuickCell;
+
+impl CellScenario for QuickCell {
+    fn domain(&self) -> &str {
+        "quick"
+    }
+    fn describe(&self) -> &str {
+        "fast test cell"
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![ParamSpec::optional("x", "a number", "1")]
+    }
+    fn run_cell(
+        &self,
+        params: &BTreeMap<String, String>,
+        seed: u64,
+        replications: usize,
+        _cancel: &CancelToken,
+        tracer: &dyn Tracer,
+    ) -> Result<CellOutput, String> {
+        let x: f64 = params["x"].parse().map_err(|e| format!("x: {e}"))?;
+        for rep in 0..replications as u64 {
+            tracer.on_dispatch(rep as f64, "tick", 0, rep, None);
+        }
+        Ok(CellOutput {
+            metrics: vec![(
+                "y".to_string(),
+                Summary::from_iter((0..replications).map(|_| x + seed as f64)),
+            )],
+            notes: vec![],
+        })
+    }
+}
+
+/// A cell that streams many trace records per replication and honors
+/// cancellation between replications — the fixture for hangup tests.
+/// Untraced (NullTracer) runs finish instantly, so `/run` against this
+/// domain stays fast.
+struct ChattyCell;
+
+impl CellScenario for ChattyCell {
+    fn domain(&self) -> &str {
+        "chatty"
+    }
+    fn describe(&self) -> &str {
+        "streams many records, cancellable between replications"
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![]
+    }
+    fn run_cell(
+        &self,
+        _params: &BTreeMap<String, String>,
+        _seed: u64,
+        replications: usize,
+        cancel: &CancelToken,
+        tracer: &dyn Tracer,
+    ) -> Result<CellOutput, String> {
+        for rep in 0..replications as u64 {
+            if cancel.is_cancelled() {
+                return Err("cancelled".to_string());
+            }
+            // Enough writes per replication that a hung-up socket is
+            // noticed quickly (the sink latches on the first failure).
+            for i in 0..512u64 {
+                tracer.on_dispatch(rep as f64, "chat", 0, rep * 512 + i, None);
+            }
+        }
+        Ok(CellOutput {
+            metrics: vec![("done".to_string(), Summary::from_slice(&[1.0]))],
+            notes: vec![],
+        })
+    }
+}
+
+fn registry() -> Registry {
+    let mut registry = Registry::new();
+    registry.register(Box::new(QuickCell));
+    registry.register(Box::new(ChattyCell));
+    registry
+}
+
+#[test]
+fn watch_streams_windows_that_count_real_traffic() {
+    let server = Server::start(
+        registry(),
+        ServeConfig {
+            threads: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr().to_string();
+
+    // Traffic before the stream opens: one miss, one hit.
+    let cold = get(&addr, "/run?domain=quick&x=2").expect("cold");
+    assert_eq!(cold.status, 200);
+    let warm = get(&addr, "/run?domain=quick&x=2").expect("warm");
+    assert_eq!(warm.header("X-Atlarge-Cache"), Some("hit"));
+
+    let mut stream = get_stream(&addr, "/watch?windows=3&window_ms=150").expect("watch opens");
+    assert_eq!(stream.status, 200);
+    assert!(
+        stream.header("X-Atlarge-Request").is_some(),
+        "watch carries a request id"
+    );
+
+    // Traffic while the stream is live, so some window counts it.
+    for i in 0..5 {
+        let r = get(&addr, &format!("/run?domain=quick&x={i}")).expect("run");
+        assert_eq!(r.status, 200);
+    }
+
+    let mut pulses = Vec::new();
+    while let Some(line) = stream.next_line().expect("stream intact") {
+        let value = parse(&line).expect("valid JSON line");
+        pulses.push(PulseLine::from_json(&value).expect("pulse line"));
+    }
+    assert_eq!(pulses.len(), 3, "windows=3 bounds the stream");
+    for p in &pulses {
+        assert!(p.window_ms >= 100.0, "window_ms {}", p.window_ms);
+        assert_eq!(p.slo_state, "ok");
+        assert!(p.slo_healthy);
+    }
+    let total: u64 = pulses.iter().map(|p| p.requests).sum();
+    assert!(total >= 5, "live traffic shows up in windows, got {total}");
+    let with_latency = pulses.iter().find(|p| p.requests > 0).expect("traffic");
+    assert!(with_latency.p99_ms.is_some(), "busy windows carry p99");
+
+    let stats = get(&addr, "/stats").expect("stats");
+    assert!(
+        stats.body_str().contains("\"watch_streams\":1"),
+        "{}",
+        stats.body_str()
+    );
+    server.shutdown();
+}
+
+#[test]
+fn request_ids_are_traceable_from_header_to_stream() {
+    let server = Server::start(
+        registry(),
+        ServeConfig {
+            threads: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr().to_string();
+
+    let run = get(&addr, "/run?domain=quick&x=7").expect("run");
+    let run_id: u64 = run
+        .header("X-Atlarge-Request")
+        .expect("run carries a request id")
+        .parse()
+        .expect("numeric id");
+
+    let trace = get(&addr, "/trace?domain=quick&x=7&replications=2").expect("trace");
+    let trace_id: u64 = trace
+        .header("X-Atlarge-Request")
+        .expect("trace carries a request id")
+        .parse()
+        .expect("numeric id");
+    assert!(trace_id > run_id, "ids are monotone per server");
+
+    // The stream's server_span record carries the same id the header
+    // promised, with per-stage wall durations.
+    let span_line = trace
+        .body_str()
+        .lines()
+        .find(|l| l.contains("\"kind\":\"server_span\""))
+        .expect("trace streams its serving-side span")
+        .to_string();
+    let span = parse(&span_line).expect("valid JSON");
+    assert_eq!(span.u64_field("req"), Some(trace_id));
+    assert_eq!(span.str_field("domain"), Some("quick"));
+    assert_eq!(span.str_field("outcome"), Some("stream"));
+    assert!(span.f64_field("run_ms").expect("run stage") >= 0.0);
+    server.shutdown();
+}
+
+#[test]
+fn metrics_exposition_is_valid_prometheus_text() {
+    let server = Server::start(
+        registry(),
+        ServeConfig {
+            threads: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr().to_string();
+    for i in 0..4 {
+        get(&addr, &format!("/run?domain=quick&x={i}")).expect("run");
+    }
+    get(&addr, "/run?domain=quick&x=0").expect("hit");
+
+    let metrics = get(&addr, "/metrics").expect("metrics");
+    assert_eq!(metrics.status, 200);
+    assert!(
+        metrics
+            .header("Content-Type")
+            .is_some_and(|ct| ct.starts_with("text/plain")),
+        "{:?}",
+        metrics.header("Content-Type")
+    );
+    let text = metrics.body_str();
+    for needle in [
+        "# TYPE atlarge_requests_total counter",
+        "atlarge_requests_total 5",
+        "atlarge_cache_hits_total 1",
+        "# TYPE atlarge_request_seconds histogram",
+        "atlarge_request_seconds_bucket{domain=\"quick\",le=\"+Inf\"}",
+        "atlarge_request_seconds_sum{domain=\"quick\"}",
+        "atlarge_request_seconds_count{domain=\"quick\"} 5",
+        "atlarge_stage_seconds_bucket{stage=\"write\"",
+        "atlarge_slo_burn_rate{objective=\"latency\",window=\"5m\"}",
+        "atlarge_healthy 1",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+
+    // Cumulative bucket counts are monotone and end at the _count.
+    let bucket_counts: Vec<u64> = text
+        .lines()
+        .filter(|l| l.starts_with("atlarge_request_seconds_bucket{domain=\"quick\""))
+        .map(|l| l.rsplit(' ').next().unwrap().parse().expect("int"))
+        .collect();
+    assert!(!bucket_counts.is_empty());
+    assert!(
+        bucket_counts.windows(2).all(|w| w[0] <= w[1]),
+        "buckets must be cumulative: {bucket_counts:?}"
+    );
+    assert_eq!(*bucket_counts.last().unwrap(), 5, "+Inf equals _count");
+    server.shutdown();
+}
+
+#[test]
+fn trace_client_hangup_cancels_the_run_and_frees_the_slot() {
+    let server = Server::start(
+        registry(),
+        ServeConfig {
+            threads: 1,
+            queue_capacity: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr().to_string();
+
+    // Open a trace of a long chatty run on the only worker, read a few
+    // records to prove the stream is live, then hang up mid-stream.
+    let mut stream =
+        get_stream(&addr, "/trace?domain=chatty&replications=64").expect("trace opens");
+    assert_eq!(stream.status, 200);
+    for _ in 0..3 {
+        let line = stream.next_line().expect("live").expect("records flowing");
+        assert!(line.contains("\"kind\":\"dispatch\""), "{line}");
+    }
+    drop(stream); // hangup: the sink's next write latches and cancels
+
+    // The cancel must reclaim the single worker: an untraced run of
+    // the same domain completes (instantly once scheduled). Retry
+    // while the cancelled run drains.
+    let mut recovered = false;
+    for _ in 0..200 {
+        let r = get(&addr, "/run?domain=chatty").expect("server responsive");
+        if r.status == 200 {
+            recovered = true;
+            break;
+        }
+        assert_eq!(r.status, 503, "only shedding is acceptable while draining");
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    assert!(recovered, "worker slot never came back after hangup");
+
+    // Stats survived the hangup uncorrupted and the shed requests (if
+    // any) were counted; the stream itself was counted exactly once.
+    let stats = get(&addr, "/stats").expect("stats");
+    let body = stats.body_str();
+    assert!(body.contains("\"trace_streams\":1"), "{body}");
+    assert!(body.contains("\"cache_misses\":1"), "{body}");
+    server.shutdown();
+}
+
+#[test]
+fn watch_client_hangup_leaves_the_server_healthy() {
+    let server = Server::start(
+        registry(),
+        ServeConfig {
+            threads: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr().to_string();
+
+    // An unbounded watch stream, abandoned after the first window.
+    let mut stream = get_stream(&addr, "/watch?window_ms=100").expect("watch opens");
+    assert_eq!(stream.status, 200);
+    let first = stream.next_line().expect("live").expect("first window");
+    assert!(first.contains("\"kind\":\"pulse\""), "{first}");
+    drop(stream);
+
+    // The server keeps serving and shuts down cleanly (the abandoned
+    // watch thread notices the hangup on its next window write).
+    let r = get(&addr, "/run?domain=quick&x=1").expect("still serving");
+    assert_eq!(r.status, 200);
+    let health = get(&addr, "/healthz").expect("healthz");
+    assert_eq!(health.status, 200);
+    assert!(health.body_str().contains("\"status\":\"ok\""));
+    server.shutdown();
+}
+
+#[test]
+fn healthz_reports_pool_cache_and_slo_detail() {
+    let server = Server::start(
+        registry(),
+        ServeConfig {
+            threads: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr().to_string();
+    get(&addr, "/run?domain=quick&x=1").expect("run");
+
+    let health = get(&addr, "/healthz").expect("healthz");
+    assert_eq!(health.status, 200);
+    let v = parse(health.body_str().trim()).expect("valid JSON");
+    assert_eq!(v.str_field("status"), Some("ok"));
+    assert_eq!(
+        v.get("domains").and_then(|d| d.as_arr()).map(<[_]>::len),
+        Some(2)
+    );
+    let pool = v.get("pool").expect("pool block");
+    assert_eq!(pool.u64_field("workers"), Some(2));
+    assert!(pool.f64_field("saturation").expect("saturation") < 1.0);
+    let cache = v.get("cache").expect("cache block");
+    assert_eq!(cache.u64_field("entries"), Some(1));
+    let slo = v.get("slo").expect("slo block");
+    assert_eq!(slo.str_field("state"), Some("ok"));
+    assert_eq!(slo.bool_field("healthy"), Some(true));
+    assert!(
+        slo.get("availability")
+            .and_then(|a| a.f64_field("burn_1m"))
+            .is_some(),
+        "burn rates exposed"
+    );
+    server.shutdown();
+}
