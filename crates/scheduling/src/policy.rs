@@ -3,8 +3,78 @@
 //! Policies order the pending-task queue; the simulator starts tasks in
 //! policy order as long as they fit (EASY backfilling additionally lets
 //! short tasks jump a blocked queue head under a reservation guarantee).
+//!
+//! The open surface is the [`SchedulingPolicy`] trait — the same
+//! object-safe shape as `autoscaling::Autoscaler` — so external crates
+//! register custom policies without touching the [`Policy`] enum; the
+//! enum survives as the built-in portfolio and implements the trait.
 
 use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// An ordering policy as the simulator consumes it: object-safe, so
+/// custom policies from other crates plug into the [`Chooser`] layer,
+/// the portfolio, and live evolution without extending [`Policy`].
+///
+/// [`Chooser`]: crate::simulator::Chooser
+///
+/// # Examples
+///
+/// ```
+/// use atlarge_scheduling::policy::{PolicyRef, QueuedTask, SchedulingPolicy};
+///
+/// #[derive(Debug)]
+/// struct Lifo;
+/// impl SchedulingPolicy for Lifo {
+///     fn name(&self) -> &'static str {
+///         "lifo"
+///     }
+///     fn order(&self, queue: &mut [QueuedTask]) {
+///         queue.sort_by(|a, b| b.submit.total_cmp(&a.submit));
+///     }
+/// }
+///
+/// let custom: PolicyRef = std::sync::Arc::new(Lifo);
+/// assert_eq!(custom.name(), "lifo");
+/// assert!(!custom.backfills());
+/// ```
+pub trait SchedulingPolicy: Send + Sync + std::fmt::Debug {
+    /// Short display name (also the portfolio's score key).
+    fn name(&self) -> &'static str;
+
+    /// Whether the policy uses backfilling semantics in the simulator.
+    fn backfills(&self) -> bool {
+        false
+    }
+
+    /// Sorts the queue into this policy's service order. Implementations
+    /// must be deterministic (stable sorts over task fields only).
+    fn order(&self, queue: &mut [QueuedTask]);
+}
+
+/// A shared handle to a policy object; cheap to clone, safe to hand to
+/// the simulator from any thread.
+pub type PolicyRef = Arc<dyn SchedulingPolicy>;
+
+impl From<Policy> for PolicyRef {
+    fn from(p: Policy) -> PolicyRef {
+        Arc::new(p)
+    }
+}
+
+impl SchedulingPolicy for Policy {
+    fn name(&self) -> &'static str {
+        Policy::name(self)
+    }
+
+    fn backfills(&self) -> bool {
+        Policy::backfills(self)
+    }
+
+    fn order(&self, queue: &mut [QueuedTask]) {
+        Policy::order(self, queue)
+    }
+}
 
 /// A pending task as the policies see it.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,6 +142,11 @@ impl Policy {
     /// Whether the policy uses backfilling semantics in the simulator.
     pub fn backfills(&self) -> bool {
         matches!(self, Policy::EasyBackfilling)
+    }
+
+    /// Looks a built-in policy up by its display name.
+    pub fn by_name(name: &str) -> Option<Policy> {
+        Policy::all().into_iter().find(|p| p.name() == name)
     }
 
     /// Sorts the queue into this policy's service order (stable, so equal
@@ -183,6 +258,32 @@ mod tests {
     fn only_easy_backfills() {
         assert!(Policy::EasyBackfilling.backfills());
         assert!(!Policy::Sjf.backfills());
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for p in Policy::all() {
+            assert_eq!(Policy::by_name(p.name()), Some(p));
+        }
+        assert_eq!(Policy::by_name("no-such-policy"), None);
+    }
+
+    #[test]
+    fn enum_behaves_identically_through_the_trait_object() {
+        let mut direct = vec![
+            task(1, 0.0, 5.0, 1),
+            task(2, 0.0, 1.0, 1),
+            task(3, 0.0, 3.0, 1),
+        ];
+        let mut boxed = direct.clone();
+        let obj: PolicyRef = Policy::Sjf.into();
+        Policy::Sjf.order(&mut direct);
+        obj.order(&mut boxed);
+        assert_eq!(direct, boxed);
+        assert_eq!(obj.name(), "sjf");
+        assert!(!obj.backfills());
+        let bf: PolicyRef = Policy::EasyBackfilling.into();
+        assert!(bf.backfills());
     }
 
     #[test]

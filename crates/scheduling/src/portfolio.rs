@@ -13,11 +13,14 @@
 //!   workloads with hard-to-predict runtimes (big data, \[120\]) can make
 //!   the portfolio choose sub-optimally.
 
-use crate::policy::{Policy, QueuedTask};
+use crate::policy::{PolicyRef, QueuedTask, SchedulingPolicy};
 use crate::simulator::{Chooser, RunningTask};
 use std::collections::BTreeMap;
 
 /// The portfolio scheduler: an online policy selector.
+///
+/// The portfolio holds [`PolicyRef`] trait objects, so custom policies
+/// registered outside this crate compete alongside the built-in enum.
 ///
 /// # Examples
 ///
@@ -30,13 +33,13 @@ use std::collections::BTreeMap;
 /// ```
 #[derive(Debug, Clone)]
 pub struct PortfolioScheduler {
-    policies: Vec<Policy>,
+    policies: Vec<PolicyRef>,
     active_set_size: usize,
     reflection_interval: f64,
     explore_every: u64,
     last_reflection: f64,
     reflections: u64,
-    current: Policy,
+    current: PolicyRef,
     /// EWMA of predicted mean slowdown per policy (lower is better).
     scores: BTreeMap<&'static str, f64>,
     lookahead_events: u64,
@@ -46,17 +49,23 @@ pub struct PortfolioScheduler {
 impl PortfolioScheduler {
     /// Creates a portfolio over `policies`, simulating at most
     /// `active_set_size` candidates per reflection, reflecting every
-    /// `reflection_interval` simulated seconds.
+    /// `reflection_interval` simulated seconds. Accepts built-in
+    /// [`Policy`] values or [`PolicyRef`] handles to custom policies.
     ///
     /// # Panics
     ///
     /// Panics if `policies` is empty, `active_set_size == 0`, or the
     /// interval is not positive.
-    pub fn new(policies: Vec<Policy>, active_set_size: usize, reflection_interval: f64) -> Self {
+    pub fn new<P: Into<PolicyRef>>(
+        policies: Vec<P>,
+        active_set_size: usize,
+        reflection_interval: f64,
+    ) -> Self {
+        let policies: Vec<PolicyRef> = policies.into_iter().map(Into::into).collect();
         assert!(!policies.is_empty(), "portfolio needs policies");
         assert!(active_set_size > 0, "active set must be non-empty");
         assert!(reflection_interval > 0.0, "interval must be positive");
-        let current = policies[0];
+        let current = policies[0].clone();
         PortfolioScheduler {
             policies,
             active_set_size,
@@ -85,11 +94,11 @@ impl PortfolioScheduler {
     }
 
     /// The policy currently committed to.
-    pub fn current(&self) -> Policy {
-        self.current
+    pub fn current(&self) -> PolicyRef {
+        self.current.clone()
     }
 
-    fn candidates(&self) -> Vec<Policy> {
+    fn candidates(&self) -> Vec<PolicyRef> {
         if self.reflections.is_multiple_of(self.explore_every)
             || self.scores.len() < self.policies.len()
         {
@@ -97,10 +106,13 @@ impl PortfolioScheduler {
             self.policies.clone()
         } else {
             // Exploitation round: only the active set (best-scored k).
-            let mut scored: Vec<(Policy, f64)> = self
+            let mut scored: Vec<(PolicyRef, f64)> = self
                 .policies
                 .iter()
-                .map(|&p| (p, self.scores.get(p.name()).copied().unwrap_or(f64::MAX)))
+                .map(|p| {
+                    let score = self.scores.get(p.name()).copied().unwrap_or(f64::MAX);
+                    (p.clone(), score)
+                })
                 .collect();
             scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"));
             scored
@@ -119,16 +131,16 @@ impl Chooser for PortfolioScheduler {
         queue: &[QueuedTask],
         free_cores: u32,
         running: &[RunningTask],
-    ) -> Policy {
+    ) -> PolicyRef {
         if now - self.last_reflection < self.reflection_interval {
-            return self.current;
+            return self.current.clone();
         }
         self.last_reflection = now;
         self.reflections += 1;
-        let mut best = self.current;
+        let mut best = self.current.clone();
         let mut best_score = f64::INFINITY;
         for p in self.candidates() {
-            let (score, events) = lookahead(p, queue, free_cores, running, now);
+            let (score, events) = lookahead(p.as_ref(), queue, free_cores, running, now);
             self.lookahead_events += events;
             self.decisions += 1;
             let e = self.scores.entry(p.name()).or_insert(score);
@@ -138,7 +150,7 @@ impl Chooser for PortfolioScheduler {
                 best = p;
             }
         }
-        self.current = best;
+        self.current = best.clone();
         best
     }
 
@@ -159,7 +171,7 @@ impl Chooser for PortfolioScheduler {
 /// `running` at their estimated finishes) keeps the lookahead cheap enough
 /// to contemplate running online — the crux of §6.6.
 pub fn lookahead(
-    policy: Policy,
+    policy: &dyn SchedulingPolicy,
     queue: &[QueuedTask],
     free_cores: u32,
     running: &[RunningTask],
@@ -245,6 +257,7 @@ pub fn lookahead(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::Policy;
 
     fn qt(job: u64, est: f64, cpus: u32) -> QueuedTask {
         QueuedTask {
@@ -258,7 +271,7 @@ mod tests {
 
     #[test]
     fn lookahead_empty_queue_is_cheap() {
-        let (s, e) = lookahead(Policy::Fcfs, &[], 4, &[], 0.0);
+        let (s, e) = lookahead(&Policy::Fcfs, &[], 4, &[], 0.0);
         assert_eq!(e, 0);
         assert_eq!(s, 1.0);
     }
@@ -266,8 +279,8 @@ mod tests {
     #[test]
     fn lookahead_prefers_sjf_for_mixed_sizes() {
         let queue = vec![qt(1, 1000.0, 1), qt(2, 10.0, 1), qt(3, 10.0, 1)];
-        let (sjf, _) = lookahead(Policy::Sjf, &queue, 1, &[], 0.0);
-        let (ljf, _) = lookahead(Policy::Ljf, &queue, 1, &[], 0.0);
+        let (sjf, _) = lookahead(&Policy::Sjf, &queue, 1, &[], 0.0);
+        let (ljf, _) = lookahead(&Policy::Ljf, &queue, 1, &[], 0.0);
         assert!(sjf < ljf, "sjf {sjf} ljf {ljf}");
     }
 
@@ -281,7 +294,7 @@ mod tests {
             est_finish: 50.0,
             started_at: 0.0,
         }];
-        let (s, _) = lookahead(Policy::Fcfs, &queue, 0, &running, 0.0);
+        let (s, _) = lookahead(&Policy::Fcfs, &queue, 0, &running, 0.0);
         // Wait 50 + run 10, slowdown vs max(10,10) = 6.0.
         assert!((s - 6.0).abs() < 1e-9, "slowdown {s}");
     }
@@ -290,8 +303,8 @@ mod tests {
     fn lookahead_cost_scales_with_queue() {
         let small: Vec<QueuedTask> = (0..5).map(|i| qt(i, 10.0, 1)).collect();
         let large: Vec<QueuedTask> = (0..50).map(|i| qt(i, 10.0, 1)).collect();
-        let (_, es) = lookahead(Policy::Fcfs, &small, 2, &[], 0.0);
-        let (_, el) = lookahead(Policy::Fcfs, &large, 2, &[], 0.0);
+        let (_, es) = lookahead(&Policy::Fcfs, &small, 2, &[], 0.0);
+        let (_, el) = lookahead(&Policy::Fcfs, &large, 2, &[], 0.0);
         assert!(el > es);
     }
 
@@ -331,7 +344,7 @@ mod tests {
     fn starvation_is_penalized() {
         // A task that can never run (needs 8, have 2 forever).
         let queue = vec![qt(1, 10.0, 8)];
-        let (s, _) = lookahead(Policy::Fcfs, &queue, 2, &[], 0.0);
+        let (s, _) = lookahead(&Policy::Fcfs, &queue, 2, &[], 0.0);
         assert!(s >= 100.0);
     }
 }

@@ -8,7 +8,7 @@
 //! utilization, plus the decision-cost counters that §6.6's online-
 //! feasibility question turns on.
 
-use crate::policy::{Policy, QueuedTask};
+use crate::policy::{Policy, PolicyRef, QueuedTask};
 use atlarge_des::sim::{Ctx, Model, Simulation};
 use atlarge_stats::dist::{Normal, Sample};
 use atlarge_telemetry::manifest::fnv1a;
@@ -35,7 +35,9 @@ pub struct RunningTask {
 /// Chooses the scheduling policy at each decision point.
 ///
 /// A fixed policy ignores the state; the portfolio scheduler simulates its
-/// active set over the queue snapshot.
+/// active set over the queue snapshot. Policies travel as [`PolicyRef`]
+/// trait objects, so choosers may hand out custom policies registered
+/// outside this crate.
 pub trait Chooser {
     /// Returns the policy to use now.
     fn choose(
@@ -44,7 +46,7 @@ pub trait Chooser {
         queue: &[QueuedTask],
         free_cores: u32,
         running: &[RunningTask],
-    ) -> Policy;
+    ) -> PolicyRef;
 
     /// Cumulative lookahead-simulation events spent (0 for fixed
     /// policies).
@@ -58,13 +60,26 @@ pub trait Chooser {
     }
 }
 
-/// A chooser that always returns the same policy.
+/// A chooser that always returns the same built-in policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FixedChooser(pub Policy);
 
 impl Chooser for FixedChooser {
-    fn choose(&mut self, _: f64, _: &[QueuedTask], _: u32, _: &[RunningTask]) -> Policy {
-        self.0
+    fn choose(&mut self, _: f64, _: &[QueuedTask], _: u32, _: &[RunningTask]) -> PolicyRef {
+        PolicyRef::from(self.0)
+    }
+}
+
+/// A chooser that always returns the same policy object — the handle may
+/// point at a custom [`SchedulingPolicy`] from another crate.
+///
+/// [`SchedulingPolicy`]: crate::policy::SchedulingPolicy
+#[derive(Debug, Clone)]
+pub struct FixedPolicy(pub PolicyRef);
+
+impl Chooser for FixedPolicy {
+    fn choose(&mut self, _: f64, _: &[QueuedTask], _: u32, _: &[RunningTask]) -> PolicyRef {
+        self.0.clone()
     }
 }
 
