@@ -7,6 +7,7 @@
 //! workflow-aware pair — Plan and Token — exploit the eligible-task count
 //! that workflow structure exposes.
 
+use atlarge_evolve::{Capsule, CapsuleError, Evolvable, Value};
 use atlarge_stats::regression::linear_fit;
 
 /// What an autoscaler sees when deciding.
@@ -37,6 +38,25 @@ pub trait Autoscaler {
     fn workflow_aware(&self) -> bool {
         false
     }
+
+    /// Live-evolution hook, polled once per tick before the decision:
+    /// returns the tracer span label of a swap that has come due, or
+    /// `None`. Plain autoscalers never swap; an orchestrator such as
+    /// [`EvolvingScaler`] consults its [`SwapPlan`] here. The sim owns
+    /// the tracer, so announcing and performing a swap are split: the
+    /// sim wraps [`apply_swap`] in a span carrying this label.
+    ///
+    /// [`EvolvingScaler`]: crate::evolve::EvolvingScaler
+    /// [`SwapPlan`]: atlarge_evolve::SwapPlan
+    /// [`apply_swap`]: Autoscaler::apply_swap
+    fn swap_due(&mut self, _now: f64, _demand: f64) -> Option<String> {
+        None
+    }
+
+    /// Performs the swap announced by [`swap_due`](Autoscaler::swap_due):
+    /// capture → transform → resume into the successor. No-op by
+    /// default.
+    fn apply_swap(&mut self, _now: f64) {}
 }
 
 /// React: provision exactly the current demand.
@@ -297,6 +317,159 @@ impl Autoscaler for Token {
     }
 }
 
+// --- State capsules -----------------------------------------------------
+//
+// Every autoscaler is [`Evolvable`]: it captures its full state —
+// configuration *and* accumulated learning — into a versioned capsule
+// and resumes from one. A successor that resumes a capsule is a
+// continuation of its predecessor; that is what makes an identity swap
+// observationally free and a config-rewriting transform a live
+// evolution.
+
+impl Evolvable for React {
+    fn capsule_kind(&self) -> &'static str {
+        "autoscaler.react"
+    }
+
+    fn capture(&self, _now: f64) -> Capsule {
+        Capsule::new(self.capsule_kind(), 1)
+    }
+
+    fn resume(&mut self, capsule: &Capsule, _now: f64) -> Result<(), CapsuleError> {
+        capsule.expect_kind(self.capsule_kind())
+    }
+}
+
+impl Evolvable for Adapt {
+    fn capsule_kind(&self) -> &'static str {
+        "autoscaler.adapt"
+    }
+
+    fn capture(&self, _now: f64) -> Capsule {
+        Capsule::new(self.capsule_kind(), 1)
+            .with_u32("max_step", self.max_step)
+            .with_u32("cooldown", self.cooldown)
+            .with_u32("below", self.below)
+    }
+
+    fn resume(&mut self, capsule: &Capsule, _now: f64) -> Result<(), CapsuleError> {
+        capsule.expect_kind(self.capsule_kind())?;
+        self.max_step = capsule.u32_field("max_step")?;
+        self.cooldown = capsule.u32_field("cooldown")?;
+        self.below = capsule.u32_field("below")?;
+        Ok(())
+    }
+}
+
+impl Evolvable for Hist {
+    fn capsule_kind(&self) -> &'static str {
+        "autoscaler.hist"
+    }
+
+    fn capture(&self, _now: f64) -> Capsule {
+        Capsule::new(self.capsule_kind(), 1)
+            .with_f64("window", self.window)
+            .with_u64("buckets", self.buckets as u64)
+            .with_f64("percentile", self.percentile)
+            .with("history", Value::F64Table(self.history.clone()))
+    }
+
+    fn resume(&mut self, capsule: &Capsule, _now: f64) -> Result<(), CapsuleError> {
+        capsule.expect_kind(self.capsule_kind())?;
+        let window = capsule.f64_field("window")?;
+        let buckets = capsule.u64_field("buckets")? as usize;
+        let percentile = capsule.f64_field("percentile")?;
+        if window <= 0.0 || window.is_nan() || buckets == 0 || !(0.0..=100.0).contains(&percentile)
+        {
+            return Err(CapsuleError::BadValue(
+                "hist capsule has degenerate parameters".to_string(),
+            ));
+        }
+        let history = capsule.f64_table_field("history")?;
+        if history.len() != buckets {
+            return Err(CapsuleError::BadValue(format!(
+                "hist capsule history has {} rows for {buckets} buckets",
+                history.len()
+            )));
+        }
+        self.window = window;
+        self.buckets = buckets;
+        self.percentile = percentile;
+        self.history = history.to_vec();
+        Ok(())
+    }
+}
+
+impl Evolvable for Reg {
+    fn capsule_kind(&self) -> &'static str {
+        "autoscaler.reg"
+    }
+
+    fn capture(&self, _now: f64) -> Capsule {
+        Capsule::new(self.capsule_kind(), 1)
+            .with_f64("horizon", self.horizon)
+            .with_u64("samples", self.samples as u64)
+    }
+
+    fn resume(&mut self, capsule: &Capsule, _now: f64) -> Result<(), CapsuleError> {
+        capsule.expect_kind(self.capsule_kind())?;
+        self.horizon = capsule.f64_field("horizon")?;
+        self.samples = capsule.u64_field("samples")? as usize;
+        Ok(())
+    }
+}
+
+impl Evolvable for RecentPeak {
+    fn capsule_kind(&self) -> &'static str {
+        "autoscaler.peak"
+    }
+
+    fn capture(&self, _now: f64) -> Capsule {
+        Capsule::new(self.capsule_kind(), 1).with_u64("lookback", self.lookback as u64)
+    }
+
+    fn resume(&mut self, capsule: &Capsule, _now: f64) -> Result<(), CapsuleError> {
+        capsule.expect_kind(self.capsule_kind())?;
+        self.lookback = capsule.u64_field("lookback")? as usize;
+        Ok(())
+    }
+}
+
+impl Evolvable for Plan {
+    fn capsule_kind(&self) -> &'static str {
+        "autoscaler.plan"
+    }
+
+    fn capture(&self, _now: f64) -> Capsule {
+        Capsule::new(self.capsule_kind(), 1).with_f64("release_margin", self.release_margin)
+    }
+
+    fn resume(&mut self, capsule: &Capsule, _now: f64) -> Result<(), CapsuleError> {
+        capsule.expect_kind(self.capsule_kind())?;
+        self.release_margin = capsule.f64_field("release_margin")?;
+        Ok(())
+    }
+}
+
+impl Evolvable for Token {
+    fn capsule_kind(&self) -> &'static str {
+        "autoscaler.token"
+    }
+
+    fn capture(&self, _now: f64) -> Capsule {
+        Capsule::new(self.capsule_kind(), 1)
+            .with_f64("retain", self.retain)
+            .with_u32("previous", self.previous)
+    }
+
+    fn resume(&mut self, capsule: &Capsule, _now: f64) -> Result<(), CapsuleError> {
+        capsule.expect_kind(self.capsule_kind())?;
+        self.retain = capsule.f64_field("retain")?;
+        self.previous = capsule.u32_field("previous")?;
+        Ok(())
+    }
+}
+
 /// The full autoscaler roster of the experiments.
 pub fn roster() -> Vec<Box<dyn Autoscaler>> {
     vec![
@@ -386,6 +559,68 @@ mod tests {
         assert_eq!(t.decide(&view(0.0, 10.0, 0, &[])), 10);
         // Demand collapses; floor = 50% of previous target.
         assert_eq!(t.decide(&view(1.0, 0.0, 10, &[])), 5);
+    }
+
+    #[test]
+    fn capsules_round_trip_accumulated_state() {
+        // Drive stateful scalers into a non-default state, capture, and
+        // resume into a fresh default: the resumed scaler must equal the
+        // original (PartialEq covers private state).
+        let mut adapt = Adapt::default();
+        adapt.decide(&view(0.0, 0.0, 4, &[])); // below = 1
+        let mut adapt2 = Adapt {
+            max_step: 9,
+            ..Adapt::default()
+        };
+        adapt2.resume(&adapt.capture(10.0), 10.0).unwrap();
+        assert_eq!(adapt, adapt2);
+
+        let mut hist = Hist::new(100.0, 4, 90.0);
+        for i in 0..6 {
+            hist.decide(&view(i as f64 * 30.0, i as f64, 1, &[]));
+        }
+        let mut hist2 = Hist::default();
+        hist2.resume(&hist.capture(200.0), 200.0).unwrap();
+        assert_eq!(hist, hist2);
+
+        let mut token = Token::default();
+        token.decide(&view(0.0, 10.0, 0, &[])); // previous = 10
+        let mut token2 = Token::default();
+        token2.resume(&token.capture(5.0), 5.0).unwrap();
+        assert_eq!(token, token2);
+        // The resumed floor behaves like the original's.
+        assert_eq!(token2.decide(&view(6.0, 0.0, 10, &[])), 5);
+    }
+
+    #[test]
+    fn capsule_bytes_are_deterministic_and_decode() {
+        use atlarge_evolve::Capsule;
+        let mut hist = Hist::default();
+        hist.decide(&view(0.0, 3.0, 1, &[]));
+        let a = hist.capture(1.0).to_bytes();
+        let b = hist.capture(1.0).to_bytes();
+        assert_eq!(a, b, "capture must be deterministic");
+        let decoded = Capsule::from_bytes(&a).unwrap();
+        assert_eq!(decoded, hist.capture(1.0));
+    }
+
+    #[test]
+    fn resume_rejects_foreign_and_degenerate_capsules() {
+        let react_capsule = React.capture(0.0);
+        let mut token = Token::default();
+        assert!(token.resume(&react_capsule, 0.0).is_err());
+
+        let mut hist = Hist::default();
+        let mut broken = Hist::new(10.0, 2, 50.0).capture(0.0);
+        broken.set("buckets", atlarge_evolve::Value::U64(0));
+        assert!(hist.resume(&broken, 0.0).is_err());
+    }
+
+    #[test]
+    fn plain_autoscalers_never_announce_swaps() {
+        let mut r = React;
+        assert_eq!(r.swap_due(0.0, 100.0), None);
+        r.apply_swap(0.0); // no-op by default
     }
 
     #[test]

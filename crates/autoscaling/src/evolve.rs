@@ -1,0 +1,301 @@
+//! Live autoscaler evolution: retire the running policy mid-simulation
+//! and resume its successor from a state capsule.
+//!
+//! [`EvolvingScaler`] wraps any roster autoscaler and a
+//! [`SwapPlan`]; at every tick the sim polls
+//! [`Autoscaler::swap_due`] with the current demand, and when a trigger
+//! fires — a scheduled sim-time or a demand threshold (the flashcrowd
+//! peak) — the handoff runs under an `evolve.swap(from->to)` tracer
+//! span: capture the old scaler's capsule, apply the transform, resume
+//! the successor. The keystone property is the *identity swap*: swapping
+//! a scaler for itself must leave [`RunResult`]s and the kernel event
+//! stream byte-identical to never swapping.
+
+use crate::autoscaler::{Adapt, Autoscaler, Hist, Plan, React, RecentPeak, Reg, ScalerView, Token};
+use crate::sim::{run_keeping_scaler, AutoscaleConfig, RunResult};
+use atlarge_evolve::{
+    handoff, swap_span_label, CapsuleTransform, Evolvable, Identity, SwapPlan, SwapRecord, SwapSpec,
+};
+use atlarge_telemetry::recorder::Recorder;
+use atlarge_workload::workflow::Workflow;
+
+/// An autoscaler that can be live-swapped: decides targets *and*
+/// captures/resumes state capsules.
+pub trait EvolvableScaler: Autoscaler + Evolvable + std::fmt::Debug {}
+
+impl<T: Autoscaler + Evolvable + std::fmt::Debug> EvolvableScaler for T {}
+
+/// Builds a roster autoscaler by its campaign name.
+pub fn scaler_by_name(name: &str) -> Option<Box<dyn EvolvableScaler>> {
+    match name {
+        "react" => Some(Box::new(React)),
+        "adapt" => Some(Box::new(Adapt::default())),
+        "hist" => Some(Box::new(Hist::default())),
+        "reg" => Some(Box::new(Reg::default())),
+        "peak" => Some(Box::new(RecentPeak::default())),
+        "plan" => Some(Box::new(Plan::default())),
+        "token" => Some(Box::new(Token::default())),
+        _ => None,
+    }
+}
+
+/// The swap orchestrator: an [`Autoscaler`] that runs its current
+/// policy and executes a [`SwapPlan`] against it mid-simulation.
+#[derive(Debug)]
+pub struct EvolvingScaler {
+    current: Box<dyn EvolvableScaler>,
+    plan: SwapPlan,
+    transform: Box<dyn CapsuleTransform + Send>,
+    pending: Option<SwapSpec>,
+    log: Vec<SwapRecord>,
+}
+
+impl EvolvingScaler {
+    /// Wraps `initial` with a validated `plan` (every successor name
+    /// must resolve in the roster) and the identity transform.
+    pub fn new(initial: Box<dyn EvolvableScaler>, plan: SwapPlan) -> Result<Self, String> {
+        for spec in plan.specs() {
+            if scaler_by_name(&spec.to).is_none() {
+                return Err(format!("unknown autoscaler '{}' in swap plan", spec.to));
+            }
+        }
+        Ok(EvolvingScaler {
+            current: initial,
+            plan,
+            transform: Box::new(Identity),
+            pending: None,
+            log: Vec::new(),
+        })
+    }
+
+    /// [`new`](EvolvingScaler::new) with the initial scaler looked up by
+    /// name.
+    pub fn by_name(initial: &str, plan: SwapPlan) -> Result<Self, String> {
+        let scaler =
+            scaler_by_name(initial).ok_or_else(|| format!("unknown autoscaler '{initial}'"))?;
+        EvolvingScaler::new(scaler, plan)
+    }
+
+    /// Replaces the capsule transform applied between capture and
+    /// resume (default: identity).
+    pub fn with_transform(mut self, transform: Box<dyn CapsuleTransform + Send>) -> Self {
+        self.transform = transform;
+        self
+    }
+
+    /// The name of the policy currently deciding.
+    pub fn current_name(&self) -> &'static str {
+        self.current.name()
+    }
+
+    /// Every swap executed so far.
+    pub fn swap_log(&self) -> &[SwapRecord] {
+        &self.log
+    }
+}
+
+impl Autoscaler for EvolvingScaler {
+    fn name(&self) -> &'static str {
+        "evolving"
+    }
+
+    fn decide(&mut self, view: &ScalerView<'_>) -> u32 {
+        self.current.decide(view)
+    }
+
+    fn workflow_aware(&self) -> bool {
+        self.current.workflow_aware()
+    }
+
+    fn swap_due(&mut self, now: f64, demand: f64) -> Option<String> {
+        let spec = self.plan.due(now, demand)?;
+        let label = swap_span_label(self.current.name(), &spec.to);
+        self.pending = Some(spec);
+        Some(label)
+    }
+
+    fn apply_swap(&mut self, now: f64) {
+        let Some(spec) = self.pending.take() else {
+            return;
+        };
+        let mut successor = scaler_by_name(&spec.to).expect("plan validated at construction");
+        let h = handoff(
+            self.current.as_ref(),
+            successor.as_mut(),
+            self.transform.as_ref(),
+            now,
+        )
+        .expect("a capsule transform broke the capture/resume contract");
+        self.log.push(SwapRecord {
+            time: now,
+            from: self.current.name().to_string(),
+            to: successor.name().to_string(),
+            resumed: h.resumed,
+        });
+        self.current = successor;
+    }
+}
+
+/// Runs `workflows` under `initial` with `plan` executing live;
+/// returns the run result and the swap log. Attach a `recorder` to also
+/// trace the run (swaps appear as `evolve.swap(from->to)` spans).
+pub fn run_with_swaps(
+    workflows: Vec<Workflow>,
+    initial: &str,
+    plan: SwapPlan,
+    config: AutoscaleConfig,
+    seed: u64,
+    recorder: Option<&Recorder>,
+) -> Result<(RunResult, Vec<SwapRecord>), String> {
+    let scaler = EvolvingScaler::by_name(initial, plan)?;
+    let (result, scaler) = run_keeping_scaler(workflows, scaler, config, seed, recorder);
+    Ok((result, scaler.log))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::run;
+    use atlarge_telemetry::recorder::TraceKind;
+    use atlarge_workload::workflow::{generate, Shape};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn workflows(n: usize, gap: f64) -> Vec<Workflow> {
+        let mut rng = StdRng::seed_from_u64(1);
+        (0..n)
+            .map(|i| generate(&mut rng, Shape::ForkJoin(6), 30.0, 0.3, i as f64 * gap))
+            .collect()
+    }
+
+    /// The keystone claim: an identity swap (every roster scaler
+    /// replaced by itself mid-run) yields results equal to never
+    /// swapping.
+    #[test]
+    fn identity_swap_is_observationally_free_for_every_scaler() {
+        let cfg = AutoscaleConfig::default();
+        for name in ["react", "adapt", "hist", "reg", "peak", "plan", "token"] {
+            let baseline = {
+                let scaler = scaler_by_name(name).unwrap();
+                let evolving = EvolvingScaler::new(scaler, SwapPlan::none()).unwrap();
+                run(workflows(8, 30.0), evolving, cfg, 11)
+            };
+            let plan = SwapPlan::parse(&format!("{name}@150")).unwrap();
+            let (swapped, log) =
+                run_with_swaps(workflows(8, 30.0), name, plan, cfg, 11, None).unwrap();
+            assert_eq!(log.len(), 1, "{name}: swap must fire");
+            assert!(log[0].resumed, "{name}: same-kind swap must resume");
+            assert_eq!(baseline, swapped, "{name}: identity swap changed the run");
+        }
+    }
+
+    /// The no-plan wrapper itself is free: wrapping a scaler in
+    /// EvolvingScaler without a plan equals running it bare.
+    #[test]
+    fn wrapper_without_plan_equals_bare_scaler() {
+        let cfg = AutoscaleConfig::default();
+        let bare = run(workflows(8, 30.0), Token::default(), cfg, 5);
+        let wrapped = EvolvingScaler::by_name("token", SwapPlan::none()).unwrap();
+        let viaplan = run(workflows(8, 30.0), wrapped, cfg, 5);
+        assert_eq!(bare, viaplan);
+    }
+
+    /// Traced identity swap: besides equal outputs, the kernel event
+    /// stream (schedule/dispatch records) must be byte-identical — the
+    /// only trace difference is the swap's own span pair.
+    #[test]
+    fn identity_swap_leaves_the_event_stream_byte_identical() {
+        let cfg = AutoscaleConfig::default();
+        let base_rec = Recorder::new();
+        let baseline =
+            crate::sim::run_traced(workflows(8, 30.0), Adapt::default(), cfg, 11, &base_rec);
+        let swap_rec = Recorder::new();
+        let plan = SwapPlan::parse("adapt@150").unwrap();
+        let (swapped, log) =
+            run_with_swaps(workflows(8, 30.0), "adapt", plan, cfg, 11, Some(&swap_rec)).unwrap();
+        assert_eq!(log.len(), 1);
+        assert_eq!(baseline, swapped);
+
+        let strip = |rec: &Recorder| -> Vec<String> {
+            rec.trace()
+                .into_iter()
+                .filter(|r| !r.label.starts_with("evolve.swap("))
+                .map(|r| r.to_json())
+                .collect()
+        };
+        assert_eq!(strip(&base_rec), strip(&swap_rec));
+        // And the swap span itself is present, paired, and at swap time.
+        let spans: Vec<_> = swap_rec
+            .trace()
+            .into_iter()
+            .filter(|r| r.label == "evolve.swap(adapt->adapt)")
+            .collect();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].kind, TraceKind::SpanEnter);
+        assert_eq!(spans[1].kind, TraceKind::SpanExit);
+        assert_eq!(spans[0].time, log[0].time);
+    }
+
+    /// A/B: switching autoscalers at a demand peak actually changes the
+    /// run, carries no state across kinds, and logs the handoff.
+    #[test]
+    fn cross_kind_swap_at_demand_peak_changes_the_run() {
+        let cfg = AutoscaleConfig::default();
+        // Tight arrivals so demand builds past the threshold.
+        let baseline = run(workflows(12, 10.0), React, cfg, 7);
+        let plan = SwapPlan::parse("token@peak6").unwrap();
+        let (swapped, log) =
+            run_with_swaps(workflows(12, 10.0), "react", plan, cfg, 7, None).unwrap();
+        assert_eq!(log.len(), 1, "demand must exceed 6 at some tick");
+        assert_eq!(log[0].from, "react");
+        assert_eq!(log[0].to, "token");
+        assert!(!log[0].resumed, "react capsule cannot resume into token");
+        assert_eq!(
+            baseline.workflows.len(),
+            swapped.workflows.len(),
+            "swap must not lose workflows"
+        );
+        assert_ne!(
+            baseline.supply, swapped.supply,
+            "a different scaler after the peak must provision differently"
+        );
+    }
+
+    /// A transform rewriting a config field mid-flight: live evolution
+    /// of the same policy kind (Token keeps its floor state but adopts a
+    /// new retain fraction).
+    #[derive(Debug)]
+    struct RetainHalf;
+    impl CapsuleTransform for RetainHalf {
+        fn name(&self) -> &'static str {
+            "retain-half"
+        }
+        fn apply(&self, mut capsule: atlarge_evolve::Capsule) -> atlarge_evolve::Capsule {
+            capsule.set("retain", atlarge_evolve::Value::F64(0.9));
+            capsule
+        }
+    }
+
+    #[test]
+    fn transform_rewrites_config_during_the_swap() {
+        let cfg = AutoscaleConfig::default();
+        let scaler = EvolvingScaler::by_name("token", SwapPlan::parse("token@150").unwrap())
+            .unwrap()
+            .with_transform(Box::new(RetainHalf));
+        let (evolved, scaler) = run_keeping_scaler(workflows(12, 10.0), scaler, cfg, 7, None);
+        assert_eq!(scaler.log.len(), 1);
+        assert!(scaler.log[0].resumed);
+        let baseline = run(workflows(12, 10.0), Token::default(), cfg, 7);
+        assert_ne!(
+            baseline.supply, evolved.supply,
+            "a stickier retain fraction must change provisioning"
+        );
+    }
+
+    #[test]
+    fn unknown_names_are_rejected_up_front() {
+        assert!(EvolvingScaler::by_name("nope", SwapPlan::none()).is_err());
+        let plan = SwapPlan::parse("nope@10").unwrap();
+        assert!(EvolvingScaler::by_name("react", plan).is_err());
+    }
+}

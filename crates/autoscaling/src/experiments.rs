@@ -11,8 +11,10 @@
 
 use crate::autoscaler::{Adapt, Hist, Plan, React, RecentPeak, Reg, Token};
 use crate::cost::{BillingModel, DeadlineSla};
+use crate::evolve::{run_with_swaps, EvolvingScaler};
 use crate::metrics::ElasticityReport;
 use crate::sim::{run, AutoscaleConfig, RunResult};
+use atlarge_evolve::SwapPlan;
 use atlarge_exp::registry::{parse_param, run_replicated, CellOutput, CellScenario, ParamSpec};
 use atlarge_exp::{Campaign, CampaignResult, CancelToken, Scenario, SeedMode};
 use atlarge_stats::descriptive::Summary;
@@ -124,13 +126,16 @@ pub const ROSTER_SIZE: usize = 7;
 pub const ROSTER_NAMES: [&str; ROSTER_SIZE] =
     ["react", "adapt", "hist", "reg", "peak", "plan", "token"];
 
-/// One campaign cell's config: the workload/autoscaler pairing.
-#[derive(Debug, Clone, Copy)]
+/// One campaign cell's config: the workload/autoscaler pairing, plus an
+/// optional live-evolution swap plan executed against the scaler.
+#[derive(Debug, Clone)]
 pub struct AutoscaleSpec {
     /// Workload shape.
     pub workload: WorkflowWorkload,
     /// Index into the scaler roster.
     pub scaler_idx: usize,
+    /// Live swaps to execute mid-run (empty = never swap).
+    pub swap: SwapPlan,
 }
 
 /// The §6.7 campaign scenario: one autoscaler on one workload. Runs in
@@ -151,12 +156,26 @@ impl Scenario for AutoscaleScenario {
         let billing = BillingModel::PerSecond { rate: 0.5 };
         let sla = DeadlineSla::Hard { slack: 2.0 };
         let workflows = config.workload.generate(self.horizon, seed);
-        let (name, result) = run_scaler(
-            config.scaler_idx,
-            workflows,
-            AutoscaleConfig::default(),
-            seed,
-        );
+        let (name, result) = if config.swap.is_empty() {
+            run_scaler(
+                config.scaler_idx,
+                workflows,
+                AutoscaleConfig::default(),
+                seed,
+            )
+        } else {
+            let name = ROSTER_NAMES[config.scaler_idx];
+            let (result, _log) = run_with_swaps(
+                workflows,
+                name,
+                config.swap.clone(),
+                AutoscaleConfig::default(),
+                seed,
+                None,
+            )
+            .expect("swap plan validated before the campaign");
+            (name, result)
+        };
         let to = result.end_time.max(1.0);
         let cost = billing.cost(&result.supply, 0.0, to);
         let report = ElasticityReport::compute(
@@ -202,8 +221,61 @@ pub fn campaign_result(
             AutoscaleSpec {
                 workload,
                 scaler_idx,
+                swap: SwapPlan::none(),
             }
         })
+}
+
+/// The live-evolution A/B campaign: for every workload, the `initial`
+/// autoscaler running unchanged (`swap = none`) faces itself with
+/// `swap_spec` executing live — in common-random-numbers mode, so both
+/// arms of a replication see the identical workflow set and any outcome
+/// delta is caused by the swap alone.
+///
+/// `swap_spec` uses the [`SwapPlan::parse`] grammar, e.g.
+/// `"token@peak12"` (switch to Token when demand first exceeds 12) or
+/// `"hist@600+token@1800"`.
+pub fn ab_campaign_result(
+    horizon: f64,
+    seed: u64,
+    replications: usize,
+    initial: &str,
+    swap_spec: &str,
+) -> Result<CampaignResult<AutoscaleSpec, CampaignCell>, String> {
+    let scaler_idx = ROSTER_NAMES
+        .iter()
+        .position(|n| *n == initial)
+        .ok_or_else(|| format!("unknown autoscaler '{initial}'"))?;
+    let plan = SwapPlan::parse(swap_spec)?;
+    if plan.is_empty() {
+        return Err("the A/B campaign needs at least one swap in the plan".to_string());
+    }
+    // Validates every successor name before any cell runs.
+    EvolvingScaler::by_name(initial, plan.clone())?;
+    Ok(
+        Campaign::new("autoscaling.evolution", AutoscaleScenario { horizon })
+            .factor("workload", WorkflowWorkload::all().map(|w| w.name()))
+            .factor("swap", ["none".to_string(), plan.canonical()])
+            .replications(replications)
+            .root_seed(seed)
+            .seed_mode(SeedMode::CommonRandomNumbers)
+            .run(move |cell| {
+                let workload = WorkflowWorkload::all()
+                    .into_iter()
+                    .find(|w| w.name() == cell.level("workload"))
+                    .expect("grid levels come from WorkflowWorkload::all");
+                let swap = if cell.level("swap") == "none" {
+                    SwapPlan::none()
+                } else {
+                    plan.clone()
+                };
+                AutoscaleSpec {
+                    workload,
+                    scaler_idx,
+                    swap,
+                }
+            }),
+    )
 }
 
 /// Runs the full campaign at the given horizon. Returns one cell per
@@ -294,6 +366,11 @@ impl CellScenario for AutoscaleCell {
             ParamSpec::choice("workload", "workflow arrival/shape family", &workloads),
             ParamSpec::choice("scaler", "autoscaling policy", &ROSTER_NAMES),
             ParamSpec::optional("horizon", "simulated horizon in seconds", "4000"),
+            ParamSpec::optional(
+                "swap",
+                "live-evolution plan: none, or +-separated NAME@TIME / NAME@peakDEMAND swaps",
+                "none",
+            ),
         ]
     }
 
@@ -319,9 +396,22 @@ impl CellScenario for AutoscaleCell {
                 "parameter 'horizon': {horizon} outside 100..=1000000"
             ));
         }
+        let swap =
+            SwapPlan::parse(&params["swap"]).map_err(|e| format!("parameter 'swap': {e}"))?;
+        if !swap.is_empty() {
+            // Successor names must resolve before anything runs.
+            EvolvingScaler::by_name(&params["scaler"], swap.clone())
+                .map_err(|e| format!("parameter 'swap': {e}"))?;
+        }
+        let swap_note = if swap.is_empty() {
+            "none".to_string()
+        } else {
+            swap.canonical()
+        };
         let spec = AutoscaleSpec {
             workload,
             scaler_idx,
+            swap,
         };
         let runs = run_replicated(
             &AutoscaleScenario { horizon },
@@ -364,6 +454,7 @@ impl CellScenario for AutoscaleCell {
             notes: vec![
                 ("scaler".to_string(), runs[0].scaler.to_string()),
                 ("workload".to_string(), runs[0].workload.to_string()),
+                ("swap".to_string(), swap_note),
             ],
         })
     }
@@ -503,6 +594,123 @@ mod tests {
         assert!(a
             .notes
             .contains(&("scaler".to_string(), "token".to_string())));
+    }
+
+    #[test]
+    fn ab_campaign_identity_swap_arm_equals_none_arm() {
+        // The keystone at campaign level: swapping Adapt for itself
+        // mid-run leaves every cell's metrics equal to never swapping.
+        let r = ab_campaign_result(4_000.0, 13, 1, "adapt", "adapt@600").unwrap();
+        for wl in WorkflowWorkload::all() {
+            let arm = |swap: &str| -> &CampaignCell {
+                r.cells
+                    .iter()
+                    .find(|c| c.spec.level("workload") == wl.name() && c.spec.level("swap") == swap)
+                    .expect("grid covers both arms")
+                    .first()
+            };
+            assert_eq!(
+                arm("none"),
+                arm("adapt@600"),
+                "{}: identity swap changed the campaign cell",
+                wl.name()
+            );
+        }
+    }
+
+    #[test]
+    fn ab_campaign_cross_swap_moves_outcomes_on_a_shared_stream() {
+        let r = ab_campaign_result(4_000.0, 13, 1, "react", "token@600").unwrap();
+        let mut moved = 0;
+        for wl in WorkflowWorkload::all() {
+            let arm = |swap: &str| -> &CampaignCell {
+                r.cells
+                    .iter()
+                    .find(|c| c.spec.level("workload") == wl.name() && c.spec.level("swap") == swap)
+                    .expect("grid covers both arms")
+                    .first()
+            };
+            let (a, b) = (arm("none"), arm("token@600"));
+            // CRN: both arms complete the same workflow set...
+            assert_eq!(a.completed, b.completed, "{}", wl.name());
+            // ...but a different scaler after the swap moves the metrics.
+            if a.report != b.report {
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "the A/B swap never changed any workload");
+    }
+
+    #[test]
+    fn ab_campaign_rejects_bad_plans() {
+        assert!(ab_campaign_result(4_000.0, 1, 1, "nope", "token@5").is_err());
+        assert!(ab_campaign_result(4_000.0, 1, 1, "react", "nope@5").is_err());
+        assert!(ab_campaign_result(4_000.0, 1, 1, "react", "none").is_err());
+    }
+
+    #[test]
+    fn serve_cell_accepts_and_canonicalizes_swap_plans() {
+        let tracer = atlarge_telemetry::NullTracer;
+        let mut reg = atlarge_exp::Registry::new();
+        reg.register(Box::new(AutoscaleCell));
+        let raw = BTreeMap::from([
+            ("workload".to_string(), "bursty".to_string()),
+            ("scaler".to_string(), "react".to_string()),
+            ("horizon".to_string(), "2000".to_string()),
+            ("swap".to_string(), "token@600.0".to_string()),
+        ]);
+        let params = reg.validate("autoscaling", &raw).expect("valid query");
+        let out = AutoscaleCell
+            .run_cell(&params, 41, 1, &CancelToken::new(), &tracer)
+            .expect("runs clean");
+        assert!(
+            out.notes
+                .contains(&("swap".to_string(), "token@600".to_string())),
+            "notes must carry the canonical plan: {:?}",
+            out.notes
+        );
+
+        // Default is "none" and identity-swaps equal never-swapping.
+        let base = reg
+            .validate(
+                "autoscaling",
+                &BTreeMap::from([
+                    ("workload".to_string(), "bursty".to_string()),
+                    ("scaler".to_string(), "react".to_string()),
+                    ("horizon".to_string(), "2000".to_string()),
+                ]),
+            )
+            .expect("valid query");
+        assert_eq!(base["swap"], "none");
+        let plain = AutoscaleCell
+            .run_cell(&base, 41, 1, &CancelToken::new(), &tracer)
+            .unwrap();
+        let mut idem = base.clone();
+        idem.insert("swap".to_string(), "react@600".to_string());
+        let idswap = AutoscaleCell
+            .run_cell(&idem, 41, 1, &CancelToken::new(), &tracer)
+            .unwrap();
+        for ((ka, sa), (kb, sb)) in plain.metrics.iter().zip(&idswap.metrics) {
+            assert_eq!(ka, kb);
+            assert_eq!(sa.mean(), sb.mean(), "identity swap moved metric {ka}");
+        }
+    }
+
+    #[test]
+    fn serve_cell_rejects_malformed_swap_plans() {
+        let tracer = atlarge_telemetry::NullTracer;
+        let mut reg = atlarge_exp::Registry::new();
+        reg.register(Box::new(AutoscaleCell));
+        let mut params = reg
+            .validate("autoscaling", &BTreeMap::new())
+            .expect("defaults");
+        for bad in ["token", "token@", "@5", "nope@5", "token@peak"] {
+            params.insert("swap".to_string(), bad.to_string());
+            let err = AutoscaleCell
+                .run_cell(&params, 1, 1, &CancelToken::new(), &tracer)
+                .unwrap_err();
+            assert!(err.contains("swap"), "{bad}: {err}");
+        }
     }
 
     #[test]

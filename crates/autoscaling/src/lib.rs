@@ -19,6 +19,9 @@
 //! - [`corroboration`] — \[128\]'s *independent corroboration*: a second,
 //!   structurally different implementation of the elasticity metrics,
 //!   cross-checked against the exact one.
+//! - [`evolve`] — live policy evolution: every roster autoscaler
+//!   captures/resumes a versioned state capsule, and [`evolve::EvolvingScaler`]
+//!   retires one and rebinds its successor mid-simulation.
 //!
 //! # Examples
 //!
@@ -39,6 +42,7 @@
 pub mod autoscaler;
 pub mod corroboration;
 pub mod cost;
+pub mod evolve;
 pub mod experiments;
 pub mod metrics;
 pub mod sim;

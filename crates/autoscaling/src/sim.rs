@@ -239,6 +239,15 @@ impl<A: Autoscaler> Model for ScaleModel<A> {
                 if self.demand_history.len() > 512 {
                     self.demand_history.drain(..256);
                 }
+                // Live evolution point: an orchestrating scaler may retire
+                // its current policy here and resume the successor from a
+                // state capsule. The sim owns the tracer, so the handoff
+                // runs under a span naming both sides.
+                if let Some(label) = self.scaler.swap_due(ctx.now(), d) {
+                    ctx.span_enter(&label);
+                    self.scaler.apply_swap(ctx.now());
+                    ctx.span_exit(&label);
+                }
                 // The autoscaler consultation is the interesting region of
                 // a tick: span it so traced runs profile decision cost.
                 ctx.span_enter("autoscaler.decide");
@@ -291,7 +300,25 @@ pub fn run<A: Autoscaler>(
     config: AutoscaleConfig,
     seed: u64,
 ) -> RunResult {
-    run_impl(workflows, scaler, config, seed, None)
+    run_impl(workflows, scaler, config, seed, None).0
+}
+
+/// Like [`run`] (or [`run_traced`] when `recorder` is given), but hands
+/// the scaler back with the result, so callers can inspect state the
+/// scaler accumulated during the run — e.g. the swap log of an
+/// [`EvolvingScaler`](crate::evolve::EvolvingScaler).
+pub fn run_keeping_scaler<A: Autoscaler>(
+    workflows: Vec<Workflow>,
+    scaler: A,
+    config: AutoscaleConfig,
+    seed: u64,
+    recorder: Option<&Recorder>,
+) -> (RunResult, A) {
+    if let Some(rec) = recorder {
+        rec.set_run_info("autoscaling.workflows", seed, config_digest(&config));
+        rec.gauge_set("scale.supply", 0.0, f64::from(config.initial_supply));
+    }
+    run_impl(workflows, scaler, config, seed, recorder.cloned())
 }
 
 /// Runs one autoscaling experiment with `recorder` attached as tracer and
@@ -310,7 +337,7 @@ pub fn run_traced<A: Autoscaler>(
     // Mirror the supply series' initial level so the gauge is defined from
     // time zero even if supply never changes.
     recorder.gauge_set("scale.supply", 0.0, f64::from(config.initial_supply));
-    run_impl(workflows, scaler, config, seed, Some(recorder.clone()))
+    run_impl(workflows, scaler, config, seed, Some(recorder.clone())).0
 }
 
 fn run_impl<A: Autoscaler>(
@@ -319,7 +346,7 @@ fn run_impl<A: Autoscaler>(
     config: AutoscaleConfig,
     seed: u64,
     recorder: Option<Recorder>,
-) -> RunResult {
+) -> (RunResult, A) {
     assert!(!workflows.is_empty(), "need workflows to scale for");
     let n = workflows.len();
     let submits: Vec<f64> = workflows.iter().map(|w| w.submit).collect();
@@ -359,13 +386,16 @@ fn run_impl<A: Autoscaler>(
     sim.schedule(0.0, Ev::Tick);
     sim.run();
     let m = sim.into_model();
-    RunResult {
-        demand: m.demand_series,
-        supply: m.supply_series,
-        task_waits: m.task_waits,
-        workflows: m.done,
-        end_time: m.end_time,
-    }
+    (
+        RunResult {
+            demand: m.demand_series,
+            supply: m.supply_series,
+            task_waits: m.task_waits,
+            workflows: m.done,
+            end_time: m.end_time,
+        },
+        m.scaler,
+    )
 }
 
 #[cfg(test)]

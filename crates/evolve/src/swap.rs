@@ -1,0 +1,376 @@
+//! Swap orchestration: when to retire a live policy, and how to hand
+//! its state to the successor.
+//!
+//! A [`SwapPlan`] is an ordered sequence of [`SwapSpec`]s, each naming a
+//! successor and a [`SwapTrigger`] — a scheduled simulated time or a
+//! metric threshold (e.g. the flashcrowd peak). Plans parse from and
+//! render to a compact canonical spelling, so a swap schedule can travel
+//! as a campaign factor level or a `serve` query parameter and take part
+//! in cache fingerprints.
+
+use crate::capsule::{Capsule, CapsuleError};
+use crate::Evolvable;
+
+/// When a swap fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SwapTrigger {
+    /// At the first decision point at or after this simulated time.
+    AtTime(f64),
+    /// At the first decision point where the surface's swap metric
+    /// (demand for autoscaling, queue length for scheduling, leechers
+    /// for a swarm) exceeds this threshold.
+    OnMetricAbove(f64),
+}
+
+/// One planned swap: the successor's name and its trigger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwapSpec {
+    /// Successor component name, resolved by the owning surface's
+    /// roster.
+    pub to: String,
+    /// When to fire.
+    pub trigger: SwapTrigger,
+}
+
+impl SwapSpec {
+    /// Canonical spelling: `name@TIME` or `name@peakTHRESHOLD`.
+    pub fn canonical(&self) -> String {
+        match self.trigger {
+            SwapTrigger::AtTime(t) => format!("{}@{}", self.to, fmt_num(t)),
+            SwapTrigger::OnMetricAbove(m) => format!("{}@peak{}", self.to, fmt_num(m)),
+        }
+    }
+}
+
+/// Deterministic shortest spelling of a non-negative finite number:
+/// integers render without a fractional part.
+fn fmt_num(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+/// An ordered swap schedule. Specs fire strictly in sequence: the second
+/// spec is not even evaluated until the first has fired.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SwapPlan {
+    specs: Vec<SwapSpec>,
+    next: usize,
+}
+
+impl SwapPlan {
+    /// A plan over explicit specs.
+    pub fn new(specs: Vec<SwapSpec>) -> Self {
+        SwapPlan { specs, next: 0 }
+    }
+
+    /// The empty plan (never swaps).
+    pub fn none() -> Self {
+        SwapPlan::default()
+    }
+
+    /// Parses a compact plan spelling: `"none"` (or empty) for no swaps,
+    /// otherwise `+`-separated specs of the form `name@TIME` or
+    /// `name@peakTHRESHOLD`:
+    ///
+    /// ```
+    /// use atlarge_evolve::SwapPlan;
+    /// let plan = SwapPlan::parse("token@1200+adapt@peak12").unwrap();
+    /// assert_eq!(plan.canonical(), "token@1200+adapt@peak12");
+    /// assert!(SwapPlan::parse("none").unwrap().is_empty());
+    /// assert!(SwapPlan::parse("token@soon").is_err());
+    /// ```
+    pub fn parse(s: &str) -> Result<SwapPlan, String> {
+        let s = s.trim();
+        if s.is_empty() || s == "none" {
+            return Ok(SwapPlan::none());
+        }
+        let mut specs = Vec::new();
+        for part in s.split('+') {
+            let (to, when) = part
+                .split_once('@')
+                .ok_or_else(|| format!("swap spec '{part}' needs name@trigger"))?;
+            if to.is_empty() {
+                return Err(format!("swap spec '{part}' has an empty successor name"));
+            }
+            let trigger = if let Some(th) = when.strip_prefix("peak") {
+                SwapTrigger::OnMetricAbove(parse_num(th, part)?)
+            } else {
+                SwapTrigger::AtTime(parse_num(when, part)?)
+            };
+            specs.push(SwapSpec {
+                to: to.to_string(),
+                trigger,
+            });
+        }
+        Ok(SwapPlan::new(specs))
+    }
+
+    /// Canonical spelling of the whole plan (`"none"` when empty).
+    /// Parsing the canonical form reproduces the plan, so equivalent
+    /// spellings (`"token@1200.0"`, `"token@1200"`) share one canonical
+    /// key.
+    pub fn canonical(&self) -> String {
+        if self.specs.is_empty() {
+            return "none".to_string();
+        }
+        let parts: Vec<String> = self.specs.iter().map(SwapSpec::canonical).collect();
+        parts.join("+")
+    }
+
+    /// Whether the plan holds no specs at all.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// All specs, fired or not (for validating successor names up
+    /// front).
+    pub fn specs(&self) -> &[SwapSpec] {
+        &self.specs
+    }
+
+    /// Swaps still pending.
+    pub fn remaining(&self) -> usize {
+        self.specs.len() - self.next
+    }
+
+    /// Polls the next pending spec against the current simulated time
+    /// and swap metric; returns (and consumes) it when its trigger has
+    /// fired.
+    pub fn due(&mut self, now: f64, metric: f64) -> Option<SwapSpec> {
+        let spec = self.specs.get(self.next)?;
+        let fired = match spec.trigger {
+            SwapTrigger::AtTime(t) => now >= t,
+            SwapTrigger::OnMetricAbove(m) => metric > m,
+        };
+        if fired {
+            self.next += 1;
+            Some(spec.clone())
+        } else {
+            None
+        }
+    }
+}
+
+fn parse_num(s: &str, part: &str) -> Result<f64, String> {
+    let v: f64 = s
+        .parse()
+        .map_err(|_| format!("swap spec '{part}': '{s}' is not a number"))?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(format!(
+            "swap spec '{part}': trigger must be finite and >= 0"
+        ));
+    }
+    Ok(v)
+}
+
+/// One executed swap, as surfaces log it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwapRecord {
+    /// Simulated time (or step index) the swap happened at.
+    pub time: f64,
+    /// Retired component's name.
+    pub from: String,
+    /// Successor's name.
+    pub to: String,
+    /// Whether the successor resumed the predecessor's capsule (kinds
+    /// matched) or started fresh.
+    pub resumed: bool,
+}
+
+/// The tracer span label of a swap, e.g. `evolve.swap(react->token)` —
+/// every live swap is recorded as a causal span under this label.
+pub fn swap_span_label(from: &str, to: &str) -> String {
+    format!("evolve.swap({from}->{to})")
+}
+
+/// A pure rewrite applied to a capsule between capture and resume — the
+/// point where evolution happens (config rewrites, schema migrations).
+/// Implementations must be deterministic: the swap sits inside simulated
+/// runs whose outputs are compared byte-for-byte.
+pub trait CapsuleTransform: std::fmt::Debug {
+    /// Display name (for logs).
+    fn name(&self) -> &'static str;
+
+    /// Rewrites the captured capsule before the successor resumes it.
+    fn apply(&self, capsule: Capsule) -> Capsule;
+}
+
+/// The identity transform: the successor resumes exactly what the
+/// predecessor captured.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Identity;
+
+impl CapsuleTransform for Identity {
+    fn name(&self) -> &'static str {
+        "identity"
+    }
+
+    fn apply(&self, capsule: Capsule) -> Capsule {
+        capsule
+    }
+}
+
+/// The result of a [`handoff`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Handoff {
+    /// The (transformed) capsule that travelled.
+    pub capsule: Capsule,
+    /// Whether the successor resumed it (capsule kind matched) or
+    /// started fresh (cross-kind swap).
+    pub resumed: bool,
+}
+
+/// Captures `old`'s state, applies `transform`, and resumes the capsule
+/// into `successor` when the capsule kind matches the successor's —
+/// otherwise the successor keeps its fresh state (cross-kind swaps adopt
+/// nothing; partial adoption would be ambiguous).
+pub fn handoff<T: Evolvable + ?Sized>(
+    old: &T,
+    successor: &mut T,
+    transform: &dyn CapsuleTransform,
+    now: f64,
+) -> Result<Handoff, CapsuleError> {
+    let capsule = transform.apply(old.capture(now));
+    let resumed = capsule.kind == successor.capsule_kind();
+    if resumed {
+        successor.resume(&capsule, now)?;
+    }
+    Ok(Handoff { capsule, resumed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capsule::Value;
+
+    #[test]
+    fn parses_and_cononicalizes_time_and_peak_triggers() {
+        let plan = SwapPlan::parse("token@1200.0+adapt@peak12.5").unwrap();
+        assert_eq!(plan.specs().len(), 2);
+        assert_eq!(plan.specs()[0].trigger, SwapTrigger::AtTime(1200.0),);
+        assert_eq!(plan.specs()[1].trigger, SwapTrigger::OnMetricAbove(12.5),);
+        assert_eq!(plan.canonical(), "token@1200+adapt@peak12.5");
+        // The canonical form is a fixed point of parse → canonical.
+        let re = SwapPlan::parse(&plan.canonical()).unwrap();
+        assert_eq!(re.canonical(), plan.canonical());
+    }
+
+    #[test]
+    fn none_and_empty_parse_to_the_empty_plan() {
+        for s in ["", "none", "  none  "] {
+            let p = SwapPlan::parse(s).unwrap();
+            assert!(p.is_empty());
+            assert_eq!(p.canonical(), "none");
+        }
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for bad in ["token", "@12", "token@", "token@soon", "a@-5", "a@peakNaN"] {
+            assert!(SwapPlan::parse(bad).is_err(), "'{bad}' should not parse");
+        }
+    }
+
+    #[test]
+    fn specs_fire_strictly_in_sequence() {
+        let mut plan = SwapPlan::parse("a@100+b@peak5").unwrap();
+        // The peak trigger is not consulted while the time trigger is
+        // still pending, even if the metric is already above threshold.
+        assert_eq!(plan.due(0.0, 50.0), None);
+        assert_eq!(plan.due(100.0, 0.0).unwrap().to, "a");
+        assert_eq!(plan.due(200.0, 5.0), None, "strictly above, not at");
+        assert_eq!(plan.due(300.0, 5.1).unwrap().to, "b");
+        assert_eq!(plan.remaining(), 0);
+        assert_eq!(plan.due(1e9, 1e9), None);
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Counter {
+        count: u64,
+        kind: &'static str,
+    }
+
+    impl Evolvable for Counter {
+        fn capsule_kind(&self) -> &'static str {
+            self.kind
+        }
+        fn capture(&self, _now: f64) -> Capsule {
+            Capsule::new(self.kind, 1).with_u64("count", self.count)
+        }
+        fn resume(&mut self, capsule: &Capsule, _now: f64) -> Result<(), CapsuleError> {
+            capsule.expect_kind(self.kind)?;
+            self.count = capsule.u64_field("count")?;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn same_kind_handoff_resumes_state() {
+        let old = Counter {
+            count: 9,
+            kind: "c.a",
+        };
+        let mut new = Counter {
+            count: 0,
+            kind: "c.a",
+        };
+        let h = handoff(&old, &mut new, &Identity, 1.0).unwrap();
+        assert!(h.resumed);
+        assert_eq!(new.count, 9);
+        assert_eq!(h.capsule.u64_field("count"), Ok(9));
+    }
+
+    #[test]
+    fn cross_kind_handoff_starts_fresh() {
+        let old = Counter {
+            count: 9,
+            kind: "c.a",
+        };
+        let mut new = Counter {
+            count: 0,
+            kind: "c.b",
+        };
+        let h = handoff(&old, &mut new, &Identity, 1.0).unwrap();
+        assert!(!h.resumed);
+        assert_eq!(new.count, 0, "cross-kind successors adopt nothing");
+    }
+
+    #[derive(Debug)]
+    struct Halve;
+    impl CapsuleTransform for Halve {
+        fn name(&self) -> &'static str {
+            "halve"
+        }
+        fn apply(&self, mut capsule: Capsule) -> Capsule {
+            let c = capsule.u64_field("count").unwrap_or(0);
+            capsule.set("count", Value::U64(c / 2));
+            capsule
+        }
+    }
+
+    #[test]
+    fn transform_rewrites_the_travelling_capsule() {
+        let old = Counter {
+            count: 8,
+            kind: "c.a",
+        };
+        let mut new = Counter {
+            count: 0,
+            kind: "c.a",
+        };
+        let h = handoff(&old, &mut new, &Halve, 1.0).unwrap();
+        assert!(h.resumed);
+        assert_eq!(new.count, 4);
+    }
+
+    #[test]
+    fn span_label_names_both_sides() {
+        assert_eq!(
+            swap_span_label("react", "token"),
+            "evolve.swap(react->token)"
+        );
+    }
+}

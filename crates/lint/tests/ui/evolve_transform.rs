@@ -1,0 +1,19 @@
+//@ path: crates/evolve/src/transform_fixture.rs
+// ui fixture: a capsule transform must be deterministic — the same
+// retiring capsule must hand every successor the same bytes, so no
+// ambient entropy, no hashed field order, no host clock.
+
+use std::collections::HashMap;
+
+pub fn violate(fields: Vec<(String, f64)>) -> Vec<(String, f64)> {
+    let mut jittered = HashMap::new();
+    for (name, value) in fields {
+        jittered.insert(name, value + rand::thread_rng().gen::<f64>());
+    }
+    let _elapsed = Instant::now();
+    jittered.into_iter().collect()
+}
+
+pub fn deterministic(fields: &mut [(String, f64)]) {
+    fields.sort_by(|a, b| a.0.cmp(&b.0));
+}

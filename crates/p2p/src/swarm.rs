@@ -10,6 +10,9 @@
 //! bandwidth limits, seed-ratio effects — without per-packet detail.
 
 use atlarge_des::sim::{Ctx, Model, Simulation};
+use atlarge_evolve::{
+    handoff, swap_span_label, Capsule, CapsuleError, Evolvable, Identity, SwapPlan, SwapRecord,
+};
 use atlarge_stats::dist::{Exponential, Sample};
 use atlarge_telemetry::manifest::config_digest;
 use atlarge_telemetry::recorder::Recorder;
@@ -73,6 +76,89 @@ impl Default for SwarmConfig {
             recalc_interval: 10.0,
             optimistic_floor: 0.1,
         }
+    }
+}
+
+/// How the swarm's aggregate upload is divided among leechers at each
+/// recalculation: the p2p piece-selection surface of live evolution.
+///
+/// Policies are [`Evolvable`], so [`run_swarm_evolving`] can retire one
+/// and rebind its successor mid-swarm (e.g. switch to egalitarian
+/// sharing when a flashcrowd peaks).
+pub trait SharingPolicy: Evolvable + std::fmt::Debug + Send {
+    /// Short display name (also the swap-plan key).
+    fn name(&self) -> &'static str;
+
+    /// Allocation weight of a leecher whose upload capacity is
+    /// `peer_up`, under `config`.
+    fn weight(&self, peer_up: f64, config: &SwarmConfig) -> f64;
+}
+
+/// BitTorrent's default: a peer's share grows with its own upload
+/// contribution, plus the optimistic-unchoke floor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TitForTat;
+
+impl SharingPolicy for TitForTat {
+    fn name(&self) -> &'static str {
+        "tit-for-tat"
+    }
+
+    fn weight(&self, peer_up: f64, config: &SwarmConfig) -> f64 {
+        peer_up + config.optimistic_floor * config.bandwidth.up
+    }
+}
+
+impl Evolvable for TitForTat {
+    fn capsule_kind(&self) -> &'static str {
+        "p2p.sharing.tit-for-tat"
+    }
+
+    fn capture(&self, _now: f64) -> Capsule {
+        Capsule::new(self.capsule_kind(), self.capsule_version())
+    }
+
+    fn resume(&mut self, capsule: &Capsule, _now: f64) -> Result<(), CapsuleError> {
+        capsule.expect_kind(self.capsule_kind())
+    }
+}
+
+/// Egalitarian sharing: every leecher weighs the same regardless of its
+/// contribution (pure optimistic unchoke) — kind to asymmetric links,
+/// vulnerable to free-riding.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Egalitarian;
+
+impl SharingPolicy for Egalitarian {
+    fn name(&self) -> &'static str {
+        "egalitarian"
+    }
+
+    fn weight(&self, _peer_up: f64, _config: &SwarmConfig) -> f64 {
+        1.0
+    }
+}
+
+impl Evolvable for Egalitarian {
+    fn capsule_kind(&self) -> &'static str {
+        "p2p.sharing.egalitarian"
+    }
+
+    fn capture(&self, _now: f64) -> Capsule {
+        Capsule::new(self.capsule_kind(), self.capsule_version())
+    }
+
+    fn resume(&mut self, capsule: &Capsule, _now: f64) -> Result<(), CapsuleError> {
+        capsule.expect_kind(self.capsule_kind())
+    }
+}
+
+/// Builds a sharing policy by its swap-plan name.
+pub fn sharing_by_name(name: &str) -> Option<Box<dyn SharingPolicy>> {
+    match name {
+        "tit-for-tat" => Some(Box::new(TitForTat)),
+        "egalitarian" => Some(Box::new(Egalitarian)),
+        _ => None,
     }
 }
 
@@ -146,6 +232,9 @@ struct SwarmModel {
     size_samples: Vec<(f64, usize, usize)>,
     joined: usize,
     horizon: f64,
+    sharing: Box<dyn SharingPolicy>,
+    swap_plan: SwapPlan,
+    swap_log: Vec<SwapRecord>,
     recorder: Option<Recorder>,
 }
 
@@ -183,13 +272,13 @@ impl SwarmModel {
         if leecher_ids.is_empty() {
             return Vec::new();
         }
-        // Tit-for-tat weights: own upload contribution plus the
-        // optimistic-unchoke floor.
+        // Sharing-policy weights (tit-for-tat by default: own upload
+        // contribution plus the optimistic-unchoke floor).
         let weights: Vec<f64> = leecher_ids
             .iter()
             .map(|id| {
                 let p = &self.peers[id];
-                p.bw.up + self.config.optimistic_floor * self.config.bandwidth.up
+                self.sharing.weight(p.bw.up, &self.config)
             })
             .collect();
         let weight_sum: f64 = weights.iter().sum();
@@ -230,6 +319,27 @@ impl Model for SwarmModel {
                 }
             }
             Ev::Recalc => {
+                if let Some(spec) = self.swap_plan.due(ctx.now(), self.leechers() as f64) {
+                    let label = swap_span_label(self.sharing.name(), &spec.to);
+                    ctx.span_enter(&label);
+                    let mut successor =
+                        sharing_by_name(&spec.to).expect("plan validated at construction");
+                    let h = handoff(
+                        self.sharing.as_ref(),
+                        successor.as_mut(),
+                        &Identity,
+                        ctx.now(),
+                    )
+                    .expect("sharing capsules are kind-only");
+                    self.swap_log.push(SwapRecord {
+                        time: ctx.now(),
+                        from: self.sharing.name().to_string(),
+                        to: successor.name().to_string(),
+                        resumed: h.resumed,
+                    });
+                    self.sharing = successor;
+                    ctx.span_exit(&label);
+                }
                 let done = self.advance(ctx.now());
                 self.complete(done, ctx);
                 self.size_samples
@@ -271,7 +381,43 @@ impl SwarmModel {
 /// Runs a swarm with peers joining at the given times, all with the
 /// configured bandwidth, until `horizon`.
 pub fn run_swarm(config: SwarmConfig, join_times: &[f64], horizon: f64, seed: u64) -> SwarmResult {
-    run_swarm_impl(config, join_times, horizon, seed, None)
+    run_swarm_impl(config, join_times, horizon, seed, SwapPlan::none(), None).0
+}
+
+/// [`run_swarm`] with live sharing-policy evolution: peers join with
+/// their own access links, the swarm starts under `initial`, and `plan`
+/// executes against it (trigger metric: leecher count at each
+/// recalculation — a flashcrowd peak). Returns the result and the swap
+/// log; attach a `recorder` to see swaps as `evolve.swap(from->to)`
+/// spans.
+pub fn run_swarm_evolving(
+    config: SwarmConfig,
+    joins: &[(f64, Bandwidth)],
+    horizon: f64,
+    seed: u64,
+    initial: &str,
+    plan: SwapPlan,
+    recorder: Option<&Recorder>,
+) -> Result<(SwarmResult, Vec<SwapRecord>), String> {
+    let sharing =
+        sharing_by_name(initial).ok_or_else(|| format!("unknown sharing policy '{initial}'"))?;
+    for spec in plan.specs() {
+        if sharing_by_name(&spec.to).is_none() {
+            return Err(format!("unknown sharing policy '{}' in swap plan", spec.to));
+        }
+    }
+    if let Some(rec) = recorder {
+        rec.set_run_info("p2p.swarm", seed, config_digest(&config));
+    }
+    Ok(run_swarm_with(
+        config,
+        joins,
+        horizon,
+        seed,
+        sharing,
+        plan,
+        recorder.cloned(),
+    ))
 }
 
 /// [`run_swarm`] with a telemetry recorder attached: kernel events are
@@ -287,7 +433,15 @@ pub fn run_swarm_traced(
     recorder: &Recorder,
 ) -> SwarmResult {
     recorder.set_run_info("p2p.swarm", seed, config_digest(&config));
-    run_swarm_impl(config, join_times, horizon, seed, Some(recorder.clone()))
+    run_swarm_impl(
+        config,
+        join_times,
+        horizon,
+        seed,
+        SwapPlan::none(),
+        Some(recorder.clone()),
+    )
+    .0
 }
 
 fn run_swarm_impl(
@@ -295,8 +449,30 @@ fn run_swarm_impl(
     join_times: &[f64],
     horizon: f64,
     seed: u64,
+    plan: SwapPlan,
     recorder: Option<Recorder>,
-) -> SwarmResult {
+) -> (SwarmResult, Vec<SwapRecord>) {
+    let joins: Vec<(f64, Bandwidth)> = join_times.iter().map(|&t| (t, config.bandwidth)).collect();
+    run_swarm_with(
+        config,
+        &joins,
+        horizon,
+        seed,
+        Box::new(TitForTat),
+        plan,
+        recorder,
+    )
+}
+
+fn run_swarm_with(
+    config: SwarmConfig,
+    joins: &[(f64, Bandwidth)],
+    horizon: f64,
+    seed: u64,
+    sharing: Box<dyn SharingPolicy>,
+    plan: SwapPlan,
+    recorder: Option<Recorder>,
+) -> (SwarmResult, Vec<SwapRecord>) {
     let model = SwarmModel {
         config,
         peers: BTreeMap::new(),
@@ -305,32 +481,32 @@ fn run_swarm_impl(
         size_samples: Vec::new(),
         joined: 0,
         horizon,
+        sharing,
+        swap_plan: plan,
+        swap_log: Vec::new(),
         recorder: recorder.clone(),
     };
     // Every join is scheduled up front; pre-size the event queue so the
     // fill phase never reallocates.
-    let mut sim = Simulation::with_capacity(model, seed, join_times.len() + 2);
+    let mut sim = Simulation::with_capacity(model, seed, joins.len() + 2);
     if let Some(rec) = recorder {
         sim = sim.with_tracer(rec);
     }
-    for (i, &t) in join_times.iter().enumerate() {
-        sim.schedule(
-            t,
-            Ev::Join {
-                peer: i as u64,
-                bw: config.bandwidth,
-            },
-        );
+    for (i, &(t, bw)) in joins.iter().enumerate() {
+        sim.schedule(t, Ev::Join { peer: i as u64, bw });
     }
     sim.schedule(0.0, Ev::Recalc);
     sim.schedule(horizon, Ev::End);
     sim.run();
     let m = sim.into_model();
-    SwarmResult {
-        downloads: m.downloads,
-        size_samples: m.size_samples,
-        joined: m.joined,
-    }
+    (
+        SwarmResult {
+            downloads: m.downloads,
+            size_samples: m.size_samples,
+            joined: m.joined,
+        },
+        m.swap_log,
+    )
 }
 
 #[cfg(test)]
@@ -430,5 +606,180 @@ mod tests {
         assert_eq!(m.model, "p2p.swarm");
         assert_eq!(m.seed, 7);
         assert!(m.events_dispatched > 0);
+    }
+
+    fn mixed_joins(n: usize, gap: f64) -> Vec<(f64, Bandwidth)> {
+        (0..n)
+            .map(|i| {
+                let bw = if i % 2 == 0 {
+                    Bandwidth::adsl(100e3, 8.0)
+                } else {
+                    Bandwidth::symmetric(400e3)
+                };
+                (i as f64 * gap, bw)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identity_swap_is_observationally_free() {
+        let joins = mixed_joins(10, 5.0);
+        let baseline = run_swarm_evolving(
+            small_config(),
+            &joins,
+            50_000.0,
+            7,
+            "tit-for-tat",
+            SwapPlan::none(),
+            None,
+        )
+        .unwrap();
+        let plan = SwapPlan::parse("tit-for-tat@100").unwrap();
+        let swapped = run_swarm_evolving(
+            small_config(),
+            &joins,
+            50_000.0,
+            7,
+            "tit-for-tat",
+            plan,
+            None,
+        )
+        .unwrap();
+        assert_eq!(swapped.1.len(), 1, "swap must fire");
+        assert!(swapped.1[0].resumed, "same-kind swap must resume");
+        assert_eq!(baseline.0, swapped.0, "identity swap changed the swarm");
+        assert!(baseline.1.is_empty());
+    }
+
+    #[test]
+    fn evolving_with_no_plan_equals_plain_run() {
+        // The refactored sharing-policy path is byte-compatible with the
+        // historical inline tit-for-tat expression.
+        let joins = [0.0, 5.0, 9.0];
+        let plain = run_swarm(small_config(), &joins, 50_000.0, 7);
+        let mixed: Vec<(f64, Bandwidth)> = joins
+            .iter()
+            .map(|&t| (t, small_config().bandwidth))
+            .collect();
+        let (evolving, log) = run_swarm_evolving(
+            small_config(),
+            &mixed,
+            50_000.0,
+            7,
+            "tit-for-tat",
+            SwapPlan::none(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(plain, evolving);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn flashcrowd_peak_triggers_sharing_swap_and_changes_downloads() {
+        // A dense join wave builds the leecher population past the
+        // threshold; the swarm then flips to egalitarian sharing, which
+        // reallocates capacity toward slow uploaders.
+        let joins = mixed_joins(24, 2.0);
+        let (baseline, _) = run_swarm_evolving(
+            small_config(),
+            &joins,
+            100_000.0,
+            7,
+            "tit-for-tat",
+            SwapPlan::none(),
+            None,
+        )
+        .unwrap();
+        let plan = SwapPlan::parse("egalitarian@peak10").unwrap();
+        let (swapped, log) = run_swarm_evolving(
+            small_config(),
+            &joins,
+            100_000.0,
+            7,
+            "tit-for-tat",
+            plan,
+            None,
+        )
+        .unwrap();
+        assert_eq!(log.len(), 1, "the flashcrowd must exceed 10 leechers");
+        assert_eq!(log[0].from, "tit-for-tat");
+        assert_eq!(log[0].to, "egalitarian");
+        assert!(!log[0].resumed, "cross-kind swap starts fresh");
+        assert_eq!(baseline.downloads.len(), swapped.downloads.len());
+        assert_ne!(
+            baseline.downloads, swapped.downloads,
+            "egalitarian sharing must reallocate download times"
+        );
+    }
+
+    #[test]
+    fn traced_swap_appears_as_span_and_leaves_events_identical() {
+        let joins = mixed_joins(10, 5.0);
+        let base_rec = Recorder::new();
+        run_swarm_evolving(
+            small_config(),
+            &joins,
+            50_000.0,
+            7,
+            "tit-for-tat",
+            SwapPlan::none(),
+            Some(&base_rec),
+        )
+        .unwrap();
+        let swap_rec = Recorder::new();
+        let plan = SwapPlan::parse("tit-for-tat@100").unwrap();
+        run_swarm_evolving(
+            small_config(),
+            &joins,
+            50_000.0,
+            7,
+            "tit-for-tat",
+            plan,
+            Some(&swap_rec),
+        )
+        .unwrap();
+        let strip = |rec: &Recorder| -> Vec<String> {
+            rec.trace()
+                .into_iter()
+                .filter(|r| !r.label.starts_with("evolve.swap("))
+                .map(|r| r.to_json())
+                .collect()
+        };
+        assert_eq!(strip(&base_rec), strip(&swap_rec));
+        assert_eq!(
+            swap_rec
+                .trace()
+                .iter()
+                .filter(|r| r.label == "evolve.swap(tit-for-tat->tit-for-tat)")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn unknown_sharing_policies_are_rejected_up_front() {
+        let joins = mixed_joins(2, 5.0);
+        assert!(run_swarm_evolving(
+            small_config(),
+            &joins,
+            1_000.0,
+            1,
+            "nope",
+            SwapPlan::none(),
+            None
+        )
+        .is_err());
+        let plan = SwapPlan::parse("nope@10").unwrap();
+        assert!(run_swarm_evolving(
+            small_config(),
+            &joins,
+            1_000.0,
+            1,
+            "tit-for-tat",
+            plan,
+            None
+        )
+        .is_err());
     }
 }

@@ -9,6 +9,7 @@
 //! detects the shifts and scores how "vicissitudinous" a run is by the
 //! entropy of its bottleneck distribution.
 
+use atlarge_evolve::{handoff, Capsule, CapsuleError, Evolvable, Identity, SwapPlan, SwapRecord};
 use atlarge_stats::dist::{LogNormal, Sample};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -98,6 +99,183 @@ pub fn process_chunk(p: &ChunkProfile) -> ChunkResult {
         stage_times,
         bottleneck: Stage::all()[bi],
     }
+}
+
+/// How one chunk is processed: the pipeline's evolvable policy surface.
+///
+/// Policies may accumulate state across chunks; they are [`Evolvable`],
+/// so [`run_pipeline_evolving`] can retire one mid-stream — e.g. deploy
+/// a rebalancer once the bottleneck starts shifting.
+pub trait ChunkPolicy: Evolvable + std::fmt::Debug {
+    /// Short display name (also the swap-plan key).
+    fn name(&self) -> &'static str;
+
+    /// Processes one chunk.
+    fn process(&mut self, p: &ChunkProfile) -> ChunkResult;
+}
+
+/// The historical pipeline: [`process_chunk`] verbatim, counting chunks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Chunks processed so far.
+    pub chunks_seen: u64,
+}
+
+impl ChunkPolicy for Baseline {
+    fn name(&self) -> &'static str {
+        "baseline"
+    }
+
+    fn process(&mut self, p: &ChunkProfile) -> ChunkResult {
+        self.chunks_seen += 1;
+        process_chunk(p)
+    }
+}
+
+impl Evolvable for Baseline {
+    fn capsule_kind(&self) -> &'static str {
+        "p2p.chunk.baseline"
+    }
+
+    fn capture(&self, _now: f64) -> Capsule {
+        Capsule::new(self.capsule_kind(), self.capsule_version())
+            .with_u64("chunks_seen", self.chunks_seen)
+    }
+
+    fn resume(&mut self, capsule: &Capsule, _now: f64) -> Result<(), CapsuleError> {
+        capsule.expect_kind(self.capsule_kind())?;
+        self.chunks_seen = capsule.u64_field("chunks_seen")?;
+        Ok(())
+    }
+}
+
+/// A rebalancer: spends extra capacity on whatever stage bottlenecks a
+/// chunk, dividing that stage's time by `factor` (and re-deriving the
+/// bottleneck from the adjusted times).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rebalance {
+    /// Speedup applied to the bottleneck stage (must be ≥ 1).
+    pub factor: f64,
+    /// Chunks rebalanced so far.
+    pub rebalanced: u64,
+}
+
+impl Default for Rebalance {
+    fn default() -> Self {
+        Rebalance {
+            factor: 2.0,
+            rebalanced: 0,
+        }
+    }
+}
+
+impl ChunkPolicy for Rebalance {
+    fn name(&self) -> &'static str {
+        "rebalance"
+    }
+
+    fn process(&mut self, p: &ChunkProfile) -> ChunkResult {
+        let raw = process_chunk(p);
+        let mut stage_times = raw.stage_times;
+        let bi = Stage::all()
+            .iter()
+            .position(|&s| s == raw.bottleneck)
+            .expect("stage known");
+        stage_times[bi] /= self.factor;
+        self.rebalanced += 1;
+        let (nbi, _) = stage_times
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
+            .expect("five stages");
+        ChunkResult {
+            stage_times,
+            bottleneck: Stage::all()[nbi],
+        }
+    }
+}
+
+impl Evolvable for Rebalance {
+    fn capsule_kind(&self) -> &'static str {
+        "p2p.chunk.rebalance"
+    }
+
+    fn capture(&self, _now: f64) -> Capsule {
+        Capsule::new(self.capsule_kind(), self.capsule_version())
+            .with_f64("factor", self.factor)
+            .with_u64("rebalanced", self.rebalanced)
+    }
+
+    fn resume(&mut self, capsule: &Capsule, _now: f64) -> Result<(), CapsuleError> {
+        capsule.expect_kind(self.capsule_kind())?;
+        let factor = capsule.f64_field("factor")?;
+        if factor < 1.0 || factor.is_nan() {
+            return Err(CapsuleError::BadValue(format!(
+                "rebalance factor {factor} must be >= 1"
+            )));
+        }
+        self.factor = factor;
+        self.rebalanced = capsule.u64_field("rebalanced")?;
+        Ok(())
+    }
+}
+
+/// Builds a chunk policy by its swap-plan name.
+pub fn chunk_policy_by_name(name: &str) -> Option<Box<dyn ChunkPolicy>> {
+    match name {
+        "baseline" => Some(Box::new(Baseline::default())),
+        "rebalance" => Some(Box::new(Rebalance::default())),
+        _ => None,
+    }
+}
+
+/// [`run_pipeline`] with live policy evolution. "Time" is the chunk
+/// index; the trigger metric is the number of bottleneck shifts
+/// observed so far, so a plan like `rebalance@peak40` deploys the
+/// rebalancer once the stream turns vicissitudinous. Returns per-chunk
+/// results and the swap log.
+pub fn run_pipeline_evolving(
+    chunks: usize,
+    seed: u64,
+    initial: &str,
+    mut plan: SwapPlan,
+) -> Result<(Vec<ChunkResult>, Vec<SwapRecord>), String> {
+    let mut policy =
+        chunk_policy_by_name(initial).ok_or_else(|| format!("unknown chunk policy '{initial}'"))?;
+    for spec in plan.specs() {
+        if chunk_policy_by_name(&spec.to).is_none() {
+            return Err(format!("unknown chunk policy '{}' in swap plan", spec.to));
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let size_d = LogNormal::with_mean_cv(1.0, 0.6);
+    let skew_d = LogNormal::with_mean_cv(1.0, 1.2);
+    let overlap_d = LogNormal::with_mean_cv(1.0, 1.5);
+    let mut results: Vec<ChunkResult> = Vec::with_capacity(chunks);
+    let mut log = Vec::new();
+    for i in 0..chunks {
+        let shifts = bottleneck_shifts(&results) as f64;
+        if let Some(spec) = plan.due(i as f64, shifts) {
+            let mut successor =
+                chunk_policy_by_name(&spec.to).expect("plan validated at construction");
+            let h = handoff(policy.as_ref(), successor.as_mut(), &Identity, i as f64)
+                .map_err(|e| format!("swap at chunk {i} failed: {e}"))?;
+            log.push(SwapRecord {
+                time: i as f64,
+                from: policy.name().to_string(),
+                to: successor.name().to_string(),
+                resumed: h.resumed,
+            });
+            policy = successor;
+        }
+        let p = ChunkProfile {
+            size: size_d.sample(&mut rng),
+            skew: skew_d.sample(&mut rng),
+            overlap: overlap_d.sample(&mut rng),
+        };
+        results.push(policy.process(&p));
+    }
+    Ok((results, log))
 }
 
 /// The vicissitude score: normalized entropy of the bottleneck
@@ -193,5 +371,66 @@ mod tests {
         let s = vicissitude_score(&results);
         assert!((0.0..=1.0).contains(&s));
         assert_eq!(vicissitude_score(&[]), 0.0);
+    }
+
+    #[test]
+    fn evolving_baseline_matches_run_pipeline() {
+        let plain = run_pipeline(200, 9);
+        let (evolving, log) = run_pipeline_evolving(200, 9, "baseline", SwapPlan::none()).unwrap();
+        assert_eq!(plain, evolving);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn identity_swap_is_observationally_free() {
+        let plain = run_pipeline(200, 9);
+        let plan = SwapPlan::parse("baseline@100").unwrap();
+        let (swapped, log) = run_pipeline_evolving(200, 9, "baseline", plan).unwrap();
+        assert_eq!(log.len(), 1);
+        assert!(log[0].resumed, "chunk counter must survive the handoff");
+        assert_eq!((log[0].time - 100.0).abs(), 0.0);
+        assert_eq!(plain, swapped, "identity swap changed the pipeline");
+    }
+
+    #[test]
+    fn shift_triggered_rebalance_tames_the_bottleneck() {
+        let (baseline, _) = run_pipeline_evolving(300, 9, "baseline", SwapPlan::none()).unwrap();
+        let plan = SwapPlan::parse("rebalance@peak40").unwrap();
+        let (evolved, log) = run_pipeline_evolving(300, 9, "baseline", plan).unwrap();
+        assert_eq!(log.len(), 1, "300 vicissitudinous chunks exceed 40 shifts");
+        assert_eq!(log[0].from, "baseline");
+        assert_eq!(log[0].to, "rebalance");
+        assert!(!log[0].resumed, "cross-kind swap starts fresh");
+        let cut = log[0].time as usize;
+        // Before the swap the runs agree chunk-for-chunk...
+        assert_eq!(baseline[..cut], evolved[..cut]);
+        // ...after it, the rebalancer strictly lowers total chunk time.
+        let total = |rs: &[ChunkResult]| -> f64 {
+            rs.iter().map(|r| r.stage_times.iter().sum::<f64>()).sum()
+        };
+        assert!(total(&evolved[cut..]) < total(&baseline[cut..]));
+    }
+
+    #[test]
+    fn rebalance_capsule_round_trips_with_validation() {
+        let mut r = Rebalance {
+            factor: 3.0,
+            rebalanced: 17,
+        };
+        let capsule = r.capture(5.0);
+        let mut fresh = Rebalance::default();
+        fresh.resume(&capsule, 5.0).unwrap();
+        assert_eq!(fresh, r);
+        let mut broken = capsule.clone();
+        broken.set("factor", atlarge_evolve::Value::F64(0.5));
+        assert!(fresh.resume(&broken, 5.0).is_err());
+        assert!(r.resume(&Baseline::default().capture(0.0), 0.0).is_err());
+    }
+
+    #[test]
+    fn unknown_chunk_policies_are_rejected_up_front() {
+        assert!(run_pipeline_evolving(10, 1, "nope", SwapPlan::none()).is_err());
+        let plan = SwapPlan::parse("nope@5").unwrap();
+        assert!(run_pipeline_evolving(10, 1, "baseline", plan).is_err());
     }
 }

@@ -1,0 +1,291 @@
+//! Live scheduling-policy evolution.
+//!
+//! [`EvolvingChooser`] is a [`Chooser`] that serves its current policy
+//! and executes a [`SwapPlan`] against it mid-simulation: at each
+//! scheduling point the simulator polls [`Chooser::swap_due`] with the
+//! queue depth, and when a trigger fires — a sim-time or a backlog
+//! threshold — the retiring policy's capsule is captured, transformed,
+//! and handed to the successor under an `evolve.swap(from->to)` span.
+//! Built-in policies are stateless orderings, so a cross-kind swap is a
+//! clean A/B cut-over and an identity swap is provably free (the
+//! simulator's event stream stays byte-identical).
+
+use crate::policy::{Policy, PolicyRef, QueuedTask};
+use crate::simulator::{simulate_keeping_chooser, Chooser, RunningTask, SimConfig, SimMetrics};
+use atlarge_evolve::{
+    handoff, swap_span_label, CapsuleTransform, Identity, SwapPlan, SwapRecord, SwapSpec,
+};
+use atlarge_telemetry::Recorder;
+use atlarge_workload::job::Job;
+
+/// A fixed-policy chooser that retires its policy mid-run per a
+/// [`SwapPlan`] (trigger metric: queue depth).
+#[derive(Debug)]
+pub struct EvolvingChooser {
+    current: Policy,
+    plan: SwapPlan,
+    transform: Box<dyn CapsuleTransform + Send>,
+    pending: Option<SwapSpec>,
+    log: Vec<SwapRecord>,
+}
+
+impl EvolvingChooser {
+    /// Wraps `initial` with a validated plan: every successor must be a
+    /// built-in [`Policy`] name.
+    pub fn new(initial: Policy, plan: SwapPlan) -> Result<Self, String> {
+        for spec in plan.specs() {
+            if Policy::by_name(&spec.to).is_none() {
+                return Err(format!("unknown policy '{}' in swap plan", spec.to));
+            }
+        }
+        Ok(EvolvingChooser {
+            current: initial,
+            plan,
+            transform: Box::new(Identity),
+            pending: None,
+            log: Vec::new(),
+        })
+    }
+
+    /// [`new`](EvolvingChooser::new) with the initial policy looked up
+    /// by name.
+    pub fn by_name(initial: &str, plan: SwapPlan) -> Result<Self, String> {
+        let policy =
+            Policy::by_name(initial).ok_or_else(|| format!("unknown policy '{initial}'"))?;
+        EvolvingChooser::new(policy, plan)
+    }
+
+    /// Replaces the capsule transform applied during handoffs.
+    pub fn with_transform(mut self, transform: Box<dyn CapsuleTransform + Send>) -> Self {
+        self.transform = transform;
+        self
+    }
+
+    /// The policy currently being served.
+    pub fn current(&self) -> Policy {
+        self.current
+    }
+
+    /// Every swap executed so far.
+    pub fn swap_log(&self) -> &[SwapRecord] {
+        &self.log
+    }
+}
+
+impl Chooser for EvolvingChooser {
+    fn choose(&mut self, _: f64, _: &[QueuedTask], _: u32, _: &[RunningTask]) -> PolicyRef {
+        PolicyRef::from(self.current)
+    }
+
+    fn swap_due(&mut self, now: f64, queue_len: f64) -> Option<String> {
+        let spec = self.plan.due(now, queue_len)?;
+        let label = swap_span_label(self.current.name(), &spec.to);
+        self.pending = Some(spec);
+        Some(label)
+    }
+
+    fn apply_swap(&mut self, now: f64) {
+        let Some(spec) = self.pending.take() else {
+            return;
+        };
+        let mut successor = Policy::by_name(&spec.to).expect("plan validated at construction");
+        let h = handoff(&self.current, &mut successor, self.transform.as_ref(), now)
+            .expect("a capsule transform broke the capture/resume contract");
+        self.log.push(SwapRecord {
+            time: now,
+            from: self.current.name().to_string(),
+            to: successor.name().to_string(),
+            resumed: h.resumed,
+        });
+        self.current = successor;
+    }
+}
+
+/// Simulates `jobs` under `initial` with `plan` executing live; returns
+/// the metrics and the swap log. Attach a `recorder` to also trace the
+/// run (swaps appear as `evolve.swap(from->to)` spans).
+pub fn simulate_with_swaps(
+    jobs: &[Job],
+    pool_cores: &[u32],
+    initial: &str,
+    plan: SwapPlan,
+    config: &SimConfig,
+    recorder: Option<&Recorder>,
+) -> Result<(SimMetrics, Vec<SwapRecord>), String> {
+    let chooser = EvolvingChooser::by_name(initial, plan)?;
+    let (metrics, chooser) = simulate_keeping_chooser(jobs, pool_cores, chooser, config, recorder);
+    Ok((metrics, chooser.log))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::portfolio::PortfolioScheduler;
+    use crate::simulator::simulate;
+    use atlarge_evolve::Evolvable;
+    use atlarge_workload::job::{JobId, Task};
+
+    fn perfect() -> SimConfig {
+        SimConfig {
+            estimate_sigma: 0.0,
+            seed: 1,
+        }
+    }
+
+    fn jobs(n: u64, gap: f64) -> Vec<Job> {
+        (0..n)
+            .map(|i| {
+                Job::new(
+                    JobId(i),
+                    i as f64 * gap,
+                    vec![Task::new(20.0 + (i % 4) as f64 * 15.0, 1 + (i % 2) as u32)],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identity_swap_is_observationally_free_for_every_policy() {
+        for policy in Policy::all() {
+            let baseline = simulate(&jobs(20, 4.0), &[4], policy, &perfect());
+            let plan = SwapPlan::parse(&format!("{}@60", policy.name())).unwrap();
+            let (swapped, log) =
+                simulate_with_swaps(&jobs(20, 4.0), &[4], policy.name(), plan, &perfect(), None)
+                    .unwrap();
+            assert_eq!(log.len(), 1, "{policy}: swap must fire");
+            assert!(log[0].resumed, "{policy}: same-kind swap must resume");
+            assert_eq!(baseline, swapped, "{policy}: identity swap changed the run");
+        }
+    }
+
+    #[test]
+    fn identity_swap_leaves_the_event_stream_byte_identical() {
+        let base_rec = Recorder::new();
+        let baseline = crate::simulator::simulate_traced(
+            &jobs(20, 4.0),
+            &[4],
+            Policy::Sjf,
+            &perfect(),
+            &base_rec,
+        );
+        let swap_rec = Recorder::new();
+        let plan = SwapPlan::parse("sjf@60").unwrap();
+        let (swapped, log) = simulate_with_swaps(
+            &jobs(20, 4.0),
+            &[4],
+            "sjf",
+            plan,
+            &perfect(),
+            Some(&swap_rec),
+        )
+        .unwrap();
+        assert_eq!(log.len(), 1);
+        assert_eq!(baseline, swapped);
+        let strip = |rec: &Recorder| -> Vec<String> {
+            rec.trace()
+                .into_iter()
+                .filter(|r| !r.label.starts_with("evolve.swap("))
+                .map(|r| r.to_json())
+                .collect()
+        };
+        assert_eq!(strip(&base_rec), strip(&swap_rec));
+        assert_eq!(
+            swap_rec
+                .trace()
+                .iter()
+                .filter(|r| r.label == "evolve.swap(sjf->sjf)")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn backlog_triggered_swap_changes_the_schedule() {
+        // A tight pool builds a queue; past depth 8 the policy flips from
+        // FCFS to SJF, which reorders the backlog and cuts mean response.
+        let baseline = simulate(&jobs(40, 1.0), &[2], Policy::Fcfs, &perfect());
+        let plan = SwapPlan::parse("sjf@peak8").unwrap();
+        let (swapped, log) =
+            simulate_with_swaps(&jobs(40, 1.0), &[2], "fcfs", plan, &perfect(), None).unwrap();
+        assert_eq!(log.len(), 1, "queue must exceed 8 tasks");
+        assert_eq!(log[0].from, "fcfs");
+        assert_eq!(log[0].to, "sjf");
+        assert!(!log[0].resumed, "cross-kind swap starts fresh");
+        assert_eq!(baseline.jobs_completed, swapped.jobs_completed);
+        assert_ne!(
+            baseline.mean_response, swapped.mean_response,
+            "reordering a deep backlog must move the metrics"
+        );
+    }
+
+    #[test]
+    fn chained_swaps_fire_in_order() {
+        let plan = SwapPlan::parse("sjf@30+widest@90").unwrap();
+        let (_, log) =
+            simulate_with_swaps(&jobs(40, 1.0), &[2], "fcfs", plan, &perfect(), None).unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!((log[0].from.as_str(), log[0].to.as_str()), ("fcfs", "sjf"));
+        assert_eq!(
+            (log[1].from.as_str(), log[1].to.as_str()),
+            ("sjf", "widest")
+        );
+        assert!(log[0].time <= log[1].time);
+    }
+
+    #[test]
+    fn unknown_names_are_rejected_up_front() {
+        assert!(EvolvingChooser::by_name("nope", SwapPlan::none()).is_err());
+        let plan = SwapPlan::parse("nope@10").unwrap();
+        assert!(EvolvingChooser::by_name("fcfs", plan).is_err());
+    }
+
+    /// A portfolio captured mid-run and resumed into a fresh instance
+    /// continues exactly where the original left off: same commitments,
+    /// same learned scores, same reflection clock.
+    #[test]
+    fn portfolio_capsule_resumes_the_selector_mid_flight() {
+        let qt = |job: u64, est: f64| QueuedTask {
+            job,
+            submit: 0.0,
+            runtime: est,
+            estimate: est,
+            cpus: 1,
+        };
+        let queue: Vec<QueuedTask> = (0..12)
+            .map(|i| qt(i, 10.0 + (i % 5) as f64 * 40.0))
+            .collect();
+        let mut original = PortfolioScheduler::new(Policy::all().to_vec(), 3, 50.0);
+        for step in 0..6 {
+            original.choose(step as f64 * 60.0, &queue, 2, &[]);
+        }
+        let capsule = original.capture(360.0);
+        let mut resumed = PortfolioScheduler::new(Policy::all().to_vec(), 7, 999.0);
+        resumed.resume(&capsule, 360.0).unwrap();
+        assert_eq!(resumed.active_set_size(), 3);
+        assert_eq!(resumed.current().name(), original.current().name());
+        assert_eq!(resumed.decisions(), original.decisions());
+        assert_eq!(resumed.lookahead_events(), original.lookahead_events());
+        // Both instances make identical choices from here on.
+        for step in 6..12 {
+            let a = original.choose(step as f64 * 60.0, &queue, 2, &[]);
+            let b = resumed.choose(step as f64 * 60.0, &queue, 2, &[]);
+            assert_eq!(a.name(), b.name(), "diverged at step {step}");
+        }
+        assert_eq!(original.decisions(), resumed.decisions());
+    }
+
+    #[test]
+    fn portfolio_rejects_foreign_and_degenerate_capsules() {
+        let mut p = PortfolioScheduler::new(Policy::all().to_vec(), 3, 50.0);
+        let foreign = Policy::Fcfs.capture(0.0);
+        assert!(p.resume(&foreign, 0.0).is_err());
+        // A capsule committed to a policy this portfolio does not hold.
+        let small = PortfolioScheduler::new(vec![Policy::Sjf], 1, 50.0);
+        let mut capsule = PortfolioScheduler::new(vec![Policy::Fcfs], 1, 50.0).capture(0.0);
+        assert!(small.clone().resume(&capsule, 0.0).is_err());
+        // Degenerate config fields are rejected.
+        capsule.set("current", atlarge_evolve::Value::Str("sjf".into()));
+        capsule.set("active_set_size", atlarge_evolve::Value::U64(0));
+        assert!(small.clone().resume(&capsule, 0.0).is_err());
+    }
+}

@@ -21,6 +21,10 @@
 //!   policy across the workload × environment matrix, including the \[120\]
 //!   finding that hard-to-predict big-data runtimes degrade portfolio
 //!   selections.
+//! - [`evolve`] — live policy evolution: policies and the portfolio
+//!   capture/resume versioned state capsules, and
+//!   [`evolve::EvolvingChooser`] retires one policy and rebinds its
+//!   successor mid-simulation (trigger: sim-time or backlog depth).
 //!
 //! # Examples
 //!
@@ -37,6 +41,7 @@
 //! assert!(m.mean_response > 0.0);
 //! ```
 
+pub mod evolve;
 pub mod experiments;
 pub mod policy;
 pub mod portfolio;

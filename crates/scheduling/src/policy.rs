@@ -9,6 +9,7 @@
 //! register custom policies without touching the [`Policy`] enum; the
 //! enum survives as the built-in portfolio and implements the trait.
 
+use atlarge_evolve::{Capsule, CapsuleError, Evolvable};
 use std::cmp::Ordering;
 use std::sync::Arc;
 
@@ -73,6 +74,33 @@ impl SchedulingPolicy for Policy {
 
     fn order(&self, queue: &mut [QueuedTask]) {
         Policy::order(self, queue)
+    }
+}
+
+impl Evolvable for Policy {
+    /// Each variant is its own capsule kind, so a live policy swap is
+    /// same-kind (an identity swap, resume) exactly when the successor
+    /// is the same policy, and cross-kind (fresh start) otherwise.
+    fn capsule_kind(&self) -> &'static str {
+        match self {
+            Policy::Fcfs => "sched.policy.fcfs",
+            Policy::Sjf => "sched.policy.sjf",
+            Policy::Ljf => "sched.policy.ljf",
+            Policy::WidestFirst => "sched.policy.widest",
+            Policy::NarrowestFirst => "sched.policy.narrowest",
+            Policy::Random => "sched.policy.random",
+            Policy::EasyBackfilling => "sched.policy.easy-bf",
+        }
+    }
+
+    fn capture(&self, _now: f64) -> Capsule {
+        // Built-in policies are stateless orderings: the capsule carries
+        // identity only.
+        Capsule::new(self.capsule_kind(), self.capsule_version())
+    }
+
+    fn resume(&mut self, capsule: &Capsule, _now: f64) -> Result<(), CapsuleError> {
+        capsule.expect_kind(self.capsule_kind())
     }
 }
 

@@ -15,6 +15,7 @@
 
 use crate::policy::{PolicyRef, QueuedTask, SchedulingPolicy};
 use crate::simulator::{Chooser, RunningTask};
+use atlarge_evolve::{Capsule, CapsuleError, Evolvable, Value};
 use std::collections::BTreeMap;
 
 /// The portfolio scheduler: an online policy selector.
@@ -121,6 +122,82 @@ impl PortfolioScheduler {
                 .map(|(p, _)| p)
                 .collect()
         }
+    }
+}
+
+impl Evolvable for PortfolioScheduler {
+    fn capsule_kind(&self) -> &'static str {
+        "sched.portfolio"
+    }
+
+    /// The capsule carries the full selector state — commitment, learned
+    /// score EWMAs, reflection clock, cost counters — plus the scalar
+    /// configuration. The policy roster itself is structural (trait
+    /// objects) and stays with the resuming instance.
+    fn capture(&self, _now: f64) -> Capsule {
+        let scores: Vec<(String, f64)> = self
+            .scores
+            .iter()
+            .map(|(name, s)| ((*name).to_string(), *s))
+            .collect();
+        Capsule::new(self.capsule_kind(), self.capsule_version())
+            .with_str("current", self.current.name())
+            .with_f64("last_reflection", self.last_reflection)
+            .with_u64("reflections", self.reflections)
+            .with_u64("lookahead_events", self.lookahead_events)
+            .with_u64("decisions", self.decisions)
+            .with_u64("explore_every", self.explore_every)
+            .with_u64("active_set_size", self.active_set_size as u64)
+            .with_f64("reflection_interval", self.reflection_interval)
+            .with("scores", Value::NamedF64s(scores))
+    }
+
+    /// Restores the selector state. The committed policy is looked up by
+    /// name in this instance's roster (unknown → [`CapsuleError::BadValue`]);
+    /// score entries whose names are absent from the roster are dropped.
+    fn resume(&mut self, capsule: &Capsule, _now: f64) -> Result<(), CapsuleError> {
+        capsule.expect_kind(self.capsule_kind())?;
+        let current = capsule.str_field("current")?;
+        let current = self
+            .policies
+            .iter()
+            .find(|p| p.name() == current)
+            .cloned()
+            .ok_or_else(|| {
+                CapsuleError::BadValue(format!("policy '{current}' not in this portfolio"))
+            })?;
+        let explore_every = capsule.u64_field("explore_every")?;
+        if explore_every == 0 {
+            return Err(CapsuleError::BadValue(
+                "explore_every must be positive".into(),
+            ));
+        }
+        let active_set_size = capsule.u64_field("active_set_size")?;
+        if active_set_size == 0 {
+            return Err(CapsuleError::BadValue(
+                "active set must be non-empty".into(),
+            ));
+        }
+        let reflection_interval = capsule.f64_field("reflection_interval")?;
+        if reflection_interval <= 0.0 || reflection_interval.is_nan() {
+            return Err(CapsuleError::BadValue("interval must be positive".into()));
+        }
+        let mut scores = BTreeMap::new();
+        for (name, score) in capsule.named_f64s_field("scores")? {
+            if let Some(p) = self.policies.iter().find(|p| p.name() == *name) {
+                scores.insert(p.name(), *score);
+            }
+        }
+        self.current = current;
+        self.last_reflection = capsule.f64_field("last_reflection")?;
+        self.reflections = capsule.u64_field("reflections")?;
+        self.lookahead_events = capsule.u64_field("lookahead_events")?;
+        self.decisions = capsule.u64_field("decisions")?;
+        self.explore_every = explore_every;
+        self.active_set_size = active_set_size as usize;
+        self.reflection_interval = reflection_interval;
+        self.scores = scores;
+        Ok(())
     }
 }
 

@@ -58,6 +58,18 @@ pub trait Chooser {
     fn decisions(&self) -> u64 {
         0
     }
+
+    /// Live-evolution hook, polled at each scheduling point with the
+    /// current queue depth. Returning a span label announces that a swap
+    /// is due; the simulator then calls [`apply_swap`](Chooser::apply_swap)
+    /// inside that tracer span. Plain choosers never swap.
+    fn swap_due(&mut self, _now: f64, _queue_len: f64) -> Option<String> {
+        None
+    }
+
+    /// Executes the swap announced by [`swap_due`](Chooser::swap_due).
+    /// See `crate::evolve::EvolvingChooser`.
+    fn apply_swap(&mut self, _now: f64) {}
 }
 
 /// A chooser that always returns the same built-in policy.
@@ -266,6 +278,11 @@ impl<C: Chooser> SchedModel<C> {
     fn schedule(&mut self, ctx: &mut Ctx<Ev>) {
         if self.queue.is_empty() {
             return;
+        }
+        if let Some(label) = self.chooser.swap_due(ctx.now(), self.queue.len() as f64) {
+            ctx.span_enter(&label);
+            self.chooser.apply_swap(ctx.now());
+            ctx.span_exit(&label);
         }
         let free = self.free_cores();
         self.refresh_cache();
@@ -501,7 +518,7 @@ pub fn simulate_with_chooser_traced<C: Chooser>(
     config: &SimConfig,
     rec: &Recorder,
 ) -> SimMetrics {
-    run_sim(jobs, pool_cores, chooser, config, &[], Some(rec))
+    run_sim(jobs, pool_cores, chooser, config, &[], Some(rec)).0
 }
 
 /// Runs a full simulation with machine failures injected.
@@ -517,7 +534,21 @@ pub fn simulate_with_failures<C: Chooser>(
     config: &SimConfig,
     failures: &[FailureEvent],
 ) -> SimMetrics {
-    run_sim(jobs, pool_cores, chooser, config, failures, None)
+    run_sim(jobs, pool_cores, chooser, config, failures, None).0
+}
+
+/// [`simulate_with_chooser`] returning the chooser alongside the
+/// metrics, for choosers that accumulate state worth inspecting after
+/// the run (e.g. `crate::evolve::EvolvingChooser`'s swap log). Attach a
+/// `recorder` to also trace the run.
+pub fn simulate_keeping_chooser<C: Chooser>(
+    jobs: &[Job],
+    pool_cores: &[u32],
+    chooser: C,
+    config: &SimConfig,
+    recorder: Option<&Recorder>,
+) -> (SimMetrics, C) {
+    run_sim(jobs, pool_cores, chooser, config, &[], recorder)
 }
 
 fn run_sim<C: Chooser>(
@@ -527,7 +558,7 @@ fn run_sim<C: Chooser>(
     config: &SimConfig,
     failures: &[FailureEvent],
     recorder: Option<&Recorder>,
-) -> SimMetrics {
+) -> (SimMetrics, C) {
     assert!(!pool_cores.is_empty(), "need at least one pool");
     for f in failures {
         assert!(f.pool < pool_cores.len(), "failure references missing pool");
@@ -583,10 +614,10 @@ fn run_sim<C: Chooser>(
         sim.schedule(f.time, Ev::Fail(i));
     }
     sim.run();
-    let m = sim.model();
+    let m = sim.into_model();
     let total_cores: u32 = pool_cores.iter().sum();
     let n = m.responses.len().max(1) as f64;
-    SimMetrics {
+    let metrics = SimMetrics {
         mean_response: m.responses.iter().sum::<f64>() / n,
         mean_bounded_slowdown: m.slowdowns.iter().sum::<f64>() / n,
         makespan: m.makespan,
@@ -599,7 +630,8 @@ fn run_sim<C: Chooser>(
         tasks_restarted: m.tasks_restarted,
         decisions: m.chooser.decisions(),
         lookahead_events: m.chooser.lookahead_events(),
-    }
+    };
+    (metrics, m.chooser)
 }
 
 #[cfg(test)]

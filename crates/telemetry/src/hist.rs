@@ -312,6 +312,79 @@ mod tests {
         assert!((50.0..=63.0).contains(&p50), "window p50 {p50}");
     }
 
+    /// A shard whose first report lands mid-window: the `earlier`
+    /// snapshot predates the shard entirely, so the delta must contain
+    /// exactly the late shard's samples plus the veteran's new ones —
+    /// never a wrapped or negative count.
+    #[test]
+    fn shard_first_reporting_mid_window_adds_only_its_samples() {
+        let veteran = AtomicHistogram::new();
+        let late = AtomicHistogram::new();
+        veteran.record(1_000_000);
+        // Window boundary: the late shard has not recorded yet, so the
+        // merge at this instant sees only the veteran.
+        let mut before = HistogramSnapshot::zero();
+        veteran.merge_into(&mut before);
+        // Mid-window, the late shard starts reporting.
+        late.record(30_000_000);
+        late.record(30_000_000);
+        veteran.record(1_000_000);
+        let mut after = HistogramSnapshot::zero();
+        veteran.merge_into(&mut after);
+        late.merge_into(&mut after);
+        let window = after.delta(&before);
+        assert_eq!(window.count, 3);
+        assert_eq!(window.sum_ns, 61_000_000);
+        let bucket_total: u64 = window.buckets.iter().sum();
+        assert_eq!(bucket_total, 3, "every windowed sample sits in a bucket");
+        assert!(
+            window.buckets.iter().all(|&c| c <= 3),
+            "a mid-window shard join must not wrap any bucket count"
+        );
+    }
+
+    /// Snapshots from mismatched merge sets (an `earlier` that saw a
+    /// shard the later merge missed, e.g. across a histogram reset)
+    /// must clamp to zero, not wrap to 2^64 — the saturating per-bucket
+    /// difference is what keeps a `/watch` window from reporting
+    /// astronomical request counts at the boundary.
+    #[test]
+    fn delta_saturates_instead_of_wrapping_when_counts_regress() {
+        let h = ShardedHistogram::new(2);
+        h.record(4_000_000);
+        let full = h.snapshot();
+        let degenerate = HistogramSnapshot::zero().delta(&full);
+        assert_eq!(degenerate.count, 0);
+        assert_eq!(degenerate.sum_ns, 0);
+        assert!(degenerate.buckets.iter().all(|&c| c == 0));
+        assert_eq!(degenerate.quantile_ns(0.5), None, "empty window, no p50");
+    }
+
+    /// A recorder thread that spins up between two snapshots: its
+    /// shard joins the merge mid-window and the delta counts exactly
+    /// its contribution, with quantiles over only the new samples.
+    #[test]
+    fn thread_joining_between_snapshots_lands_in_that_window() {
+        let h = std::sync::Arc::new(ShardedHistogram::new(8));
+        h.record(1_000_000);
+        let before = h.snapshot();
+        let worker = {
+            let h = std::sync::Arc::clone(&h);
+            std::thread::spawn(move || {
+                for _ in 0..100 {
+                    h.record(10_000_000);
+                }
+            })
+        };
+        worker.join().expect("recorder thread");
+        let after = h.snapshot();
+        let window = after.delta(&before);
+        assert_eq!(window.count, 100);
+        assert_eq!(window.sum_ns, 100 * 10_000_000);
+        let p50 = window.quantile_ms(0.5).expect("window samples");
+        assert!((10.0..=12.6).contains(&p50), "window p50 {p50}");
+    }
+
     #[test]
     fn sharded_recording_from_many_threads_loses_nothing() {
         let h = std::sync::Arc::new(ShardedHistogram::new(8));

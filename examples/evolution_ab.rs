@@ -1,0 +1,188 @@
+//! `evolution_ab` — a common-random-numbers A/B campaign over live
+//! autoscaler evolution.
+//!
+//! ```sh
+//! evolution_ab [--seed N] [--replications R] [--horizon S]
+//!              [--from NAME] [--swap PLAN] [--trace PATH]
+//! ```
+//!
+//! The campaign pits two arms against the *same* derived event streams
+//! (CRN seeding): arm A keeps the initial autoscaler for the whole run,
+//! arm B executes the swap plan live — by default retiring `react` for
+//! `token` the moment demand crosses the flashcrowd threshold
+//! (`token@peak12`). Because both arms see identical workflow arrivals,
+//! any metric delta is attributable to the swap alone.
+//!
+//! `--trace PATH` additionally exports one traced arm-B run on the
+//! bursty workload as kernel JSONL: the handoff appears as an
+//! `evolve.swap(from->to)` span, which `trace_lens critical-path` and
+//! `trace_lens profile` render in their "policy swaps" section.
+//!
+//! Swap plans are `+`-separated `NAME@TIME` (sim-seconds) or
+//! `NAME@peakDEMAND` (fires when demand exceeds the threshold) steps,
+//! e.g. `--swap "token@peak12+plan@3000"`.
+
+use atlarge::autoscaling::evolve::run_with_swaps;
+use atlarge::autoscaling::experiments::{ab_campaign_result, WorkflowWorkload};
+use atlarge::autoscaling::sim::AutoscaleConfig;
+use atlarge::evolve::SwapPlan;
+use atlarge::telemetry::Recorder;
+use std::io::Write;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: evolution_ab [--seed N] [--replications R] [--horizon S]\n\
+         \x20                   [--from NAME] [--swap PLAN] [--trace PATH]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut seed = 2026u64;
+    let mut replications = 2usize;
+    let mut horizon = 4_000.0f64;
+    let mut from = "react".to_string();
+    let mut swap = "token@peak12".to_string();
+    let mut trace_path: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut parse = |what: &str| -> Option<String> {
+            let v = it.next();
+            if v.is_none() {
+                eprintln!("evolution_ab: {what} needs a value");
+            }
+            v.cloned()
+        };
+        match a.as_str() {
+            "--seed" => match parse("--seed").and_then(|v| v.parse().ok()) {
+                Some(n) => seed = n,
+                None => return usage(),
+            },
+            "--replications" => match parse("--replications").and_then(|v| v.parse().ok()) {
+                Some(n) => replications = n,
+                None => return usage(),
+            },
+            "--horizon" => match parse("--horizon").and_then(|v| v.parse().ok()) {
+                Some(h) => horizon = h,
+                None => return usage(),
+            },
+            "--from" => match parse("--from") {
+                Some(v) => from = v,
+                None => return usage(),
+            },
+            "--swap" => match parse("--swap") {
+                Some(v) => swap = v,
+                None => return usage(),
+            },
+            "--trace" => match parse("--trace") {
+                Some(v) => trace_path = Some(v),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let result = match ab_campaign_result(horizon, seed, replications, &from, &swap) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("evolution_ab: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let plan = SwapPlan::parse(&swap).expect("the campaign validated the plan");
+    println!(
+        "evolution A/B: {from} vs {from}+[{}]  seed={seed} replications={replications} \
+         horizon={horizon}s  (CRN: both arms share event streams)",
+        plan.canonical()
+    );
+    println!();
+    println!(
+        "{:<10} {:>14} {:>14} {:>12} {:>12} {:>10} {:>10}",
+        "workload", "resp A", "resp B", "supply A", "supply B", "done A/B", "swapped"
+    );
+
+    // Each workload row pairs its two swap arms; CRN guarantees the
+    // completed counts match, so a single column serves both.
+    for wl in WorkflowWorkload::all() {
+        let arm = |swap_level: &str| {
+            result
+                .cells
+                .iter()
+                .find(|c| {
+                    c.spec.level("workload") == wl.name() && c.spec.level("swap") == swap_level
+                })
+                .expect("the grid declares every workload x swap cell")
+        };
+        let a = arm("none");
+        let b = arm(&plan.canonical());
+        let resp = |c: &atlarge::exp::CellResult<_, _>| {
+            c.summarize(|o: &atlarge::autoscaling::experiments::CampaignCell| {
+                o.report.mean_response
+            })
+        };
+        let supply = |c: &atlarge::exp::CellResult<_, _>| {
+            c.summarize(|o: &atlarge::autoscaling::experiments::CampaignCell| o.report.avg_supply)
+        };
+        let moved = a.first().report != b.first().report;
+        println!(
+            "{:<10} {:>14} {:>14} {:>12.2} {:>12.2} {:>10} {:>10}",
+            wl.name(),
+            format!("{:.2}s", resp(a).mean()),
+            format!("{:.2}s", resp(b).mean()),
+            supply(a).mean(),
+            supply(b).mean(),
+            format!("{}/{}", a.first().completed, b.first().completed),
+            if moved { "yes" } else { "no" },
+        );
+    }
+
+    let Some(path) = trace_path else {
+        println!();
+        println!("hint: --trace PATH exports a traced arm-B run for trace_lens");
+        return ExitCode::SUCCESS;
+    };
+
+    // One traced arm-B run on the flashcrowd (bursty) workload: the
+    // swap handoff lands in the kernel trace as an evolve.swap span.
+    let workflows = WorkflowWorkload::Bursty.generate(horizon, seed);
+    let recorder = Recorder::new();
+    let (_, log) = run_with_swaps(
+        workflows,
+        &from,
+        plan.clone(),
+        AutoscaleConfig::default(),
+        seed,
+        Some(&recorder),
+    )
+    .expect("the campaign validated initial and successors");
+    let mut out = Vec::new();
+    recorder
+        .write_trace_jsonl(&mut out)
+        .expect("trace serialization is infallible in memory");
+    if let Err(e) = std::fs::File::create(&path).and_then(|mut f| f.write_all(&out)) {
+        eprintln!("evolution_ab: cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!();
+    if log.is_empty() {
+        println!(
+            "traced bursty run executed no swaps (trigger never fired) -> {path}; \
+             lower the peak threshold or use NAME@TIME"
+        );
+    } else {
+        for s in &log {
+            println!(
+                "traced bursty run: swapped {} -> {} at t={:.1}s ({}) -> {path}",
+                s.from,
+                s.to,
+                s.time,
+                if s.resumed { "resumed" } else { "fresh start" }
+            );
+        }
+        println!("inspect with: trace_lens critical-path {path}  (or profile)");
+    }
+    ExitCode::SUCCESS
+}

@@ -27,7 +27,7 @@
 use atlarge::obsv::jsonl::parse;
 use atlarge::obsv::{
     critical_path, diff_exports, flamegraph_text, parse_trace, self_times, to_chrome_json,
-    PathSource, PulseLine,
+    PathSource, PulseLine, TraceLine,
 };
 use atlarge::serve::client::get_stream;
 use std::process::ExitCode;
@@ -54,6 +54,33 @@ fn load_trace(path: &str) -> Result<atlarge::obsv::Trace, ExitCode> {
         eprintln!("trace_lens: {path}: {e:?}");
         ExitCode::FAILURE
     })
+}
+
+/// Live-evolution swaps recorded in the trace (`evolve.swap(a->b)`
+/// span entries), in record order.
+fn swap_spans(trace: &atlarge::obsv::Trace) -> Vec<(f64, String)> {
+    trace
+        .lines
+        .iter()
+        .filter_map(|l| match l {
+            TraceLine::SpanEnter { t, label } if label.starts_with("evolve.swap(") => {
+                Some((*t, label.clone()))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// Prints the swap section when the trace recorded any live evolution.
+fn print_swaps(trace: &atlarge::obsv::Trace) {
+    let swaps = swap_spans(trace);
+    if swaps.is_empty() {
+        return;
+    }
+    println!("policy swaps ({}):", swaps.len());
+    for (t, label) in &swaps {
+        println!("  t={t:>12.3}  >> {label}");
+    }
 }
 
 fn cmd_critical_path(path: &str) -> Result<ExitCode, ExitCode> {
@@ -113,6 +140,7 @@ fn cmd_critical_path(path: &str) -> Result<ExitCode, ExitCode> {
             last.time, last.label, last.id
         );
     }
+    print_swaps(&trace);
     Ok(ExitCode::SUCCESS)
 }
 
@@ -136,6 +164,7 @@ fn cmd_profile(path: &str, chrome: bool) -> Result<ExitCode, ExitCode> {
     for s in self_times(&trace).into_iter().take(10) {
         println!("  {:<30} {:>12.3}s  x{}", s.name, s.self_time, s.count);
     }
+    print_swaps(&trace);
     Ok(ExitCode::SUCCESS)
 }
 

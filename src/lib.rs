@@ -17,6 +17,10 @@
 //! - [`exp`] — the replicated, parallel experiment-campaign engine every
 //!   Section-6 harness runs on: factor grids, derived seed streams, and
 //!   deterministic serial/parallel execution.
+//! - [`evolve`] — versioned state capsules and live policy evolution:
+//!   capture → transform → resume handoffs that retire a policy and
+//!   rebind its successor mid-simulation (see the `evolution_ab`
+//!   example).
 //! - [`serve`] — the persistent design-exploration server: every domain
 //!   behind one HTTP query schema, with fingerprint-keyed result caching
 //!   and streaming trace telemetry (see the `observatory_serve` example).
@@ -42,6 +46,7 @@ pub use atlarge_biblio as biblio;
 pub use atlarge_core as core;
 pub use atlarge_datacenter as datacenter;
 pub use atlarge_des as des;
+pub use atlarge_evolve as evolve;
 pub use atlarge_exp as exp;
 pub use atlarge_graph as graph;
 pub use atlarge_mmog as mmog;
