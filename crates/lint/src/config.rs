@@ -74,6 +74,28 @@ pub fn parse_toml_subset(
     Ok(sections)
 }
 
+/// Extracts the `#`-comment block immediately above `[section]` in
+/// `lint.toml` text — the checked-in rationale that `--explain` prints.
+/// Returns the comment lines with their `#` markers stripped.
+pub fn section_rationale(text: &str, section: &str) -> Option<String> {
+    let header = format!("[{section}]");
+    let lines: Vec<&str> = text.lines().collect();
+    let at = lines.iter().position(|l| l.trim() == header)?;
+    let mut block = Vec::new();
+    for line in lines[..at].iter().rev() {
+        let trimmed = line.trim();
+        let Some(comment) = trimmed.strip_prefix('#') else {
+            break;
+        };
+        block.push(comment.trim());
+    }
+    if block.is_empty() {
+        return None;
+    }
+    block.reverse();
+    Some(block.join("\n"))
+}
+
 /// Drops a trailing `#` comment that is outside double quotes.
 fn strip_comment(line: &str) -> &str {
     let mut in_str = false;
@@ -158,6 +180,72 @@ pub fn path_has_prefix(path: &str, prefix: &str) -> bool {
     path == prefix || (path.starts_with(prefix) && path.as_bytes().get(prefix.len()) == Some(&b'/'))
 }
 
+/// One `[layer.<name>]` dependency contract, consumed by the
+/// `layer-boundary` lint: files under `scope` (minus `exempt`) may not
+/// `use` or name any path whose `::`-segments start with a `forbid`
+/// prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerContract {
+    /// Contract name (the `[layer.<name>]` section).
+    pub name: String,
+    /// Workspace-relative path prefixes the contract covers; empty means
+    /// the whole workspace.
+    pub scope: Vec<String>,
+    /// Path prefixes on the sanctioned side of the boundary — the crates
+    /// that own the forbidden module.
+    pub exempt: Vec<String>,
+    /// `::`-separated Rust path prefixes that must not be named.
+    pub forbid: Vec<String>,
+    /// One-line rationale, echoed in the diagnostic.
+    pub note: String,
+}
+
+impl LayerContract {
+    /// Whether the contract covers `rel_path` (workspace-relative,
+    /// `/`-separated).
+    pub fn applies_to(&self, rel_path: &str) -> bool {
+        if !self.scope.is_empty() && !self.scope.iter().any(|p| path_has_prefix(rel_path, p)) {
+            return false;
+        }
+        !self.exempt.iter().any(|p| path_has_prefix(rel_path, p))
+    }
+}
+
+/// The built-in layer contracts (mirrored, with commentary, in the
+/// checked-in `lint.toml`).
+fn default_layers() -> Vec<LayerContract> {
+    vec![
+        LayerContract {
+            name: "sealed-fel".into(),
+            scope: vec![],
+            exempt: vec!["crates/des".into(), "crates/bench".into(), "crates/lint".into()],
+            forbid: vec![
+                "atlarge_des::fel".into(),
+                "atlarge_des::calendar".into(),
+                "des::fel".into(),
+                "des::calendar".into(),
+            ],
+            note: "the future-event list is a sealed kernel internal; domain code must go through EventQueue / Simulation so FEL implementations stay swappable".into(),
+        },
+        LayerContract {
+            name: "wall-clock-types".into(),
+            scope: vec![],
+            exempt: vec![
+                "crates/telemetry".into(),
+                "crates/bench".into(),
+                "crates/lint".into(),
+            ],
+            forbid: vec![
+                "std::time::Instant".into(),
+                "std::time::SystemTime".into(),
+                "time::Instant".into(),
+                "time::SystemTime".into(),
+            ],
+            note: "only the telemetry boundary may hold wall-clock types; simulation results must not depend on machine speed".into(),
+        },
+    ]
+}
+
 /// The whole linter configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LintConfig {
@@ -168,6 +256,8 @@ pub struct LintConfig {
     pub exclude: Vec<String>,
     /// Per-lint settings, keyed by lint id.
     pub lints: BTreeMap<String, LintSettings>,
+    /// Layer dependency contracts for the `layer-boundary` lint.
+    pub layers: Vec<LayerContract>,
 }
 
 impl LintConfig {
@@ -195,6 +285,7 @@ impl LintConfig {
             ],
             exclude: vec!["crates/lint/tests/ui".into()],
             lints,
+            layers: default_layers(),
         }
     }
 
@@ -211,6 +302,38 @@ impl LintConfig {
             }
         }
         for (section, entries) in &table {
+            if let Some(name) = section.strip_prefix("layer.") {
+                // A `[layer.<name>]` section replaces the built-in
+                // contract of the same name, or declares a new one.
+                let contract = match cfg.layers.iter_mut().find(|c| c.name == name) {
+                    Some(c) => c,
+                    None => {
+                        cfg.layers.push(LayerContract {
+                            name: name.to_string(),
+                            scope: vec![],
+                            exempt: vec![],
+                            forbid: vec![],
+                            note: String::new(),
+                        });
+                        cfg.layers.last_mut().expect("just pushed")
+                    }
+                };
+                for (key, value) in entries {
+                    match (key.as_str(), value) {
+                        ("scope", Value::List(l)) => contract.scope = l.clone(),
+                        ("exempt", Value::List(l)) => contract.exempt = l.clone(),
+                        ("forbid", Value::List(l)) => contract.forbid = l.clone(),
+                        ("note", Value::Str(s)) => contract.note = s.clone(),
+                        _ => {
+                            return Err(ParseError {
+                                line: 0,
+                                message: format!("unknown key `{key}` in [{section}]"),
+                            })
+                        }
+                    }
+                }
+                continue;
+            }
             let Some(id) = section.strip_prefix("lint.") else {
                 continue;
             };
@@ -294,6 +417,50 @@ mod tests {
         let pk = cfg.settings("panic-in-kernel");
         assert!(pk.applies_to("crates/des/src/sim.rs"));
         assert!(!pk.applies_to("crates/exp/src/executor.rs"));
+    }
+
+    #[test]
+    fn layer_sections_override_or_extend_defaults() {
+        let cfg = LintConfig::from_toml(
+            "[layer.sealed-fel]\nexempt = [\"crates/des\"]\nforbid = [\"atlarge_des::fel\"]\nnote = \"sealed\"\n[layer.executor-only]\nscope = [\"crates/serve\"]\nforbid = [\"atlarge_exp::executor\"]\nnote = \"serve has its own pool\"\n",
+        )
+        .unwrap();
+        // Same-name section replaces the built-in contract (one entry).
+        let fel: Vec<&LayerContract> = cfg
+            .layers
+            .iter()
+            .filter(|c| c.name == "sealed-fel")
+            .collect();
+        assert_eq!(fel.len(), 1);
+        assert_eq!(fel[0].exempt, vec!["crates/des".to_string()]);
+        assert_eq!(fel[0].note, "sealed");
+        // New names append; built-ins not mentioned survive.
+        assert!(cfg.layers.iter().any(|c| c.name == "executor-only"));
+        assert!(cfg.layers.iter().any(|c| c.name == "wall-clock-types"));
+        let new = cfg
+            .layers
+            .iter()
+            .find(|c| c.name == "executor-only")
+            .unwrap();
+        assert!(new.applies_to("crates/serve/src/server.rs"));
+        assert!(!new.applies_to("crates/exp/src/executor.rs"));
+    }
+
+    #[test]
+    fn unknown_layer_key_is_rejected() {
+        let err = LintConfig::from_toml("[layer.x]\nforbids = [\"a\"]\n").unwrap_err();
+        assert!(err.message.contains("unknown key"));
+    }
+
+    #[test]
+    fn rationale_is_the_comment_block_above_a_section() {
+        let toml = "# file header\n\n# Reads of the host clock make results\n# machine-dependent.\n[lint.wall-clock-in-sim]\nenabled = true\n\n[lint.entropy-rng]\n";
+        assert_eq!(
+            section_rationale(toml, "lint.wall-clock-in-sim").unwrap(),
+            "Reads of the host clock make results\nmachine-dependent."
+        );
+        assert_eq!(section_rationale(toml, "lint.entropy-rng"), None);
+        assert_eq!(section_rationale(toml, "lint.missing"), None);
     }
 
     #[test]

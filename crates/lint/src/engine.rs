@@ -1,11 +1,14 @@
-//! The analysis engine: walks the workspace, lexes every Rust file,
-//! runs the lint catalogue, applies allowlist directives, and produces
-//! a stable-ordered diagnostic report.
+//! The analysis engine: walks the workspace, lexes and parses every
+//! Rust file, runs the token and structural lint catalogues, applies
+//! allowlist directives, and produces a stable-ordered diagnostic
+//! report.
 
 use crate::allow::{self, AllowDirective};
 use crate::config::LintConfig;
 use crate::lexer::{self, Tok, TokKind};
 use crate::lints;
+use crate::parser;
+use crate::structural;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -18,6 +21,8 @@ pub struct Diagnostic {
     pub line: u32,
     /// Lint id.
     pub lint: String,
+    /// Stable machine code (`ALnnn`), recorded in JSON output.
+    pub code: String,
     /// What is wrong.
     pub message: String,
     /// How to fix it.
@@ -59,7 +64,7 @@ pub fn lint_source(rel_path: &str, source: &str, cfg: &LintConfig) -> Report {
     let test_mask = test_region_mask(&lexed.tokens);
     let file_is_test = path_is_test(rel_path);
 
-    let findings = lints::run(&lexed.tokens, |lint_id, tok_idx| {
+    let check = |lint_id: &'static str, tok_idx: usize| {
         let settings = cfg.settings(lint_id);
         if !settings.applies_to(rel_path) {
             return false;
@@ -68,23 +73,39 @@ pub fn lint_source(rel_path: &str, source: &str, cfg: &LintConfig) -> Report {
             return true;
         }
         !(file_is_test || test_mask[tok_idx])
-    });
+    };
+
+    let mut findings = lints::run(&lexed.tokens, check);
+    let ast = parser::parse(&lexed.tokens);
+    findings.extend(structural::run(
+        &ast,
+        &lexed.tokens,
+        rel_path,
+        &cfg.layers,
+        check,
+    ));
 
     let directives = allow::collect(&lexed);
     let mut diagnostics = Vec::new();
     let mut suppressed = 0usize;
-    let mut used = vec![false; directives.len()];
+    // Usage is tracked per (directive, lint id): a multi-id directive
+    // is stale id-by-id.
+    let mut used: Vec<Vec<bool>> = directives
+        .iter()
+        .map(|d| vec![false; d.lints.len()])
+        .collect();
 
     for f in findings {
         match suppressing_directive(&directives, f.lint, f.line) {
-            Some(d) => {
-                used[d] = true;
+            Some((d, id)) => {
+                used[d][id] = true;
                 suppressed += 1;
             }
             None => diagnostics.push(Diagnostic {
                 file: rel_path.to_string(),
                 line: f.line,
                 lint: f.lint.to_string(),
+                code: lints::code_of(f.lint).to_string(),
                 message: f.message,
                 suggestion: f.suggestion,
             }),
@@ -99,6 +120,7 @@ pub fn lint_source(rel_path: &str, source: &str, cfg: &LintConfig) -> Report {
                 file: rel_path.to_string(),
                 line: d.line,
                 lint: lints::ALLOWLIST_INVALID.to_string(),
+                code: lints::code_of(lints::ALLOWLIST_INVALID).to_string(),
                 message: "allow directive carries no reason; it suppresses nothing".into(),
                 suggestion: "add `reason = \"...\"` explaining why the rule is safe to break here"
                     .into(),
@@ -110,19 +132,23 @@ pub fn lint_source(rel_path: &str, source: &str, cfg: &LintConfig) -> Report {
                 file: rel_path.to_string(),
                 line: d.line,
                 lint: lints::ALLOWLIST_INVALID.to_string(),
+                code: lints::code_of(lints::ALLOWLIST_INVALID).to_string(),
                 message: format!("allow directive names unknown lint `{unknown}`"),
                 suggestion: "run `atlarge-lint --list` for the lint catalogue".into(),
             });
             continue;
         }
-        if !used[i] {
-            diagnostics.push(Diagnostic {
-                file: rel_path.to_string(),
-                line: d.line,
-                lint: lints::UNUSED_ALLOWLIST.to_string(),
-                message: "allow directive suppresses no diagnostic".into(),
-                suggestion: "delete it (the violation is gone) or move it next to the offending line".into(),
-            });
+        for (id_idx, lint_id) in d.lints.iter().enumerate() {
+            if !used[i][id_idx] {
+                diagnostics.push(Diagnostic {
+                    file: rel_path.to_string(),
+                    line: d.line,
+                    lint: lints::UNUSED_ALLOWLIST.to_string(),
+                    code: lints::code_of(lints::UNUSED_ALLOWLIST).to_string(),
+                    message: format!("allow directive id `{lint_id}` suppresses no diagnostic"),
+                    suggestion: "delete the stale id (the violation is gone) or move the directive next to the offending line".into(),
+                });
+            }
         }
     }
 
@@ -134,15 +160,23 @@ pub fn lint_source(rel_path: &str, source: &str, cfg: &LintConfig) -> Report {
     }
 }
 
-/// The directive (by index) suppressing `lint` at `line`, if any. A
-/// directive only counts when it carries a non-empty reason and names
-/// a known lint — malformed directives are inert and reported instead.
-fn suppressing_directive(directives: &[AllowDirective], lint: &str, line: u32) -> Option<usize> {
-    directives.iter().position(|d| {
-        d.target_line == Some(line)
-            && d.lints.iter().any(|l| l == lint)
-            && d.reason.as_deref().is_some_and(|r| !r.trim().is_empty())
-            && d.lints.iter().all(|l| lints::is_known(l))
+/// The `(directive index, lint-id index)` suppressing `lint` at `line`,
+/// if any. A directive only counts when it carries a non-empty reason
+/// and names only known lints — malformed directives are inert and
+/// reported instead.
+fn suppressing_directive(
+    directives: &[AllowDirective],
+    lint: &str,
+    line: u32,
+) -> Option<(usize, usize)> {
+    directives.iter().enumerate().find_map(|(i, d)| {
+        if d.target_line != Some(line)
+            || d.reason.as_deref().is_none_or(|r| r.trim().is_empty())
+            || !d.lints.iter().all(|l| lints::is_known(l))
+        {
+            return None;
+        }
+        d.lints.iter().position(|l| l == lint).map(|id| (i, id))
     })
 }
 
@@ -386,6 +420,50 @@ mod tests {
         let r = lint_source("crates/x/src/lib.rs", src, &cfg());
         let lints: Vec<&str> = r.diagnostics.iter().map(|d| d.lint.as_str()).collect();
         assert_eq!(lints, vec!["allowlist-invalid", "wall-clock-in-sim"]);
+    }
+
+    #[test]
+    fn multi_id_allow_is_tracked_per_id() {
+        // One directive, two ids, only one of which suppresses anything:
+        // the idle id is flagged stale by name.
+        let src = "// #[allow_atlarge(wall-clock-in-sim, entropy-rng, reason = \"report-only\")]\nlet t = Instant::now();\n";
+        let r = lint_source("crates/x/src/lib.rs", src, &cfg());
+        assert_eq!(r.suppressed, 1);
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].lint, "unused-allowlist");
+        assert!(r.diagnostics[0].message.contains("`entropy-rng`"));
+        // Both ids earning their keep: clean.
+        let src2 = "// #[allow_atlarge(wall-clock-in-sim, entropy-rng, reason = \"report-only\")]\nlet t = Instant::now(); let r = thread_rng();\n";
+        let r2 = lint_source("crates/x/src/lib.rs", src2, &cfg());
+        assert!(r2.is_clean(), "{:?}", r2.diagnostics);
+        assert_eq!(r2.suppressed, 2);
+    }
+
+    #[test]
+    fn structural_lints_run_through_the_engine() {
+        let src = "use atlarge_des::fel::FutureEventList;\nfn f(seed: u64) {\n    let a = split_labeled(seed, \"x\");\n    let b = split_labeled(seed, \"x\");\n}\n";
+        let r = lint_source("crates/p2p/src/swarm.rs", src, &cfg());
+        let lints: Vec<&str> = r.diagnostics.iter().map(|d| d.lint.as_str()).collect();
+        assert_eq!(lints, vec!["layer-boundary", "seed-stream-aliasing"]);
+        assert_eq!(r.diagnostics[0].code, "AL008");
+        assert_eq!(r.diagnostics[1].code, "AL007");
+        // The owning kernel crate may name its own internals.
+        let r2 = lint_source(
+            "crates/des/src/queue.rs",
+            "use atlarge_des::fel::Fel;\n",
+            &cfg(),
+        );
+        assert!(r2.is_clean(), "{:?}", r2.diagnostics);
+    }
+
+    #[test]
+    fn seed_aliasing_respects_include_tests_default() {
+        // include_tests = false by default: an aliased label inside a
+        // #[cfg(test)] module stays quiet (seed.rs tests legitimately
+        // reuse labels across different roots).
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(s: u64) { let a = split_labeled(s, \"x\"); let b = split_labeled(s, \"x\"); }\n}\n";
+        let r = lint_source("crates/exp/src/seed.rs", src, &cfg());
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
     }
 
     #[test]

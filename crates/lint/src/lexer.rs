@@ -3,10 +3,11 @@
 //!
 //! The lexer understands everything that would otherwise produce false
 //! positives in a grep-style scan: line and (nested) block comments,
-//! string/raw-string/byte-string literals, char literals vs. lifetimes,
-//! and numeric literals with suffixes. It deliberately does **not**
-//! build a syntax tree — the determinism lints match short token
-//! sequences (`Instant :: now`, `. unwrap (`) and need nothing more.
+//! string/raw-string/byte-string literals, raw identifiers (`r#type`),
+//! char literals vs. lifetimes, and numeric literals with suffixes. It
+//! does not build a syntax tree itself — [`crate::parser`] grows one on
+//! top for the structural lints, while the token-sequence lints match
+//! short runs (`Instant :: now`, `. unwrap (`) directly.
 
 /// What kind of token this is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,14 +30,40 @@ pub enum TokKind {
 pub struct Tok {
     /// Token kind.
     pub kind: TokKind,
-    /// Source text (empty for [`TokKind::Literal`] — lints never match
-    /// inside literals).
+    /// Source text. For [`TokKind::Literal`] this is the raw literal
+    /// including delimiters (`"abc"`, `r#"x"#`) — the token-sequence
+    /// lints never match literals (they filter on kind), while the
+    /// structural lints read string contents via [`Tok::str_content`].
     pub text: String,
     /// 1-based source line.
     pub line: u32,
     /// True when no whitespace or comment separates this token from the
     /// previous one (`arr[` vs `arr  [`).
     pub glued: bool,
+}
+
+impl Tok {
+    /// The inner text of a plain or raw *string* literal (escape
+    /// sequences left as written — both sides of a structural
+    /// comparison see the same spelling). `None` for non-literals,
+    /// char literals, and byte/C strings.
+    pub fn str_content(&self) -> Option<&str> {
+        if self.kind != TokKind::Literal {
+            return None;
+        }
+        let t = self.text.as_str();
+        if let Some(rest) = t.strip_prefix('"') {
+            return rest.strip_suffix('"').or(Some(rest));
+        }
+        if let Some(rest) = t.strip_prefix('r') {
+            let hashes = rest.len() - rest.trim_start_matches('#').len();
+            let rest = &rest[hashes..];
+            let rest = rest.strip_prefix('"')?;
+            let rest = rest.strip_suffix(&"#".repeat(hashes)).unwrap_or(rest);
+            return rest.strip_suffix('"').or(Some(rest));
+        }
+        None
+    }
 }
 
 /// A captured comment (line or block), for allowlist-directive parsing.
@@ -125,8 +152,15 @@ pub fn lex(source: &str) -> Lexed {
             }
             b'"' => {
                 let glued = prev_end == i;
+                let start = i;
                 i = skip_string(b, i, &mut line);
-                push(&mut out, TokKind::Literal, String::new(), line, glued);
+                push(
+                    &mut out,
+                    TokKind::Literal,
+                    source[start..i].to_string(),
+                    line,
+                    glued,
+                );
                 prev_end = i;
             }
             b'\'' => {
@@ -150,8 +184,15 @@ pub fn lex(source: &str) -> Lexed {
                         glued,
                     );
                 } else {
+                    let start = i;
                     i = skip_char_literal(b, i, &mut line);
-                    push(&mut out, TokKind::Literal, String::new(), line, glued);
+                    push(
+                        &mut out,
+                        TokKind::Literal,
+                        source[start..i].to_string(),
+                        line,
+                        glued,
+                    );
                 }
                 prev_end = i;
             }
@@ -202,7 +243,36 @@ pub fn lex(source: &str) -> Lexed {
                 {
                     if let Some(end) = skip_raw_or_plain_string(b, i, &mut line) {
                         i = end;
-                        push(&mut out, TokKind::Literal, String::new(), line, glued);
+                        push(
+                            &mut out,
+                            TokKind::Literal,
+                            source[start..i].to_string(),
+                            line,
+                            glued,
+                        );
+                        prev_end = i;
+                        continue;
+                    }
+                    // Not a raw string after all: `r#ident` is a raw
+                    // identifier. Lex the identifier part so keywords
+                    // escaped this way still tokenize as one Ident.
+                    if text == "r"
+                        && b[i] == b'#'
+                        && i + 1 < b.len()
+                        && (b[i + 1].is_ascii_alphabetic() || b[i + 1] == b'_')
+                    {
+                        i += 1;
+                        let id_start = i;
+                        while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                            i += 1;
+                        }
+                        push(
+                            &mut out,
+                            TokKind::Ident,
+                            source[id_start..i].to_string(),
+                            line,
+                            glued,
+                        );
                         prev_end = i;
                         continue;
                     }
@@ -246,7 +316,14 @@ fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
     i += 1;
     while i < b.len() {
         match b[i] {
-            b'\\' => i += 2,
+            b'\\' => {
+                // An escaped newline (line-continuation) still ends a
+                // source line — keep the line counter honest.
+                if i + 1 < b.len() && b[i + 1] == b'\n' {
+                    *line += 1;
+                }
+                i += 2;
+            }
             b'\n' => {
                 *line += 1;
                 i += 1;
@@ -383,6 +460,107 @@ mod tests {
         assert!(brackets.iter().all(|t| !t.glued));
         let glued = lex("b[0]").tokens;
         assert!(glued.iter().any(|t| t.text == "[" && t.glued));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_hide_contents_and_keep_lines() {
+        // Hash counts 0–2, embedded quotes and hash runs shorter than
+        // the delimiter, and a newline that must advance line tracking.
+        let src = "let a = r\"Instant::now\";\nlet b = r#\"say \"hi\" HashMap\"#;\nlet c = r##\"one \"# two\nthree\"##;\nafter();";
+        let lexed = lex(src);
+        let ids: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(!ids.contains(&"Instant") && !ids.contains(&"HashMap"));
+        let after = lexed.tokens.iter().find(|t| t.text == "after").unwrap();
+        assert_eq!(after.line, 5, "raw-string newline must advance the line");
+        let lits: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .map(|t| t.str_content().unwrap())
+            .collect();
+        assert_eq!(
+            lits,
+            vec!["Instant::now", "say \"hi\" HashMap", "one \"# two\nthree"]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_matching_depth() {
+        let src = "/* a /* b /* c */ b */ a */ code(); /* tail */";
+        let lexed = lex(src);
+        let ids: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(ids, vec!["code"]);
+        assert_eq!(lexed.comments.len(), 2);
+        // Unterminated nesting must not loop or panic.
+        let open = lex("/* x /* y */ still-open\ncode();");
+        assert!(open.tokens.is_empty());
+    }
+
+    #[test]
+    fn lifetime_char_ambiguity_covers_the_edge_forms() {
+        // `'a` (lifetime), `'a'` (char), `'_` (anonymous lifetime),
+        // `'\''` and `'\n'` (escaped chars), `'static` (keyword lifetime).
+        let toks = lex("fn f<'a>(x: &'_ u8) -> &'static str { ('a', '\\'', '\\n') }").tokens;
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "_", "static"]);
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Literal).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_single_idents() {
+        let toks = lex("let r#fn = r#type + other;").tokens;
+        let ids: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(ids, vec!["let", "fn", "type", "other"]);
+        // And `r` alone, or `r` before `#` without an ident, stays split.
+        let ids2: Vec<String> = lex("r + 1")
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(ids2, vec!["r"]);
+    }
+
+    #[test]
+    fn escaped_newline_in_string_advances_line() {
+        let lexed = lex("let s = \"one \\\ntwo\";\nnext();");
+        let next = lexed.tokens.iter().find(|t| t.text == "next").unwrap();
+        assert_eq!(next.line, 3);
+    }
+
+    #[test]
+    fn str_content_strips_delimiters_only_for_strings() {
+        let toks = lex("(\"plain\", r\"raw\", r##\"h\"#sh\"##, 'c', b\"bytes\")").tokens;
+        let contents: Vec<Option<&str>> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .map(|t| t.str_content())
+            .collect();
+        assert_eq!(
+            contents,
+            vec![Some("plain"), Some("raw"), Some("h\"#sh"), None, None]
+        );
     }
 
     #[test]

@@ -41,6 +41,8 @@ pub mod config;
 pub mod engine;
 pub mod lexer;
 pub mod lints;
+pub mod parser;
+pub mod structural;
 
 pub use config::LintConfig;
 pub use engine::{lint_source, lint_workspace, Diagnostic, Report};

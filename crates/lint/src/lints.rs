@@ -15,8 +15,13 @@ use crate::lexer::{Tok, TokKind};
 pub struct LintSpec {
     /// Stable kebab-case id (what allow directives and `lint.toml` name).
     pub id: &'static str,
+    /// Stable machine code (`ALnnn`), recorded in JSON output.
+    pub code: &'static str,
     /// One-line rule statement.
     pub summary: &'static str,
+    /// Why the rule exists — printed by `--explain` when `lint.toml`
+    /// carries no comment block for the lint.
+    pub rationale: &'static str,
     /// Whether test code is checked by default.
     pub default_include_tests: bool,
     /// Default path scope (empty = whole workspace).
@@ -36,39 +41,77 @@ pub fn catalogue() -> &'static [LintSpec] {
     &[
         LintSpec {
             id: "wall-clock-in-sim",
+            code: "AL001",
             summary: "simulation code must not read the host clock",
+            rationale: "Instant::now / SystemTime::now make results depend on machine speed and load; a replay on different hardware diverges. Simulated time (Ctx::now) is the only clock the kernel trusts, and wall-clock measurement is quarantined behind atlarge_telemetry::wall.",
             default_include_tests: false,
             default_scope: &[],
             default_exempt: &["crates/telemetry", "crates/bench", "crates/lint"],
         },
         LintSpec {
             id: "entropy-rng",
+            code: "AL002",
             summary: "all randomness must derive from campaign seeds, never ambient entropy",
+            rationale: "OS entropy (thread_rng, from_entropy, OsRng, getrandom) is unreproducible by construction: the same campaign re-run yields different draws. Every RNG must be seeded from the campaign root via atlarge_exp::seed so that serial and parallel runs stay byte-identical.",
             default_include_tests: true,
             default_scope: &[],
             default_exempt: &[],
         },
         LintSpec {
             id: "unordered-iteration",
+            code: "AL003",
             summary:
                 "hashed collections have unspecified iteration order; results must not depend on it",
+            rationale: "HashMap/HashSet iteration order is randomized per process (RandomState); anything it touches — result rows, traces, JSONL — differs across runs even with fixed seeds. BTree collections and sorted Vecs iterate canonically.",
             default_include_tests: true,
             default_scope: &[],
             default_exempt: &[],
         },
         LintSpec {
             id: "panic-in-kernel",
+            code: "AL004",
             summary: "the DES kernel's hot paths must not contain panicking shortcuts",
+            rationale: "unwrap/expect/panic!/indexing in the event loop turn a recoverable modelling error into an aborted campaign shard; partial campaign output is itself a reproducibility hazard. Kernel paths return typed errors.",
             default_include_tests: false,
             default_scope: &["crates/des"],
             default_exempt: &[],
         },
         LintSpec {
             id: "float-accumulation-order",
+            code: "AL005",
             summary: "float accumulation over merged results must use order-fixed aggregation",
+            rationale: "Float addition is not associative: summing shard results in arrival order makes serial and parallel campaigns disagree in the last bits. Aggregation goes through atlarge_stats, which accumulates in canonical order.",
             default_include_tests: false,
             default_scope: &["crates/exp", "crates/obsv"],
             default_exempt: &["crates/stats"],
+        },
+        LintSpec {
+            id: "capsule-field-coverage",
+            code: "AL006",
+            summary:
+                "every capsule field written in capture() must be read back in resume(), and vice versa",
+            rationale: "A live policy swap is only identity-preserving when the state capsule round-trips: a field pushed in capture() but never read in resume() is silently dropped on swap, and a getter for a field capture() never writes fails every handoff with MissingField. Both drift classes compile cleanly; this lint diffs the field-name sets structurally per impl Evolvable.",
+            default_include_tests: true,
+            default_scope: &[],
+            default_exempt: &[],
+        },
+        LintSpec {
+            id: "seed-stream-aliasing",
+            code: "AL007",
+            summary: "seed-stream labels must be unique within a function",
+            rationale: "split_labeled(root, label) derives a sub-stream deterministically from its label: two calls with the same label in one scope produce byte-identical streams, so the 'independent' sub-studies they feed are perfectly correlated (the PR 3 bug class, fixed by hand in the p2p studies). Distinct labels are free; reuse is almost always a copy-paste error.",
+            default_include_tests: false,
+            default_scope: &[],
+            default_exempt: &[],
+        },
+        LintSpec {
+            id: "layer-boundary",
+            code: "AL008",
+            summary: "crates must respect the lint.toml-declared layer contracts",
+            rationale: "The kernel stays swappable (and the determinism surface auditable) only while domain code depends on sealed APIs: the future-event list lives behind EventQueue, wall clocks behind telemetry. Each [layer.<name>] section in lint.toml declares scope/exempt path prefixes and forbidden ::-path prefixes; this lint checks the parsed use-graph and inline qualified paths of every file against them.",
+            default_include_tests: true,
+            default_scope: &[],
+            default_exempt: &[],
         },
     ]
 }
@@ -76,6 +119,20 @@ pub fn catalogue() -> &'static [LintSpec] {
 /// Looks up a lint id in the catalogue (meta-lints included).
 pub fn is_known(id: &str) -> bool {
     id == ALLOWLIST_INVALID || id == UNUSED_ALLOWLIST || catalogue().iter().any(|s| s.id == id)
+}
+
+/// The stable `ALnnn` code for a lint id (`AL000` for unknown ids,
+/// which cannot reach output under normal operation).
+pub fn code_of(id: &str) -> &'static str {
+    match id {
+        ALLOWLIST_INVALID => "AL101",
+        UNUSED_ALLOWLIST => "AL102",
+        _ => catalogue()
+            .iter()
+            .find(|s| s.id == id)
+            .map(|s| s.code)
+            .unwrap_or("AL000"),
+    }
 }
 
 /// One raw finding inside a file, before allowlist filtering.

@@ -22,7 +22,10 @@ OPTIONS:
                           current directory to the first lint.toml /
                           workspace Cargo.toml).
     --config FILE         lint.toml path (default: <root>/lint.toml).
-    --list                Print the lint catalogue and exit.
+    --list                Print the lint catalogue (with codes) and exit.
+    --explain LINT        Print a lint's rationale — the comment block
+                          above its lint.toml section when present, the
+                          built-in registry text otherwise — and exit.
     --help                This text.
 
 EXIT CODES:
@@ -35,6 +38,7 @@ fn main() -> ExitCode {
     let mut format = "human".to_string();
     let mut root: Option<PathBuf> = None;
     let mut config_path: Option<PathBuf> = None;
+    let mut explain: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -61,17 +65,26 @@ fn main() -> ExitCode {
             }
             "--list" => {
                 for spec in lints::catalogue() {
-                    println!("{:<26} {}", spec.id, spec.summary);
+                    println!("{} {:<26} {}", spec.code, spec.id, spec.summary);
                 }
                 println!(
-                    "{:<26} allow directives must carry a reason and name known lints",
+                    "{} {:<26} allow directives must carry a reason and name known lints",
+                    lints::code_of(lints::ALLOWLIST_INVALID),
                     lints::ALLOWLIST_INVALID
                 );
                 println!(
-                    "{:<26} allow directives must suppress something",
+                    "{} {:<26} allow directives must suppress something",
+                    lints::code_of(lints::UNUSED_ALLOWLIST),
                     lints::UNUSED_ALLOWLIST
                 );
                 return ExitCode::SUCCESS;
+            }
+            "--explain" => {
+                i += 1;
+                match args.get(i) {
+                    Some(id) => explain = Some(id.clone()),
+                    None => return usage_error("--explain takes a lint id"),
+                }
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -89,10 +102,14 @@ fn main() -> ExitCode {
         ),
     };
     let config_file = config_path.unwrap_or_else(|| root.join("lint.toml"));
+    let mut toml_text: Option<String> = None;
     let cfg = if config_file.is_file() {
         match std::fs::read_to_string(&config_file) {
             Ok(text) => match LintConfig::from_toml(&text) {
-                Ok(cfg) => cfg,
+                Ok(cfg) => {
+                    toml_text = Some(text);
+                    cfg
+                }
                 Err(e) => return usage_error(&format!("{}: {e}", config_file.display())),
             },
             Err(e) => return usage_error(&format!("{}: {e}", config_file.display())),
@@ -100,6 +117,10 @@ fn main() -> ExitCode {
     } else {
         LintConfig::default_config()
     };
+
+    if let Some(id) = explain {
+        return explain_lint(&id, toml_text.as_deref(), &cfg);
+    }
 
     let report = lint_workspace(&root, &cfg);
     match format.as_str() {
@@ -116,6 +137,47 @@ fn main() -> ExitCode {
 fn usage_error(msg: &str) -> ExitCode {
     eprintln!("atlarge-lint: {msg}\n\n{USAGE}");
     ExitCode::from(2)
+}
+
+/// `--explain <id>`: headline from the registry, rationale from the
+/// `lint.toml` comment block above `[lint.<id>]` when one exists (the
+/// checked-in, workspace-specific wording wins), the registry text
+/// otherwise. `layer-boundary` additionally prints the active contract
+/// table.
+fn explain_lint(id: &str, toml_text: Option<&str>, cfg: &LintConfig) -> ExitCode {
+    let Some(spec) = lints::catalogue().iter().find(|s| s.id == id) else {
+        return usage_error(&format!(
+            "unknown lint `{id}`; run --list for the catalogue"
+        ));
+    };
+    println!("{} {}: {}", spec.code, spec.id, spec.summary);
+    println!();
+    let from_toml =
+        toml_text.and_then(|t| atlarge_lint::config::section_rationale(t, &format!("lint.{id}")));
+    match from_toml {
+        Some(rationale) => println!("{rationale}"),
+        None => println!("{}", spec.rationale),
+    }
+    if id == "layer-boundary" && !cfg.layers.is_empty() {
+        println!("\nactive layer contracts:");
+        for c in &cfg.layers {
+            let scope = if c.scope.is_empty() {
+                "workspace".to_string()
+            } else {
+                c.scope.join(", ")
+            };
+            println!("  [layer.{}]", c.name);
+            println!("    scope:  {scope}");
+            if !c.exempt.is_empty() {
+                println!("    exempt: {}", c.exempt.join(", "));
+            }
+            println!("    forbid: {}", c.forbid.join(", "));
+            if !c.note.is_empty() {
+                println!("    note:   {}", c.note);
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 /// Walks up from the current directory to the first directory holding a
@@ -168,6 +230,7 @@ fn print_json(report: &Report) {
                 ("file", json_str(&d.file)),
                 ("line", d.line.to_string()),
                 ("lint", json_str(&d.lint)),
+                ("code", json_str(&d.code)),
                 ("message", json_str(&d.message)),
                 ("suggestion", json_str(&d.suggestion)),
             ])

@@ -1,0 +1,582 @@
+//! A lightweight recursive-descent parser over the [`crate::lexer`]
+//! token stream — just enough syntax tree for structural lints.
+//!
+//! The parser recognizes the item shapes the structural lints need and
+//! is deliberately tolerant of everything else: `use` declarations
+//! (group trees flattened into full paths), `fn` items with their
+//! brace-delimited bodies as token spans, `impl` blocks (trait and self
+//! type) with their method children, and inline qualified paths
+//! (`atlarge_des::fel::Entry` appearing in expression or type
+//! position). Unrecognized constructs are skipped token by token — a
+//! file that rustc rejects still parses into *some* tree, so the
+//! linter never blocks on exotic syntax.
+
+use crate::lexer::{Tok, TokKind};
+
+/// One flattened `use` path (`use a::{b, c::d};` yields `a::b` and
+/// `a::c::d`). Renames keep the *source* path (`use x as y` records
+/// `x`): layer contracts are about what a file reaches into, not what
+/// it calls the result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsePath {
+    /// Full `::`-joined path. Glob imports end in `::*`.
+    pub path: String,
+    /// 1-based line of the path's last segment.
+    pub line: u32,
+    /// Index of the path's first token (drives test-region masking).
+    pub tok_idx: usize,
+}
+
+/// A `fn` item: name plus the token span of its body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// Function name (raw identifiers arrive unescaped: `r#fn` → `fn`).
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Index of the `fn` keyword token.
+    pub tok_idx: usize,
+    /// Token-index span `(open_brace, close_brace)` of the body;
+    /// `None` for bodyless signatures (trait methods, extern fns).
+    pub body: Option<(usize, usize)>,
+    /// Index into [`Ast::impls`] of the enclosing impl block, if any.
+    pub impl_idx: Option<usize>,
+}
+
+/// An `impl` block: optional trait, self type, and its methods.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImplItem {
+    /// Trait path for `impl Trait for Type` (generics stripped:
+    /// `evolve::Evolvable<'a>` → `evolve::Evolvable`); `None` for
+    /// inherent impls.
+    pub trait_path: Option<String>,
+    /// Self type path, generics stripped.
+    pub self_ty: String,
+    /// 1-based line of the `impl` keyword.
+    pub line: u32,
+    /// Index of the `impl` keyword token.
+    pub tok_idx: usize,
+    /// Indices into [`Ast::fns`] of the methods declared in this block.
+    pub fns: Vec<usize>,
+}
+
+/// An inline qualified path (two or more `::`-joined segments) seen
+/// outside `use` declarations — expression calls, type annotations,
+/// turbofish heads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathRef {
+    /// The `::`-joined segments.
+    pub path: String,
+    /// 1-based line of the first segment.
+    pub line: u32,
+    /// Index of the first segment's token.
+    pub tok_idx: usize,
+}
+
+/// The parse result: a flat, span-carrying view of one file.
+#[derive(Debug, Default)]
+pub struct Ast {
+    /// Flattened `use` declarations.
+    pub uses: Vec<UsePath>,
+    /// Every `fn` item, in source order (impl methods included).
+    pub fns: Vec<FnItem>,
+    /// Every `impl` block, in source order.
+    pub impls: Vec<ImplItem>,
+    /// Inline qualified paths, in source order.
+    pub paths: Vec<PathRef>,
+}
+
+/// The last `::`-separated segment of a path.
+pub fn last_segment(path: &str) -> &str {
+    path.rsplit("::").next().unwrap_or(path)
+}
+
+/// Whether `path` equals `prefix` or begins with `prefix::` on a
+/// segment boundary (`a::b` covers `a::b::c`, not `a::bc`).
+pub fn path_has_seg_prefix(path: &str, prefix: &str) -> bool {
+    path == prefix || (path.starts_with(prefix) && path[prefix.len()..].starts_with("::"))
+}
+
+/// Parses a lexed token stream into an [`Ast`].
+pub fn parse(toks: &[Tok]) -> Ast {
+    let mut p = Parser {
+        toks,
+        ast: Ast::default(),
+    };
+    p.items(0, toks.len(), None);
+    p.ast
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    ast: Ast,
+}
+
+impl<'a> Parser<'a> {
+    fn ident_at(&self, i: usize, text: &str) -> bool {
+        self.toks
+            .get(i)
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text == text)
+    }
+
+    fn punct_at(&self, i: usize, ch: &str) -> bool {
+        self.toks
+            .get(i)
+            .is_some_and(|t| t.kind == TokKind::Punct && t.text == ch)
+    }
+
+    /// `::` at `i` (two adjacent colon puncts, the second glued).
+    fn path_sep_at(&self, i: usize) -> bool {
+        self.punct_at(i, ":")
+            && self.punct_at(i + 1, ":")
+            && self.toks.get(i + 1).is_some_and(|t| t.glued)
+    }
+
+    /// Index of the token closing the delimiter opened at `open`.
+    fn matching(&self, open: usize, oc: &str, cc: &str) -> Option<usize> {
+        let mut depth = 0i32;
+        for (j, t) in self
+            .toks
+            .iter()
+            .enumerate()
+            .skip(open)
+            .take(self.toks.len() - open)
+        {
+            if t.kind == TokKind::Punct {
+                if t.text == oc {
+                    depth += 1;
+                } else if t.text == cc {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(j);
+                    }
+                }
+            }
+            let _ = j;
+        }
+        None
+    }
+
+    /// Skips a generics list starting at the `<` at `i`, returning the
+    /// index just past the matching `>`. `->` and `>>` are handled via
+    /// the lexer's glue flags (`>` glued to a `-` never closes).
+    fn skip_generics(&self, mut i: usize) -> usize {
+        let mut depth = 0i32;
+        while i < self.toks.len() {
+            let t = &self.toks[i];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "<" => depth += 1,
+                    ">" => {
+                        let after_dash = i > 0
+                            && t.glued
+                            && self.toks[i - 1].kind == TokKind::Punct
+                            && self.toks[i - 1].text == "-";
+                        if !after_dash {
+                            depth -= 1;
+                            if depth == 0 {
+                                return i + 1;
+                            }
+                        }
+                    }
+                    // A brace or semicolon inside generics means we
+                    // mis-guessed; bail rather than overrun the item.
+                    "{" | ";" => return i,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        i
+    }
+
+    /// Reads a path (`seg::seg::…`) starting at the ident at `i`,
+    /// skipping inline generic arguments. Returns the `::`-joined
+    /// segments and the index just past the path.
+    fn read_path(&self, mut i: usize) -> (String, usize) {
+        let mut segs: Vec<&str> = Vec::new();
+        while let Some(t) = self.toks.get(i) {
+            if t.kind != TokKind::Ident {
+                break;
+            }
+            segs.push(&t.text);
+            i += 1;
+            if self.punct_at(i, "<") {
+                i = self.skip_generics(i);
+            }
+            if self.path_sep_at(i) {
+                i += 2;
+                // Turbofish (`::<`) ends the segment list.
+                if self.punct_at(i, "<") {
+                    i = self.skip_generics(i);
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        (segs.join("::"), i)
+    }
+
+    /// Parses the item sequence in `toks[start..end]`. `impl_idx` is
+    /// set while inside an impl block so `fn` children are linked.
+    fn items(&mut self, start: usize, end: usize, impl_idx: Option<usize>) {
+        let mut i = start;
+        while i < end {
+            let t = &self.toks[i];
+            if t.kind == TokKind::Ident {
+                match t.text.as_str() {
+                    "use" => {
+                        i = self.use_decl(i + 1, end);
+                        continue;
+                    }
+                    "fn" => {
+                        i = self.fn_item(i, end, impl_idx);
+                        continue;
+                    }
+                    "impl" if impl_idx.is_none() => {
+                        i = self.impl_block(i, end);
+                        continue;
+                    }
+                    "mod" | "trait" => {
+                        // Recurse into the braces (same item grammar);
+                        // `mod name;` has none.
+                        let mut j = i + 1;
+                        while j < end && !self.punct_at(j, "{") && !self.punct_at(j, ";") {
+                            j += 1;
+                        }
+                        if self.punct_at(j, "{") {
+                            if let Some(close) = self.matching(j, "{", "}") {
+                                self.items(j + 1, close.min(end), impl_idx);
+                                i = close + 1;
+                                continue;
+                            }
+                        }
+                        i = j + 1;
+                        continue;
+                    }
+                    _ => {
+                        // Any other ident followed by `::` starts an
+                        // inline path (a turbofish truncates it to the
+                        // head segment, which is still the reached-into
+                        // name).
+                        if self.path_sep_at(i + 1) {
+                            let (path, next) = self.read_path(i);
+                            if !path.is_empty() {
+                                self.ast.paths.push(PathRef {
+                                    path,
+                                    line: t.line,
+                                    tok_idx: i,
+                                });
+                                i = next.max(i + 1);
+                                continue;
+                            }
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// Parses one `use` declaration starting just past the `use`
+    /// keyword; flattens group trees; returns the index past the `;`.
+    fn use_decl(&mut self, start: usize, end: usize) -> usize {
+        // Find the terminating `;` (never inside quotes — `use` trees
+        // carry no literals — so a flat scan with brace depth is safe).
+        let mut close = start;
+        let mut depth = 0i32;
+        while close < end {
+            if self.punct_at(close, "{") {
+                depth += 1;
+            } else if self.punct_at(close, "}") {
+                depth -= 1;
+            } else if self.punct_at(close, ";") && depth <= 0 {
+                break;
+            }
+            close += 1;
+        }
+        let mut prefix: Vec<String> = Vec::new();
+        self.use_tree(start, close, &mut prefix);
+        close + 1
+    }
+
+    /// Recursively flattens one `use` tree in `toks[i..end)` under
+    /// `prefix`. Handles `a::b`, groups `{…}`, globs `*`, and `as`
+    /// renames (recording the source path).
+    fn use_tree(&mut self, mut i: usize, end: usize, prefix: &mut Vec<String>) {
+        let depth0 = prefix.len();
+        let mut first_tok = None;
+        while i < end {
+            let t = &self.toks[i];
+            match t.kind {
+                TokKind::Ident if t.text == "as" => {
+                    // Skip the rename ident.
+                    i += 2;
+                }
+                TokKind::Ident => {
+                    first_tok.get_or_insert(i);
+                    prefix.push(t.text.clone());
+                    i += 1;
+                }
+                TokKind::Punct => match t.text.as_str() {
+                    ":" => i += 1,
+                    "*" => {
+                        // A glob terminates this subtree; emit and stop
+                        // so the trailing-path emit does not double up.
+                        prefix.push("*".to_string());
+                        self.emit_use(prefix, t.line, first_tok.unwrap_or(i));
+                        prefix.truncate(depth0);
+                        return;
+                    }
+                    "{" => {
+                        // Each comma-separated subtree re-enters with
+                        // the current prefix.
+                        let close = self.matching(i, "{", "}").unwrap_or(end).min(end);
+                        let mut item_start = i + 1;
+                        let mut j = i + 1;
+                        let mut d = 0i32;
+                        while j <= close {
+                            let is_comma = self.punct_at(j, ",") && d == 0;
+                            let is_close = j == close;
+                            if self.punct_at(j, "{") {
+                                d += 1;
+                            } else if self.punct_at(j, "}") && j != close {
+                                d -= 1;
+                            }
+                            if is_comma || is_close {
+                                if item_start < j {
+                                    let mut sub = prefix.clone();
+                                    self.use_tree(item_start, j, &mut sub);
+                                }
+                                item_start = j + 1;
+                            }
+                            j += 1;
+                        }
+                        prefix.truncate(depth0);
+                        return;
+                    }
+                    "," | "}" => break,
+                    _ => i += 1,
+                },
+                _ => i += 1,
+            }
+        }
+        if prefix.len() > depth0 {
+            let line = self.toks.get(i.saturating_sub(1)).map_or(1, |t| t.line);
+            self.emit_use(prefix, line, first_tok.unwrap_or(i.saturating_sub(1)));
+        }
+        prefix.truncate(depth0);
+    }
+
+    fn emit_use(&mut self, segs: &[String], line: u32, tok_idx: usize) {
+        if segs.is_empty() {
+            return;
+        }
+        self.ast.uses.push(UsePath {
+            path: segs.join("::"),
+            line,
+            tok_idx,
+        });
+    }
+
+    /// Parses one `fn` item starting at the `fn` keyword; returns the
+    /// index just past the body (or the `;`).
+    fn fn_item(&mut self, fn_idx: usize, end: usize, impl_idx: Option<usize>) -> usize {
+        let name_idx = fn_idx + 1;
+        let Some(name_tok) = self.toks.get(name_idx) else {
+            return fn_idx + 1;
+        };
+        if name_tok.kind != TokKind::Ident {
+            return fn_idx + 1;
+        }
+        // From the name, scan to the body `{` or a `;` at bracket depth
+        // zero. Parens and brackets in the signature (generic bounds
+        // like `Fn(u32)`, array types) are skipped via matching.
+        let mut i = name_idx + 1;
+        let mut body = None;
+        while i < end {
+            if self.punct_at(i, "(") {
+                i = self.matching(i, "(", ")").map_or(end, |c| c + 1);
+                continue;
+            }
+            if self.punct_at(i, "[") {
+                i = self.matching(i, "[", "]").map_or(end, |c| c + 1);
+                continue;
+            }
+            if self.punct_at(i, "{") {
+                let close = self.matching(i, "{", "}").unwrap_or(end);
+                body = Some((i, close.min(end)));
+                i = close.min(end) + 1;
+                break;
+            }
+            if self.punct_at(i, ";") {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        self.ast.fns.push(FnItem {
+            name: name_tok.text.clone(),
+            line: self.toks[fn_idx].line,
+            tok_idx: fn_idx,
+            body,
+            impl_idx,
+        });
+        if let Some(fi) = impl_idx {
+            let fn_pos = self.ast.fns.len() - 1;
+            self.ast.impls[fi].fns.push(fn_pos);
+        }
+        // Recurse into the body so nested items, `use` declarations and
+        // inline qualified paths inside it are collected. Nested fns
+        // are free items, not methods of the enclosing impl.
+        if let Some((open, close)) = body {
+            self.items(open + 1, close, None);
+        }
+        i
+    }
+
+    /// Parses one `impl` block starting at the `impl` keyword; returns
+    /// the index just past the closing brace.
+    fn impl_block(&mut self, impl_idx: usize, end: usize) -> usize {
+        let line = self.toks[impl_idx].line;
+        let mut i = impl_idx + 1;
+        if self.punct_at(i, "<") {
+            i = self.skip_generics(i);
+        }
+        // Tolerate negative impls (`impl !Send for X`).
+        if self.punct_at(i, "!") {
+            i += 1;
+        }
+        let (first, after_first) = self.read_path(i);
+        if first.is_empty() {
+            return impl_idx + 1;
+        }
+        i = after_first;
+        let (trait_path, self_ty) = if self.ident_at(i, "for") {
+            i += 1;
+            // `impl Trait for &mut Type` / `for dyn Type`.
+            while self.punct_at(i, "&") || self.ident_at(i, "mut") || self.ident_at(i, "dyn") {
+                i += 1;
+            }
+            let (ty, after_ty) = self.read_path(i);
+            i = after_ty;
+            (Some(first), ty)
+        } else {
+            (None, first)
+        };
+        // Skip a where clause to the block's opening brace.
+        while i < end && !self.punct_at(i, "{") && !self.punct_at(i, ";") {
+            i += 1;
+        }
+        if !self.punct_at(i, "{") {
+            return i + 1;
+        }
+        let close = self.matching(i, "{", "}").unwrap_or(end).min(end);
+        self.ast.impls.push(ImplItem {
+            trait_path,
+            self_ty,
+            line,
+            tok_idx: impl_idx,
+            fns: Vec::new(),
+        });
+        let idx = self.ast.impls.len() - 1;
+        self.items(i + 1, close, Some(idx));
+        close + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Ast {
+        parse(&lex(src).tokens)
+    }
+
+    #[test]
+    fn use_groups_flatten_to_full_paths() {
+        let ast = parse_src(
+            "use std::time::{Instant, SystemTime};\nuse atlarge_des::{fel::Entry, EventQueue};\nuse x::y as z;\nuse a::b::*;",
+        );
+        let paths: Vec<&str> = ast.uses.iter().map(|u| u.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            vec![
+                "std::time::Instant",
+                "std::time::SystemTime",
+                "atlarge_des::fel::Entry",
+                "atlarge_des::EventQueue",
+                "x::y",
+                "a::b::*",
+            ]
+        );
+        assert_eq!(ast.uses[0].line, 1);
+        assert_eq!(ast.uses[2].line, 2);
+    }
+
+    #[test]
+    fn nested_use_groups_flatten() {
+        let ast = parse_src("use a::{b::{c, d}, e};");
+        let paths: Vec<&str> = ast.uses.iter().map(|u| u.path.as_str()).collect();
+        assert_eq!(paths, vec!["a::b::c", "a::b::d", "a::e"]);
+    }
+
+    #[test]
+    fn fns_carry_body_spans_and_impl_links() {
+        let ast = parse_src(
+            "fn free(x: u32) -> u32 { x + 1 }\nimpl Evolvable for Hist {\n    fn capture(&self) -> Capsule { Capsule::new(\"k\", 1) }\n    fn resume(&mut self) {}\n}\ntrait T { fn sig(&self); }",
+        );
+        let names: Vec<&str> = ast.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["free", "capture", "resume", "sig"]);
+        assert!(ast.fns[0].body.is_some() && ast.fns[0].impl_idx.is_none());
+        assert!(ast.fns[3].body.is_none());
+        assert_eq!(ast.impls.len(), 1);
+        assert_eq!(ast.impls[0].trait_path.as_deref(), Some("Evolvable"));
+        assert_eq!(ast.impls[0].self_ty, "Hist");
+        assert_eq!(ast.impls[0].fns, vec![1, 2]);
+    }
+
+    #[test]
+    fn generic_impls_and_fn_bound_parens_parse() {
+        let ast = parse_src(
+            "impl<T: Fn(u32) -> u32> evolve::Evolvable<T> for Wrapper<'a, T> {\n    fn capture<F: Fn(u8)>(&self, f: F) -> Capsule { f(1) }\n}",
+        );
+        assert_eq!(ast.impls.len(), 1);
+        assert_eq!(
+            ast.impls[0].trait_path.as_deref(),
+            Some("evolve::Evolvable")
+        );
+        assert_eq!(ast.impls[0].self_ty, "Wrapper");
+        assert_eq!(ast.fns.len(), 1);
+        assert!(ast.fns[0].body.is_some());
+    }
+
+    #[test]
+    fn inline_paths_are_collected_outside_uses() {
+        let ast = parse_src(
+            "fn f() { let q = atlarge_des::fel::BinaryHeapFel::new(); let v = Vec::<u8>::new(); x.get(0); }",
+        );
+        let paths: Vec<&str> = ast.paths.iter().map(|p| p.path.as_str()).collect();
+        assert!(paths.contains(&"atlarge_des::fel::BinaryHeapFel::new"));
+        assert!(paths.contains(&"Vec"));
+        assert!(!paths.iter().any(|p| p.contains("get")));
+    }
+
+    #[test]
+    fn mods_recurse_and_bodyless_mods_skip() {
+        let ast = parse_src("mod outer { mod inner { fn deep() {} } }\nmod decl;");
+        assert_eq!(ast.fns.len(), 1);
+        assert_eq!(ast.fns[0].name, "deep");
+    }
+
+    #[test]
+    fn seg_prefix_matching_is_boundary_aware() {
+        assert!(path_has_seg_prefix("a::b::c", "a::b"));
+        assert!(path_has_seg_prefix("a::b", "a::b"));
+        assert!(!path_has_seg_prefix("a::bc", "a::b"));
+        assert_eq!(last_segment("a::b::c"), "c");
+        assert_eq!(last_segment("solo"), "solo");
+    }
+}

@@ -67,10 +67,17 @@ fn violations_stream_as_stable_jsonl() {
         .collect();
     assert_eq!(diags.len(), 3, "thread_rng + two HashMap mentions");
     for d in &diags {
-        for field in ["file", "lint", "message", "suggestion"] {
+        for field in ["file", "lint", "code", "message", "suggestion"] {
             assert!(d.str_field(field).is_some(), "missing field {field}");
         }
         assert!(d.u64_field("line").is_some(), "missing field line");
+        // `code` is the stable machine alias of `lint`.
+        let expect = match d.str_field("lint") {
+            Some("entropy-rng") => "AL002",
+            Some("unordered-iteration") => "AL003",
+            other => panic!("unexpected lint {other:?}"),
+        };
+        assert_eq!(d.str_field("code"), Some(expect));
     }
     let keys: Vec<(String, u64, String)> = diags
         .iter()

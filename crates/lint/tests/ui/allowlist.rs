@@ -20,3 +20,10 @@ pub fn unused() {
     // #[allow_atlarge(entropy-rng, reason = "stale escape")]
     let _y = 2;
 }
+
+pub fn multi_id_half_stale() {
+    // One directive, two ids: unordered-iteration earns its keep, the
+    // entropy-rng id is stale and flagged by name.
+    // #[allow_atlarge(unordered-iteration, entropy-rng, reason = "fixture: singleton map")]
+    let _m: HashMap<u8, u8> = HashMap::new();
+}

@@ -1,0 +1,21 @@
+//@ path: crates/autoscaling/src/capsule_coverage_fixture.rs
+// ui fixture: capture()/resume() must round-trip the same field set.
+
+impl Evolvable for DriftingPolicy {
+    fn capsule_kind(&self) -> &'static str {
+        "fixture.drifting"
+    }
+
+    fn capture(&self, _now: f64) -> Capsule {
+        Capsule::new(self.capsule_kind(), 1)
+            .with_f64("window", self.window)
+            .with_u64("ticks", self.ticks)
+    }
+
+    fn resume(&mut self, capsule: &Capsule, _now: f64) -> Result<(), CapsuleError> {
+        capsule.expect_kind(self.capsule_kind())?;
+        self.window = capsule.f64_field("window")?;
+        self.phantom = capsule.u32_field("phantom")?;
+        Ok(())
+    }
+}

@@ -1,0 +1,10 @@
+//@ path: crates/p2p/src/layer_boundary_fixture.rs
+// ui fixture: domain code must not reach into the sealed DES kernel
+// internals or hold wall-clock types.
+
+use atlarge_des::fel::CalendarQueue;
+use std::time::Instant;
+
+pub fn peek_kernel() {
+    let _q = atlarge_des::fel::BinaryHeapFel::new();
+}

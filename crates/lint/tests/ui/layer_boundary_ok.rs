@@ -1,0 +1,10 @@
+//@ path: crates/p2p/src/layer_boundary_ok_fixture.rs
+// ui fixture (negative): the sealed public API and simulated time are
+// the sanctioned ways through both boundaries.
+
+use atlarge_des::{EventQueue, Simulation};
+use std::time::Duration;
+
+pub fn through_the_api(sim: &mut Simulation) {
+    let _now = sim.now();
+}

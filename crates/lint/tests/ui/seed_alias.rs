@@ -1,0 +1,9 @@
+//@ path: crates/exp/src/seed_alias_fixture.rs
+// ui fixture: duplicate seed-stream labels in one scope are correlated.
+
+pub fn build_studies(root: u64) -> (u64, u64, u64) {
+    let arrivals = split_labeled(root, "arrivals");
+    let failures = split_labeled(root, "failures");
+    let churn = split_labeled(root, "arrivals");
+    (arrivals, failures, churn)
+}

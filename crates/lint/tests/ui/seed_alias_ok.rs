@@ -1,0 +1,13 @@
+//@ path: crates/exp/src/seed_alias_ok_fixture.rs
+// ui fixture (negative): distinct labels per scope, and label reuse
+// across functions, are both fine.
+
+pub fn build_studies(root: u64) -> (u64, u64) {
+    let arrivals = split_labeled(root, "arrivals");
+    let failures = split_labeled(root, "failures");
+    (arrivals, failures)
+}
+
+pub fn another_study(root: u64) -> u64 {
+    split_labeled(root, "arrivals")
+}

@@ -5,6 +5,9 @@
 //! Each fixture's first line is a `//@ path: <virtual path>` header —
 //! the workspace-relative path the file pretends to live at, which is
 //! what drives per-lint scope and exemption matching.
+//!
+//! Set `ATLARGE_LINT_BLESS=1` to rewrite the `.expected` files from the
+//! current output instead of comparing (then review the diff).
 
 use atlarge_lint::{lint_source, LintConfig, Report};
 use std::fs;
@@ -41,6 +44,7 @@ fn ui_fixtures_match_expected() {
         entries.len()
     );
 
+    let bless = std::env::var_os("ATLARGE_LINT_BLESS").is_some();
     for path in entries {
         let source = fs::read_to_string(&path).expect("fixture readable");
         let virt = source
@@ -49,9 +53,13 @@ fn ui_fixtures_match_expected() {
             .and_then(|l| l.strip_prefix("//@ path: "))
             .unwrap_or_else(|| panic!("{}: missing `//@ path:` header", path.display()))
             .trim();
+        let actual = render(&lint_source(virt, &source, &cfg));
+        if bless {
+            fs::write(path.with_extension("expected"), &actual).expect("bless writable");
+            continue;
+        }
         let expected = fs::read_to_string(path.with_extension("expected"))
             .unwrap_or_else(|_| panic!("{}: missing sibling .expected file", path.display()));
-        let actual = render(&lint_source(virt, &source, &cfg));
         assert_eq!(
             actual,
             expected,
