@@ -15,6 +15,24 @@
 //! - **chain** — a 200k self-scheduling event chain through the full
 //!   `Simulation` dispatch loop, untraced vs `NullTracer`, validating
 //!   that the split traced/untraced loop keeps tracing free when off.
+//! - **sharded** — the parallel-in-time kernel organization at 1e6
+//!   pending, two views:
+//!   - *churn*: the windowed per-shard-FEL data path (conservative
+//!     `lookahead`-wide pop windows, staged pushes absorbed as sorted
+//!     batches between rounds — exactly `ShardedSimulation`'s queue
+//!     discipline) against one sealed single-queue backend holding the
+//!     whole population: the reference `BinaryHeapFel` (the `speedup`
+//!     column, matching the hold/churn rows' meaning of `speedup`) and
+//!     the tuned `CalendarQueue` (`vs_single_calendar`). A commutative
+//!     checksum over every pop proves all organizations execute the
+//!     byte-identical event set.
+//!   - *engine_hold*: the full `ShardedSimulation` engine vs the sealed
+//!     `Simulation` on an identical 1e6-entity self-scheduling hold
+//!     workload, single worker thread. Recorded without speedup claims:
+//!     on one worker the tuned calendar's hot set is already
+//!     cache-resident, so LP-dispatch overhead dominates and the
+//!     sharded engine pays for its windows; the win needs worker
+//!     threads (see EXPERIMENTS.md on choosing shard counts).
 //!
 //! `--test` runs a seconds-scale smoke of every code path (CI); the
 //! full run reports medians and rewrites the JSON baseline.
@@ -22,6 +40,7 @@
 use atlarge_des::calendar::CalendarQueue;
 use atlarge_des::fel::{BinaryHeapFel, FutureEventList};
 use atlarge_des::queue::EventQueue;
+use atlarge_des::shard::{LogicalProcess, ShardCtx, ShardedSimulation, StaticPartition};
 use atlarge_des::sim::{Ctx, Model, Simulation};
 use atlarge_telemetry::tracer::{EventLabel, NullTracer};
 use criterion::{criterion_group, Criterion};
@@ -131,6 +150,264 @@ fn chain_secs(len: u64, traced: bool) -> f64 {
     let dt = t0.elapsed().as_secs_f64();
     std::hint::black_box(sim.now());
     dt
+}
+
+/// Pending population of the sharded-vs-sealed comparison.
+const SHARD_PENDING: usize = 1_000_000;
+/// Declared cross-entity lookahead of the sharded workload (also the
+/// minimum reschedule delay, so the sealed run obeys it too).
+const SHARD_LA: f64 = 4.0;
+/// Bounded-run horizon: at 1e6 pending over `SPAN`, events arrive at
+/// ~1000 per simulated second, so this processes ~`OPS` dispatches.
+const SHARD_HORIZON: f64 = 200.0;
+
+/// Per-entity stream seed for the sharded workload (splitmix-style), so
+/// the sealed and sharded runs draw identical per-entity schedules.
+fn cell_seed(seed: u64, entity: u64) -> u64 {
+    let mut z = seed ^ entity.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The self-scheduling hold step both engines share: one draw decides
+/// the delay (`SHARD_LA + u * SPAN`, honouring the lookahead) and
+/// whether the successor stays home or hops to another entity (1 in 16
+/// — cross-shard traffic under any partition).
+fn hold_next(x: &mut u64, entity: u32, n: u32) -> (f64, u32) {
+    let u = lcg(x);
+    let dt = SHARD_LA + u * SPAN;
+    let target = if *x & 0xF == 0 {
+        ((*x >> 8) % u64::from(n)) as u32
+    } else {
+        entity
+    };
+    (dt, target)
+}
+
+#[derive(Debug)]
+struct Step;
+
+impl EventLabel for Step {
+    fn label(&self) -> &'static str {
+        "step"
+    }
+}
+
+/// One entity of the sharded hold workload.
+struct HoldCell {
+    x: u64,
+    n: u32,
+}
+
+impl LogicalProcess for HoldCell {
+    type Event = Step;
+
+    fn handle(&mut self, _ev: Step, ctx: &mut ShardCtx<'_, Step>) {
+        let (dt, target) = hold_next(&mut self.x, ctx.entity(), self.n);
+        if target == ctx.entity() {
+            ctx.schedule_in(dt, Step);
+        } else {
+            ctx.send_in(dt, target, Step);
+        }
+    }
+}
+
+/// The same workload as one sealed global model.
+struct HoldNet {
+    x: Vec<u64>,
+    handled: u64,
+}
+
+#[derive(Debug)]
+struct StepAt {
+    entity: u32,
+}
+
+impl EventLabel for StepAt {
+    fn label(&self) -> &'static str {
+        "step"
+    }
+}
+
+impl Model for HoldNet {
+    type Event = StepAt;
+
+    fn handle(&mut self, ev: StepAt, ctx: &mut Ctx<StepAt>) {
+        self.handled += 1;
+        let n = self.x.len() as u32;
+        let cell = &mut self.x[ev.entity as usize];
+        let (dt, target) = hold_next(cell, ev.entity, n);
+        ctx.schedule_in(dt, StepAt { entity: target });
+    }
+}
+
+/// Root schedule shared by both engines: one event per entity, uniform
+/// over `[0, SPAN)`.
+fn hold_roots(entities: usize, seed: u64) -> Vec<f64> {
+    let mut sx = seed ^ 0x2545_F491_4F6C_DD1D;
+    (0..entities).map(|_| lcg(&mut sx) * SPAN).collect()
+}
+
+/// Seconds and dispatch count for a bounded run of the hold workload on
+/// the sealed single-queue engine (setup excluded).
+fn sealed_hold_secs(entities: usize, horizon: f64, seed: u64) -> (f64, u64) {
+    let x = (0..entities as u64).map(|e| cell_seed(seed, e)).collect();
+    let mut sim = Simulation::with_capacity(HoldNet { x, handled: 0 }, seed, entities + 1);
+    for (e, t) in hold_roots(entities, seed).into_iter().enumerate() {
+        sim.schedule(t, StepAt { entity: e as u32 });
+    }
+    let t0 = Instant::now();
+    sim.run_until(horizon);
+    let dt = t0.elapsed().as_secs_f64();
+    (dt, sim.into_model().handled)
+}
+
+/// Seconds and dispatch count for the identical workload on the sharded
+/// kernel (block partition, setup excluded). On a single worker thread
+/// the entire gain is algorithmic: per-shard calendars an eighth the
+/// population, plus batched staging inserts between rounds.
+fn sharded_hold_secs(shards: usize, entities: usize, horizon: f64, seed: u64) -> (f64, u64) {
+    let part = StaticPartition::block(entities, shards, SHARD_LA);
+    let lps: Vec<HoldCell> = (0..entities as u64)
+        .map(|e| HoldCell {
+            x: cell_seed(seed, e),
+            n: entities as u32,
+        })
+        .collect();
+    let mut sim: ShardedSimulation<_, _> = ShardedSimulation::new(part, lps, seed)
+        .expect("valid partition")
+        .with_threads(1)
+        .with_pending_capacity(entities);
+    for (e, t) in hold_roots(entities, seed).into_iter().enumerate() {
+        sim.schedule(t, e as u32, Step);
+    }
+    let t0 = Instant::now();
+    sim.run_until(horizon);
+    let dt = t0.elapsed().as_secs_f64();
+    (dt, sim.processed())
+}
+
+/// Simulated-time bound of the windowed churn measurement; at 1e6
+/// pending over `SPAN` this executes ~100k pops (~200k queue ops).
+const WCHURN_T_END: f64 = 100.0;
+
+/// Successor of a popped windowed-churn event: the payload is the
+/// per-event RNG state, so the successor depends only on the popped
+/// event — never on pop order. That makes the executed event set a
+/// fixed DAG, identical under global-order pops (sealed) and
+/// window-order pops (sharded), which the checksum asserts.
+fn wchurn_next(p: u64) -> (u64, f64) {
+    let mut x = p;
+    let u = lcg(&mut x);
+    (x, SHARD_LA + u * SPAN)
+}
+
+/// Shard owning a payload (its high bits — independent of the low bits
+/// the delay draw consumes).
+fn wchurn_route(payload: u64, shards: usize) -> usize {
+    ((payload >> 32) as usize) % shards
+}
+
+/// Commutative pop checksum: wrapping sum of a per-pop mix, so any pop
+/// order over the same event set yields the same value.
+fn wchurn_mix(t: f64, p: u64) -> u64 {
+    (t.to_bits() ^ p).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// The shared root schedule: `pending` events uniform over `[0, SPAN)`
+/// with per-index payload seeds.
+fn wchurn_roots(pending: usize, seed: u64) -> Vec<(f64, u64)> {
+    let mut sx = seed ^ 0x2545_F491_4F6C_DD1D;
+    (0..pending as u64)
+        .map(|i| (lcg(&mut sx) * SPAN, cell_seed(seed, i)))
+        .collect()
+}
+
+/// Seconds, pops, and checksum for windowed churn through one sealed
+/// single-queue backend holding the entire population: pop bursts of 64
+/// in global time order, then flush the 64 replacement pushes — the
+/// bursty push-then-pop rhythm of the churn rows, bounded by simulated
+/// time so every backend executes the same event set.
+fn sealed_wchurn_secs<F: FutureEventList<u64>>(
+    pending: usize,
+    t_end: f64,
+    seed: u64,
+) -> (f64, u64, u64) {
+    const BURST: usize = 64;
+    let mut q: EventQueue<u64, F> = EventQueue::default();
+    q.reserve(pending + BURST);
+    for (t, p) in wchurn_roots(pending, seed) {
+        q.push(t, p);
+    }
+    let mut pops = 0u64;
+    let mut sum = 0u64;
+    let mut batch: Vec<(f64, u64)> = Vec::with_capacity(BURST);
+    let t0 = Instant::now();
+    'outer: loop {
+        for _ in 0..BURST {
+            let Some((t, _, _, p)) = q.pop_entry_until(t_end) else {
+                for (t, p) in batch.drain(..) {
+                    q.push(t, p);
+                }
+                break 'outer;
+            };
+            pops += 1;
+            sum = sum.wrapping_add(wchurn_mix(t, p));
+            let (np, dt) = wchurn_next(p);
+            batch.push((t + dt, np));
+        }
+        for (t, p) in batch.drain(..) {
+            q.push(t, p);
+        }
+    }
+    (t0.elapsed().as_secs_f64(), pops, sum)
+}
+
+/// The same churn through the sharded kernel's FEL organization:
+/// `shards` calendar queues, rounds that pop everything inside the
+/// conservative window `[min, min + lookahead)`, pushes staged per
+/// target shard and absorbed as sorted batches between rounds —
+/// `ShardedSimulation`'s queue discipline without LP dispatch, so the
+/// row isolates what the organization itself costs and buys.
+fn sharded_wchurn_secs(shards: usize, pending: usize, t_end: f64, seed: u64) -> (f64, u64, u64) {
+    let mut qs: Vec<EventQueue<u64, CalendarQueue<u64>>> =
+        (0..shards).map(|_| EventQueue::default()).collect();
+    for q in &mut qs {
+        q.reserve(pending / shards + 64);
+    }
+    let mut staging: Vec<Vec<(f64, u64)>> = vec![Vec::new(); shards];
+    for (t, p) in wchurn_roots(pending, seed) {
+        qs[wchurn_route(p, shards)].push(t, p);
+    }
+    let mut pops = 0u64;
+    let mut sum = 0u64;
+    let t0 = Instant::now();
+    loop {
+        let m = qs
+            .iter()
+            .filter_map(EventQueue::peek_time)
+            .fold(f64::INFINITY, f64::min);
+        if m >= t_end {
+            break;
+        }
+        let h = (m + SHARD_LA).min(t_end);
+        for q in &mut qs {
+            while let Some((t, _, _, p)) = q.pop_entry_until(h) {
+                pops += 1;
+                sum = sum.wrapping_add(wchurn_mix(t, p));
+                let (np, dt) = wchurn_next(p);
+                staging[wchurn_route(np, shards)].push((t + dt, np));
+            }
+        }
+        for (s, st) in staging.iter_mut().enumerate() {
+            st.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+            for (t, p) in st.drain(..) {
+                qs[s].push(t, p);
+            }
+        }
+    }
+    (t0.elapsed().as_secs_f64(), pops, sum)
 }
 
 /// Median of `reps` measurements.
@@ -252,10 +529,105 @@ fn baseline() {
         "  chain ({CHAIN_LEN} events): untraced {untraced_mops:.2} Mops/s, NullTracer {null_mops:.2} Mops/s ({overhead_pct:+.2}%)"
     );
 
+    // Windowed churn at 1e6 pending: the sharded kernel's FEL
+    // organization vs one sealed single-queue backend holding the whole
+    // population. The checksum must agree across every organization —
+    // same executed event set — or the comparison is meaningless.
+    let (cal_secs, wpops, wsum) = {
+        let mut best = f64::INFINITY;
+        let mut pops = 0;
+        let mut sum = 0;
+        for _ in 0..3 {
+            let (s, p, c) =
+                sealed_wchurn_secs::<CalendarQueue<u64>>(SHARD_PENDING, WCHURN_T_END, 42);
+            best = best.min(s);
+            pops = p;
+            sum = c;
+        }
+        (best, pops, sum)
+    };
+    let wops = 2 * wpops;
+    let cal_mops = wops as f64 / cal_secs / 1e6;
+    let heap_secs = {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let (s, p, c) =
+                sealed_wchurn_secs::<BinaryHeapFel<u64>>(SHARD_PENDING, WCHURN_T_END, 42);
+            assert_eq!((p, c), (wpops, wsum), "heap churn diverged");
+            best = best.min(s);
+        }
+        best
+    };
+    let heap_mops = wops as f64 / heap_secs / 1e6;
+    println!(
+        "  sharded churn @ {SHARD_PENDING} pending ({wops} ops): reference heap {heap_mops:.2} Mops/s, single calendar {cal_mops:.2} Mops/s"
+    );
+    let mut churn_rows = Vec::new();
+    for &shards in &[1usize, 2, 8] {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let (s, p, c) = sharded_wchurn_secs(shards, SHARD_PENDING, WCHURN_T_END, 42);
+            assert_eq!(
+                (p, c),
+                (wpops, wsum),
+                "sharded churn diverged at {shards} shards"
+            );
+            best = best.min(s);
+        }
+        let mops = wops as f64 / best / 1e6;
+        println!(
+            "    {shards} shard(s): {mops:.2} Mops/s ({:.2}x vs reference heap, {:.2}x vs single calendar)",
+            mops / heap_mops,
+            mops / cal_mops
+        );
+        churn_rows.push(format!(
+            "        {{\"shards\": {shards}, \"mops\": {mops:.2}, \"speedup\": {:.2}, \"vs_single_calendar\": {:.2}}}",
+            mops / heap_mops,
+            mops / cal_mops
+        ));
+    }
+
+    // Full-engine hold comparison, recorded as context: dispatch counts
+    // must agree — both engines execute the same event set.
+    let (sealed_secs, sealed_events) = {
+        let mut best = f64::INFINITY;
+        let mut events = 0;
+        for _ in 0..3 {
+            let (s, e) = sealed_hold_secs(SHARD_PENDING, SHARD_HORIZON, 42);
+            best = best.min(s);
+            events = e;
+        }
+        (best, events)
+    };
+    let sealed_mops = sealed_events as f64 / sealed_secs / 1e6;
+    println!(
+        "  sharded engine hold @ {SHARD_PENDING} pending ({sealed_events} events): sealed single queue {sealed_mops:.2} Mops/s"
+    );
+    let mut engine_rows = Vec::new();
+    for &shards in &[1usize, 2, 8] {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let (s, e) = sharded_hold_secs(shards, SHARD_PENDING, SHARD_HORIZON, 42);
+            assert_eq!(e, sealed_events, "sharded run diverged from sealed");
+            best = best.min(s);
+        }
+        let mops = sealed_events as f64 / best / 1e6;
+        println!(
+            "    {shards} shard(s): {mops:.2} Mops/s ({:.2}x vs sealed)",
+            mops / sealed_mops
+        );
+        engine_rows.push(format!(
+            "        {{\"shards\": {shards}, \"mops\": {mops:.2}, \"vs_sealed\": {:.2}}}",
+            mops / sealed_mops
+        ));
+    }
+
     let json = format!(
-        "{{\n  \"schema\": \"atlarge-bench/des_kernel/v1\",\n  \"ops_per_measurement\": {OPS},\n  \"median_of_runs\": {reps},\n  \"time_span\": {SPAN:.1},\n  \"hold\": [\n{}\n  ],\n  \"churn\": [\n{}\n  ],\n  \"chain\": {{\n    \"events\": {CHAIN_LEN},\n    \"untraced_mops\": {untraced_mops:.2},\n    \"null_tracer_mops\": {null_mops:.2},\n    \"null_overhead_pct\": {overhead_pct:.2}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"atlarge-bench/des_kernel/v1\",\n  \"ops_per_measurement\": {OPS},\n  \"median_of_runs\": {reps},\n  \"time_span\": {SPAN:.1},\n  \"hold\": [\n{}\n  ],\n  \"churn\": [\n{}\n  ],\n  \"chain\": {{\n    \"events\": {CHAIN_LEN},\n    \"untraced_mops\": {untraced_mops:.2},\n    \"null_tracer_mops\": {null_mops:.2},\n    \"null_overhead_pct\": {overhead_pct:.2}\n  }},\n  \"sharded\": {{\n    \"pending\": {SHARD_PENDING},\n    \"lookahead\": {SHARD_LA:.1},\n    \"churn\": {{\n      \"t_end\": {WCHURN_T_END:.1},\n      \"ops\": {wops},\n      \"reference_heap_mops\": {heap_mops:.2},\n      \"single_calendar_mops\": {cal_mops:.2},\n      \"rows\": [\n{}\n      ]\n    }},\n    \"engine_hold\": {{\n      \"horizon\": {SHARD_HORIZON:.1},\n      \"events\": {sealed_events},\n      \"sealed_mops\": {sealed_mops:.2},\n      \"rows\": [\n{}\n      ]\n    }}\n  }}\n}}\n",
         json_rows(&hold),
         json_rows(&churn),
+        churn_rows.join(",\n"),
+        engine_rows.join(",\n"),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_des_kernel.json");
     match std::fs::write(path, &json) {
@@ -284,7 +656,30 @@ fn smoke() {
     assert!(hold[0].heap_mops > 0.0 && hold[0].calendar_mops > 0.0);
     assert!(churn[0].heap_mops > 0.0 && churn[0].calendar_mops > 0.0);
     assert!(chain > 0.0);
-    println!("des_kernel smoke: hold/churn/chain paths all ran (--test mode, no JSON written)");
+    let (_, sealed_events) = sealed_hold_secs(4_000, 50.0, 42);
+    for shards in [1usize, 8] {
+        let (_, e) = sharded_hold_secs(shards, 4_000, 50.0, 42);
+        assert_eq!(
+            e, sealed_events,
+            "sharded smoke diverged at {shards} shards"
+        );
+    }
+    assert!(sealed_events > 0);
+    let (_, wp, wc) = sealed_wchurn_secs::<CalendarQueue<u64>>(4_000, 50.0, 42);
+    let (_, hp, hc) = sealed_wchurn_secs::<BinaryHeapFel<u64>>(4_000, 50.0, 42);
+    assert_eq!((hp, hc), (wp, wc), "heap churn smoke diverged");
+    for shards in [1usize, 8] {
+        let (_, p, c) = sharded_wchurn_secs(shards, 4_000, 50.0, 42);
+        assert_eq!(
+            (p, c),
+            (wp, wc),
+            "windowed churn smoke diverged at {shards} shards"
+        );
+    }
+    assert!(wp > 0);
+    println!(
+        "des_kernel smoke: hold/churn/chain/sharded paths all ran (--test mode, no JSON written)"
+    );
 }
 
 fn main() {

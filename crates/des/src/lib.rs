@@ -75,10 +75,14 @@ pub mod calendar;
 pub mod fel;
 pub mod queue;
 pub mod queueing;
+pub mod shard;
 pub mod sim;
 
 pub use atlarge_telemetry::tracer::{EventLabel, NullTracer, Tracer};
 pub use calendar::CalendarQueue;
 pub use fel::{BinaryHeapFel, FutureEventList};
 pub use queue::EventQueue;
+pub use shard::{
+    LogicalProcess, Partition, PartitionError, Routed, ShardCtx, ShardedSimulation, StaticPartition,
+};
 pub use sim::{Ctx, Model, Simulation};

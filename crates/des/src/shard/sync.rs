@@ -1,0 +1,284 @@
+//! Conservative-synchronization internals of the sharded kernel.
+//!
+//! This module is the *machinery* side of the `shard-boundary` layer
+//! contract (lint.toml `[layer.shard-boundary]`, enforced by AL008):
+//! domain crates program against [`Partition`](super::Partition) /
+//! [`ShardedSimulation`](super::ShardedSimulation) and must never name
+//! the channels, lower-bound announcements, or horizon math in here —
+//! those are free to change as the protocol evolves.
+//!
+//! # Protocol
+//!
+//! The kernel runs Chandy–Misra–Bryant conservative synchronization in
+//! *windowed* form: instead of per-channel null messages, every shard
+//! publishes one lower bound (LB) per round — the timestamp of its
+//! earliest pending event — which acts as a batched null message on all
+//! of its outgoing edges at once. The raw LB vector is not yet safe to
+//! window on: a shard whose own queue is empty (LB = ∞) can still
+//! *receive* an event this round and relay a consequence of it early
+//! the next — a multi-hop path the single-hop bound misses. So the
+//! coordinator first relaxes the LBs through the lookahead graph to
+//! earliest-execution bounds (the fixpoint of)
+//!
+//! ```text
+//! exec(s) = min( LB(s), min over r != s of exec(r) + lookahead(r, s) )
+//! ```
+//!
+//! — each shard's earliest time it could possibly execute *any* event,
+//! pending or yet to arrive over any path — and then derives horizons:
+//!
+//! ```text
+//! horizon(s) = min over r != s of  exec(r) + lookahead(r, s)
+//! ```
+//!
+//! A shard may safely dispatch every event strictly below its horizon:
+//! any event that could still reach it fires no earlier than that.
+//! Because every declared lookahead is strictly positive, the shard
+//! holding the globally earliest event has `exec` equal to its LB and a
+//! horizon strictly above it, so every round makes progress.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Barrier;
+
+/// Computes the conservative horizon of every shard from the current
+/// lower-bound vector and the row-major `lookahead` matrix
+/// (`lookahead[r * n + s]` = minimum cross-shard latency from `r` to
+/// `s`, `INFINITY` when no edge exists). A shard with no incoming
+/// edges gets an infinite horizon.
+///
+/// The LBs are first relaxed to earliest-execution bounds through the
+/// lookahead graph (see the module docs): the shortest relaxing path
+/// has at most `n - 1` edges, so `n - 1` Bellman–Ford sweeps reach the
+/// fixpoint, and strictly positive lookaheads rule out the analogue of
+/// negative cycles.
+pub(crate) fn conservative_horizons(lbs: &[f64], lookahead: &[f64], out: &mut Vec<f64>) {
+    let n = lbs.len();
+    let edge = |r: usize, s: usize| lookahead.get(r * n + s).copied().unwrap_or(f64::INFINITY);
+    let mut exec: Vec<f64> = lbs.to_vec();
+    for _ in 1..n {
+        let mut changed = false;
+        for s in 0..n {
+            let mut recv = f64::INFINITY;
+            for r in 0..n {
+                if r == s {
+                    continue;
+                }
+                // `INFINITY + la` stays infinite, so unreachable peers
+                // and missing edges drop out of the min automatically.
+                let bound = exec.get(r).copied().unwrap_or(f64::INFINITY) + edge(r, s);
+                if bound < recv {
+                    recv = bound;
+                }
+            }
+            if let Some(slot) = exec.get_mut(s) {
+                if recv < *slot {
+                    *slot = recv;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    out.clear();
+    for s in 0..n {
+        let mut h = f64::INFINITY;
+        for (r, ex) in exec.iter().enumerate() {
+            if r == s {
+                continue;
+            }
+            let bound = *ex + edge(r, s);
+            if bound < h {
+                h = bound;
+            }
+        }
+        out.push(h);
+    }
+}
+
+/// Whether a bounded run is finished: every shard's earliest pending
+/// event is either nonexistent or strictly beyond the run horizon
+/// (events *at* the horizon still execute, mirroring
+/// `Simulation::run_until`).
+pub(crate) fn quiescent(lbs: &[f64], run_horizon: f64) -> bool {
+    lbs.iter()
+        .all(|&lb| lb == f64::INFINITY || lb > run_horizon)
+}
+
+/// The shared coordination state of one threaded run: per-shard lower
+/// bounds and horizons (f64 bit patterns in atomics), the termination
+/// and panic flags, and the round barrier. All reads and writes are
+/// separated by [`Barrier::wait`], which provides the happens-before
+/// edges; the atomics only need to be tear-free.
+pub(crate) struct SyncPlane {
+    lbs: Vec<AtomicU64>,
+    horizons: Vec<AtomicU64>,
+    done: AtomicBool,
+    panicked: AtomicBool,
+    pub(crate) barrier: Barrier,
+}
+
+impl SyncPlane {
+    /// `parties` is the number of worker threads; the coordinator is
+    /// the extra barrier participant.
+    pub(crate) fn new(shards: usize, parties: usize) -> Self {
+        let inf = f64::INFINITY.to_bits();
+        SyncPlane {
+            lbs: (0..shards).map(|_| AtomicU64::new(inf)).collect(),
+            horizons: (0..shards).map(|_| AtomicU64::new(inf)).collect(),
+            done: AtomicBool::new(false),
+            panicked: AtomicBool::new(false),
+            barrier: Barrier::new(parties + 1),
+        }
+    }
+
+    pub(crate) fn set_lb(&self, shard: usize, lb: f64) {
+        if let Some(slot) = self.lbs.get(shard) {
+            slot.store(lb.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn snapshot_lbs(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            self.lbs
+                .iter()
+                .map(|slot| f64::from_bits(slot.load(Ordering::Relaxed))),
+        );
+    }
+
+    pub(crate) fn publish_horizons(&self, horizons: &[f64]) {
+        for (slot, h) in self.horizons.iter().zip(horizons) {
+            slot.store(h.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn horizon(&self, shard: usize) -> f64 {
+        self.horizons
+            .get(shard)
+            .map(|slot| f64::from_bits(slot.load(Ordering::Relaxed)))
+            .unwrap_or(f64::INFINITY)
+    }
+
+    pub(crate) fn mark_done(&self) {
+        self.done.store(true, Ordering::Relaxed);
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn mark_panicked(&self) {
+        self.panicked.store(true, Ordering::Relaxed);
+    }
+
+    pub(crate) fn has_panicked(&self) -> bool {
+        self.panicked.load(Ordering::Relaxed)
+    }
+}
+
+/// The bounded cross-shard event channels of one threaded run, one per
+/// directed edge with a finite lookahead. `senders[src][dst]` is `None`
+/// on the diagonal and on undeclared edges; `receivers[dst]` lists
+/// `(src, rx)` pairs in ascending source order (a fixed order, though
+/// delivery order never matters: arrivals are sorted by `(time, seq)`
+/// before insertion).
+pub(crate) struct EdgeChannels<T> {
+    pub(crate) senders: Vec<Vec<Option<SyncSender<T>>>>,
+    pub(crate) receivers: Vec<Vec<(usize, Receiver<T>)>>,
+}
+
+pub(crate) fn edge_channels<T>(n: usize, lookahead: &[f64], capacity: usize) -> EdgeChannels<T> {
+    let mut senders: Vec<Vec<Option<SyncSender<T>>>> =
+        (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+    let mut receivers: Vec<Vec<(usize, Receiver<T>)>> = (0..n).map(|_| Vec::new()).collect();
+    for src in 0..n {
+        for dst in 0..n {
+            if src == dst {
+                continue;
+            }
+            let la = lookahead
+                .get(src * n + dst)
+                .copied()
+                .unwrap_or(f64::INFINITY);
+            if !la.is_finite() {
+                continue;
+            }
+            let (tx, rx) = sync_channel(capacity);
+            if let Some(slot) = senders.get_mut(src).and_then(|row| row.get_mut(dst)) {
+                *slot = Some(tx);
+            }
+            if let Some(inbox) = receivers.get_mut(dst) {
+                inbox.push((src, rx));
+            }
+        }
+    }
+    EdgeChannels { senders, receivers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horizons_follow_relaxed_exec_plus_lookahead() {
+        // Two shards, lookahead 1.0 both ways. Shard 1's earliest
+        // pending event is at 20, but it could receive shard 0's t=5
+        // event's consequence and relay at 5 + 1 + 1 = 7 — shard 0's
+        // horizon must be 7, not 21.
+        let la = vec![f64::INFINITY, 1.0, 1.0, f64::INFINITY];
+        let mut out = Vec::new();
+        conservative_horizons(&[5.0, 20.0], &la, &mut out);
+        assert_eq!(out, vec![7.0, 6.0]);
+    }
+
+    #[test]
+    fn empty_relay_shards_do_not_unbound_downstream_horizons() {
+        // Chain 0 -> 1 -> 2 with unit lookahead; shard 1 is empty.
+        // Shard 2 must still be bounded by the two-hop path through 1:
+        // 0.0 + 1 + 1 = 2.0.
+        let inf = f64::INFINITY;
+        #[rustfmt::skip]
+        let la = vec![
+            inf, 1.0, inf,
+            inf, inf, 1.0,
+            inf, inf, inf,
+        ];
+        let mut out = Vec::new();
+        conservative_horizons(&[0.0, inf, 100.0], &la, &mut out);
+        assert_eq!(out, vec![inf, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_peer_and_missing_edge_drop_out() {
+        // 0 -> 1 only; shard 0 has no incoming edge.
+        let la = vec![f64::INFINITY, 2.0, f64::INFINITY, f64::INFINITY];
+        let mut out = Vec::new();
+        conservative_horizons(&[3.0, f64::INFINITY], &la, &mut out);
+        assert_eq!(out, vec![f64::INFINITY, 5.0]);
+    }
+
+    #[test]
+    fn quiescence_is_strict_past_the_horizon() {
+        assert!(!quiescent(&[10.0, f64::INFINITY], 10.0));
+        assert!(quiescent(&[10.5, f64::INFINITY], 10.0));
+        assert!(quiescent(&[f64::INFINITY], f64::INFINITY));
+        assert!(!quiescent(&[3.0], f64::INFINITY));
+    }
+
+    #[test]
+    fn edge_channels_skip_diagonal_and_infinite_edges() {
+        let la = vec![f64::INFINITY, 1.0, f64::INFINITY, f64::INFINITY];
+        let chans = edge_channels::<u32>(2, &la, 4);
+        let have: Vec<Vec<bool>> = chans
+            .senders
+            .iter()
+            .map(|row| row.iter().map(Option::is_some).collect())
+            .collect();
+        assert_eq!(have, vec![vec![false, true], vec![false, false]]);
+        assert_eq!(chans.receivers.first().map(Vec::len), Some(0));
+        assert_eq!(chans.receivers.get(1).map(Vec::len), Some(1));
+    }
+}

@@ -221,3 +221,277 @@ proptest! {
         prop_assert!(model.is_empty(), "queue lost events");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Sharded kernel vs the sealed single-queue backend.
+//
+// Two claims, proved separately:
+//
+// 1. *Shard-count invariance, byte-for-byte.* Under a tie-flooded,
+//    RNG-driven, span-instrumented storm workload, the merged
+//    `(time, seq, parent, entity)` dispatch log and the full replayed
+//    tracer stream of `ShardedSimulation` are byte-identical at 1, 2,
+//    and 8 shards, across both sealed FEL backends and thread counts.
+//    The 1-shard configuration *is* the sealed single-queue backend —
+//    a single `CalendarQueue`/`BinaryHeapFel` popped in `(time, seq)`
+//    order with an infinite horizon — so this pins every sharded
+//    configuration to the reference pop order.
+//
+// 2. *Engine equivalence.* On a tie-free chain workload implemented
+//    twice — once as a sealed `Model`, once as a `LogicalProcess` —
+//    the sealed `Simulation` and the sharded kernel dispatch the same
+//    `(time, entity)` sequence and reach identical final states.
+//    (Event *ids* intentionally differ: the sealed engine numbers
+//    events with a dense global counter, the sharded kernel with
+//    shard-invariant per-entity lanes.)
+// ---------------------------------------------------------------------------
+
+use atlarge_des::shard::{
+    EventRecord, LogicalProcess, Routed, ShardCtx, ShardedSimulation, StaticPartition,
+};
+use atlarge_des::sim::{Ctx, Model, Simulation};
+use atlarge_telemetry::recorder::{Recorder, TraceRecord};
+use atlarge_telemetry::tracer::EventLabel;
+use rand::Rng;
+
+const STORM_NODES: u32 = 12;
+const STORM_LOOKAHEAD: f64 = 0.25;
+
+#[derive(Debug, Clone)]
+struct Pulse {
+    hops: u32,
+}
+
+impl EventLabel for Pulse {
+    fn label(&self) -> &'static str {
+        "pulse"
+    }
+}
+
+/// A tie-flooding storm node: every delay is a multiple of the 0.25
+/// lookahead, so cross-shard events collide on the same instants
+/// constantly and ordering falls to the lane seqs alone. Draws from the
+/// per-entity RNG stream and opens a span on every burst, so RNG
+/// stability and span replay are exercised too.
+struct StormNode {
+    n: u32,
+    acc: u64,
+}
+
+impl LogicalProcess for StormNode {
+    type Event = Pulse;
+
+    fn handle(&mut self, ev: Pulse, ctx: &mut ShardCtx<'_, Pulse>) {
+        let roll = ctx.rng().gen::<u64>();
+        self.acc = self
+            .acc
+            .wrapping_mul(0x100000001b3)
+            .wrapping_add(roll ^ ctx.event_id());
+        if ev.hops == 0 {
+            return;
+        }
+        let dt = STORM_LOOKAHEAD * ((roll % 8) + 1) as f64;
+        let target = ((u64::from(ctx.entity()) + 1 + (roll >> 8) % u64::from(self.n - 1))
+            % u64::from(self.n)) as u32;
+        ctx.send_in(dt, target, Pulse { hops: ev.hops - 1 });
+        if roll % 3 == 0 {
+            ctx.span_enter("burst");
+            ctx.schedule_in(
+                STORM_LOOKAHEAD * (((roll >> 16) % 4) + 1) as f64,
+                Pulse { hops: ev.hops / 2 },
+            );
+            ctx.span_exit("burst");
+        }
+    }
+}
+
+fn storm_nodes() -> Vec<StormNode> {
+    (0..STORM_NODES)
+        .map(|_| StormNode {
+            n: STORM_NODES,
+            acc: 0,
+        })
+        .collect()
+}
+
+/// Serializes a merged event log into the byte string the equivalence
+/// claims are stated over.
+fn log_bytes(log: &[EventRecord]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(log.len() * 28);
+    for r in log {
+        out.extend_from_slice(&r.time.to_le_bytes());
+        out.extend_from_slice(&r.id.to_le_bytes());
+        out.extend_from_slice(&r.parent.map_or(u64::MAX, |p| p).to_le_bytes());
+        out.extend_from_slice(&r.entity.to_le_bytes());
+    }
+    out
+}
+
+/// Runs the storm on `F`-backed shards and returns (log bytes, final
+/// node states, replayed trace, events processed).
+fn run_storm<F>(shards: usize, threads: usize) -> (Vec<u8>, Vec<u64>, Vec<TraceRecord>, u64)
+where
+    F: FutureEventList<Routed<Pulse>> + Send,
+{
+    let part = StaticPartition::round_robin(STORM_NODES as usize, shards, STORM_LOOKAHEAD);
+    let rec = Recorder::new();
+    let mut sim: ShardedSimulation<_, _, F> =
+        ShardedSimulation::new(part, storm_nodes(), 0xA71A6E).expect("valid partition");
+    sim = sim
+        .with_event_log()
+        .with_threads(threads)
+        .with_tracer(rec.clone());
+    for e in 0..STORM_NODES {
+        sim.schedule(f64::from(e % 3) * STORM_LOOKAHEAD, e, Pulse { hops: 9 });
+    }
+    sim.run();
+    let bytes = log_bytes(&sim.take_event_log());
+    let processed = sim.processed();
+    let states = sim.into_lps().into_iter().map(|n| n.acc).collect();
+    (bytes, states, rec.trace(), processed)
+}
+
+#[test]
+fn sharded_pop_order_is_byte_identical_at_1_2_8_shards() {
+    // The reference: the sealed single-queue backend (one calendar
+    // queue, one thread, infinite horizon).
+    let reference = run_storm::<CalendarQueue<Routed<Pulse>>>(1, 1);
+    assert!(
+        reference.3 > 200,
+        "storm too small to be meaningful: {} events",
+        reference.3
+    );
+    for shards in [1usize, 2, 8] {
+        for threads in [1usize, 2, 4] {
+            let cal = run_storm::<CalendarQueue<Routed<Pulse>>>(shards, threads);
+            assert_eq!(
+                cal, reference,
+                "calendar-backed {shards}-shard/{threads}-thread run diverged from reference"
+            );
+            let heap = run_storm::<BinaryHeapFel<Routed<Pulse>>>(shards, threads);
+            assert_eq!(
+                heap, reference,
+                "heap-backed {shards}-shard/{threads}-thread run diverged from reference"
+            );
+        }
+    }
+}
+
+// -- Engine equivalence on a tie-free chain ---------------------------------
+
+/// Delay of the chain hop leaving `entity` with `hops` remaining:
+/// exact multiples of 1/512 in [0.25, 1.25), so times are reproducible
+/// across engines and never collide (a single chain is strictly
+/// monotone).
+fn chain_dt(entity: u32, hops: u32) -> f64 {
+    0.25 + ((u64::from(entity) * 31 + u64::from(hops) * 17) % 512) as f64 / 512.0
+}
+
+fn chain_mix(acc: u64, time: f64, hops: u32) -> u64 {
+    acc.wrapping_mul(31)
+        .wrapping_add(time.to_bits() ^ u64::from(hops))
+}
+
+const CHAIN_NODES: u32 = 16;
+
+#[derive(Debug, Clone)]
+struct GlobalHop {
+    entity: u32,
+    hops: u32,
+}
+
+/// The sealed-engine implementation: one model owning every node.
+struct GlobalRing {
+    state: Vec<u64>,
+    log: Vec<(f64, u32)>,
+}
+
+impl Model for GlobalRing {
+    type Event = GlobalHop;
+
+    fn handle(&mut self, ev: GlobalHop, ctx: &mut Ctx<GlobalHop>) {
+        self.log.push((ctx.now(), ev.entity));
+        if let Some(s) = self.state.get_mut(ev.entity as usize) {
+            *s = chain_mix(*s, ctx.now(), ev.hops);
+        }
+        if ev.hops > 0 {
+            ctx.schedule_in(
+                chain_dt(ev.entity, ev.hops),
+                GlobalHop {
+                    entity: (ev.entity + 1) % CHAIN_NODES,
+                    hops: ev.hops - 1,
+                },
+            );
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Hop {
+    hops: u32,
+}
+
+/// The sharded implementation of the same chain: each node is its own
+/// logical process.
+struct RingLp {
+    id: u32,
+    state: u64,
+}
+
+impl LogicalProcess for RingLp {
+    type Event = Hop;
+
+    fn handle(&mut self, ev: Hop, ctx: &mut ShardCtx<'_, Hop>) {
+        self.state = chain_mix(self.state, ctx.now(), ev.hops);
+        if ev.hops > 0 {
+            ctx.send_in(
+                chain_dt(self.id, ev.hops),
+                (self.id + 1) % CHAIN_NODES,
+                Hop { hops: ev.hops - 1 },
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_kernel_matches_the_sealed_engine_on_a_tie_free_chain() {
+    let mut sealed = Simulation::new(
+        GlobalRing {
+            state: vec![0; CHAIN_NODES as usize],
+            log: Vec::new(),
+        },
+        7,
+    );
+    sealed.schedule(
+        0.0,
+        GlobalHop {
+            entity: 0,
+            hops: 300,
+        },
+    );
+    sealed.run();
+    let want_log = sealed.model().log.clone();
+    let want_state = sealed.model().state.clone();
+    assert_eq!(want_log.len(), 301);
+
+    for shards in [1usize, 2, 8] {
+        let part = StaticPartition::block(CHAIN_NODES as usize, shards, 0.25);
+        let nodes = (0..CHAIN_NODES).map(|id| RingLp { id, state: 0 }).collect();
+        let mut sim: ShardedSimulation<_, _> =
+            ShardedSimulation::new(part, nodes, 7).expect("valid partition");
+        sim = sim.with_event_log();
+        sim.schedule(0.0, 0, Hop { hops: 300 });
+        sim.run();
+        let got_log: Vec<(f64, u32)> = sim
+            .take_event_log()
+            .iter()
+            .map(|r| (r.time, r.entity))
+            .collect();
+        assert_eq!(
+            got_log, want_log,
+            "{shards}-shard dispatch sequence diverged from the sealed engine"
+        );
+        let got_state: Vec<u64> = sim.into_lps().into_iter().map(|n| n.state).collect();
+        assert_eq!(got_state, want_state);
+    }
+}

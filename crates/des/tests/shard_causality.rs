@@ -1,0 +1,219 @@
+//! Property tests for cross-shard causality.
+//!
+//! The sharded kernel's contract is that partitioning is *invisible*:
+//! for any entity→shard assignment, any declared (positive) lookahead,
+//! and any schedule — including the adversarial ones generated here
+//! (tie floods on quantized instants, heavily skewed shard loads,
+//! random root batches) — the merged dispatch sequence, final model
+//! states, and causal parent links are byte-identical to the 1-shard
+//! single-queue run. Zero and negative lookaheads must be rejected
+//! before any event executes.
+
+use atlarge_des::shard::{
+    EventRecord, LogicalProcess, PartitionError, ShardCtx, ShardedSimulation, StaticPartition,
+};
+use atlarge_telemetry::recorder::{Recorder, TraceKind};
+use atlarge_telemetry::tracer::EventLabel;
+use proptest::prelude::*;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Every delay in the generated workloads is a multiple of this, and it
+/// is also the uniform lookahead: maximal tie pressure, minimal slack.
+const QUANTUM: f64 = 0.25;
+
+#[derive(Debug, Clone)]
+struct Gossip {
+    hops: u8,
+}
+
+impl EventLabel for Gossip {
+    fn label(&self) -> &'static str {
+        "gossip"
+    }
+}
+
+/// A node that gossips along RNG-chosen edges with RNG-chosen quantized
+/// delays, folding everything it observes (time, event id, parent,
+/// RNG draws) into a running digest. Any divergence in ordering, id
+/// assignment, or RNG stream selection between shard counts shows up in
+/// the final digests even if the event log happened to agree.
+struct GossipNode {
+    n: u32,
+    la: f64,
+    digest: u64,
+}
+
+impl LogicalProcess for GossipNode {
+    type Event = Gossip;
+
+    fn handle(&mut self, ev: Gossip, ctx: &mut ShardCtx<'_, Gossip>) {
+        let roll = ctx.rng().gen::<u64>();
+        self.digest = self
+            .digest
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(ctx.now().to_bits())
+            .wrapping_add(ctx.event_id())
+            .wrapping_add(ctx.parent().map_or(0, |p| p.wrapping_mul(3)))
+            .wrapping_add(roll);
+        if ev.hops == 0 {
+            return;
+        }
+        let dt = self.la * ((roll % 6) + 1) as f64;
+        let target = if self.n > 1 {
+            ((u64::from(ctx.entity()) + 1 + (roll >> 7) % u64::from(self.n - 1))
+                % u64::from(self.n)) as u32
+        } else {
+            ctx.entity()
+        };
+        ctx.send_in(dt, target, Gossip { hops: ev.hops - 1 });
+        if roll % 4 == 0 {
+            // A same-instant self-event: floods ties within the shard.
+            ctx.schedule_in(dt, Gossip { hops: ev.hops / 2 });
+        }
+    }
+}
+
+fn nodes(n: u32, la: f64) -> Vec<GossipNode> {
+    (0..n).map(|_| GossipNode { n, la, digest: 0 }).collect()
+}
+
+struct RunOutput {
+    log: Vec<EventRecord>,
+    digests: Vec<u64>,
+    /// `(id, parent)` of every dispatch, in replayed trace order.
+    dispatches: Vec<(u64, Option<u64>)>,
+}
+
+fn run_case(
+    assign: &[usize],
+    shards: usize,
+    la: f64,
+    seed: u64,
+    roots: &[(u8, u8)],
+    threads: usize,
+) -> RunOutput {
+    let n = assign.len() as u32;
+    let part = StaticPartition::from_assignment(assign.to_vec(), shards, la);
+    let rec = Recorder::new();
+    let mut sim: ShardedSimulation<_, _> =
+        ShardedSimulation::new(part, nodes(n, la), seed).expect("valid partition rejected");
+    sim = sim
+        .with_event_log()
+        .with_threads(threads)
+        .with_tracer(rec.clone());
+    for &(t, e) in roots {
+        sim.schedule(
+            QUANTUM * f64::from(t % 8),
+            u32::from(e) % n,
+            Gossip { hops: 6 },
+        );
+    }
+    sim.run();
+    let log = sim.take_event_log();
+    let digests = sim.into_lps().into_iter().map(|nd| nd.digest).collect();
+    let dispatches = rec
+        .trace()
+        .into_iter()
+        .filter_map(|r| match r.kind {
+            TraceKind::Dispatch { id, parent, .. } => Some((id, parent)),
+            _ => None,
+        })
+        .collect();
+    RunOutput {
+        log,
+        digests,
+        dispatches,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random partitions (including heavily skewed ones — the
+    /// assignment strategy happily maps every entity to one shard),
+    /// random lookahead, random root batches: the merged pop sequence
+    /// and final states equal the 1-shard single-queue run exactly,
+    /// with one and with several worker threads.
+    #[test]
+    fn any_partition_matches_the_single_queue_model(
+        assign in proptest::collection::vec(0usize..4, 1..10),
+        la_sel in 0usize..3,
+        seed in 0u64..u64::MAX,
+        roots in proptest::collection::vec((0u8..=255, 0u8..=255), 1..6),
+    ) {
+        let la = [QUANTUM, 0.5, 1.0][la_sel];
+        let shards = assign.iter().max().copied().unwrap_or(0) + 1;
+        let reference = run_case(&vec![0; assign.len()], 1, la, seed, &roots, 1);
+        prop_assert!(!reference.log.is_empty());
+        for threads in [1usize, 2] {
+            let got = run_case(&assign, shards, la, seed, &roots, threads);
+            prop_assert_eq!(
+                &got.log, &reference.log,
+                "event log diverged at {} shards / {} threads", shards, threads
+            );
+            prop_assert_eq!(&got.digests, &reference.digests);
+            prop_assert_eq!(&got.dispatches, &reference.dispatches);
+        }
+    }
+
+    /// Causal parent ids survive shard hops: in the replayed trace of a
+    /// maximally-sharded run (one shard per entity), every non-root
+    /// dispatch names a parent that was dispatched strictly earlier,
+    /// and the `(id, parent)` link set is identical to the 1-shard run.
+    #[test]
+    fn parent_ids_survive_shard_hops(
+        n in 2u32..8,
+        seed in 0u64..u64::MAX,
+        roots in proptest::collection::vec((0u8..=255, 0u8..=255), 1..4),
+    ) {
+        let assign: Vec<usize> = (0..n as usize).collect();
+        let sharded = run_case(&assign, n as usize, QUANTUM, seed, &roots, 2);
+        let reference = run_case(&vec![0; n as usize], 1, QUANTUM, seed, &roots, 1);
+        prop_assert_eq!(&sharded.dispatches, &reference.dispatches);
+
+        let mut seen: BTreeMap<u64, usize> = BTreeMap::new();
+        for (pos, &(id, parent)) in sharded.dispatches.iter().enumerate() {
+            if let Some(p) = parent {
+                let ppos = seen.get(&p).copied();
+                prop_assert!(
+                    ppos.is_some(),
+                    "dispatch {} names parent {} that never dispatched", id, p
+                );
+                prop_assert!(
+                    ppos.unwrap_or(usize::MAX) < pos,
+                    "parent {} dispatched after child {}", p, id
+                );
+            }
+            seen.insert(id, pos);
+        }
+    }
+
+    /// Zero, negative, and NaN lookahead edges are rejected up front by
+    /// construction — no sharded simulation with an unorderable edge
+    /// ever runs an event.
+    #[test]
+    fn non_positive_lookahead_is_rejected_up_front(
+        la_kind in 0usize..3,
+        neg in -10.0f64..=0.0,
+        shards in 2usize..5,
+    ) {
+        let la = match la_kind {
+            0 => 0.0,
+            1 => neg,
+            _ => f64::NAN,
+        };
+        let part = StaticPartition::round_robin(6, shards, la);
+        let res: Result<ShardedSimulation<_, GossipNode>, _> =
+            ShardedSimulation::new(part, nodes(6, 1.0), 1);
+        let err = res.err();
+        prop_assert!(
+            matches!(
+                err,
+                Some(PartitionError::BadLookahead { value, .. })
+                    if value.is_nan() || value <= 0.0
+            ),
+            "expected BadLookahead, got {:?}", err
+        );
+    }
+}

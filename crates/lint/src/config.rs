@@ -228,6 +228,13 @@ fn default_layers() -> Vec<LayerContract> {
             note: "the future-event list is a sealed kernel internal; domain code must go through EventQueue / Simulation so FEL implementations stay swappable".into(),
         },
         LayerContract {
+            name: "shard-boundary".into(),
+            scope: vec![],
+            exempt: vec!["crates/des".into(), "crates/lint".into()],
+            forbid: vec!["atlarge_des::shard::sync".into(), "des::shard::sync".into()],
+            note: "conservative-sync machinery is a sealed kernel internal; domain code partitions through Partition / ShardedSimulation so the windowing protocol stays swappable".into(),
+        },
+        LayerContract {
             name: "wall-clock-types".into(),
             scope: vec![],
             exempt: vec![

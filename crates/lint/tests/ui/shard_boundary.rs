@@ -1,0 +1,10 @@
+//@ path: crates/p2p/src/shard_boundary_fixture.rs
+// ui fixture: domain code must not name the conservative-sync
+// machinery behind the sharded kernel's public API.
+
+use atlarge_des::shard::sync::SyncPlane;
+
+pub fn peek_protocol(lbs: &[f64], la: &[f64]) {
+    let mut horizons = Vec::new();
+    atlarge_des::shard::sync::conservative_horizons(lbs, la, &mut horizons);
+}

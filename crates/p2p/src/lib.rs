@@ -28,6 +28,7 @@ pub mod ecosystem;
 pub mod experiments;
 pub mod flashcrowd;
 pub mod measurement;
+pub mod sharded;
 pub mod swarm;
 pub mod twofast;
 pub mod vicissitude;

@@ -24,6 +24,7 @@ pub mod evolution;
 pub mod experiments;
 pub mod platform;
 pub mod refarch;
+pub mod sharded;
 pub mod storage;
 pub mod workflow;
 

@@ -28,13 +28,22 @@ use atlarge::exp::CampaignResult;
 use atlarge::graph::experiments as graph_exp;
 use atlarge::mmog::experiments::{render_table6, table6_campaign};
 use atlarge::p2p::experiments::{render_table5, render_table5_campaign, table5_campaign};
+use atlarge::p2p::sharded::{run_regional_swarm, RegionalConfig};
+use atlarge::p2p::swarm::{Bandwidth, SwarmConfig};
 use atlarge::scheduling::experiments::{render_table9, table9_campaign, Scale};
 use atlarge::serverless::experiments::{render_table7, table7_campaign};
+use atlarge::serverless::platform::{FaasConfig, FunctionSpec};
+use atlarge::serverless::sharded::run_sharded_platform;
 
 /// Default root seed: the year the reproduction targets.
 const SEED: u64 = 2026;
 /// Default replications per campaign cell.
 const REPLICATIONS: usize = 1;
+/// Default shard count for the parallel-in-time section. Any value
+/// must produce byte-identical output — partitioning is an execution
+/// detail, never a modelling one, and CI diffs `--shards 1` against
+/// `--shards 8` to hold that line.
+const SHARDS: usize = 1;
 
 fn header(title: &str) {
     println!("\n{}", "=".repeat(72));
@@ -57,9 +66,10 @@ fn claim_rate<C: std::fmt::Debug, O>(
     (held, total)
 }
 
-fn parse_args() -> (u64, usize) {
+fn parse_args() -> (u64, usize, usize) {
     let mut seed = SEED;
     let mut replications = REPLICATIONS;
+    let mut shards = SHARDS;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -76,18 +86,89 @@ fn parse_args() -> (u64, usize) {
                     .filter(|&r| r > 0)
                     .expect("--replications takes a positive integer");
             }
+            "--shards" => {
+                shards = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s| s > 0)
+                    .expect("--shards takes a positive integer");
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: paper_tables [--seed N] [--replications R]");
+                eprintln!("usage: paper_tables [--seed N] [--replications R] [--shards S]");
                 std::process::exit(2);
             }
         }
     }
-    (seed, replications)
+    (seed, replications, shards)
+}
+
+/// Parallel-in-time appendix: two Section-6 domains re-run on the
+/// sharded conservative kernel. The shard count comes from `--shards`
+/// and deliberately never appears in the output: CI diffs the report
+/// at 1 and 8 shards byte-for-byte, so any partition-dependent
+/// behaviour in the kernel surfaces as a reproducibility failure, not
+/// a silent drift.
+fn sharded_kernel_section(seed: u64, shards: usize) {
+    header("Appendix — parallel-in-time kernel (sharded backend)");
+
+    let config = RegionalConfig {
+        swarm: SwarmConfig {
+            file_size: 10e6,
+            bandwidth: Bandwidth::adsl(100e3, 8.0),
+            mean_seed_time: 600.0,
+            origin_seeds: 1,
+            recalc_interval: 5.0,
+            optimistic_floor: 0.1,
+        },
+        regions: 8,
+        link_delay: 2.5,
+        transit_fraction: 0.5,
+    };
+    let joins: Vec<(f64, u32, Bandwidth)> = (0..64)
+        .map(|i| (i as f64 * 11.0, i as u32 % 8, Bandwidth::adsl(100e3, 8.0)))
+        .collect();
+    let swarm = run_regional_swarm(config, &joins, 50_000.0, seed ^ 0x5A11, shards, 1)
+        .expect("valid regional partition");
+    println!(
+        "regional swarm: {}/{} downloads completed, mean download {:.4} s",
+        swarm.completed(),
+        joins.len(),
+        swarm.mean_download_time()
+    );
+
+    let functions: Vec<FunctionSpec> = (0..6)
+        .map(|i| FunctionSpec {
+            name: format!("f{i}"),
+            exec_time: 0.050 + 0.025 * i as f64,
+            memory_gb: 0.128 * (1 + i % 3) as f64,
+        })
+        .collect();
+    let chains = vec![vec![0, 1, 2], vec![3, 4], vec![5, 0]];
+    let requests: Vec<(f64, usize)> = (0..48).map(|i| (0.75 * i as f64, i % 3)).collect();
+    let faas = run_sharded_platform(
+        functions,
+        FaasConfig::default(),
+        chains,
+        &requests,
+        seed ^ 0xFAA5,
+        shards,
+        1,
+    )
+    .expect("valid platform partition");
+    println!(
+        "serverless chains: {}/{} requests completed, {} invocations \
+         ({:.1}% cold), mean latency {:.4} s",
+        faas.requests.len(),
+        requests.len(),
+        faas.invocations,
+        faas.cold_fraction() * 100.0,
+        faas.mean_latency()
+    );
 }
 
 fn main() {
-    let (seed, replications) = parse_args();
+    let (seed, replications, shards) = parse_args();
     println!("root seed {seed}, {replications} replication(s) per campaign cell");
 
     header("Figure 1 — keyword presence in top systems venues (synthetic corpus)");
@@ -284,4 +365,6 @@ fn main() {
     println!("head-to-head wins: {h2h:?}");
     println!("borda points:      {borda:?}");
     println!("weighted grades:   {grades:?}");
+
+    sharded_kernel_section(seed, shards);
 }
