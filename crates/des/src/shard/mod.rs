@@ -446,7 +446,14 @@ impl<E> ShardCtx<'_, E> {
 
     fn next_seq(&mut self) -> u64 {
         let lane = u64::from(self.entity) + 1;
-        debug_assert!(*self.lane < 1 << LANE_SHIFT, "lane counter overflow");
+        // Hard assert even in release: a wrapped counter would bleed
+        // into the lane bits and silently break the (time, seq)
+        // uniqueness the determinism contract rests on.
+        assert!(
+            *self.lane < 1 << LANE_SHIFT,
+            "entity {} exhausted its event-id lane (2^32 scheduled events)",
+            self.entity
+        );
         let seq = (lane << LANE_SHIFT) | *self.lane;
         *self.lane += 1;
         seq
@@ -748,7 +755,10 @@ where
             debug_assert!(false, "schedule for unknown entity {entity}");
             return 0;
         };
-        debug_assert!(self.root_seq < 1 << LANE_SHIFT, "root lane overflow");
+        assert!(
+            self.root_seq < 1 << LANE_SHIFT,
+            "root event-id lane exhausted (2^32 pre-run roots)"
+        );
         let seq = self.root_seq;
         self.root_seq += 1;
         if let Some(tracer) = &self.tracer {
@@ -903,6 +913,10 @@ where
                 break;
             }
             sync::conservative_horizons(lbs, &self.lookahead, &mut horizons);
+            assert_not_stalled(
+                sync::stalled(lbs, &horizons, run_horizon),
+                lbs.iter().copied().fold(f64::INFINITY, f64::min),
+            );
             let env = RoundEnv {
                 index: &self.index,
                 lookahead: &self.lookahead,
@@ -971,6 +985,11 @@ where
             }
             let mut horizons = Vec::new();
             sync::conservative_horizons(&lbs, &self.lookahead, &mut horizons);
+            // No worker threads exist yet, so panicking here is safe.
+            assert_not_stalled(
+                sync::stalled(&lbs, &horizons, run_horizon),
+                lbs.iter().copied().fold(f64::INFINITY, f64::min),
+            );
             plane.publish_horizons(&horizons);
             lbs.clear();
         }
@@ -989,6 +1008,10 @@ where
         };
         let lookahead = &self.lookahead;
         let shards = &mut self.shards;
+        // A mid-run numeric stall is detected by the coordinator, which
+        // cannot panic while workers are parked at the barrier; it marks
+        // the run done, lets everyone exit, and panics after the join.
+        let mut frozen_at: Option<f64> = None;
         let payload: Option<Box<dyn Any + Send>> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(nchunks);
             let mut tx_rows = chans.senders.into_iter();
@@ -1019,7 +1042,12 @@ where
                     plane.mark_done();
                 } else {
                     sync::conservative_horizons(&lbs, lookahead, &mut horizons);
-                    plane.publish_horizons(&horizons);
+                    if sync::stalled(&lbs, &horizons, run_horizon) {
+                        frozen_at = Some(lbs.iter().copied().fold(f64::INFINITY, f64::min));
+                        plane.mark_done();
+                    } else {
+                        plane.publish_horizons(&horizons);
+                    }
                 }
             }
             let mut caught = None;
@@ -1033,7 +1061,23 @@ where
         if let Some(p) = payload {
             std::panic::resume_unwind(p);
         }
+        assert_not_stalled(frozen_at.is_some(), frozen_at.unwrap_or(f64::NAN));
     }
+}
+
+/// API-boundary contract shared by both drivers: a numerically frozen
+/// round must abort loudly. `stalled` comes from [`sync::stalled`] —
+/// some lookahead is below half an ulp of the simulation clock at time
+/// scale `t`, so `lb + la` rounds back to `lb` and the conservative
+/// horizons can never advance past the earliest pending event; retrying
+/// the round would livelock.
+fn assert_not_stalled(stalled: bool, t: f64) {
+    assert!(
+        !stalled,
+        "sharded run cannot advance past t={t}: a declared lookahead is below \
+         the clock's floating-point resolution at this time scale (lb + lookahead \
+         rounds back to lb); rescale time units or enlarge the partition's lookaheads"
+    );
 }
 
 /// Picks the default worker-thread cap: `ATLARGE_DES_THREADS` when set,
@@ -1174,11 +1218,13 @@ where
     F: FutureEventList<Routed<L::Event>>,
 {
     let mut payload: Option<Payload> = None;
+    let mut round: u64 = 0;
     loop {
         plane.barrier.wait(); // round start
         if plane.is_done() {
             break;
         }
+        round += 1;
         if payload.is_none() {
             let result = catch_unwind(AssertUnwindSafe(|| {
                 for (i, shard) in chunk.iter_mut().enumerate() {
@@ -1191,10 +1237,18 @@ where
                 payload = Some(p);
                 plane.mark_panicked();
             }
-        } else {
-            // Already failed: keep channels drained so peers' flushes
-            // never stall, and announce empty shards.
+        }
+        // Sends-complete handshake: announce this worker's flush is done
+        // (or permanently abandoned, after a caught panic), then keep
+        // draining inboxes until every worker has announced. A peer
+        // blocked in try_send on a full edge channel is guaranteed a
+        // live drainer this way — in particular on edges into a
+        // panicked worker's shards, which a bare barrier wait would
+        // leave full forever.
+        plane.note_flushed();
+        while plane.sends_outstanding(round) {
             drain_own_inboxes(chunk, &mut rx);
+            std::thread::yield_now();
         }
         plane.barrier.wait(); // sends complete
         if payload.is_none() {
@@ -1247,8 +1301,11 @@ where
 
 /// Pushes every outbox entry of this worker's shards into the edge
 /// channels. On a full channel the worker drains its own inboxes and
-/// retries — with every worker doing the same, some channel in any
-/// blocked cycle is always being drained, so flushing cannot deadlock.
+/// retries. Liveness comes from the flush-completion handshake in
+/// [`worker_loop`]: until every worker has announced its flush done,
+/// each one is either in this retry loop (draining) or spin-draining
+/// after its announcement — so a full channel always has a live
+/// drainer, even when its owner panicked or finished flushing early.
 fn flush_outboxes<L, F>(
     chunk: &mut [Shard<L, F>],
     tx: &mut [EdgeTx<L::Event>],
@@ -1400,6 +1457,77 @@ mod tests {
         assert_eq!(sim.now(), 40.0);
     }
 
+    /// One-directional flooder: entity 0 bursts 64 cross-shard events
+    /// per dispatch at a sink entity and re-arms itself a fixed number
+    /// of times; the sink only counts.
+    struct Pump {
+        target: u32,
+        bursts_left: u32,
+        received: u64,
+    }
+
+    impl LogicalProcess for Pump {
+        type Event = Tick;
+        fn handle(&mut self, _ev: Tick, ctx: &mut ShardCtx<'_, Tick>) {
+            self.received += 1;
+            if self.bursts_left > 0 {
+                self.bursts_left -= 1;
+                for _ in 0..64 {
+                    ctx.send_in(1.0, self.target, Tick);
+                }
+                if self.bursts_left > 0 {
+                    ctx.schedule_in(1.0, Tick);
+                }
+            }
+        }
+    }
+
+    fn run_flood(shards: usize, threads: usize, capacity: usize) -> (Vec<EventRecord>, Vec<u64>) {
+        let part = StaticPartition::round_robin(2, shards, 1.0);
+        let lps = vec![
+            Pump {
+                target: 1,
+                bursts_left: 3,
+                received: 0,
+            },
+            Pump {
+                target: 0,
+                bursts_left: 0,
+                received: 0,
+            },
+        ];
+        let mut sim: ShardedSimulation<_, _> = match ShardedSimulation::new(part, lps, 11) {
+            Ok(sim) => sim,
+            Err(e) => unreachable!("valid partition rejected: {e}"),
+        };
+        sim = sim
+            .with_event_log()
+            .with_threads(threads)
+            .with_channel_capacity(capacity);
+        sim.schedule(0.0, 0, Tick);
+        sim.run();
+        let log = sim.take_event_log();
+        let received = sim.into_lps().into_iter().map(|p| p.received).collect();
+        (log, received)
+    }
+
+    #[test]
+    fn one_directional_floods_survive_tiny_edge_channels() {
+        // 192 events cross one edge while the receiving worker has
+        // nothing to send back: with capacity 1 its worker must keep
+        // draining after its own (empty) flush completes, or the
+        // sender spins forever at the sends-complete handshake.
+        let base = run_flood(1, 1, 1024);
+        assert_eq!(base.1, vec![3, 192]);
+        for (shards, threads, capacity) in [(2, 2, 1), (2, 1, 1), (2, 2, 4)] {
+            let got = run_flood(shards, threads, capacity);
+            assert_eq!(
+                got, base,
+                "divergence at {shards} shards / {threads} threads / capacity {capacity}"
+            );
+        }
+    }
+
     #[test]
     fn handler_panics_surface_without_deadlocking_workers() {
         struct Bomb;
@@ -1423,5 +1551,80 @@ mod tests {
             sim.run();
         }));
         assert!(caught.is_err());
+    }
+
+    /// Entity 0 floods shard 1 through a capacity-1 channel in the same
+    /// round that shard 1's only entity panics: the panicked worker
+    /// must keep draining that edge until the flooder's flush is
+    /// announced complete, or `run()` hangs instead of re-panicking.
+    #[test]
+    fn panics_with_flooded_edge_channels_do_not_deadlock() {
+        struct FloodOrBomb {
+            flood_to: Option<u32>,
+        }
+        #[derive(Debug)]
+        struct Poke;
+        impl LogicalProcess for FloodOrBomb {
+            type Event = Poke;
+            fn handle(&mut self, _ev: Poke, ctx: &mut ShardCtx<'_, Poke>) {
+                match self.flood_to {
+                    Some(target) => {
+                        for _ in 0..64 {
+                            ctx.send_in(1.0, target, Poke);
+                        }
+                    }
+                    None => panic!("boom"),
+                }
+            }
+        }
+        let part = StaticPartition::round_robin(2, 2, 1.0);
+        let lps = vec![
+            FloodOrBomb { flood_to: Some(1) },
+            FloodOrBomb { flood_to: None },
+        ];
+        let mut sim: ShardedSimulation<_, _> = match ShardedSimulation::new(part, lps, 1) {
+            Ok(sim) => sim,
+            Err(e) => unreachable!("valid partition rejected: {e}"),
+        };
+        sim = sim.with_threads(2).with_channel_capacity(1);
+        sim.schedule(0.0, 0, Poke);
+        sim.schedule(0.0, 1, Poke);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            sim.run();
+        }));
+        assert!(caught.is_err());
+    }
+
+    /// At t = 1e16 the clock's ulp is 2.0, so `lb + 1.0` rounds back to
+    /// `lb` and the conservative horizons freeze. The kernel must fail
+    /// with a diagnostic instead of spinning in zero-progress rounds.
+    #[test]
+    fn sub_ulp_lookaheads_panic_instead_of_livelocking() {
+        for threads in [1, 2] {
+            let part = StaticPartition::round_robin(2, 2, 1.0);
+            let mut sim: ShardedSimulation<_, _> = match ShardedSimulation::new(part, ring(2, 1), 1)
+            {
+                Ok(sim) => sim,
+                Err(e) => unreachable!("valid partition rejected: {e}"),
+            };
+            sim = sim.with_threads(threads);
+            sim.schedule(1e16, 0, Tick);
+            sim.schedule(1e16, 1, Tick);
+            let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                sim.run();
+            }));
+            let payload = match caught {
+                Err(p) => p,
+                Ok(()) => unreachable!("frozen run returned at {threads} threads"),
+            };
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert!(
+                msg.contains("cannot advance"),
+                "unexpected panic message: {msg}"
+            );
+        }
     }
 }

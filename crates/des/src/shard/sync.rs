@@ -35,7 +35,11 @@
 //! any event that could still reach it fires no earlier than that.
 //! Because every declared lookahead is strictly positive, the shard
 //! holding the globally earliest event has `exec` equal to its LB and a
-//! horizon strictly above it, so every round makes progress.
+//! horizon strictly above it, so every round makes progress — in exact
+//! arithmetic. When a lookahead is below half an ulp of the clock,
+//! `lb + la` rounds back to `lb` and the horizons freeze; [`stalled`]
+//! detects that corner so the drivers can abort with a diagnostic
+//! instead of livelocking.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
@@ -107,6 +111,20 @@ pub(crate) fn quiescent(lbs: &[f64], run_horizon: f64) -> bool {
         .all(|&lb| lb == f64::INFINITY || lb > run_horizon)
 }
 
+/// Whether a round would dispatch nothing at all: every shard's
+/// earliest pending event is at or beyond its horizon, or beyond the
+/// run horizon. With events remaining (`!quiescent`) this is impossible
+/// in exact arithmetic — the globally earliest shard always has a
+/// horizon strictly above its LB — but when a lookahead is smaller than
+/// half an ulp of the clock the horizon math rounds to a fixpoint that
+/// never advances. A stalled round re-derives the same LBs and horizons
+/// forever, so callers must treat it as fatal rather than retry.
+pub(crate) fn stalled(lbs: &[f64], horizons: &[f64], run_horizon: f64) -> bool {
+    lbs.iter()
+        .zip(horizons)
+        .all(|(&lb, &h)| lb >= h || lb > run_horizon)
+}
+
 /// The shared coordination state of one threaded run: per-shard lower
 /// bounds and horizons (f64 bit patterns in atomics), the termination
 /// and panic flags, and the round barrier. All reads and writes are
@@ -115,6 +133,11 @@ pub(crate) fn quiescent(lbs: &[f64], run_horizon: f64) -> bool {
 pub(crate) struct SyncPlane {
     lbs: Vec<AtomicU64>,
     horizons: Vec<AtomicU64>,
+    /// Total flush announcements across all rounds (monotone, so no
+    /// racy per-round reset): worker `w` bumps it once per round, after
+    /// its cross-shard sends are pushed or permanently abandoned.
+    flushed: AtomicU64,
+    parties: u64,
     done: AtomicBool,
     panicked: AtomicBool,
     pub(crate) barrier: Barrier,
@@ -128,10 +151,27 @@ impl SyncPlane {
         SyncPlane {
             lbs: (0..shards).map(|_| AtomicU64::new(inf)).collect(),
             horizons: (0..shards).map(|_| AtomicU64::new(inf)).collect(),
+            flushed: AtomicU64::new(0),
+            parties: parties as u64,
             done: AtomicBool::new(false),
             panicked: AtomicBool::new(false),
             barrier: Barrier::new(parties + 1),
         }
+    }
+
+    /// Announces that this worker has pushed every cross-shard send of
+    /// the current round — or, having caught a panic, will never push
+    /// them. Exactly one call per worker per round.
+    pub(crate) fn note_flushed(&self) {
+        self.flushed.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Whether some worker is still flushing sends for 1-based `round`.
+    /// While this holds, every worker must keep draining its own
+    /// inboxes so no peer's flush can block forever on a full edge
+    /// channel — including edges into a panicked worker's shards.
+    pub(crate) fn sends_outstanding(&self, round: u64) -> bool {
+        self.flushed.load(Ordering::Acquire) < round.saturating_mul(self.parties)
     }
 
     pub(crate) fn set_lb(&self, shard: usize, lb: f64) {
